@@ -1,0 +1,168 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one bench per experiment, E1-E13), plus microbenchmarks of the recovery
+// pipeline itself. Run with:
+//
+//	go test -bench=. -benchmem
+package sigrec
+
+import (
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/core"
+	"sigrec/internal/corpus"
+	"sigrec/internal/evm"
+	"sigrec/internal/experiments"
+	"sigrec/internal/obfuscate"
+	"sigrec/internal/solc"
+)
+
+// benchParams keeps bench iterations affordable while preserving every
+// experiment's shape; cmd/experiments runs the full scale.
+var benchParams = experiments.Params{Seed: 42, Scale: 0.05}
+
+func benchExperiment(b *testing.B, id string) {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb, err := r.Run(benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// One benchmark per paper table/figure.
+
+func BenchmarkE1Accuracy(b *testing.B)         { benchExperiment(b, "e1") }  // §5.2 RQ1
+func BenchmarkE2CompilerVersions(b *testing.B) { benchExperiment(b, "e2") }  // Fig. 15/16
+func BenchmarkE3TimeDistribution(b *testing.B) { benchExperiment(b, "e3") }  // Fig. 17
+func BenchmarkE4DimensionSweep(b *testing.B)   { benchExperiment(b, "e4") }  // Fig. 18
+func BenchmarkE5RuleUsage(b *testing.B)        { benchExperiment(b, "e5") }  // Fig. 19
+func BenchmarkE6Dataset1(b *testing.B)         { benchExperiment(b, "e6") }  // Table 1
+func BenchmarkE7Dataset2(b *testing.B)         { benchExperiment(b, "e7") }  // Table 2
+func BenchmarkE8Dataset3(b *testing.B)         { benchExperiment(b, "e8") }  // Table 3
+func BenchmarkE9StructNested(b *testing.B)     { benchExperiment(b, "e9") }  // Table 4
+func BenchmarkE10Vyper(b *testing.B)           { benchExperiment(b, "e10") } // Table 5
+func BenchmarkE11ParChecker(b *testing.B)      { benchExperiment(b, "e11") } // §6.1/Table 6
+func BenchmarkE12Fuzzing(b *testing.B)         { benchExperiment(b, "e12") } // §6.2
+func BenchmarkE13Erays(b *testing.B)           { benchExperiment(b, "e13") } // §6.3
+func BenchmarkE14Obfuscation(b *testing.B)     { benchExperiment(b, "e14") } // §7 ablation
+
+// Microbenchmarks of the pipeline.
+
+func benchRecover(b *testing.B, sigStr string, mode solc.Mode) {
+	sig, err := abi.ParseSignature(sigStr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{{Sig: sig, Mode: mode}}},
+		solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, _ := core.RecoverFunction(code, sig.Selector())
+		if len(rec.Inputs) == 0 {
+			b.Fatal("recovery failed")
+		}
+	}
+}
+
+func BenchmarkRecoverBasic(b *testing.B) {
+	benchRecover(b, "transfer(address,uint256)", solc.External)
+}
+
+func BenchmarkRecoverDynamicArray(b *testing.B) {
+	benchRecover(b, "batch(uint256[],address)", solc.External)
+}
+
+func BenchmarkRecoverNestedArray(b *testing.B) {
+	benchRecover(b, "deep(uint8[][])", solc.External)
+}
+
+func BenchmarkRecoverPublicCopy(b *testing.B) {
+	benchRecover(b, "rows(uint256[3][2],bytes)", solc.Public)
+}
+
+func BenchmarkBatchRecovery(b *testing.B) {
+	c, err := corpus.Generate(corpus.Config{Seed: 9, Solidity: 64, Vyper: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	codes := make([][]byte, len(c.Entries))
+	for i, e := range c.Entries {
+		codes[i] = e.Code
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := core.RecoverAll(codes, 0)
+		if len(items) != len(codes) {
+			b.Fatal("batch incomplete")
+		}
+	}
+}
+
+func BenchmarkObfuscateAndRecover(b *testing.B) {
+	sig, _ := abi.ParseSignature("f(uint8,uint32,address)")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{{Sig: sig, Mode: solc.External}}},
+		solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obf, err := obfuscate.Obfuscate(code, obfuscate.LevelShiftMask, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, _ := core.RecoverFunction(obf, sig.Selector())
+		if len(rec.Inputs) != 3 {
+			b.Fatal("recovery degraded")
+		}
+	}
+}
+
+func BenchmarkWorldCall(b *testing.B) {
+	sig, _ := abi.ParseSignature("transfer(address,uint256)")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{{Sig: sig, Mode: solc.External}}},
+		solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := evm.NewWorld()
+	target := evm.WordFromUint64(0x1001)
+	w.Deploy(target, code)
+	data, _ := abi.EncodeCall(sig, []abi.Value{evm.WordFromUint64(1), evm.WordFromUint64(2)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.Call(evm.WordFromUint64(0xCAFE), target, data, evm.ZeroWord, 0)
+		if err != nil || res.Reverted {
+			b.Fatal("call failed")
+		}
+	}
+}
+
+func BenchmarkCorpusGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := corpus.Generate(corpus.Config{Seed: int64(i), Solidity: 50, Vyper: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(c.Entries) == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command evaluate measures SigRec's accuracy against a labeled corpus
+// file (the cmd/corpusgen interchange format), printing per-language
+// accuracy and a breakdown of the misses.
+//
+// Usage:
+//
+//	corpusgen -solidity 500 > corpus.json
+//	evaluate -corpus corpus.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/core"
+	"sigrec/internal/corpus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		path    = flag.String("corpus", "", "labeled corpus JSON (required)")
+		verbose = flag.Bool("v", false, "print every miss")
+	)
+	flag.Parse()
+	if *path == "" {
+		return fmt.Errorf("-corpus is required")
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries, err := corpus.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+
+	type bucket struct{ total, correct int }
+	byLang := map[string]*bucket{}
+	flawMisses := map[string]int{}
+	cleanMisses := 0
+	for _, e := range entries {
+		lang := e.Language.String()
+		b := byLang[lang]
+		if b == nil {
+			b = &bucket{}
+			byLang[lang] = b
+		}
+		b.total++
+		rec, _ := core.RecoverFunction(e.Code, e.Sig.Selector())
+		got := abi.Signature{Name: e.Sig.Name, Inputs: rec.Inputs}
+		if got.EqualTypes(e.Sig) {
+			b.correct++
+			continue
+		}
+		if e.Flaw != "" {
+			flawMisses[e.Flaw]++
+		} else {
+			cleanMisses++
+		}
+		if *verbose {
+			fmt.Printf("miss: %-50s -> %-30s flaw=%q\n", e.Sig.Canonical(), got.TypeList(), e.Flaw)
+		}
+	}
+
+	total, correct := 0, 0
+	for lang, b := range byLang {
+		total += b.total
+		correct += b.correct
+		fmt.Printf("%-10s %5d functions  accuracy %.2f%%\n",
+			lang, b.total, 100*float64(b.correct)/float64(b.total))
+	}
+	if total > 0 {
+		fmt.Printf("%-10s %5d functions  accuracy %.2f%%\n",
+			"overall", total, 100*float64(correct)/float64(total))
+	}
+	if len(flawMisses) > 0 {
+		fmt.Println("\nmisses by labeled flaw:")
+		for flaw, n := range flawMisses {
+			fmt.Printf("  %4d  %s\n", n, flaw)
+		}
+	}
+	if cleanMisses > 0 {
+		fmt.Printf("\nWARNING: %d misses on clue-rich entries (regressions?)\n", cleanMisses)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Command evmdis disassembles EVM runtime bytecode (Geth-style linear
+// sweep) and optionally prints basic blocks.
+//
+// Usage:
+//
+//	evmdis 0x6080...
+//	evmdis -blocks -f contract.hex
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sigrec/internal/evm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evmdis:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		file   = flag.String("f", "", "read hex bytecode from a file")
+		blocks = flag.Bool("blocks", false, "print basic-block boundaries")
+	)
+	flag.Parse()
+
+	var input string
+	switch {
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		input = string(b)
+	case flag.NArg() > 0:
+		input = flag.Arg(0)
+	default:
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		input = string(b)
+	}
+	code, err := hex.DecodeString(strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(input), "0x")))
+	if err != nil {
+		return fmt.Errorf("decode hex: %w", err)
+	}
+	program := evm.Disassemble(code)
+	if !*blocks {
+		fmt.Print(program.String())
+		return nil
+	}
+	for i, bb := range program.BasicBlocks() {
+		fmt.Printf("block %d: [%#x, %#x]\n", i, bb.Start, bb.End)
+		for _, ins := range program.Instructions[bb.First : bb.Last+1] {
+			fmt.Printf("  %s\n", ins)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Command evmrun executes EVM runtime bytecode against call data on the
+// in-repo concrete interpreter, reporting the outcome, gas, storage
+// effects, and (optionally) per-instruction coverage. It pairs with
+// cmd/sigrec for a recover-then-exercise workflow.
+//
+// Usage:
+//
+//	evmrun -code 0x6080... -data 0xa9059cbb...
+//	evmrun -codefile c.hex -data 0x... -gas 100000 -coverage
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"sigrec/internal/evm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evmrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		codeHex  = flag.String("code", "", "runtime bytecode (hex)")
+		codeFile = flag.String("codefile", "", "read bytecode hex from a file")
+		dataHex  = flag.String("data", "", "call data (hex)")
+		gas      = flag.Uint64("gas", 0, "gas budget (0 = unlimited)")
+		coverage = flag.Bool("coverage", false, "report instruction coverage")
+		trace    = flag.Bool("trace", false, "print every executed instruction")
+	)
+	flag.Parse()
+
+	rawCode := *codeHex
+	if *codeFile != "" {
+		b, err := os.ReadFile(*codeFile)
+		if err != nil {
+			return err
+		}
+		rawCode = string(b)
+	}
+	code, err := decodeHex(rawCode)
+	if err != nil {
+		return fmt.Errorf("bytecode: %w", err)
+	}
+	data, err := decodeHex(*dataHex)
+	if err != nil {
+		return fmt.Errorf("call data: %w", err)
+	}
+
+	ctx := evm.CallContext{
+		CallData:        data,
+		Gas:             *gas,
+		CollectCoverage: *coverage,
+	}
+	if *trace {
+		ctx.Tracer = func(s evm.TraceStep) {
+			top := ""
+			if n := len(s.Stack); n > 0 {
+				top = "  top=" + s.Stack[n-1].Hex()
+			}
+			fmt.Printf("%05x %-14s gas=%-8d depth=%d stack=%d%s\n",
+				s.PC, s.Op, s.GasUsed, s.Depth, len(s.Stack), top)
+		}
+	}
+	in := evm.NewInterpreter(code)
+	res := in.Execute(ctx)
+
+	switch {
+	case res.Err != nil:
+		fmt.Printf("outcome:  fault (%v)\n", res.Err)
+	case res.Reverted:
+		fmt.Printf("outcome:  reverted\n")
+	default:
+		fmt.Printf("outcome:  success\n")
+	}
+	fmt.Printf("steps:    %d\n", res.Steps)
+	fmt.Printf("gas used: %d\n", res.GasUsed)
+	if len(res.ReturnData) > 0 {
+		fmt.Printf("return:   0x%x\n", res.ReturnData)
+	}
+	store := in.Storage()
+	if len(store) > 0 {
+		fmt.Printf("storage writes (%d):\n", len(store))
+		keys := make([]string, 0, len(store))
+		byKey := make(map[string]string, len(store))
+		for k, v := range store {
+			keys = append(keys, k.Hex())
+			byKey[k.Hex()] = v.Hex()
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s = %s\n", k, byKey[k])
+		}
+	}
+	for i, lg := range res.Logs {
+		fmt.Printf("log %d: topics=%v data=0x%x\n", i, lg.Topics, lg.Data)
+	}
+	if *coverage {
+		total := len(evm.Disassemble(code).Instructions)
+		fmt.Printf("coverage: %d/%d instructions\n", len(res.Coverage), total)
+	}
+	return nil
+}
+
+func decodeHex(s string) ([]byte, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "0x"))
+	if s == "" {
+		return nil, nil
+	}
+	return hex.DecodeString(s)
+}

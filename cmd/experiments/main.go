@@ -1,0 +1,79 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run e1,e7] [-scale 1.0] [-seed 42]
+//
+// With no -run flag it executes every experiment (E1-E13) in order and
+// prints each table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sigrec/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		only   = flag.String("run", "", "comma-separated experiment ids (e1..e14); empty runs all")
+		scale  = flag.Float64("scale", 1.0, "corpus scale factor (1.0 = full)")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		format = flag.String("format", "text", "output format: text or md")
+		outDir = flag.String("o", "", "also write one file per table into this directory")
+	)
+	flag.Parse()
+	params := experiments.Params{Seed: *seed, Scale: *scale}
+
+	var runners []experiments.Runner
+	if *only == "" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			r, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			runners = append(runners, r)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		tb, err := r.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		rendered := tb.String()
+		ext := ".txt"
+		if *format == "md" {
+			rendered = tb.Markdown()
+			ext = ".md"
+		}
+		fmt.Println(rendered)
+		fmt.Printf("  [%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if *outDir != "" {
+			path := filepath.Join(*outDir, r.ID+ext)
+			if err := os.WriteFile(path, []byte(rendered), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Command parchecker demonstrates the §6.1 pipeline end to end: it
+// generates a fleet of contracts, recovers their signatures with SigRec,
+// generates a synthetic transaction stream with a controlled rate of
+// malformed arguments, and scans it for invalid actual arguments and
+// short-address attacks.
+//
+// Usage:
+//
+//	parchecker -blocks 500 -tx 40 -invalid 0.01 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/chain"
+	"sigrec/internal/core"
+	"sigrec/internal/corpus"
+	"sigrec/internal/parchecker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "parchecker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		blocks  = flag.Int("blocks", 500, "blocks to scan")
+		txPerB  = flag.Int("tx", 40, "transactions per block")
+		invalid = flag.Float64("invalid", 0.01, "malformed-argument rate")
+		seed    = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	// Deploy a fleet and recover its signatures from bytecode alone.
+	cfg := corpus.DefaultConfig(*seed)
+	cfg.Solidity, cfg.Vyper, cfg.AmbiguityRate = 150, 0, 0
+	fleet, err := corpus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	var sigs []abi.Signature
+	var results []core.Result
+	for _, e := range fleet.Entries {
+		res, err := core.Recover(e.Code)
+		if err != nil {
+			continue
+		}
+		results = append(results, res)
+		sigs = append(sigs, e.Sig)
+	}
+	checker := parchecker.FromRecovery(results...)
+	fmt.Printf("recovered signatures for %d contracts\n", len(results))
+
+	ccfg := chain.Config{
+		Seed: *seed, Blocks: *blocks, TxPerBlock: *txPerB,
+		InvalidRate: *invalid, ShortAddressShare: 0.08,
+	}
+	w, err := chain.Generate(ccfg, sigs)
+	if err != nil {
+		return err
+	}
+	payloads := make([][]byte, len(w.Txs))
+	for i, tx := range w.Txs {
+		payloads[i] = tx.CallData
+	}
+	st, err := checker.ScanParallel(payloads, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scanned %d transactions in %d blocks\n", st.Total, *blocks)
+	fmt.Printf("  valid:                 %d\n", st.Valid)
+	fmt.Printf("  invalid arguments:     %d\n", st.Invalid)
+	fmt.Printf("  short-address attacks: %d\n", st.ShortAddress)
+	fmt.Printf("  unknown functions:     %d\n", st.Unknown)
+	fmt.Printf("  unique targets flagged: %d\n", len(st.UniqueTargets))
+	return nil
+}

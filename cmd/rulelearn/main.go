@@ -1,0 +1,110 @@
+// Command rulelearn demonstrates the paper's §3.1 rule-generation pipeline:
+// it generates single-parameter contracts for a type family, extracts each
+// accessing pattern, and prints the family's common pattern and the
+// structural residual relative to the element type.
+//
+// Usage:
+//
+//	rulelearn                    # the built-in derivations
+//	rulelearn -family uint       # one family: uint, int, staticarray,
+//	                             # dynarray, bytes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/rulelearn"
+	"sigrec/internal/solc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rulelearn:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	family := flag.String("family", "", "single family to derive (uint, int, staticarray, dynarray, bytes)")
+	flag.Parse()
+
+	families := []string{"uint", "int", "staticarray", "dynarray", "bytes"}
+	if *family != "" {
+		families = []string{*family}
+	}
+	for _, f := range families {
+		if err := derive(f); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func derive(family string) error {
+	switch family {
+	case "uint":
+		var types []abi.Type
+		for bits := 8; bits < 256; bits += 8 {
+			types = append(types, abi.Uint(bits))
+		}
+		_, common, err := rulelearn.Family(types, solc.External)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("uint8..uint248 (external) common pattern:\n  %s\n", common)
+		fmt.Println("  -> rule R11: CALLDATALOAD masked by AND identifies uintM")
+	case "int":
+		var types []abi.Type
+		for bits := 8; bits < 256; bits += 8 {
+			types = append(types, abi.Int(bits))
+		}
+		_, common, err := rulelearn.Family(types, solc.External)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("int8..int248 (external) common pattern:\n  %s\n", common)
+		fmt.Println("  -> rule R13: SIGNEXTEND identifies intM")
+	case "staticarray":
+		elem, err := rulelearn.CollectPattern(abi.Uint(8), solc.External)
+		if err != nil {
+			return err
+		}
+		var types []abi.Type
+		for n := 1; n <= 10; n++ {
+			types = append(types, abi.ArrayOf(abi.Uint(8), n))
+		}
+		_, common, err := rulelearn.Family(types, solc.External)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("uint8[1]..uint8[10] (external) common pattern:\n  %s\n", common)
+		fmt.Printf("residual over uint8:\n  %s\n", rulelearn.Subtract(common, elem.Pattern))
+		fmt.Println("  -> rule R3: LT bound checks guard the element loads")
+	case "dynarray":
+		elem, err := rulelearn.CollectPattern(abi.Uint(8), solc.Public)
+		if err != nil {
+			return err
+		}
+		arr, err := rulelearn.CollectPattern(abi.SliceOf(abi.Uint(8)), solc.Public)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("uint8[] (public) pattern:\n  %s\n", arr.Pattern)
+		fmt.Printf("residual over uint8:\n  %s\n", rulelearn.Subtract(arr.Pattern, elem.Pattern))
+		fmt.Println("  -> rules R1/R5/R7: offset+num loads, then a copy of num*32 bytes")
+	case "bytes":
+		b, err := rulelearn.CollectPattern(abi.Bytes(), solc.Public)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bytes (public) pattern:\n  %s\n", b.Pattern)
+		fmt.Println("  -> rule R8: the copy length rounds up with DIV instead of multiplying")
+	default:
+		return fmt.Errorf("unknown family %q", family)
+	}
+	return nil
+}

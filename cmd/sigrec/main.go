@@ -1,0 +1,178 @@
+// Command sigrec recovers function signatures from EVM runtime bytecode.
+//
+// Usage:
+//
+//	sigrec 0x6080...            # hex bytecode as an argument
+//	sigrec -f contract.hex      # or from a file
+//	echo 0x6080... | sigrec     # or from stdin
+//	sigrec -db sigs.json ...    # annotate with names from a signature DB
+//
+// Output: one line per recovered function: the 4-byte id, the parameter
+// type list, and the detected source language. SigRec recovers ids and
+// types from the bytecode alone; a signature database (-db, the format
+// cmd/corpusgen and efsd.Save emit) only adds human-readable names, and
+// only when its types agree with the recovery.
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sigrec"
+	"sigrec/internal/efsd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sigrec:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		file     = flag.String("f", "", "read hex bytecode from a file")
+		rules    = flag.Bool("rules", false, "print rule-usage statistics")
+		explain  = flag.Bool("explain", false, "print per-parameter rule trails")
+		dbPath   = flag.String("db", "", "JSON signature database for name annotation")
+		deployed = flag.Bool("deployed", false, "input is deployment (init) bytecode: execute it to extract the runtime first")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of text")
+	)
+	flag.Parse()
+
+	var db *efsd.DB
+	if *dbPath != "" {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if db, err = efsd.Load(f); err != nil {
+			return err
+		}
+	}
+
+	var input string
+	switch {
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		input = string(b)
+	case flag.NArg() > 0:
+		input = flag.Arg(0)
+	default:
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		input = string(b)
+	}
+
+	var res sigrec.Result
+	var err error
+	if *deployed {
+		code, derr := decodeHexInput(input)
+		if derr != nil {
+			return derr
+		}
+		res, err = sigrec.RecoverDeployment(code)
+	} else {
+		res, err = sigrec.RecoverHex(input)
+	}
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return emitJSON(os.Stdout, res, db)
+	}
+	for _, f := range res.Functions {
+		note := ""
+		if f.Truncated {
+			note = "  (truncated analysis)"
+		}
+		display := f.TypeList()
+		if db != nil {
+			if known, ok := db.Lookup(f.Selector); ok {
+				// Annotate with the known name when the types agree; flag
+				// disagreements, which usually mean the database is stale.
+				if typeList(known) == f.TypeList() {
+					display = known
+				} else {
+					note += fmt.Sprintf("  (db has %s)", known)
+				}
+			}
+		}
+		fmt.Printf("%s %s  [%s]%s\n", f.Selector.Hex(), display, f.Language, note)
+		if *explain {
+			for _, line := range f.Explain() {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+	}
+	if *rules {
+		fmt.Println(strings.Repeat("-", 40))
+		for r := 1; r <= 31; r++ {
+			fmt.Printf("R%-3d %d\n", r, res.Rules[r])
+		}
+	}
+	return nil
+}
+
+// jsonFunction is the machine-readable recovery record.
+type jsonFunction struct {
+	Selector  string   `json:"selector"`
+	Types     string   `json:"types"`
+	Language  string   `json:"language"`
+	Rules     []string `json:"rules,omitempty"`
+	Known     string   `json:"knownSignature,omitempty"`
+	Truncated bool     `json:"truncated,omitempty"`
+}
+
+func emitJSON(w io.Writer, res sigrec.Result, db *efsd.DB) error {
+	out := make([]jsonFunction, 0, len(res.Functions))
+	for _, f := range res.Functions {
+		jf := jsonFunction{
+			Selector:  f.Selector.Hex(),
+			Types:     f.TypeList(),
+			Language:  f.Language.String(),
+			Truncated: f.Truncated,
+		}
+		seen := map[string]bool{}
+		for _, trail := range f.ParamRules {
+			for _, r := range trail {
+				if !seen[r.String()] {
+					seen[r.String()] = true
+					jf.Rules = append(jf.Rules, r.String())
+				}
+			}
+		}
+		if db != nil {
+			if known, ok := db.Lookup(f.Selector); ok && typeList(known) == f.TypeList() {
+				jf.Known = known
+			}
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func decodeHexInput(s string) ([]byte, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "0x"))
+	return hex.DecodeString(s)
+}
+
+func typeList(canonical string) string {
+	if i := strings.IndexByte(canonical, '('); i >= 0 {
+		return canonical[i:]
+	}
+	return "()"
+}

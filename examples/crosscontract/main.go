@@ -1,0 +1,148 @@
+// Crosscontract: deploy two interacting contracts into the in-repo EVM
+// world, recover both signature sets from bytecode, and drive a real
+// cross-contract call (a vault that forwards a deposit notification to a
+// registry) -- demonstrating recovery and execution on multi-contract
+// state, including revert rollback.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sigrec"
+	"sigrec/internal/abi"
+	"sigrec/internal/evm"
+)
+
+var (
+	vaultAddr    = evm.WordFromUint64(0x1001)
+	registryAddr = evm.WordFromUint64(0x1002)
+	user         = evm.WordFromUint64(0xCAFE)
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	depositSig, err := abi.ParseSignature("deposit(uint256)")
+	if err != nil {
+		return err
+	}
+	notifySig, err := abi.ParseSignature("notify(uint256)")
+	if err != nil {
+		return err
+	}
+
+	registry := buildRegistry(notifySig)
+	vault := buildVault(depositSig, notifySig)
+
+	// Recover both contracts' signatures from bytecode alone.
+	for name, code := range map[string][]byte{"vault": vault, "registry": registry} {
+		res, err := sigrec.Recover(code)
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", name, err)
+		}
+		fmt.Printf("%s functions:\n", name)
+		for _, f := range res.Functions {
+			fmt.Printf("  %s %s\n", f.Selector.Hex(), f.TypeList())
+		}
+	}
+
+	// Deploy and drive a real cross-contract call.
+	w := evm.NewWorld()
+	w.Deploy(vaultAddr, vault)
+	w.Deploy(registryAddr, registry)
+
+	callData, err := abi.EncodeCall(depositSig, []abi.Value{evm.WordFromUint64(500)})
+	if err != nil {
+		return err
+	}
+	res, err := w.Call(user, vaultAddr, callData, evm.ZeroWord, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndeposit(500): reverted=%v steps=%d gas=%d\n", res.Reverted, res.Steps, res.GasUsed)
+
+	vaultAcc, _ := w.Account(vaultAddr)
+	regAcc, _ := w.Account(registryAddr)
+	fmt.Printf("vault storage[0]    = %s (recorded deposit)\n", vaultAcc.Storage[evm.ZeroWord])
+	fmt.Printf("registry storage[0] = %s (notified amount)\n", regAcc.Storage[evm.ZeroWord])
+
+	// A zero deposit violates the registry's check; the whole call chain
+	// reverts and no state survives.
+	zeroCall, _ := abi.EncodeCall(depositSig, []abi.Value{evm.ZeroWord})
+	res, err = w.Call(user, vaultAddr, zeroCall, evm.ZeroWord, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndeposit(0): reverted=%v (registry rejected it; rollback kept state clean)\n", res.Reverted)
+	return nil
+}
+
+// buildRegistry accepts notify(uint256) and requires a nonzero amount.
+func buildRegistry(notifySig abi.Signature) []byte {
+	a := evm.NewAssembler()
+	body := a.NewLabel()
+	fail := a.NewLabel()
+	sel := notifySig.Selector()
+	a.Push(0).Op(evm.CALLDATALOAD).Push(0xe0).Op(evm.SHR)
+	a.PushBytes(sel[:]).Op(evm.EQ).JumpI(body)
+	a.Op(evm.STOP)
+	a.Bind(body)
+	a.Push(4).Op(evm.CALLDATALOAD) // amount
+	a.Dup(1).Op(evm.ISZERO).JumpI(fail)
+	a.Push(0).Op(evm.SSTORE) // storage[0] = amount
+	a.Op(evm.STOP)
+	a.Bind(fail)
+	a.Push(0).Push(0).Op(evm.REVERT)
+	code, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+// buildVault accepts deposit(uint256), records it, and forwards a
+// notify(uint256) call to the registry; if the registry reverts, the vault
+// reverts too.
+func buildVault(depositSig, notifySig abi.Signature) []byte {
+	a := evm.NewAssembler()
+	body := a.NewLabel()
+	ok := a.NewLabel()
+	dsel := depositSig.Selector()
+	nsel := notifySig.Selector()
+	a.Push(0).Op(evm.CALLDATALOAD).Push(0xe0).Op(evm.SHR)
+	a.PushBytes(dsel[:]).Op(evm.EQ).JumpI(body)
+	a.Op(evm.STOP)
+	a.Bind(body)
+	// storage[0] = amount
+	a.Push(4).Op(evm.CALLDATALOAD)
+	a.Push(0).Op(evm.SSTORE)
+	// memory[0..36) = notify selector + amount
+	a.PushBytes(nsel[:])
+	a.Push(224).Op(evm.SHL)
+	a.Push(0).Op(evm.MSTORE)
+	a.Push(4).Op(evm.CALLDATALOAD)
+	a.Push(4).Op(evm.MSTORE)
+	// call registry(notify, amount)
+	a.Push(0)  // retLen
+	a.Push(0)  // retOff
+	a.Push(36) // argsLen
+	a.Push(0)  // argsOff
+	a.Push(0)  // value
+	a.PushWord(registryAddr)
+	a.Push(100000) // gas
+	a.Op(evm.CALL)
+	a.JumpI(ok)
+	a.Push(0).Push(0).Op(evm.REVERT) // propagate the registry's rejection
+	a.Bind(ok)
+	a.Op(evm.STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}

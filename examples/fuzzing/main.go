@@ -1,0 +1,47 @@
+// Fuzzing: the paper's §6.2 scenario -- signature-guided fuzzing against
+// random-input fuzzing on seeded-bug contracts, with the typed fuzzer
+// consuming SigRec's recovery rather than ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sigrec"
+	"sigrec/internal/abi"
+	"sigrec/internal/fuzz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	targets, err := fuzz.GenerateBugContracts(2024, 200, 0.20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d seeded-bug contracts\n", len(targets))
+
+	// Recover each target's parameter types from its bytecode.
+	recovered := make(map[string][]abi.Type, len(targets))
+	for _, bc := range targets {
+		rec, _ := sigrec.RecoverFunction(bc.Code, bc.Sig.Selector())
+		recovered[bc.Sig.Canonical()] = rec.Inputs
+	}
+
+	const budget = 96
+	typed := fuzz.RunCampaign(&fuzz.Typed{Inputs: recovered}, targets, budget, 1)
+	random := fuzz.RunCampaign(&fuzz.Random{}, targets, budget, 1)
+
+	fmt.Printf("\nbudget: %d inputs per contract\n", budget)
+	fmt.Printf("  ContractFuzzer  (SigRec signatures): %3d/%d bugs\n", typed.Found, typed.Total)
+	fmt.Printf("  ContractFuzzer- (random bytes):      %3d/%d bugs\n", random.Found, random.Total)
+	if random.Found > 0 {
+		gain := 100 * float64(typed.Found-random.Found) / float64(random.Found)
+		fmt.Printf("  advantage from knowing signatures:   +%.0f%%\n", gain)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Quickstart: recover the function signatures of an ERC20-style token
+// contract from its runtime bytecode alone.
+//
+// The demo contract is built with the repository's miniature Solidity
+// compiler (the same substrate the evaluation uses); everything after that
+// uses only the public sigrec API, exactly as a downstream user would on
+// real deployed bytecode.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sigrec"
+	"sigrec/internal/abi"
+	"sigrec/internal/solc"
+)
+
+func main() {
+	code, err := buildToken()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("token runtime bytecode: %d bytes\n\n", len(code))
+
+	res, err := sigrec.Recover(code)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recovered function signatures:")
+	for _, f := range res.Functions {
+		fmt.Printf("  %s %-40s [%s]\n", f.Selector.Hex(), f.TypeList(), f.Language)
+	}
+
+	// Cross-check one selector against a known signature.
+	transfer, err := sigrec.ParseSignature("transfer(address,uint256)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nknown id of transfer(address,uint256): %s\n", transfer.Selector().Hex())
+}
+
+// buildToken compiles an ERC20-like interface.
+func buildToken() ([]byte, error) {
+	var fns []solc.Function
+	for _, s := range []string{
+		"transfer(address,uint256)",
+		"transferFrom(address,address,uint256)",
+		"approve(address,uint256)",
+		"balanceOf(address)",
+		"batchTransfer(address[],uint256)",
+		"setMetadata(string)",
+	} {
+		sig, err := abi.ParseSignature(s)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, solc.Function{Sig: sig, Mode: solc.External})
+	}
+	return solc.Compile(solc.Contract{Functions: fns}, solc.Config{Version: solc.DefaultVersion()})
+}

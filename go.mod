@@ -1,0 +1,3 @@
+module sigrec
+
+go 1.22

@@ -1,0 +1,484 @@
+package abi
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sigrec/internal/evm"
+)
+
+func TestParseAndStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"uint256", "uint8", "int128", "int256", "address", "bool",
+		"bytes1", "bytes4", "bytes32", "bytes", "string",
+		"uint256[3]", "uint8[3][2]", "uint256[]", "uint256[3][]",
+		"uint8[][2]", "address[]", "bool[4]",
+		"(uint256,uint256)", "(uint256[],uint256)", "(address,bytes)",
+		"fixed168x10",
+	}
+	for _, c := range cases {
+		ty, err := ParseType(c)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", c, err)
+		}
+		if got := ty.String(); got != c {
+			t.Errorf("ParseType(%q).String() = %q", c, got)
+		}
+		back, err := ParseType(ty.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", ty.String(), err)
+		}
+		if !ty.Equal(back) {
+			t.Errorf("reparse of %q lost structure", c)
+		}
+	}
+}
+
+func TestParseVyperDisplayTypes(t *testing.T) {
+	b, err := ParseType("bytes[64]")
+	if err != nil || b.Kind != KindBoundedBytes || b.MaxLen != 64 {
+		t.Errorf("bytes[64] parsed as %+v, err %v", b, err)
+	}
+	s, err := ParseType("string[10]")
+	if err != nil || s.Kind != KindBoundedString || s.MaxLen != 10 {
+		t.Errorf("string[10] parsed as %+v, err %v", s, err)
+	}
+	d, err := ParseType("decimal")
+	if err != nil || d.Kind != KindDecimal {
+		t.Errorf("decimal parsed as %+v, err %v", d, err)
+	}
+	if got := b.Display(); got != "bytes[64]" {
+		t.Errorf("Display = %q", got)
+	}
+	if got := b.String(); got != "bytes" {
+		t.Errorf("canonical = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "uint7", "uint264", "bytes0", "bytes33", "frob",
+		"uint256[", "uint256[0]", "()", "(uint256", "uint256)x",
+	}
+	for _, c := range bad {
+		if _, err := ParseType(c); err == nil {
+			t.Errorf("ParseType(%q) should fail", c)
+		}
+	}
+}
+
+func TestSelectorKnownValues(t *testing.T) {
+	tests := []struct {
+		sig  string
+		want string
+	}{
+		{"transfer(address,uint256)", "a9059cbb"},
+		{"balanceOf(address)", "70a08231"},
+		{"approve(address,uint256)", "095ea7b3"},
+		{"transferFrom(address,address,uint256)", "23b872dd"},
+	}
+	for _, tc := range tests {
+		sig, err := ParseSignature(tc.sig)
+		if err != nil {
+			t.Fatalf("ParseSignature(%q): %v", tc.sig, err)
+		}
+		sel := sig.Selector()
+		if got := hex.EncodeToString(sel[:]); got != tc.want {
+			t.Errorf("selector(%q) = %s, want %s", tc.sig, got, tc.want)
+		}
+		if got := sig.Canonical(); got != tc.sig {
+			t.Errorf("canonical = %q, want %q", got, tc.sig)
+		}
+	}
+}
+
+func TestParseSignatureNested(t *testing.T) {
+	sig, err := ParseSignature("f(uint256[2],(uint256,bytes),address)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig.Inputs) != 3 {
+		t.Fatalf("got %d inputs", len(sig.Inputs))
+	}
+	if sig.Inputs[1].Kind != KindTuple {
+		t.Errorf("input 1 kind = %d", sig.Inputs[1].Kind)
+	}
+	if _, err := ParseSignature("noparens"); err == nil {
+		t.Error("malformed signature should fail")
+	}
+	if _, err := ParseSignature("(uint256)"); err == nil {
+		t.Error("missing name should fail")
+	}
+	empty, err := ParseSignature("g()")
+	if err != nil || len(empty.Inputs) != 0 {
+		t.Errorf("empty params: %v, %d inputs", err, len(empty.Inputs))
+	}
+}
+
+func TestIsDynamic(t *testing.T) {
+	tests := []struct {
+		typ  string
+		want bool
+	}{
+		{"uint256", false},
+		{"uint8[3]", false},
+		{"uint8[3][2]", false},
+		{"bytes32", false},
+		{"bytes", true},
+		{"string", true},
+		{"uint256[]", true},
+		{"uint256[3][]", true},
+		{"uint256[][3]", true},
+		{"(uint256,uint256)", false},
+		{"(uint256[],uint256)", true},
+	}
+	for _, tc := range tests {
+		if got := MustParseType(tc.typ).IsDynamic(); got != tc.want {
+			t.Errorf("IsDynamic(%s) = %v", tc.typ, got)
+		}
+	}
+}
+
+func TestHeadSize(t *testing.T) {
+	tests := []struct {
+		typ  string
+		want int
+	}{
+		{"uint256", 32},
+		{"uint8[3]", 96},
+		{"uint8[3][2]", 192},
+		{"(uint256,uint256)", 64},
+		{"bytes", 32},
+		{"uint256[]", 32},
+	}
+	for _, tc := range tests {
+		if got := MustParseType(tc.typ).HeadSize(); got != tc.want {
+			t.Errorf("HeadSize(%s) = %d, want %d", tc.typ, got, tc.want)
+		}
+	}
+}
+
+// TestEncodeTransferLayout pins the byte-exact layout of the paper's running
+// example: transfer(address,uint256).
+func TestEncodeTransferLayout(t *testing.T) {
+	sig, _ := ParseSignature("transfer(address,uint256)")
+	to := evm.MustWordFromHex("0x12345678901234567890123456789012345678ff")
+	amount := evm.WordFromUint64(0x2710)
+	data, err := EncodeCall(sig, []Value{to, amount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 4+64 {
+		t.Fatalf("call data length %d", len(data))
+	}
+	if hex.EncodeToString(data[:4]) != "a9059cbb" {
+		t.Errorf("selector = %x", data[:4])
+	}
+	if !evm.WordFromBytes(data[4:36]).Eq(to) {
+		t.Errorf("address slot = %x", data[4:36])
+	}
+	if !evm.WordFromBytes(data[36:68]).Eq(amount) {
+		t.Errorf("amount slot = %x", data[36:68])
+	}
+}
+
+// TestEncodeDynamicArrayLayout pins Fig. 6 of the paper: uint256[3][] with
+// actual argument of 2 rows -> offset field 0x20, num field 2, then 6 words.
+func TestEncodeDynamicArrayLayout(t *testing.T) {
+	ty := MustParseType("uint256[3][]")
+	row := func(a, b, c uint64) Value {
+		return []Value{
+			evm.WordFromUint64(a), evm.WordFromUint64(b), evm.WordFromUint64(c),
+		}
+	}
+	body, err := Encode([]Type{ty}, []Value{[]Value{row(1, 2, 3), row(4, 5, 6)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := evm.WordFromBytes(body[0:32]); !got.Eq(evm.WordFromUint64(32)) {
+		t.Errorf("offset field = %v", got)
+	}
+	if got := evm.WordFromBytes(body[32:64]); !got.Eq(evm.WordFromUint64(2)) {
+		t.Errorf("num field = %v", got)
+	}
+	if len(body) != 32+32+6*32 {
+		t.Errorf("total length = %d", len(body))
+	}
+	if got := evm.WordFromBytes(body[64+5*32 : 64+6*32]); !got.Eq(evm.WordFromUint64(6)) {
+		t.Errorf("last item = %v", got)
+	}
+}
+
+// TestEncodeBytesLayout pins Fig. 4: 'abcd' padded right to 32 bytes.
+func TestEncodeBytesLayout(t *testing.T) {
+	body, err := Encode([]Type{Bytes()}, []Value{[]byte("abcd")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := evm.WordFromBytes(body[0:32]); !got.Eq(evm.WordFromUint64(32)) {
+		t.Errorf("offset = %v", got)
+	}
+	if got := evm.WordFromBytes(body[32:64]); !got.Eq(evm.WordFromUint64(4)) {
+		t.Errorf("num = %v", got)
+	}
+	if !bytes.Equal(body[64:68], []byte("abcd")) || body[68] != 0 || len(body) != 96 {
+		t.Errorf("content = %x (len %d)", body[64:], len(body))
+	}
+}
+
+// TestStructFlattening pins the paper's Listing 2/3 observation: a static
+// struct encodes identically to its flattened members.
+func TestStructFlattening(t *testing.T) {
+	a, b := evm.WordFromUint64(7), evm.WordFromUint64(9)
+	asStruct, err := Encode(
+		[]Type{TupleOf(Uint(256), Uint(256))},
+		[]Value{[]Value{a, b}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asFlat, err := Encode([]Type{Uint(256), Uint(256)}, []Value{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(asStruct, asFlat) {
+		t.Errorf("static struct must flatten: %x vs %x", asStruct, asFlat)
+	}
+}
+
+// TestNestedArrayLayout pins Fig. 7: uint256[][] with argument [[1,2],[3]].
+func TestNestedArrayLayout(t *testing.T) {
+	ty := MustParseType("uint256[][]")
+	arg := []Value{
+		[]Value{evm.WordFromUint64(1), evm.WordFromUint64(2)},
+		[]Value{evm.WordFromUint64(3)},
+	}
+	body, err := Encode([]Type{ty}, []Value{arg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// offset1 -> num1=2, then two inner offsets, then [2,1,2], [1,3].
+	off1, _ := evm.WordFromBytes(body[0:32]).Uint64()
+	num1, _ := evm.WordFromBytes(body[off1 : off1+32]).Uint64()
+	if num1 != 2 {
+		t.Fatalf("num1 = %d", num1)
+	}
+	innerBase := off1 + 32
+	off2, _ := evm.WordFromBytes(body[innerBase : innerBase+32]).Uint64()
+	num2, _ := evm.WordFromBytes(body[innerBase+off2 : innerBase+off2+32]).Uint64()
+	if num2 != 2 {
+		t.Errorf("num2 = %d", num2)
+	}
+	off3, _ := evm.WordFromBytes(body[innerBase+32 : innerBase+64]).Uint64()
+	num3, _ := evm.WordFromBytes(body[innerBase+off3 : innerBase+off3+32]).Uint64()
+	if num3 != 1 {
+		t.Errorf("num3 = %d", num3)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode([]Type{Uint(256)}, nil); err == nil {
+		t.Error("mismatched arity should fail")
+	}
+	if _, err := Encode([]Type{Uint(256)}, []Value{"nope"}); err == nil {
+		t.Error("wrong Go type should fail")
+	}
+	if _, err := Encode([]Type{FixedBytes(4)}, []Value{[]byte("toolong")}); err == nil {
+		t.Error("oversized bytesN should fail")
+	}
+	if _, err := Encode([]Type{BoundedBytes(2)}, []Value{[]byte("toolong")}); err == nil {
+		t.Error("bound violation should fail")
+	}
+	if _, err := Encode([]Type{ArrayOf(Uint(8), 2)}, []Value{[]Value{}}); err == nil {
+		t.Error("wrong array arity should fail")
+	}
+}
+
+// TestEncodeDecodeRoundTrip is the central property: Decode(Encode(v)) == v
+// for random values of random types.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	typeStrs := []string{
+		"uint256", "uint32", "int64", "int256", "address", "bool",
+		"bytes8", "bytes32", "bytes", "string",
+		"uint256[3]", "uint8[2][2]", "uint256[]", "uint64[3][]",
+		"uint256[][2]", "(uint256,uint256)", "(uint256[],address)",
+		"(bytes,bool)", "bytes[16]", "string[8]", "decimal",
+	}
+	for _, ts := range typeStrs {
+		ty := MustParseType(ts)
+		for trial := 0; trial < 25; trial++ {
+			v := RandomValue(r, ty)
+			enc, err := Encode([]Type{ty}, []Value{v})
+			if err != nil {
+				t.Fatalf("%s: encode: %v", ts, err)
+			}
+			dec, err := Decode([]Type{ty}, enc)
+			if err != nil {
+				t.Fatalf("%s: decode: %v (data %x)", ts, err, enc)
+			}
+			if !valueEqual(ty, v, dec[0]) {
+				t.Fatalf("%s: round trip mismatch:\n in: %#v\nout: %#v", ts, v, dec[0])
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption verifies the strict decoder rejects padding
+// violations, which is what ParChecker relies on.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	addr := MustParseType("address")
+	enc, _ := Encode([]Type{addr}, []Value{evm.WordFromUint64(5)})
+	enc[0] = 0xff // dirty the high padding of the address
+	if _, err := Decode([]Type{addr}, enc); err == nil {
+		t.Error("dirty address padding must be rejected")
+	}
+
+	u8 := MustParseType("uint8")
+	enc2, _ := Encode([]Type{u8}, []Value{evm.WordFromUint64(5)})
+	enc2[10] = 1
+	if _, err := Decode([]Type{u8}, enc2); err == nil {
+		t.Error("dirty uint8 padding must be rejected")
+	}
+
+	bb := MustParseType("bytes")
+	enc3, _ := Encode([]Type{bb}, []Value{[]byte("abc")})
+	enc3[len(enc3)-1] = 0x7 // dirty the right padding
+	if _, err := Decode([]Type{bb}, enc3); err == nil {
+		t.Error("dirty bytes tail must be rejected")
+	}
+
+	if _, err := Decode([]Type{MustParseType("uint256")}, []byte{1, 2}); err == nil {
+		t.Error("short data must be rejected")
+	}
+
+	// Bool with value 2.
+	enc4, _ := Encode([]Type{Bool()}, []Value{true})
+	enc4[31] = 2
+	if _, err := Decode([]Type{Bool()}, enc4); err == nil {
+		t.Error("bool=2 must be rejected")
+	}
+
+	// Offset pointing out of range.
+	enc5, _ := Encode([]Type{Bytes()}, []Value{[]byte("xy")})
+	enc5[31] = 0xf0
+	if _, err := Decode([]Type{Bytes()}, enc5); err == nil {
+		t.Error("wild offset must be rejected")
+	}
+}
+
+func TestShortAddressTruncationDetected(t *testing.T) {
+	// The short address attack: the encoded (address, uint256) call data is
+	// truncated by one byte; strict decoding must fail.
+	sig, _ := ParseSignature("transfer(address,uint256)")
+	data, err := EncodeCall(sig, []Value{
+		evm.MustWordFromHex("0x1234567890123456789012345678901234567800"),
+		evm.WordFromUint64(0x2710),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCall(sig, data); err != nil {
+		t.Fatalf("valid call data rejected: %v", err)
+	}
+	if _, err := DecodeCall(sig, data[:len(data)-1]); err == nil {
+		t.Error("truncated call data must be rejected")
+	}
+}
+
+// valueEqual compares decoded against original, tolerating the signed
+// representation differences.
+func valueEqual(t Type, a, b Value) bool {
+	switch t.Kind {
+	case KindUint, KindInt, KindAddress, KindDecimal:
+		return a.(evm.Word).Eq(b.(evm.Word))
+	case KindBool:
+		return a.(bool) == b.(bool)
+	case KindFixedBytes, KindBytes, KindBoundedBytes:
+		return bytes.Equal(a.([]byte), b.([]byte))
+	case KindString, KindBoundedString:
+		return a.(string) == b.(string)
+	case KindArray, KindSlice:
+		as, bs := a.([]Value), b.([]Value)
+		if len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if !valueEqual(*t.Elem, as[i], bs[i]) {
+				return false
+			}
+		}
+		return true
+	case KindTuple:
+		as, bs := a.([]Value), b.([]Value)
+		if len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if !valueEqual(t.Fields[i], as[i], bs[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func TestTypeListAndEqualTypes(t *testing.T) {
+	s1, _ := ParseSignature("f(uint256,address)")
+	s2, _ := ParseSignature("g(uint256,address)")
+	s3, _ := ParseSignature("f(uint256)")
+	if !s1.EqualTypes(s2) {
+		t.Error("same type lists should be equal")
+	}
+	if s1.EqualTypes(s3) {
+		t.Error("different arity should differ")
+	}
+	if got := s1.TypeList(); got != "(uint256,address)" {
+		t.Errorf("TypeList = %q", got)
+	}
+}
+
+func TestVyperOnlyDetection(t *testing.T) {
+	if MustParseType("uint256").IsVyperOnly() {
+		t.Error("uint256 is shared")
+	}
+	if !Decimal().IsVyperOnly() {
+		t.Error("decimal is Vyper-only")
+	}
+	if !SliceOf(Decimal()).IsVyperOnly() {
+		t.Error("decimal[] is Vyper-only")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Type{
+		{Kind: KindUint, Bits: 12},
+		{Kind: KindFixedBytes, Size: 0},
+		{Kind: KindArray, Len: 0, Elem: &Type{Kind: KindUint, Bits: 8}},
+		{Kind: KindArray, Len: 2},
+		{Kind: KindSlice},
+		{Kind: KindTuple},
+		{Kind: KindBoundedBytes},
+		{Kind: Kind(99)},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestDisplayVsCanonical(t *testing.T) {
+	ty := SliceOf(Decimal())
+	if !strings.Contains(ty.Display(), "decimal") {
+		t.Errorf("Display = %q", ty.Display())
+	}
+	if !strings.Contains(ty.String(), "fixed168x10") {
+		t.Errorf("String = %q", ty.String())
+	}
+}

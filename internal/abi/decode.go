@@ -1,0 +1,253 @@
+package abi
+
+import (
+	"errors"
+	"fmt"
+
+	"sigrec/internal/evm"
+)
+
+// Decoding errors that callers (notably ParChecker) match on.
+var (
+	// ErrShortData reports call data that ends before a required field.
+	ErrShortData = errors.New("abi: call data too short")
+	// ErrBadOffset reports an offset field pointing outside the data.
+	ErrBadOffset = errors.New("abi: offset out of range")
+	// ErrBadPadding reports nonzero bytes where the encoding requires
+	// zero padding (the core signal for malformed-argument detection).
+	ErrBadPadding = errors.New("abi: nonzero padding")
+	// ErrTooDeep reports adversarial data whose offset chains exceed the
+	// decoder's nesting limit (self-referencing offsets would otherwise
+	// recurse without bound).
+	ErrTooDeep = errors.New("abi: nesting too deep")
+)
+
+// maxDecodeDepth bounds offset-chain recursion. Legitimate encodings nest
+// as deep as their type does; types themselves are bounded far below this.
+const maxDecodeDepth = 32
+
+// DecodeCall splits call data into the selector and decoded arguments.
+func DecodeCall(sig Signature, callData []byte) ([]Value, error) {
+	if len(callData) < 4 {
+		return nil, ErrShortData
+	}
+	return Decode(sig.Inputs, callData[4:])
+}
+
+// Decode decodes an argument sequence encoded with the head/tail layout.
+// It is strict: offsets must be in range and padding must be zero, so it
+// doubles as a validity checker for ParChecker.
+func Decode(types []Type, data []byte) ([]Value, error) {
+	return decodeSequence(types, data, 0)
+}
+
+func decodeSequence(types []Type, frame []byte, depth int) ([]Value, error) {
+	if depth > maxDecodeDepth {
+		return nil, ErrTooDeep
+	}
+	values := make([]Value, len(types))
+	headOff := 0
+	for i := range types {
+		t := types[i]
+		if t.IsDynamic() {
+			offWord, err := readWord(frame, headOff)
+			if err != nil {
+				return nil, err
+			}
+			off, ok := offWord.Uint64()
+			if !ok || off > uint64(len(frame)) {
+				return nil, fmt.Errorf("%w: argument %d offset %s", ErrBadOffset, i, offWord)
+			}
+			v, _, err := decodeValue(t, frame, int(off), depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("argument %d (%s): %w", i, t.Display(), err)
+			}
+			values[i] = v
+			headOff += 32
+			continue
+		}
+		v, n, err := decodeValue(t, frame, headOff, depth)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d (%s): %w", i, t.Display(), err)
+		}
+		values[i] = v
+		headOff += n
+	}
+	return values, nil
+}
+
+// decodeValue decodes one value at the given frame offset and returns the
+// number of head bytes consumed (meaningful for static types).
+func decodeValue(t Type, frame []byte, off int, depth int) (Value, int, error) {
+	if depth > maxDecodeDepth {
+		return nil, 0, ErrTooDeep
+	}
+	switch t.Kind {
+	case KindUint, KindInt, KindDecimal:
+		w, err := readWord(frame, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := checkIntegerWidth(t, w); err != nil {
+			return nil, 0, err
+		}
+		return w, 32, nil
+	case KindAddress:
+		w, err := readWord(frame, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !w.And(evm.HighMask(96)).IsZero() {
+			return nil, 0, fmt.Errorf("%w: address has nonzero high bytes", ErrBadPadding)
+		}
+		return w, 32, nil
+	case KindBool:
+		w, err := readWord(frame, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		switch {
+		case w.IsZero():
+			return false, 32, nil
+		case w.Eq(evm.OneWord):
+			return true, 32, nil
+		default:
+			return nil, 0, fmt.Errorf("%w: bool encoding %s", ErrBadPadding, w)
+		}
+	case KindFixedBytes:
+		w, err := readWord(frame, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !w.And(evm.LowMask(uint(256 - t.Size*8))).IsZero() {
+			return nil, 0, fmt.Errorf("%w: bytes%d has nonzero low bytes", ErrBadPadding, t.Size)
+		}
+		full := w.Bytes32()
+		out := make([]byte, t.Size)
+		copy(out, full[:t.Size])
+		return out, 32, nil
+	case KindBytes, KindBoundedBytes, KindString, KindBoundedString:
+		b, err := decodeLengthPrefixed(frame, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		if t.Kind == KindBoundedBytes && len(b) > t.MaxLen {
+			return nil, 0, fmt.Errorf("bytes[%d]: length %d exceeds bound", t.MaxLen, len(b))
+		}
+		if t.Kind == KindBoundedString && len(b) > t.MaxLen {
+			return nil, 0, fmt.Errorf("string[%d]: length %d exceeds bound", t.MaxLen, len(b))
+		}
+		if t.Kind == KindString || t.Kind == KindBoundedString {
+			return string(b), 32, nil
+		}
+		return b, 32, nil
+	case KindArray:
+		if off > len(frame) {
+			return nil, 0, ErrShortData
+		}
+		items, err := decodeSequence(repeatType(*t.Elem, t.Len), frame[off:], depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		return items, t.HeadSize(), nil
+	case KindSlice:
+		numWord, err := readWord(frame, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		num, ok := numWord.Uint64()
+		if !ok || num > uint64(len(frame)) {
+			return nil, 0, fmt.Errorf("%w: array length %s", ErrBadOffset, numWord)
+		}
+		if off+32 > len(frame) {
+			return nil, 0, ErrShortData
+		}
+		items, err := decodeSequence(repeatType(*t.Elem, int(num)), frame[off+32:], depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		return items, 32, nil
+	case KindTuple:
+		if t.IsDynamic() {
+			if off > len(frame) {
+				return nil, 0, ErrShortData
+			}
+			items, err := decodeSequence(t.Fields, frame[off:], depth+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			return items, 32, nil
+		}
+		items, err := decodeSequence(t.Fields, frame[off:], depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		return items, t.HeadSize(), nil
+	default:
+		return nil, 0, fmt.Errorf("undecodable kind %d", t.Kind)
+	}
+}
+
+// checkIntegerWidth verifies the zero/sign extension of an integer value.
+func checkIntegerWidth(t Type, w evm.Word) error {
+	switch t.Kind {
+	case KindUint:
+		if t.Bits == 256 {
+			return nil
+		}
+		if !w.And(evm.HighMask(uint(256 - t.Bits))).IsZero() {
+			return fmt.Errorf("%w: uint%d has nonzero high bits", ErrBadPadding, t.Bits)
+		}
+	case KindInt:
+		if t.Bits == 256 {
+			return nil
+		}
+		// All high bits must equal the value's sign bit.
+		ext := w.SignExtend(evm.WordFromUint64(uint64(t.Bits/8 - 1)))
+		if !ext.Eq(w) {
+			return fmt.Errorf("%w: int%d not sign extended", ErrBadPadding, t.Bits)
+		}
+	case KindDecimal:
+		// decimal is a 168-bit signed value in Vyper's ABI encoding.
+		ext := w.SignExtend(evm.WordFromUint64(20)) // byte 20 -> 168 bits
+		if !ext.Eq(w) {
+			return fmt.Errorf("%w: decimal not sign extended", ErrBadPadding)
+		}
+	}
+	return nil
+}
+
+func decodeLengthPrefixed(frame []byte, off int) ([]byte, error) {
+	numWord, err := readWord(frame, off)
+	if err != nil {
+		return nil, err
+	}
+	num, ok := numWord.Uint64()
+	if !ok || num > uint64(len(frame)) {
+		return nil, fmt.Errorf("%w: byte length %s", ErrBadOffset, numWord)
+	}
+	start := off + 32
+	end := start + int(num)
+	if end > len(frame) {
+		return nil, ErrShortData
+	}
+	padded := start + int(num+31)/32*32
+	if padded > len(frame) {
+		return nil, ErrShortData
+	}
+	for i := end; i < padded; i++ {
+		if frame[i] != 0 {
+			return nil, fmt.Errorf("%w: bytes tail", ErrBadPadding)
+		}
+	}
+	out := make([]byte, num)
+	copy(out, frame[start:end])
+	return out, nil
+}
+
+func readWord(frame []byte, off int) (evm.Word, error) {
+	if off < 0 || off+32 > len(frame) {
+		return evm.Word{}, ErrShortData
+	}
+	return evm.WordFromBytes(frame[off : off+32]), nil
+}

@@ -1,0 +1,166 @@
+package abi
+
+import (
+	"fmt"
+
+	"sigrec/internal/evm"
+)
+
+// Value is the Go representation of an ABI value. The mapping is:
+//
+//	uintM / intM / decimal -> evm.Word (two's complement for signed)
+//	address                -> evm.Word (low 20 bytes)
+//	bool                   -> bool
+//	bytesN                 -> []byte of length N
+//	bytes / bytes[maxLen]  -> []byte
+//	string / string[max]   -> string
+//	T[N] / T[]             -> []Value
+//	tuple                  -> []Value (one per field)
+type Value interface{}
+
+// EncodeCall produces complete call data: the 4-byte selector followed by
+// the encoded arguments.
+func EncodeCall(sig Signature, values []Value) ([]byte, error) {
+	body, err := Encode(sig.Inputs, values)
+	if err != nil {
+		return nil, fmt.Errorf("abi: encode %s: %w", sig.Canonical(), err)
+	}
+	sel := sig.Selector()
+	return append(sel[:], body...), nil
+}
+
+// Encode encodes a parameter sequence with the standard head/tail layout.
+func Encode(types []Type, values []Value) ([]byte, error) {
+	if len(types) != len(values) {
+		return nil, fmt.Errorf("abi: %d types but %d values", len(types), len(values))
+	}
+	headSize := 0
+	for i := range types {
+		headSize += types[i].HeadSize()
+	}
+	head := make([]byte, 0, headSize)
+	var tail []byte
+	for i := range types {
+		enc, err := encodeValue(types[i], values[i])
+		if err != nil {
+			return nil, fmt.Errorf("abi: argument %d (%s): %w", i, types[i].Display(), err)
+		}
+		if types[i].IsDynamic() {
+			off := evm.WordFromUint64(uint64(headSize + len(tail))).Bytes32()
+			head = append(head, off[:]...)
+			tail = append(tail, enc...)
+		} else {
+			head = append(head, enc...)
+		}
+	}
+	return append(head, tail...), nil
+}
+
+// encodeValue encodes one value of type t (including, for dynamic types,
+// its length prefix but not its offset slot).
+func encodeValue(t Type, v Value) ([]byte, error) {
+	switch t.Kind {
+	case KindUint, KindInt, KindDecimal, KindAddress:
+		w, ok := v.(evm.Word)
+		if !ok {
+			return nil, fmt.Errorf("want evm.Word, got %T", v)
+		}
+		b := w.Bytes32()
+		return b[:], nil
+	case KindBool:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("want bool, got %T", v)
+		}
+		out := make([]byte, 32)
+		if b {
+			out[31] = 1
+		}
+		return out, nil
+	case KindFixedBytes:
+		b, ok := v.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("want []byte, got %T", v)
+		}
+		if len(b) != t.Size {
+			return nil, fmt.Errorf("bytes%d value has %d bytes", t.Size, len(b))
+		}
+		out := make([]byte, 32)
+		copy(out, b)
+		return out, nil
+	case KindBytes, KindBoundedBytes:
+		b, ok := v.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("want []byte, got %T", v)
+		}
+		if t.Kind == KindBoundedBytes && len(b) > t.MaxLen {
+			return nil, fmt.Errorf("bytes[%d] value has %d bytes", t.MaxLen, len(b))
+		}
+		return encodeLengthPrefixed(b), nil
+	case KindString, KindBoundedString:
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("want string, got %T", v)
+		}
+		if t.Kind == KindBoundedString && len(s) > t.MaxLen {
+			return nil, fmt.Errorf("string[%d] value has %d bytes", t.MaxLen, len(s))
+		}
+		return encodeLengthPrefixed([]byte(s)), nil
+	case KindArray:
+		items, ok := v.([]Value)
+		if !ok {
+			return nil, fmt.Errorf("want []Value, got %T", v)
+		}
+		if len(items) != t.Len {
+			return nil, fmt.Errorf("array needs %d items, got %d", t.Len, len(items))
+		}
+		return encodeSequence(repeatType(*t.Elem, t.Len), items)
+	case KindSlice:
+		items, ok := v.([]Value)
+		if !ok {
+			return nil, fmt.Errorf("want []Value, got %T", v)
+		}
+		num := evm.WordFromUint64(uint64(len(items))).Bytes32()
+		body, err := encodeSequence(repeatType(*t.Elem, len(items)), items)
+		if err != nil {
+			return nil, err
+		}
+		return append(num[:], body...), nil
+	case KindTuple:
+		items, ok := v.([]Value)
+		if !ok {
+			return nil, fmt.Errorf("want []Value, got %T", v)
+		}
+		if len(items) != len(t.Fields) {
+			return nil, fmt.Errorf("tuple needs %d fields, got %d", len(t.Fields), len(items))
+		}
+		return encodeSequence(t.Fields, items)
+	default:
+		return nil, fmt.Errorf("unencodable kind %d", t.Kind)
+	}
+}
+
+// encodeSequence applies the head/tail layout to a fixed list of types; it
+// is the frame encoding shared by top-level arguments, array bodies, and
+// tuples.
+func encodeSequence(types []Type, values []Value) ([]byte, error) {
+	return Encode(types, values)
+}
+
+func repeatType(t Type, n int) []Type {
+	out := make([]Type, n)
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}
+
+func encodeLengthPrefixed(b []byte) []byte {
+	num := evm.WordFromUint64(uint64(len(b))).Bytes32()
+	out := append([]byte{}, num[:]...)
+	out = append(out, b...)
+	if pad := (32 - len(b)%32) % 32; pad > 0 {
+		out = append(out, make([]byte, pad)...)
+	}
+	return out
+}

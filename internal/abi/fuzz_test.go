@@ -1,0 +1,85 @@
+package abi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Native fuzz targets: robustness of the parser and the strict decoder on
+// arbitrary inputs. `go test` runs the seed corpus; `go test -fuzz` explores
+// further.
+
+func FuzzParseType(f *testing.F) {
+	for _, seed := range []string{
+		"uint256", "bytes32[4][]", "(uint8,(bytes,bool))", "string[12]",
+		"int", "uint", "bytes", "", "uint256[", "((((", "uint999999999999",
+		"fixed168x10[2]", "address[1][1][1][1]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ty, err := ParseType(s)
+		if err != nil {
+			return
+		}
+		// Any accepted type must be valid and render-stable.
+		if verr := ty.Validate(); verr != nil {
+			t.Fatalf("accepted invalid type %q: %v", s, verr)
+		}
+		back, err := ParseType(ty.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", ty.String(), s, err)
+		}
+		if back.String() != ty.String() {
+			t.Fatalf("canonical form unstable: %q -> %q", ty.String(), back.String())
+		}
+	})
+}
+
+func FuzzDecodeTransfer(f *testing.F) {
+	sig, _ := ParseSignature("transfer(address,uint256)")
+	r := rand.New(rand.NewSource(1))
+	valid, _ := EncodeCall(sig, []Value{RandomValue(r, sig.Inputs[0]), RandomValue(r, sig.Inputs[1])})
+	f.Add(valid)
+	f.Add(valid[:40])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic or hang, whatever the bytes.
+		_, _ = DecodeCall(sig, data)
+	})
+}
+
+func FuzzDecodeNested(f *testing.F) {
+	sig, _ := ParseSignature("f(uint8[][],(bytes,bool)[],string)")
+	r := rand.New(rand.NewSource(2))
+	vals := make([]Value, len(sig.Inputs))
+	for i, ty := range sig.Inputs {
+		vals[i] = RandomValue(r, ty)
+	}
+	valid, err := EncodeCall(sig, vals)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// Self-referencing offset chain: every slot points at offset 0.
+	loop := make([]byte, 4+32*8)
+	f.Add(loop)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeCall(sig, data)
+	})
+}
+
+// TestDecodeDepthLimit pins the adversarial self-reference case.
+func TestDecodeDepthLimit(t *testing.T) {
+	// uint8[][] whose outer offset is 0 and whose element offsets are 0:
+	// each level re-reads the same region; the depth limit must cut it.
+	ty := MustParseType("uint8[][]")
+	data := make([]byte, 64*40)
+	// outer offset = 32, num = large, elements all offset 0...
+	data[31] = 32
+	data[63] = 200 // num
+	_, err := Decode([]Type{ty}, data)
+	if err == nil {
+		t.Fatal("adversarial offsets decoded cleanly")
+	}
+}

@@ -1,0 +1,210 @@
+package abi
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseType parses a canonical (or Vyper display) type string: "uint256",
+// "bytes4", "address[3][]", "(uint256,bytes)", "decimal", "bytes[64]".
+func ParseType(s string) (Type, error) {
+	p := &typeParser{input: s}
+	t, err := p.parse()
+	if err != nil {
+		return Type{}, err
+	}
+	if p.pos != len(p.input) {
+		return Type{}, fmt.Errorf("abi: trailing input %q in type %q", p.input[p.pos:], s)
+	}
+	if err := t.Validate(); err != nil {
+		return Type{}, err
+	}
+	return t, nil
+}
+
+// MustParseType parses a known-valid type string, panicking on failure. For
+// tests and package-level tables only.
+func MustParseType(s string) Type {
+	t, err := ParseType(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type typeParser struct {
+	input string
+	pos   int
+}
+
+func (p *typeParser) parse() (Type, error) {
+	base, err := p.parseBase()
+	if err != nil {
+		return Type{}, err
+	}
+	// Apply array suffixes left to right: uint8[3][] is a dynamic array of
+	// uint8[3].
+	for p.pos < len(p.input) && p.input[p.pos] == '[' {
+		close := strings.IndexByte(p.input[p.pos:], ']')
+		if close < 0 {
+			return Type{}, fmt.Errorf("abi: unterminated array suffix in %q", p.input)
+		}
+		dim := p.input[p.pos+1 : p.pos+close]
+		p.pos += close + 1
+		if dim == "" {
+			base = SliceOf(base)
+			continue
+		}
+		n, err := strconv.Atoi(dim)
+		if err != nil || n < 1 {
+			return Type{}, fmt.Errorf("abi: invalid array length %q", dim)
+		}
+		// Vyper's bytes[N] / string[N] spell bounded sequences, not arrays.
+		if base.Kind == KindBytes && !baseWasSuffixed(base) {
+			base = BoundedBytes(n)
+			continue
+		}
+		if base.Kind == KindString && !baseWasSuffixed(base) {
+			base = BoundedString(n)
+			continue
+		}
+		base = ArrayOf(base, n)
+	}
+	return base, nil
+}
+
+// baseWasSuffixed reports whether the type already carries array structure,
+// in which case a numeric suffix means a static array (e.g. bytes[2][3] is a
+// static array of bounded bytes only at the first suffix).
+func baseWasSuffixed(t Type) bool {
+	return t.Kind == KindArray || t.Kind == KindSlice ||
+		t.Kind == KindBoundedBytes || t.Kind == KindBoundedString
+}
+
+func (p *typeParser) parseBase() (Type, error) {
+	rest := p.input[p.pos:]
+	if strings.HasPrefix(rest, "(") {
+		return p.parseTuple()
+	}
+	// Longest-prefix match over the named types.
+	switch {
+	case strings.HasPrefix(rest, "uint"):
+		p.pos += 4
+		return p.parseWidth(KindUint, 256)
+	case strings.HasPrefix(rest, "int"):
+		p.pos += 3
+		return p.parseWidth(KindInt, 256)
+	case strings.HasPrefix(rest, "address"):
+		p.pos += 7
+		return Address(), nil
+	case strings.HasPrefix(rest, "bool"):
+		p.pos += 4
+		return Bool(), nil
+	case strings.HasPrefix(rest, "bytes"):
+		p.pos += 5
+		n, ok := p.takeNumber()
+		if !ok {
+			return Bytes(), nil
+		}
+		return FixedBytes(n), nil
+	case strings.HasPrefix(rest, "string"):
+		p.pos += 6
+		return String_(), nil
+	case strings.HasPrefix(rest, "decimal"):
+		p.pos += 7
+		return Decimal(), nil
+	case strings.HasPrefix(rest, "fixed168x10"):
+		p.pos += 11
+		return Decimal(), nil
+	default:
+		return Type{}, fmt.Errorf("abi: unknown type at %q", rest)
+	}
+}
+
+func (p *typeParser) parseWidth(kind Kind, def int) (Type, error) {
+	n, ok := p.takeNumber()
+	if !ok {
+		n = def
+	}
+	return Type{Kind: kind, Bits: n}, nil
+}
+
+func (p *typeParser) takeNumber() (int, bool) {
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, false
+	}
+	n, err := strconv.Atoi(p.input[start:p.pos])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func (p *typeParser) parseTuple() (Type, error) {
+	p.pos++ // consume '('
+	var fields []Type
+	for {
+		if p.pos >= len(p.input) {
+			return Type{}, fmt.Errorf("abi: unterminated tuple in %q", p.input)
+		}
+		if p.input[p.pos] == ')' {
+			p.pos++
+			break
+		}
+		f, err := p.parse()
+		if err != nil {
+			return Type{}, err
+		}
+		fields = append(fields, f)
+		if p.pos < len(p.input) && p.input[p.pos] == ',' {
+			p.pos++
+		}
+	}
+	if len(fields) == 0 {
+		return Type{}, fmt.Errorf("abi: empty tuple in %q", p.input)
+	}
+	return TupleOf(fields...), nil
+}
+
+// ParseSignature parses "name(type1,type2,...)" into a Signature.
+func ParseSignature(s string) (Signature, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Signature{}, fmt.Errorf("abi: malformed signature %q", s)
+	}
+	name := s[:open]
+	if name == "" {
+		return Signature{}, fmt.Errorf("abi: signature %q missing name", s)
+	}
+	inner := s[open+1 : len(s)-1]
+	sig := Signature{Name: name}
+	if inner == "" {
+		return sig, nil
+	}
+	// Split on commas at depth 0 (tuples and array suffixes nest).
+	depth := 0
+	start := 0
+	for i := 0; i <= len(inner); i++ {
+		if i == len(inner) || (inner[i] == ',' && depth == 0) {
+			t, err := ParseType(inner[start:i])
+			if err != nil {
+				return Signature{}, fmt.Errorf("abi: signature %q: %w", s, err)
+			}
+			sig.Inputs = append(sig.Inputs, t)
+			start = i + 1
+			continue
+		}
+		switch inner[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		}
+	}
+	return sig, nil
+}

@@ -1,0 +1,119 @@
+package abi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUniversalRoundTrip: for arbitrary random types and values,
+// Decode(Encode(v)) == v. This subsumes the fixed-list round trip and
+// covers deep nesting (tuples of arrays of tuples...).
+func TestUniversalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(3)
+		types := make([]Type, n)
+		values := make([]Value, n)
+		for i := range types {
+			types[i] = RandomType(r, 2)
+			if err := types[i].Validate(); err != nil {
+				t.Fatalf("trial %d: generator produced invalid type: %v", trial, err)
+			}
+			values[i] = RandomValue(r, types[i])
+		}
+		enc, err := Encode(types, values)
+		if err != nil {
+			t.Fatalf("trial %d (%v): encode: %v", trial, typeStrings(types), err)
+		}
+		dec, err := Decode(types, enc)
+		if err != nil {
+			t.Fatalf("trial %d (%v): decode: %v", trial, typeStrings(types), err)
+		}
+		for i := range types {
+			if !valueEqual(types[i], values[i], dec[i]) {
+				t.Fatalf("trial %d: type %s round-trip mismatch", trial, types[i])
+			}
+		}
+	}
+}
+
+// TestUniversalParseRoundTrip: canonical strings reparse to equal types.
+func TestUniversalParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		ty := RandomType(r, 2)
+		s := ty.String()
+		back, err := ParseType(s)
+		if err != nil {
+			t.Fatalf("trial %d: ParseType(%q): %v", trial, s, err)
+		}
+		// Canonical strings identify the ABI class: the reparsed type must
+		// render identically (bounded Vyper types alias bytes/string, so
+		// structural equality is only guaranteed on the canonical form).
+		if back.String() != s {
+			t.Fatalf("trial %d: %q reparsed as %q", trial, s, back.String())
+		}
+	}
+}
+
+// TestVyperGeneratorProducesSupportedTypes checks the Vyper generator
+// against the Vyper compiler's type checker domain.
+func TestVyperGeneratorProducesSupportedTypes(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		ty := RandomVyperType(r)
+		if err := ty.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !ty.IsVyperOnly() {
+			// Shared types must be in Vyper's restricted widths.
+			switch ty.Kind {
+			case KindUint:
+				if ty.Bits != 256 {
+					t.Fatalf("trial %d: uint%d not a Vyper width", trial, ty.Bits)
+				}
+			case KindInt:
+				if ty.Bits != 128 {
+					t.Fatalf("trial %d: int%d not a Vyper width", trial, ty.Bits)
+				}
+			case KindFixedBytes:
+				if ty.Size != 32 {
+					t.Fatalf("trial %d: bytes%d not a Vyper width", trial, ty.Size)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodedLengthMatchesHeadTail: the encoding length equals the head
+// size plus the tails, for random inputs (catches offset bookkeeping bugs).
+func TestEncodedLengthMatchesHeadTail(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		ty := RandomType(r, 1)
+		v := RandomValue(r, ty)
+		enc, err := Encode([]Type{ty}, []Value{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc)%32 != 0 {
+			t.Fatalf("trial %d: encoding length %d not a word multiple (%s)",
+				trial, len(enc), ty)
+		}
+		if !ty.IsDynamic() && len(enc) != ty.HeadSize() {
+			t.Fatalf("trial %d: static %s encoded to %d bytes, head %d",
+				trial, ty, len(enc), ty.HeadSize())
+		}
+		if ty.IsDynamic() && len(enc) <= 32 {
+			t.Fatalf("trial %d: dynamic %s has no tail", trial, ty)
+		}
+	}
+}
+
+func typeStrings(types []Type) []string {
+	out := make([]string, len(types))
+	for i, t := range types {
+		out[i] = t.String()
+	}
+	return out
+}

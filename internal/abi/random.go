@@ -1,0 +1,84 @@
+package abi
+
+import (
+	"math/rand"
+
+	"sigrec/internal/evm"
+)
+
+// RandomValue draws a uniformly-shaped valid value for the type, suitable
+// for encoding. Dynamic lengths are kept small so generated call data stays
+// compact.
+func RandomValue(r *rand.Rand, t Type) Value {
+	switch t.Kind {
+	case KindUint:
+		return randomUint(r, t.Bits)
+	case KindInt:
+		w := randomUint(r, t.Bits)
+		// Sign-extend so the encoding is valid for the declared width.
+		return w.SignExtend(evm.WordFromUint64(uint64(t.Bits/8 - 1)))
+	case KindDecimal:
+		w := randomUint(r, 64)
+		if r.Intn(2) == 0 {
+			return w.Neg()
+		}
+		return w
+	case KindAddress:
+		return randomUint(r, 160)
+	case KindBool:
+		return r.Intn(2) == 0
+	case KindFixedBytes:
+		return randomBytes(r, t.Size)
+	case KindBytes:
+		return randomBytes(r, r.Intn(70))
+	case KindBoundedBytes:
+		return randomBytes(r, r.Intn(t.MaxLen+1))
+	case KindString:
+		return randomASCII(r, r.Intn(70))
+	case KindBoundedString:
+		return randomASCII(r, r.Intn(t.MaxLen+1))
+	case KindArray:
+		items := make([]Value, t.Len)
+		for i := range items {
+			items[i] = RandomValue(r, *t.Elem)
+		}
+		return items
+	case KindSlice:
+		n := 1 + r.Intn(3)
+		items := make([]Value, n)
+		for i := range items {
+			items[i] = RandomValue(r, *t.Elem)
+		}
+		return items
+	case KindTuple:
+		items := make([]Value, len(t.Fields))
+		for i := range items {
+			items[i] = RandomValue(r, t.Fields[i])
+		}
+		return items
+	default:
+		return evm.ZeroWord
+	}
+}
+
+func randomUint(r *rand.Rand, bits int) evm.Word {
+	nBytes := bits / 8
+	b := make([]byte, nBytes)
+	r.Read(b)
+	return evm.WordFromBytes(b)
+}
+
+func randomBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func randomASCII(r *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 "
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return string(b)
+}

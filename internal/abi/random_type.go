@@ -1,0 +1,79 @@
+package abi
+
+import "math/rand"
+
+// RandomType draws a structurally valid type with bounded nesting,
+// including the rare shapes (nested arrays, tuples). depth limits
+// recursion; 0 yields basic types only. Used by the property tests and
+// available to fuzzing workloads.
+func RandomType(r *rand.Rand, depth int) Type {
+	if depth <= 0 {
+		return randomBasicType(r)
+	}
+	switch r.Intn(10) {
+	case 0:
+		return Bytes()
+	case 1:
+		return String_()
+	case 2:
+		return SliceOf(RandomType(r, depth-1))
+	case 3:
+		elem := RandomType(r, depth-1)
+		// bytes[N]/string[N] spell Vyper bounded sequences, not arrays
+		// (see ParseType); avoid generating the ambiguous form.
+		if elem.Kind == KindBytes || elem.Kind == KindString {
+			elem = SliceOf(elem)
+		}
+		return ArrayOf(elem, 1+r.Intn(3))
+	case 4:
+		n := 1 + r.Intn(3)
+		fields := make([]Type, n)
+		for i := range fields {
+			fields[i] = RandomType(r, depth-1)
+		}
+		return TupleOf(fields...)
+	default:
+		return randomBasicType(r)
+	}
+}
+
+func randomBasicType(r *rand.Rand) Type {
+	switch r.Intn(6) {
+	case 0:
+		return Uint(8 * (1 + r.Intn(32)))
+	case 1:
+		return Int(8 * (1 + r.Intn(32)))
+	case 2:
+		return Address()
+	case 3:
+		return Bool()
+	case 4:
+		return FixedBytes(1 + r.Intn(32))
+	default:
+		return Uint(256)
+	}
+}
+
+// RandomVyperType draws from the Vyper type system.
+func RandomVyperType(r *rand.Rand) Type {
+	switch r.Intn(10) {
+	case 0:
+		return Bool()
+	case 1:
+		return Address()
+	case 2:
+		return Int(128)
+	case 3:
+		return Decimal()
+	case 4:
+		return FixedBytes(32)
+	case 5:
+		return BoundedBytes(32 * (1 + r.Intn(3)))
+	case 6:
+		return BoundedString(32 * (1 + r.Intn(3)))
+	case 7:
+		return ArrayOf(Uint(256), 1+r.Intn(4))
+	default:
+		return Uint(256)
+	}
+}

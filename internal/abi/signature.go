@@ -1,0 +1,87 @@
+package abi
+
+import (
+	"encoding/hex"
+	"strings"
+
+	"sigrec/internal/keccak"
+)
+
+// Selector is a 4-byte function id: the leading bytes of the Keccak-256 hash
+// of the canonical signature.
+type Selector [4]byte
+
+// Hex returns the 0x-prefixed hexadecimal form.
+func (s Selector) Hex() string { return "0x" + hex.EncodeToString(s[:]) }
+
+// String implements fmt.Stringer.
+func (s Selector) String() string { return s.Hex() }
+
+// Signature is a function signature: its name plus ordered parameter types.
+type Signature struct {
+	Name   string
+	Inputs []Type
+}
+
+// Canonical returns "name(type1,type2,...)" with canonical type spellings,
+// the exact string hashed to derive the function id.
+func (s Signature) Canonical() string {
+	parts := make([]string, len(s.Inputs))
+	for i := range s.Inputs {
+		parts[i] = s.Inputs[i].String()
+	}
+	return s.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// DisplayString returns the source-level spelling of the signature, which
+// differs from Canonical for Vyper types ("bytes[64]", "decimal"). It
+// round-trips through ParseSignature without losing type structure.
+func (s Signature) DisplayString() string {
+	parts := make([]string, len(s.Inputs))
+	for i := range s.Inputs {
+		parts[i] = s.Inputs[i].Display()
+	}
+	return s.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// TypeList returns just the parenthesized parameter list, which is what
+// SigRec recovers (names are unrecoverable from bytecode).
+func (s Signature) TypeList() string {
+	parts := make([]string, len(s.Inputs))
+	for i := range s.Inputs {
+		parts[i] = s.Inputs[i].String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Selector computes the 4-byte function id.
+func (s Signature) Selector() Selector {
+	sum := keccak.Sum256([]byte(s.Canonical()))
+	var sel Selector
+	copy(sel[:], sum[:4])
+	return sel
+}
+
+// Validate checks all input types.
+func (s Signature) Validate() error {
+	for i := range s.Inputs {
+		if err := s.Inputs[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EqualTypes reports whether two signatures have identical parameter lists
+// (the accuracy criterion for recovery: ids always match by construction).
+func (s Signature) EqualTypes(o Signature) bool {
+	if len(s.Inputs) != len(o.Inputs) {
+		return false
+	}
+	for i := range s.Inputs {
+		if !s.Inputs[i].Equal(o.Inputs[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,302 @@
+// Package abi implements the contract ABI substrate: the Solidity and Vyper
+// parameter type system, canonical signature strings, function selectors,
+// and a full head/tail call-data encoder and decoder.
+//
+// It is used as ground truth by the corpus generator, as the target language
+// of SigRec's inference, and as the specification ParChecker validates
+// actual arguments against.
+package abi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates parameter types.
+type Kind int
+
+// Parameter type kinds. The first group is shared Solidity/Vyper; the last
+// three are Vyper-specific (the paper's §2.3.2).
+const (
+	KindUint       Kind = iota + 1 // uintM, 8 <= M <= 256, M % 8 == 0
+	KindInt                        // intM
+	KindAddress                    // 20-byte account address
+	KindBool                       // true/false
+	KindFixedBytes                 // bytesM, 1 <= M <= 32
+	KindBytes                      // dynamic byte sequence
+	KindString                     // dynamic unicode string
+	KindArray                      // static array T[N]
+	KindSlice                      // dynamic array T[]
+	KindTuple                      // struct (T1, ..., Tn)
+
+	KindDecimal       // Vyper fixed-point, range ±2^127, 10 decimals
+	KindBoundedBytes  // Vyper bytes[maxLen]
+	KindBoundedString // Vyper string[maxLen]
+)
+
+// Type describes one parameter type. The zero value is invalid; construct
+// through the helpers or ParseType.
+type Type struct {
+	Kind Kind
+	// Bits is the width for KindUint/KindInt (8..256).
+	Bits int
+	// Size is the byte count for KindFixedBytes (1..32).
+	Size int
+	// Len is the element count for KindArray.
+	Len int
+	// MaxLen is the bound for KindBoundedBytes/KindBoundedString.
+	MaxLen int
+	// Elem is the element type for KindArray/KindSlice.
+	Elem *Type
+	// Fields are the member types for KindTuple.
+	Fields []Type
+}
+
+// Constructors for the common shapes.
+
+// Uint returns uintM.
+func Uint(bits int) Type { return Type{Kind: KindUint, Bits: bits} }
+
+// Int returns intM.
+func Int(bits int) Type { return Type{Kind: KindInt, Bits: bits} }
+
+// Address returns the address type.
+func Address() Type { return Type{Kind: KindAddress} }
+
+// Bool returns the bool type.
+func Bool() Type { return Type{Kind: KindBool} }
+
+// FixedBytes returns bytesN.
+func FixedBytes(n int) Type { return Type{Kind: KindFixedBytes, Size: n} }
+
+// Bytes returns the dynamic bytes type.
+func Bytes() Type { return Type{Kind: KindBytes} }
+
+// String_ returns the string type (named to avoid the builtin).
+func String_() Type { return Type{Kind: KindString} }
+
+// ArrayOf returns elem[n].
+func ArrayOf(elem Type, n int) Type {
+	e := elem
+	return Type{Kind: KindArray, Len: n, Elem: &e}
+}
+
+// SliceOf returns elem[].
+func SliceOf(elem Type) Type {
+	e := elem
+	return Type{Kind: KindSlice, Elem: &e}
+}
+
+// TupleOf returns (fields...).
+func TupleOf(fields ...Type) Type {
+	cp := make([]Type, len(fields))
+	copy(cp, fields)
+	return Type{Kind: KindTuple, Fields: cp}
+}
+
+// Decimal returns the Vyper decimal type.
+func Decimal() Type { return Type{Kind: KindDecimal} }
+
+// BoundedBytes returns Vyper bytes[maxLen].
+func BoundedBytes(maxLen int) Type { return Type{Kind: KindBoundedBytes, MaxLen: maxLen} }
+
+// BoundedString returns Vyper string[maxLen].
+func BoundedString(maxLen int) Type { return Type{Kind: KindBoundedString, MaxLen: maxLen} }
+
+// Validate checks structural well-formedness.
+func (t Type) Validate() error {
+	switch t.Kind {
+	case KindUint, KindInt:
+		if t.Bits < 8 || t.Bits > 256 || t.Bits%8 != 0 {
+			return fmt.Errorf("abi: invalid integer width %d", t.Bits)
+		}
+	case KindAddress, KindBool, KindBytes, KindString, KindDecimal:
+		// no parameters
+	case KindFixedBytes:
+		if t.Size < 1 || t.Size > 32 {
+			return fmt.Errorf("abi: invalid bytesN size %d", t.Size)
+		}
+	case KindArray:
+		if t.Len < 1 {
+			return fmt.Errorf("abi: invalid array length %d", t.Len)
+		}
+		if t.Elem == nil {
+			return fmt.Errorf("abi: array missing element type")
+		}
+		return t.Elem.Validate()
+	case KindSlice:
+		if t.Elem == nil {
+			return fmt.Errorf("abi: slice missing element type")
+		}
+		return t.Elem.Validate()
+	case KindTuple:
+		if len(t.Fields) == 0 {
+			return fmt.Errorf("abi: empty tuple")
+		}
+		for i := range t.Fields {
+			if err := t.Fields[i].Validate(); err != nil {
+				return err
+			}
+		}
+	case KindBoundedBytes, KindBoundedString:
+		if t.MaxLen < 1 {
+			return fmt.Errorf("abi: invalid bound %d", t.MaxLen)
+		}
+	default:
+		return fmt.Errorf("abi: unknown kind %d", t.Kind)
+	}
+	return nil
+}
+
+// IsDynamic reports whether the encoding length depends on the value
+// (dynamic types get an offset slot in the head).
+func (t Type) IsDynamic() bool {
+	switch t.Kind {
+	case KindBytes, KindString, KindSlice, KindBoundedBytes, KindBoundedString:
+		return true
+	case KindArray:
+		return t.Elem.IsDynamic()
+	case KindTuple:
+		for i := range t.Fields {
+			if t.Fields[i].IsDynamic() {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// HeadSize returns the number of bytes the type occupies in the head: 32 for
+// dynamic types (the offset) and the full inline size for static types.
+func (t Type) HeadSize() int {
+	if t.IsDynamic() {
+		return 32
+	}
+	return t.staticSize()
+}
+
+// staticSize is the inline encoded size of a static type.
+func (t Type) staticSize() int {
+	switch t.Kind {
+	case KindArray:
+		return t.Len * t.Elem.staticSize()
+	case KindTuple:
+		total := 0
+		for i := range t.Fields {
+			total += t.Fields[i].staticSize()
+		}
+		return total
+	default:
+		return 32
+	}
+}
+
+// String returns the canonical type string used in signatures: "uint256",
+// "uint8[3][]", "(uint256,bytes)". Vyper bounded types canonicalize to their
+// ABI equivalents ("bytes", "string"); decimal canonicalizes to its ABI name
+// fixed168x10.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindUint:
+		return fmt.Sprintf("uint%d", t.Bits)
+	case KindInt:
+		return fmt.Sprintf("int%d", t.Bits)
+	case KindAddress:
+		return "address"
+	case KindBool:
+		return "bool"
+	case KindFixedBytes:
+		return fmt.Sprintf("bytes%d", t.Size)
+	case KindBytes:
+		return "bytes"
+	case KindString:
+		return "string"
+	case KindArray:
+		return fmt.Sprintf("%s[%d]", t.Elem.String(), t.Len)
+	case KindSlice:
+		return t.Elem.String() + "[]"
+	case KindTuple:
+		parts := make([]string, len(t.Fields))
+		for i := range t.Fields {
+			parts[i] = t.Fields[i].String()
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	case KindDecimal:
+		return "fixed168x10"
+	case KindBoundedBytes:
+		return "bytes"
+	case KindBoundedString:
+		return "string"
+	default:
+		return fmt.Sprintf("invalid(%d)", t.Kind)
+	}
+}
+
+// Display returns the source-level spelling, which differs from the
+// canonical form for Vyper types: "decimal", "bytes[64]", "string[32]".
+func (t Type) Display() string {
+	switch t.Kind {
+	case KindDecimal:
+		return "decimal"
+	case KindBoundedBytes:
+		return fmt.Sprintf("bytes[%d]", t.MaxLen)
+	case KindBoundedString:
+		return fmt.Sprintf("string[%d]", t.MaxLen)
+	case KindArray:
+		return fmt.Sprintf("%s[%d]", t.Elem.Display(), t.Len)
+	case KindSlice:
+		return t.Elem.Display() + "[]"
+	case KindTuple:
+		parts := make([]string, len(t.Fields))
+		for i := range t.Fields {
+			parts[i] = t.Fields[i].Display()
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	default:
+		return t.String()
+	}
+}
+
+// Equal reports deep structural equality.
+func (t Type) Equal(o Type) bool {
+	if t.Kind != o.Kind || t.Bits != o.Bits || t.Size != o.Size ||
+		t.Len != o.Len || t.MaxLen != o.MaxLen {
+		return false
+	}
+	if (t.Elem == nil) != (o.Elem == nil) {
+		return false
+	}
+	if t.Elem != nil && !t.Elem.Equal(*o.Elem) {
+		return false
+	}
+	if len(t.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		if !t.Fields[i].Equal(o.Fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsVyperOnly reports whether the type only exists in Vyper.
+func (t Type) IsVyperOnly() bool {
+	switch t.Kind {
+	case KindDecimal, KindBoundedBytes, KindBoundedString:
+		return true
+	case KindArray, KindSlice:
+		return t.Elem.IsVyperOnly()
+	case KindTuple:
+		for i := range t.Fields {
+			if t.Fields[i].IsVyperOnly() {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,147 @@
+package baselines
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/corpus"
+	"sigrec/internal/efsd"
+	"sigrec/internal/solc"
+)
+
+func compile(t *testing.T, sigStr string, mode solc.Mode) ([]byte, abi.Signature) {
+	t.Helper()
+	sig, err := abi.ParseSignature(sigStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{{Sig: sig, Mode: mode}}},
+		solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, sig
+}
+
+func TestDBOnlyTool(t *testing.T) {
+	db := efsd.New()
+	sig, _ := abi.ParseSignature("transfer(address,uint256)")
+	db.Add(sig)
+	tool := &DBOnly{ToolName: "OSD", DB: db}
+	got, err := tool.RecoverTypes(nil, sig.Selector())
+	if err != nil || got != "(address,uint256)" {
+		t.Errorf("hit: %q, %v", got, err)
+	}
+	other, _ := abi.ParseSignature("mint(uint256)")
+	if _, err := tool.RecoverTypes(nil, other.Selector()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("miss: %v", err)
+	}
+	if tool.Name() != "OSD" {
+		t.Errorf("name: %s", tool.Name())
+	}
+}
+
+func TestEveemHeuristicsOnBasics(t *testing.T) {
+	// Eveem's simple rules handle plain basic-type functions.
+	tests := []struct {
+		sig  string
+		want string
+	}{
+		{"f(uint256)", "(uint256)"},
+		{"f(uint8)", "(uint8)"},
+		{"f(address)", "(address)"},
+		{"f(bool)", "(bool)"},
+		{"f(int32)", "(int32)"},
+		{"f(uint256,address)", "(uint256,address)"},
+	}
+	tool := &Eveem{}
+	for _, tc := range tests {
+		code, sig := compile(t, tc.sig, solc.External)
+		got, err := tool.RecoverTypes(code, sig.Selector())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sig, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %s", tc.sig, got)
+		}
+	}
+}
+
+func TestEveemFailsOnComplexTypes(t *testing.T) {
+	// Dynamic parameters lose their structure under the shallow scan: the
+	// offset field reads as uint256. This is the error class the paper
+	// reports for Eveem.
+	code, sig := compile(t, "f(uint256[])", solc.External)
+	tool := &Eveem{}
+	got, err := tool.RecoverTypes(code, sig.Selector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == "(uint256[])" {
+		t.Errorf("the heuristic model should not recover array structure, got %s", got)
+	}
+}
+
+func TestEveemDBFallback(t *testing.T) {
+	db := efsd.New()
+	sig, _ := abi.ParseSignature("f(uint256[])")
+	db.Add(sig)
+	code, _ := compile(t, "f(uint256[])", solc.External)
+	tool := &Eveem{DB: db}
+	got, err := tool.RecoverTypes(code, sig.Selector())
+	if err != nil || got != "(uint256[])" {
+		t.Errorf("db-backed: %q, %v", got, err)
+	}
+}
+
+func TestGigahorseFailureModes(t *testing.T) {
+	// Across a corpus, Gigahorse must exhibit all documented failure modes:
+	// aborts, merged parameters with nonexistent widths, DB drops.
+	c, err := corpus.Generate(corpus.Config{Seed: 21, Solidity: 300, AmbiguityRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := &Gigahorse{}
+	var aborts, merged int
+	for _, e := range c.Entries {
+		got, err := tool.RecoverTypes(e.Code, e.Sig.Selector())
+		if errors.Is(err, ErrAborted) {
+			aborts++
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if strings.Contains(got, "uint5") || strings.Contains(got, "uint7") ||
+			strings.Contains(got, "uint1_") {
+			merged++
+		}
+		// Nonexistent widths like uint3228 are > uint256.
+		for _, frag := range strings.Split(strings.Trim(got, "()"), ",") {
+			if strings.HasPrefix(frag, "uint") && len(frag) > 7 {
+				merged++
+			}
+		}
+	}
+	if aborts == 0 {
+		t.Error("Gigahorse model must abort on some functions")
+	}
+	if merged == 0 {
+		t.Error("Gigahorse model must merge parameters into nonexistent widths")
+	}
+	ratio := float64(aborts) / float64(len(c.Entries))
+	if ratio > 0.10 {
+		t.Errorf("abort ratio %f too high", ratio)
+	}
+}
+
+func TestBodyRangeMissingSelector(t *testing.T) {
+	code, _ := compile(t, "f(uint256)", solc.External)
+	var bogus abi.Selector
+	tool := &Eveem{}
+	if _, err := tool.RecoverTypes(code, bogus); !errors.Is(err, ErrNotFound) {
+		t.Errorf("bogus selector: %v", err)
+	}
+}

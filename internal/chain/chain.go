@@ -1,0 +1,337 @@
+// Package chain generates a synthetic transaction workload: blocks of
+// function invocations against a set of contracts, with a controlled
+// fraction of malformed actual arguments including short-address attacks.
+//
+// It substitutes for the Ethereum mainnet blocks the paper scans in §6.1:
+// ParChecker's detection depends only on each transaction's call-data shape
+// relative to the callee's signature, which the generator controls exactly.
+package chain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/evm"
+)
+
+// TxKind labels the ground truth of a generated transaction.
+type TxKind int
+
+// Transaction kinds.
+const (
+	// Valid call data, encoded per the specification.
+	Valid TxKind = iota + 1
+	// ShortAddress is the short-address attack: the address argument's
+	// trailing bytes are omitted so the next argument shifts left.
+	ShortAddress
+	// Truncated call data (generic shortening, not an address attack).
+	Truncated
+	// DirtyPadding has nonzero bytes in a padding area.
+	DirtyPadding
+	// BadBool encodes a bool as a value other than 0 or 1.
+	BadBool
+	// WildOffset points a dynamic argument's offset field out of range.
+	WildOffset
+)
+
+// String implements fmt.Stringer.
+func (k TxKind) String() string {
+	switch k {
+	case Valid:
+		return "valid"
+	case ShortAddress:
+		return "short-address"
+	case Truncated:
+		return "truncated"
+	case DirtyPadding:
+		return "dirty-padding"
+	case BadBool:
+		return "bad-bool"
+	case WildOffset:
+		return "wild-offset"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Transaction is one generated invocation.
+type Transaction struct {
+	// Block is the containing block number.
+	Block uint64
+	// Contract indexes the workload's contract list.
+	Contract int
+	// Sig is the invoked function (ground truth; ParChecker does not see it).
+	Sig abi.Signature
+	// CallData is the wire payload.
+	CallData []byte
+	// Kind is the ground-truth label.
+	Kind TxKind
+}
+
+// Workload is a generated transaction stream.
+type Workload struct {
+	Sigs []abi.Signature
+	Txs  []Transaction
+}
+
+// Config controls generation.
+type Config struct {
+	Seed int64
+	// Blocks and TxPerBlock size the stream.
+	Blocks     int
+	TxPerBlock int
+	// InvalidRate is the fraction of malformed transactions (the paper
+	// measures about 1% on mainnet).
+	InvalidRate float64
+	// ShortAddressShare is the share of invalid transactions that are
+	// short-address attacks (only functions with an address parameter
+	// followed by more data qualify).
+	ShortAddressShare float64
+}
+
+// DefaultConfig mirrors the paper's measurement shape at laptop scale.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:              seed,
+		Blocks:            500,
+		TxPerBlock:        40,
+		InvalidRate:       0.01,
+		ShortAddressShare: 0.08,
+	}
+}
+
+// Generate builds a workload over the given signatures.
+func Generate(cfg Config, sigs []abi.Signature) (*Workload, error) {
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("chain: no signatures")
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{Sigs: sigs}
+	// Identify short-address-attack candidates: an address parameter that
+	// is not the last one (so stolen padding shifts a later argument).
+	var attackable []int
+	for i, s := range sigs {
+		for p, t := range s.Inputs {
+			if t.Kind == abi.KindAddress && p < len(s.Inputs)-1 && !s.Inputs[p+1].IsDynamic() {
+				attackable = append(attackable, i)
+				break
+			}
+		}
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		for k := 0; k < cfg.TxPerBlock; k++ {
+			si := r.Intn(len(sigs))
+			kind := Valid
+			if r.Float64() < cfg.InvalidRate {
+				kind = drawInvalidKind(r, cfg, sigs[si])
+				if kind == ShortAddress {
+					if len(attackable) == 0 {
+						kind = drawGenericInvalid(r, sigs[si])
+					} else {
+						si = attackable[r.Intn(len(attackable))]
+					}
+				}
+			}
+			data, err := buildCallData(r, sigs[si], kind)
+			if err != nil {
+				return nil, fmt.Errorf("chain: block %d tx %d: %w", b, k, err)
+			}
+			w.Txs = append(w.Txs, Transaction{
+				Block:    uint64(b),
+				Contract: si,
+				Sig:      sigs[si],
+				CallData: data,
+				Kind:     kind,
+			})
+		}
+	}
+	return w, nil
+}
+
+func drawInvalidKind(r *rand.Rand, cfg Config, sig abi.Signature) TxKind {
+	if r.Float64() < cfg.ShortAddressShare {
+		return ShortAddress
+	}
+	return drawGenericInvalid(r, sig)
+}
+
+// drawGenericInvalid picks a non-attack corruption the signature can
+// express.
+func drawGenericInvalid(r *rand.Rand, sig abi.Signature) TxKind {
+	if len(sig.Inputs) == 0 {
+		return Valid // nothing to corrupt
+	}
+	choices := []TxKind{Truncated}
+	for _, t := range sig.Inputs {
+		switch t.Kind {
+		case abi.KindBool:
+			choices = append(choices, BadBool, DirtyPadding)
+		case abi.KindAddress:
+			choices = append(choices, DirtyPadding)
+		case abi.KindUint:
+			if t.Bits <= 128 {
+				choices = append(choices, DirtyPadding)
+			}
+		case abi.KindFixedBytes:
+			if t.Size <= 16 {
+				choices = append(choices, DirtyPadding)
+			}
+		}
+		if t.IsDynamic() {
+			choices = append(choices, WildOffset)
+		}
+	}
+	return choices[r.Intn(len(choices))]
+}
+
+// buildCallData encodes random arguments and applies the labeled corruption.
+func buildCallData(r *rand.Rand, sig abi.Signature, kind TxKind) ([]byte, error) {
+	vals := make([]abi.Value, len(sig.Inputs))
+	for i, t := range sig.Inputs {
+		vals[i] = abi.RandomValue(r, t)
+	}
+	data, err := abi.EncodeCall(sig, vals)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case Valid:
+		return data, nil
+	case ShortAddress:
+		return shortAddressAttack(r, sig, vals)
+	case Truncated:
+		if len(data) <= 5 {
+			return data[:len(data)-1], nil
+		}
+		cut := 1 + r.Intn(min(31, len(data)-5))
+		return data[:len(data)-cut], nil
+	case DirtyPadding:
+		return dirtyPadding(r, sig, data), nil
+	case BadBool:
+		return badBool(sig, data), nil
+	case WildOffset:
+		return wildOffset(sig, data), nil
+	default:
+		return data, nil
+	}
+}
+
+// shortAddressAttack rebuilds the call data the way the attack does: the
+// address argument loses its trailing zero bytes, and the EVM's implicit
+// right-padding shifts every later argument (paper §6.1, Fig. 20).
+func shortAddressAttack(r *rand.Rand, sig abi.Signature, vals []abi.Value) ([]byte, error) {
+	// Force the address to end in zeros so the attack is plausible, and
+	// re-encode.
+	k := 1 + r.Intn(3) // bytes stolen
+	pos := -1
+	for i, t := range sig.Inputs {
+		if t.Kind == abi.KindAddress && i < len(sig.Inputs)-1 {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("chain: signature %s not attackable", sig.Canonical())
+	}
+	addr := vals[pos].(evm.Word)
+	// Zero the low k bytes of the address.
+	mask := evm.LowMask(uint(8 * k)).Not()
+	vals[pos] = addr.And(mask)
+	data, err := abi.EncodeCall(sig, vals)
+	if err != nil {
+		return nil, err
+	}
+	// Remove the k zero bytes right after the address argument: everything
+	// after the address slot shifts left, and the total length shrinks.
+	slotEnd := 4 + 32*(pos+1)
+	out := make([]byte, 0, len(data)-k)
+	out = append(out, data[:slotEnd-k]...)
+	out = append(out, data[slotEnd:]...)
+	return out, nil
+}
+
+// headOffsets returns the absolute call-data offset of each parameter's
+// head slot (parameters are not all 32 bytes: static arrays and structs
+// span multiple slots).
+func headOffsets(sig abi.Signature) []int {
+	out := make([]int, len(sig.Inputs))
+	off := 4
+	for i, t := range sig.Inputs {
+		out[i] = off
+		off += t.HeadSize()
+	}
+	return out
+}
+
+func dirtyPadding(r *rand.Rand, sig abi.Signature, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	heads := headOffsets(sig)
+	// Flip a byte inside the first argument's padding area when one exists;
+	// otherwise flip a random head byte.
+	for i, t := range sig.Inputs {
+		slot := heads[i]
+		if slot+32 > len(out) {
+			break
+		}
+		switch t.Kind {
+		case abi.KindAddress:
+			out[slot+r.Intn(12)] |= 0x40 // address has 12 padding bytes
+			return out
+		case abi.KindUint:
+			if t.Bits <= 128 {
+				out[slot] |= 0x40
+				return out
+			}
+		case abi.KindFixedBytes:
+			if t.Size <= 16 {
+				out[slot+31] |= 0x40 // low-order padding of bytesN
+				return out
+			}
+		case abi.KindBool:
+			out[slot] |= 0x40 // any high bit makes the bool malformed
+			return out
+		}
+	}
+	if len(out) >= 36 {
+		out[4] |= 0x40
+	}
+	return out
+}
+
+func badBool(sig abi.Signature, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	heads := headOffsets(sig)
+	for i, t := range sig.Inputs {
+		if t.Kind == abi.KindBool {
+			slot := heads[i]
+			if slot+32 <= len(out) {
+				out[slot+31] = 2
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func wildOffset(sig abi.Signature, data []byte) []byte {
+	out := append([]byte(nil), data...)
+	heads := headOffsets(sig)
+	for i, t := range sig.Inputs {
+		if t.IsDynamic() {
+			slot := heads[i]
+			if slot+32 <= len(out) {
+				out[slot+1] = 0xff // offset far out of range
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package chain
+
+import (
+	"testing"
+
+	"sigrec/internal/abi"
+)
+
+func testSigs(t *testing.T) []abi.Signature {
+	t.Helper()
+	var sigs []abi.Signature
+	for _, s := range []string{
+		"transfer(address,uint256)",
+		"mint(uint64)",
+		"flag(bool)",
+		"blob(bytes)",
+	} {
+		sig, err := abi.ParseSignature(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs = append(sigs, sig)
+	}
+	return sigs
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{Seed: 1, Blocks: 10, TxPerBlock: 20, InvalidRate: 0.2, ShortAddressShare: 0.3}
+	w, err := Generate(cfg, testSigs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Txs) != 200 {
+		t.Fatalf("tx count = %d", len(w.Txs))
+	}
+	counts := make(map[TxKind]int)
+	for _, tx := range w.Txs {
+		counts[tx.Kind]++
+		if len(tx.CallData) < 4 {
+			t.Errorf("tx with %d-byte call data", len(tx.CallData))
+		}
+	}
+	if counts[Valid] < 120 {
+		t.Errorf("too few valid txs: %d", counts[Valid])
+	}
+	if counts[ShortAddress] == 0 {
+		t.Error("no short-address attacks generated")
+	}
+	if counts[Truncated]+counts[DirtyPadding]+counts[BadBool]+counts[WildOffset] == 0 {
+		t.Error("no generic corruptions generated")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Blocks, cfg.TxPerBlock = 5, 10
+	w1, err := Generate(cfg, testSigs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := Generate(cfg, testSigs(t))
+	for i := range w1.Txs {
+		if string(w1.Txs[i].CallData) != string(w2.Txs[i].CallData) {
+			t.Fatalf("tx %d differs between identical seeds", i)
+		}
+	}
+}
+
+// TestLabelsMatchStrictDecoding verifies every label against the decoder:
+// valid transactions decode, corrupted ones do not.
+func TestLabelsMatchStrictDecoding(t *testing.T) {
+	cfg := Config{Seed: 2, Blocks: 30, TxPerBlock: 20, InvalidRate: 0.3, ShortAddressShare: 0.2}
+	w, err := Generate(cfg, testSigs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tx := range w.Txs {
+		_, err := abi.Decode(tx.Sig.Inputs, tx.CallData[4:])
+		switch tx.Kind {
+		case Valid:
+			if err != nil {
+				t.Errorf("tx %d labeled valid fails decoding: %v (%s)", i, err, tx.Sig.Canonical())
+			}
+		default:
+			if err == nil {
+				t.Errorf("tx %d labeled %s decodes cleanly (%s)", i, tx.Kind, tx.Sig.Canonical())
+			}
+		}
+	}
+}
+
+func TestShortAddressShrinksData(t *testing.T) {
+	sig, _ := abi.ParseSignature("transfer(address,uint256)")
+	cfg := Config{Seed: 3, Blocks: 50, TxPerBlock: 10, InvalidRate: 1.0, ShortAddressShare: 1.0}
+	w, err := Generate(cfg, []abi.Signature{sig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, tx := range w.Txs {
+		if tx.Kind != ShortAddress {
+			continue
+		}
+		found++
+		if len(tx.CallData) >= 4+64 {
+			t.Errorf("short-address tx has full-length data (%d)", len(tx.CallData))
+		}
+	}
+	if found == 0 {
+		t.Fatal("no attacks generated at rate 1.0")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(DefaultConfig(1), nil); err == nil {
+		t.Error("no signatures must fail")
+	}
+}

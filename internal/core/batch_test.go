@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/solc"
+)
+
+func TestRecoverAll(t *testing.T) {
+	sigStrs := []string{
+		"a(uint256)", "b(address,bool)", "c(bytes)", "d(uint8[3])", "e(uint256[])",
+	}
+	var codes [][]byte
+	var sigs []abi.Signature
+	for _, s := range sigStrs {
+		sig, _ := abi.ParseSignature(s)
+		code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+			{Sig: sig, Mode: solc.External},
+		}}, solc.Config{Version: solc.DefaultVersion()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes = append(codes, code)
+		sigs = append(sigs, sig)
+	}
+	// Add a failing input in the middle.
+	codes = append(codes[:2], append([][]byte{{0x00}}, codes[2:]...)...)
+	sigs = append(sigs[:2], append([]abi.Signature{{}}, sigs[2:]...)...)
+
+	for _, workers := range []int{0, 1, 3, 16} {
+		items := RecoverAll(codes, workers)
+		if len(items) != len(codes) {
+			t.Fatalf("workers=%d: %d items", workers, len(items))
+		}
+		for i, item := range items {
+			if item.Index != i {
+				t.Errorf("workers=%d: item %d carries index %d", workers, i, item.Index)
+			}
+			if i == 2 {
+				if item.Err == nil {
+					t.Errorf("workers=%d: dispatcherless input did not fail", workers)
+				}
+				continue
+			}
+			if item.Err != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, i, item.Err)
+			}
+			got := abi.Signature{Name: "f", Inputs: item.Result.Functions[0].Inputs}
+			if !got.EqualTypes(sigs[i]) {
+				t.Errorf("workers=%d item %d: recovered %s", workers, i, got.TypeList())
+			}
+		}
+	}
+}
+
+func TestRecoverAllEmpty(t *testing.T) {
+	if items := RecoverAll(nil, 4); len(items) != 0 {
+		t.Errorf("empty batch returned %d items", len(items))
+	}
+}

@@ -1,0 +1,317 @@
+// Package core implements SigRec itself: function-id extraction from the
+// dispatcher, type-aware symbolic execution (TASE), and the inference rules
+// R1-R31 organized as the paper's decision tree.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sigrec/internal/evm"
+)
+
+// Expr is a symbolic 256-bit value. Every node may carry a concrete value
+// (Conc) when all of its inputs were concrete; this lets TASE execute
+// concretely where possible (loop counters, constant offsets) while keeping
+// full provenance for the rules.
+type Expr struct {
+	// Kind discriminates the node.
+	Kind ExprKind
+	// Conc is the concrete value when known.
+	Conc *evm.Word
+	// Op is the EVM opcode for KindApp nodes.
+	Op evm.Op
+	// Args are the operand expressions for KindApp nodes; for KindCData
+	// Args[0] is the call-data offset the value was loaded from.
+	Args []*Expr
+	// Env labels environment values (CALLER, SLOAD results, ...).
+	Env string
+	// Seq disambiguates distinct environment values.
+	Seq int
+}
+
+// ExprKind is the node discriminator.
+type ExprKind int
+
+// Expression node kinds.
+const (
+	// KindConst is a literal word.
+	KindConst ExprKind = iota + 1
+	// KindCData is the 32-byte value CALLDATALOAD(Args[0]).
+	KindCData
+	// KindCSize is CALLDATASIZE.
+	KindCSize
+	// KindEnv is an unconstrained environment value.
+	KindEnv
+	// KindApp is Op(Args...).
+	KindApp
+)
+
+// NewConst returns a constant expression.
+func NewConst(w evm.Word) *Expr {
+	cp := w
+	return &Expr{Kind: KindConst, Conc: &cp}
+}
+
+// NewConstUint returns a small constant expression.
+func NewConstUint(v uint64) *Expr { return NewConst(evm.WordFromUint64(v)) }
+
+// NewCData returns the value read from the call data at off.
+func NewCData(off *Expr) *Expr {
+	return &Expr{Kind: KindCData, Args: []*Expr{off}}
+}
+
+// NewEnv returns a fresh environment value.
+func NewEnv(label string, seq int) *Expr {
+	return &Expr{Kind: KindEnv, Env: label, Seq: seq}
+}
+
+// NewApp builds Op(args...), computing the concrete value when every
+// argument has one.
+func NewApp(op evm.Op, args ...*Expr) *Expr {
+	e := &Expr{Kind: KindApp, Op: op, Args: args}
+	words := make([]evm.Word, len(args))
+	allConc := true
+	for i, a := range args {
+		if a.Conc == nil {
+			allConc = false
+			break
+		}
+		words[i] = *a.Conc
+	}
+	if allConc {
+		if w, ok := foldOp(op, words); ok {
+			e.Conc = &w
+		}
+	}
+	return e
+}
+
+// foldOp evaluates a pure opcode on concrete operands.
+func foldOp(op evm.Op, a []evm.Word) (evm.Word, bool) {
+	switch op {
+	case evm.ADD:
+		return a[0].Add(a[1]), true
+	case evm.MUL:
+		return a[0].Mul(a[1]), true
+	case evm.SUB:
+		return a[0].Sub(a[1]), true
+	case evm.DIV:
+		return a[0].Div(a[1]), true
+	case evm.SDIV:
+		return a[0].SDiv(a[1]), true
+	case evm.MOD:
+		return a[0].Mod(a[1]), true
+	case evm.SMOD:
+		return a[0].SMod(a[1]), true
+	case evm.ADDMOD:
+		return a[0].AddMod(a[1], a[2]), true
+	case evm.MULMOD:
+		return a[0].MulMod(a[1], a[2]), true
+	case evm.EXP:
+		return a[0].Exp(a[1]), true
+	case evm.SIGNEXTEND:
+		return a[1].SignExtend(a[0]), true
+	case evm.LT:
+		return a[0].Lt(a[1]), true
+	case evm.GT:
+		return a[0].Gt(a[1]), true
+	case evm.SLT:
+		return a[0].Slt(a[1]), true
+	case evm.SGT:
+		return a[0].Sgt(a[1]), true
+	case evm.EQ:
+		return a[0].EqWord(a[1]), true
+	case evm.ISZERO:
+		return a[0].IsZeroWord(), true
+	case evm.AND:
+		return a[0].And(a[1]), true
+	case evm.OR:
+		return a[0].Or(a[1]), true
+	case evm.XOR:
+		return a[0].Xor(a[1]), true
+	case evm.NOT:
+		return a[0].Not(), true
+	case evm.BYTE:
+		return a[1].Byte(a[0]), true
+	case evm.SHL:
+		return a[1].Shl(a[0]), true
+	case evm.SHR:
+		return a[1].Shr(a[0]), true
+	case evm.SAR:
+		return a[1].Sar(a[0]), true
+	default:
+		return evm.Word{}, false
+	}
+}
+
+// IsConst reports whether the expression has a known concrete value.
+func (e *Expr) IsConst() bool { return e.Conc != nil }
+
+// ConstUint returns the concrete value as uint64 when it is known and fits.
+func (e *Expr) ConstUint() (uint64, bool) {
+	if e.Conc == nil {
+		return 0, false
+	}
+	return e.Conc.Uint64()
+}
+
+// String renders a canonical form used for event deduplication.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.render(&b, 0)
+	return b.String()
+}
+
+// maxRenderDepth bounds expression rendering. It must exceed the deepest
+// address expression the generated code produces (about 3 nodes per array
+// dimension), or distinct events would collide in the dedup index.
+const maxRenderDepth = 96
+
+func (e *Expr) render(b *strings.Builder, depth int) {
+	if depth > maxRenderDepth {
+		b.WriteString("...")
+		return
+	}
+	switch e.Kind {
+	case KindConst:
+		b.WriteString(e.Conc.Hex())
+	case KindCData:
+		b.WriteString("cd[")
+		e.Args[0].render(b, depth+1)
+		b.WriteString("]")
+	case KindCSize:
+		b.WriteString("cdsize")
+	case KindEnv:
+		fmt.Fprintf(b, "%s#%d", e.Env, e.Seq)
+	case KindApp:
+		b.WriteString(e.Op.String())
+		b.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			a.render(b, depth+1)
+		}
+		b.WriteString(")")
+	}
+}
+
+// ContainsCData reports whether the value depends on the call data.
+func (e *Expr) ContainsCData() bool {
+	switch e.Kind {
+	case KindCData:
+		return true
+	case KindApp:
+		for _, a := range e.Args {
+			if a.ContainsCData() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CDataAtoms collects the distinct CData leaves (outermost only: a CData
+// whose offset itself contains CData is reported once, not recursed into).
+func (e *Expr) CDataAtoms() []*Expr {
+	var out []*Expr
+	seen := make(map[string]bool)
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		switch x.Kind {
+		case KindCData:
+			key := x.String()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, x)
+			}
+		case KindApp:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// Linear is the linearization of an expression: Constant + sum of
+// coefficient*atom, where atoms are non-additive subexpressions (CData
+// leaves, environment values, opaque applications).
+type Linear struct {
+	Const evm.Word
+	Terms []LinearTerm
+}
+
+// LinearTerm is one coefficient*atom component.
+type LinearTerm struct {
+	Atom  *Expr
+	Coeff evm.Word
+}
+
+// Linearize decomposes an expression over ADD/SUB/MUL-by-constant.
+func Linearize(e *Expr) Linear {
+	acc := &linAcc{terms: make(map[string]*LinearTerm)}
+	acc.add(e, evm.OneWord)
+	out := Linear{Const: acc.c}
+	for _, t := range acc.order {
+		lt := acc.terms[t]
+		if !lt.Coeff.IsZero() {
+			out.Terms = append(out.Terms, *lt)
+		}
+	}
+	return out
+}
+
+type linAcc struct {
+	c     evm.Word
+	terms map[string]*LinearTerm
+	order []string
+}
+
+func (a *linAcc) add(e *Expr, coeff evm.Word) {
+	if e.Conc != nil {
+		a.c = a.c.Add(e.Conc.Mul(coeff))
+		return
+	}
+	if e.Kind == KindApp {
+		switch e.Op {
+		case evm.ADD:
+			a.add(e.Args[0], coeff)
+			a.add(e.Args[1], coeff)
+			return
+		case evm.SUB:
+			a.add(e.Args[0], coeff)
+			a.add(e.Args[1], coeff.Neg())
+			return
+		case evm.MUL:
+			if e.Args[0].Conc != nil {
+				a.add(e.Args[1], coeff.Mul(*e.Args[0].Conc))
+				return
+			}
+			if e.Args[1].Conc != nil {
+				a.add(e.Args[0], coeff.Mul(*e.Args[1].Conc))
+				return
+			}
+		}
+	}
+	key := e.String()
+	if t, ok := a.terms[key]; ok {
+		t.Coeff = t.Coeff.Add(coeff)
+		return
+	}
+	a.terms[key] = &LinearTerm{Atom: e, Coeff: coeff}
+	a.order = append(a.order, key)
+}
+
+// TermFor returns the coefficient of the atom with the given canonical
+// string, if present.
+func (l Linear) TermFor(key string) (evm.Word, bool) {
+	for _, t := range l.Terms {
+		if t.Atom.String() == key {
+			return t.Coeff, true
+		}
+	}
+	return evm.Word{}, false
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/solc"
+)
+
+// FuzzRecover: signature recovery must never panic or hang on arbitrary
+// bytecode -- the tool's first requirement when pointed at 37M unknown
+// contracts.
+func FuzzRecover(f *testing.F) {
+	// Seeds: a real compiled contract, truncations of it, and junk.
+	sig, _ := abi.ParseSignature("transfer(address,uint256)")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.External},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(code)
+	f.Add(code[:len(code)/2])
+	f.Add([]byte{0x60})
+	f.Add([]byte{0xfe, 0xfd, 0x5b, 0x56})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Recover(data) // must not panic
+	})
+}
+
+// FuzzInferMutatedContract mutates a valid contract byte-wise: recovery
+// must stay robust as the structure decays.
+func FuzzInferMutatedContract(f *testing.F) {
+	sig, _ := abi.ParseSignature("f(uint8[],bytes,(uint256[],bool))")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.Public},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(code, uint16(0), byte(0))
+	f.Add(code, uint16(10), byte(0xff))
+	f.Fuzz(func(t *testing.T, base []byte, pos uint16, val byte) {
+		if len(base) == 0 {
+			return
+		}
+		mutated := append([]byte(nil), base...)
+		mutated[int(pos)%len(mutated)] = val
+		_, _ = Recover(mutated)
+	})
+}

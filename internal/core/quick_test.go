@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/solc"
+)
+
+// randomRecoverableType draws from the space where clue-rich recovery is
+// provably exact: everything except the documented ambiguities (static
+// structs, which flatten by design).
+func randomRecoverableType(r *rand.Rand, depth int) abi.Type {
+	basic := func() abi.Type {
+		switch r.Intn(8) {
+		case 0:
+			return abi.Uint(8 * (1 + r.Intn(32)))
+		case 1:
+			return abi.Int(8 * (1 + r.Intn(32)))
+		case 2:
+			return abi.Address()
+		case 3:
+			return abi.Bool()
+		case 4:
+			return abi.FixedBytes(1 + r.Intn(32))
+		default:
+			return abi.Uint(256)
+		}
+	}
+	if depth <= 0 {
+		return basic()
+	}
+	switch r.Intn(8) {
+	case 0:
+		return abi.Bytes()
+	case 1:
+		return abi.String_()
+	case 2:
+		return abi.SliceOf(basic())
+	case 3:
+		return abi.ArrayOf(basic(), 1+r.Intn(4))
+	case 4:
+		// Multi-dimensional static or dynamic.
+		inner := abi.ArrayOf(basic(), 1+r.Intn(3))
+		if r.Intn(2) == 0 {
+			return abi.SliceOf(inner)
+		}
+		return abi.ArrayOf(inner, 1+r.Intn(3))
+	case 5:
+		// Nested array.
+		return abi.SliceOf(abi.SliceOf(basic()))
+	case 6:
+		// Dynamic struct (at least one dynamic member keeps it
+		// recoverable as a tuple).
+		return abi.TupleOf(abi.SliceOf(basic()), basic())
+	default:
+		return basic()
+	}
+}
+
+// TestQuickCompileRecoverRoundTrip is the headline invariant as a property:
+// for arbitrary supported signatures with clue-rich bodies, recovery is
+// exact in both modes.
+func TestQuickCompileRecoverRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(20260704))
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(3)
+		sig := abi.Signature{Name: "q"}
+		for i := 0; i < n; i++ {
+			sig.Inputs = append(sig.Inputs, randomRecoverableType(rr, 1))
+		}
+		mode := solc.Public
+		if rr.Intn(2) == 0 {
+			mode = solc.External
+		}
+		code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+			{Sig: sig, Mode: mode},
+		}}, solc.Config{Version: solc.DefaultVersion(), Optimize: rr.Intn(2) == 0})
+		if err != nil {
+			t.Logf("seed %d: compile: %v (%s)", seed, err, sig.Canonical())
+			return false
+		}
+		rec, _ := RecoverFunction(code, sig.Selector())
+		got := abi.Signature{Name: "q", Inputs: rec.Inputs}
+		if !got.EqualTypes(sig) {
+			t.Logf("seed %d: %s %s recovered as %s", seed, sig.Canonical(), mode, got.TypeList())
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecoverAllNoGoroutineLeak: the batch API's worker pool must fully
+// drain.
+func TestRecoverAllNoGoroutineLeak(t *testing.T) {
+	sig, _ := abi.ParseSignature("f(uint256)")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.External},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([][]byte, 32)
+	for i := range codes {
+		codes[i] = code
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		RecoverAll(codes, 8)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/solc"
+	"sigrec/internal/vyperc"
+)
+
+// TestRecoverTruncationSweep: recovery must degrade gracefully (no panic,
+// no hang, sane outputs) on every prefix of a real contract -- the
+// mid-deployment and corrupted-chain-data cases.
+func TestRecoverTruncationSweep(t *testing.T) {
+	sig, _ := abi.ParseSignature("f(uint8[],bytes,(uint256[],bool),address)")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.Public},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(code); cut += 7 {
+		res, err := Recover(code[:cut])
+		if err != nil {
+			continue // no dispatcher yet: fine
+		}
+		for _, f := range res.Functions {
+			if len(f.Inputs) > 64 {
+				t.Fatalf("cut=%d: absurd parameter count %d", cut, len(f.Inputs))
+			}
+		}
+	}
+}
+
+// TestRecoverDegenerateContracts covers pathological but valid shapes.
+func TestRecoverDegenerateContracts(t *testing.T) {
+	// A contract with one zero-parameter function.
+	sig, _ := abi.ParseSignature("ping()")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.External},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recover(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Functions) != 1 || len(res.Functions[0].Inputs) != 0 {
+		t.Errorf("ping(): %+v", res.Functions)
+	}
+
+	// An empty contract (no functions) has no dispatcher to find.
+	empty, err := solc.Compile(solc.Contract{}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(empty); err == nil {
+		t.Error("functionless contract should report no functions")
+	}
+}
+
+// TestRecoverRepeatedSelectors: a dispatcher listing the same id twice must
+// not duplicate the recovered function.
+func TestRecoverRepeatedSelectors(t *testing.T) {
+	sig, _ := abi.ParseSignature("f(uint256)")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.External},
+		{Sig: sig, Mode: solc.External},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recover(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Functions) != 1 {
+		t.Errorf("duplicate dispatcher entries yielded %d functions", len(res.Functions))
+	}
+}
+
+// TestRecoverMixedLanguagesPerContract: language detection is per function,
+// but a single contract is one compiler's output; recovery on each
+// compiler's output must label every function consistently.
+func TestRecoverLanguageConsistency(t *testing.T) {
+	vySig, _ := abi.ParseSignature("g(bool,address)")
+	vyCode, err := vyperc.Compile(vyperc.Contract{Functions: []vyperc.Function{{Sig: vySig}}},
+		vyperc.Config{Version: vyperc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recover(vyCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Functions {
+		if f.Language != LangVyper {
+			t.Errorf("vyper function labeled %s", f.Language)
+		}
+	}
+}

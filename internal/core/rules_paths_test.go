@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/solc"
+	"sigrec/internal/vyperc"
+)
+
+// ruleTrailOf recovers a single-parameter function and returns the rule
+// trail of its (first) parameter.
+func ruleTrailOf(t *testing.T, code []byte, sel abi.Selector) ([]RuleID, abi.Type) {
+	t.Helper()
+	rec, _ := RecoverFunction(code, sel)
+	if len(rec.Inputs) == 0 {
+		t.Fatal("nothing recovered")
+	}
+	return rec.ParamRules[0], rec.Inputs[0]
+}
+
+func hasRule(trail []RuleID, want RuleID) bool {
+	for _, r := range trail {
+		if r == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSolidityRuleTrails pins, for each decision path of Fig. 13, the rules
+// the engine applies to a parameter compiled with that path's pattern.
+func TestSolidityRuleTrails(t *testing.T) {
+	tests := []struct {
+		sig   string
+		mode  solc.Mode
+		typ   string   // expected recovered type
+		rules []RuleID // rules that must appear on the trail
+	}{
+		{"f(uint256)", solc.External, "uint256", []RuleID{R4}},
+		{"f(uint8)", solc.External, "uint8", []RuleID{R4, R11}},
+		{"f(uint160)", solc.External, "uint160", []RuleID{R4, R11}},
+		{"f(bytes4)", solc.External, "bytes4", []RuleID{R4, R12}},
+		{"f(int16)", solc.External, "int16", []RuleID{R4, R13}},
+		{"f(bool)", solc.External, "bool", []RuleID{R4, R14}},
+		{"f(int256)", solc.External, "int256", []RuleID{R4, R15}},
+		{"f(address)", solc.External, "address", []RuleID{R4, R16}},
+		{"f(bytes32)", solc.External, "bytes32", []RuleID{R4, R18}},
+		{"f(uint256[])", solc.External, "uint256[]", []RuleID{R1, R2}},
+		{"f(uint8[2][])", solc.External, "uint8[2][]", []RuleID{R1, R2}},
+		{"f(uint256[3])", solc.External, "uint256[3]", []RuleID{R3}},
+		{"f(uint256[3][2])", solc.External, "uint256[3][2]", []RuleID{R3}},
+		{"f(uint256[])", solc.Public, "uint256[]", []RuleID{R1, R5, R7}},
+		{"f(bytes)", solc.Public, "bytes", []RuleID{R1, R5, R8, R17}},
+		{"f(string)", solc.Public, "string", []RuleID{R1, R5, R8}},
+		{"f(uint256[3])", solc.Public, "uint256[3]", []RuleID{R6}},
+		{"f(uint256[3][2])", solc.Public, "uint256[3][2]", []RuleID{R9}},
+		{"f(uint64[2][])", solc.Public, "uint64[2][]", []RuleID{R1, R5, R10}},
+		{"f(bytes)", solc.External, "bytes", []RuleID{R1, R17}},
+		{"f(string)", solc.External, "string", []RuleID{R1}},
+		{"f(uint8[][])", solc.External, "uint8[][]", []RuleID{R1, R22}},
+		{"f((uint256[],bool))", solc.External, "(uint256[],bool)", []RuleID{R1, R21}},
+		{"f((uint8[][],uint256))", solc.External, "(uint8[][],uint256)", []RuleID{R1, R21, R19}},
+	}
+	for _, tc := range tests {
+		sig, err := abi.ParseSignature(tc.sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+			{Sig: sig, Mode: tc.mode},
+		}}, solc.Config{Version: solc.DefaultVersion()})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sig, err)
+		}
+		trail, typ := ruleTrailOf(t, code, sig.Selector())
+		if typ.String() != tc.typ {
+			t.Errorf("%s %s: recovered %s, want %s (trail %v)",
+				tc.sig, tc.mode, typ, tc.typ, trail)
+			continue
+		}
+		for _, want := range tc.rules {
+			if !hasRule(trail, want) {
+				t.Errorf("%s %s: trail %v missing %s", tc.sig, tc.mode, trail, want)
+			}
+		}
+	}
+}
+
+// TestVyperRuleTrails does the same for the Vyper paths.
+func TestVyperRuleTrails(t *testing.T) {
+	tests := []struct {
+		sig   string
+		typ   string
+		rules []RuleID
+	}{
+		// A function whose only values are uint256/bytes32/lists carries no
+		// range checks, so R20 cannot fire and the Solidity-path rules
+		// apply -- the recovered canonical types are identical (see
+		// docs/RULES.md, known ambiguities).
+		{"f(uint256)", "uint256", []RuleID{R4}},
+		{"f(bytes32)", "bytes32", []RuleID{R4, R18}},
+		{"f(uint256[3])", "uint256[3]", []RuleID{R3}},
+		// With a range-checked value present, the Vyper paths engage.
+		{"f(bool)", "bool", []RuleID{R20, R25, R30}},
+		{"f(address)", "address", []RuleID{R20, R25, R27}},
+		{"f(int128)", "int128", []RuleID{R20, R25, R28}},
+		{"f(decimal)", "fixed168x10", []RuleID{R20, R25, R29}},
+		{"f(bytes[32])", "bytes", []RuleID{R20, R1, R23, R26}},
+		{"f(string[32])", "string", []RuleID{R20, R1, R23}},
+	}
+	for _, tc := range tests {
+		sig, err := abi.ParseSignature(tc.sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := vyperc.Compile(vyperc.Contract{Functions: []vyperc.Function{{Sig: sig}}},
+			vyperc.Config{Version: vyperc.DefaultVersion()})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sig, err)
+		}
+		trail, typ := ruleTrailOf(t, code, sig.Selector())
+		if typ.String() != tc.typ {
+			t.Errorf("%s: recovered %s, want %s (trail %v)", tc.sig, typ, tc.typ, trail)
+			continue
+		}
+		for _, want := range tc.rules {
+			if !hasRule(trail, want) {
+				t.Errorf("%s: trail %v missing %s", tc.sig, trail, want)
+			}
+		}
+	}
+	// With a bool alongside, R20 fires and bytes32 takes the Vyper path
+	// through R31.
+	sig, _ := abi.ParseSignature("f(bool,bytes32)")
+	code, err := vyperc.Compile(vyperc.Contract{Functions: []vyperc.Function{{Sig: sig}}},
+		vyperc.Config{Version: vyperc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := RecoverFunction(code, sig.Selector())
+	if len(rec.ParamRules) != 2 {
+		t.Fatalf("trails: %v", rec.ParamRules)
+	}
+	if !hasRule(rec.ParamRules[1], R31) || !hasRule(rec.ParamRules[1], R25) {
+		t.Errorf("bytes32 trail %v missing R25/R31", rec.ParamRules[1])
+	}
+}
+
+// TestExplainRendering exercises the human-readable form.
+func TestExplainRendering(t *testing.T) {
+	sig, _ := abi.ParseSignature("f(uint8,bytes)")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.Public},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := RecoverFunction(code, sig.Selector())
+	lines := rec.Explain()
+	if len(lines) != 2 {
+		t.Fatalf("explain lines: %v", lines)
+	}
+	if lines[0] != "param 1 (uint8): R4 R11" {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+}
+
+// TestParamRulesParallelToInputs: the explanation arrays always line up.
+func TestParamRulesParallelToInputs(t *testing.T) {
+	sig, _ := abi.ParseSignature("f(uint256,bytes,uint8[3],bool)")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.External},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := RecoverFunction(code, sig.Selector())
+	if len(rec.ParamRules) != len(rec.Inputs) {
+		t.Fatalf("%d rule trails for %d inputs", len(rec.ParamRules), len(rec.Inputs))
+	}
+	for i, trail := range rec.ParamRules {
+		if len(trail) == 0 {
+			t.Errorf("parameter %d has an empty trail", i)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"strconv"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/evm"
+)
+
+// ErrNoFunctions reports bytecode with no recoverable dispatcher.
+var ErrNoFunctions = errors.New("core: no public/external functions found")
+
+// RecoveredFunction is one recovered function signature: the id plus the
+// inferred parameter type list (names are not recoverable from bytecode).
+type RecoveredFunction struct {
+	// Selector is the 4-byte function id from the dispatcher.
+	Selector abi.Selector
+	// Inputs is the recovered parameter type list, in call-data order.
+	Inputs []abi.Type
+	// ParamRules explains each parameter: the inference rules applied, in
+	// order (parallel to Inputs).
+	ParamRules [][]RuleID
+	// Language is the detected source compiler for this function.
+	Language Language
+	// Truncated reports that an exploration budget was hit (best-effort
+	// result).
+	Truncated bool
+}
+
+// TypeList formats the recovered parameter list canonically.
+func (r RecoveredFunction) TypeList() string {
+	sig := abi.Signature{Name: "f", Inputs: r.Inputs}
+	return sig.TypeList()
+}
+
+// Result is the full recovery output for one contract.
+type Result struct {
+	Functions []RecoveredFunction
+	// Rules aggregates rule usage over all functions (the paper's RQ4).
+	Rules RuleStats
+}
+
+// Recover runs SigRec on runtime bytecode: disassemble, extract function
+// ids from the dispatcher, then run TASE per function and infer parameter
+// types with rules R1-R31.
+func Recover(code []byte) (Result, error) {
+	if len(code) == 0 {
+		return Result{}, errors.New("core: empty bytecode")
+	}
+	program := evm.Disassemble(code)
+	selectors := ExtractSelectors(program)
+	if len(selectors) == 0 {
+		return Result{}, ErrNoFunctions
+	}
+	var res Result
+	for _, sel := range selectors {
+		tr := TraceFunction(program, sel)
+		d := Infer(tr)
+		res.Rules.Add(d.Stats)
+		res.Functions = append(res.Functions, RecoveredFunction{
+			Selector:   abi.Selector(sel),
+			Inputs:     d.Types,
+			ParamRules: d.ParamRules,
+			Language:   d.Language,
+			Truncated:  tr.Truncated,
+		})
+	}
+	return res, nil
+}
+
+// RecoverFunction runs TASE and inference for a single known selector.
+func RecoverFunction(code []byte, selector abi.Selector) (RecoveredFunction, RuleStats) {
+	program := evm.Disassemble(code)
+	tr := TraceFunction(program, selector)
+	d := Infer(tr)
+	return RecoveredFunction{
+		Selector:   selector,
+		Inputs:     d.Types,
+		ParamRules: d.ParamRules,
+		Language:   d.Language,
+		Truncated:  tr.Truncated,
+	}, d.Stats
+}
+
+// Explain renders the per-parameter rule trails: "param 1 (uint8): R4 R11".
+func (r RecoveredFunction) Explain() []string {
+	out := make([]string, 0, len(r.Inputs))
+	for i, t := range r.Inputs {
+		line := "param " + strconv.Itoa(i+1) + " (" + t.Display() + "):"
+		if i < len(r.ParamRules) {
+			for _, rule := range r.ParamRules[i] {
+				line += " " + rule.String()
+			}
+		}
+		out = append(out, line)
+	}
+	return out
+}

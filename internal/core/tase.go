@@ -1,0 +1,499 @@
+package core
+
+import (
+	"fmt"
+
+	"sigrec/internal/evm"
+)
+
+// Exploration budgets. TASE only needs the parameter-handling prefix of each
+// function, so these are generous for generated and real-world dispatch
+// bodies alike.
+const (
+	maxVisitsPerJumpi = 3
+	maxStepsPerPath   = 60_000
+	maxPathsPerFn     = 512
+	maxTotalSteps     = 4_000_000
+	// memRegionSpan bounds how far past a CALLDATACOPY destination an MLOAD
+	// is still attributed to that copy when the copy length is symbolic.
+	memRegionSpan = 0x8000
+)
+
+// EventKind discriminates collected events.
+type EventKind int
+
+// Event kinds.
+const (
+	// EvCDL is a CALLDATALOAD.
+	EvCDL EventKind = iota + 1
+	// EvCDC is a CALLDATACOPY.
+	EvCDC
+	// EvOp is an instruction applied to a call-data-derived value.
+	EvOp
+)
+
+// Guard is one conditional branch the current path passed through.
+type Guard struct {
+	// PC of the JUMPI.
+	PC uint64
+	// Cond is the branch condition (full symbolic structure).
+	Cond *Expr
+	// Taken reports whether the jump was taken.
+	Taken bool
+	// Lo and Hi delimit the static scope interval used as a control-
+	// dependence approximation: an event at pc in (Lo, Hi) is treated as
+	// controlled by this guard.
+	Lo, Hi uint64
+}
+
+// Controls reports whether an event at pc falls in the guard's scope.
+func (g Guard) Controls(pc uint64) bool { return pc > g.Lo && pc < g.Hi }
+
+// Event is one observation made during TASE.
+type Event struct {
+	Kind EventKind
+	PC   uint64
+
+	// EvCDL: Off is the load offset; Val the loaded value.
+	Off *Expr
+	Val *Expr
+
+	// EvCDC: Dst is the (concrete) memory destination, Src and Len the
+	// call-data source offset and byte count.
+	Dst uint64
+	Src *Expr
+	Len *Expr
+
+	// EvOp: Op and its operands.
+	Op   evm.Op
+	Args []*Expr
+
+	// Guards active when the event fired.
+	Guards []Guard
+}
+
+// Trace is the deduplicated event stream of one function.
+type Trace struct {
+	Selector [4]byte
+	Events   []Event
+	// Truncated is set when an exploration budget was hit.
+	Truncated bool
+}
+
+// state is one symbolic machine state during path exploration.
+type state struct {
+	pc     uint64
+	stack  []*Expr
+	mem    map[uint64]*Expr
+	copies []memCopy
+	visits map[uint64]int
+	guards []Guard
+	steps  int
+}
+
+type memCopy struct {
+	dst uint64
+	src *Expr
+	ln  *Expr
+}
+
+func (s *state) clone() *state {
+	cp := &state{
+		pc:     s.pc,
+		stack:  append([]*Expr(nil), s.stack...),
+		mem:    make(map[uint64]*Expr, len(s.mem)),
+		copies: append([]memCopy(nil), s.copies...),
+		visits: make(map[uint64]int, len(s.visits)),
+		guards: append([]Guard(nil), s.guards...),
+		steps:  s.steps,
+	}
+	for k, v := range s.mem {
+		cp.mem[k] = v
+	}
+	for k, v := range s.visits {
+		cp.visits[k] = v
+	}
+	return cp
+}
+
+// tase explores the contract from pc 0 with the call data symbolic except
+// for the first 32 bytes, which carry the given selector. The dispatcher
+// then folds concretely and execution reaches exactly the selected
+// function's body.
+type tase struct {
+	program  *Program
+	selWord  *evm.Word // value returned for CALLDATALOAD(0), nil = symbolic
+	events   []Event
+	seen     map[string]bool
+	envSeq   int
+	paths    int
+	totSteps int
+	trunc    bool
+}
+
+// Program wraps a disassembled contract for analysis.
+type Program = evm.Program
+
+// run explores all paths and returns the deduplicated events.
+func (t *tase) run() []Event {
+	t.seen = make(map[string]bool)
+	start := &state{
+		pc:     0,
+		mem:    make(map[uint64]*Expr),
+		visits: make(map[uint64]int),
+	}
+	worklist := []*state{start}
+	for len(worklist) > 0 && t.paths < maxPathsPerFn && t.totSteps < maxTotalSteps {
+		st := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		forks := t.explore(st)
+		worklist = append(worklist, forks...)
+	}
+	if len(t.events) > 0 && (t.paths >= maxPathsPerFn || t.totSteps >= maxTotalSteps) {
+		t.trunc = true
+	}
+	return t.events
+}
+
+// explore runs one path until it ends, returning forked states.
+func (t *tase) explore(st *state) []*state {
+	t.paths++
+	for {
+		if st.steps >= maxStepsPerPath || t.totSteps >= maxTotalSteps {
+			t.trunc = true
+			return nil
+		}
+		ins, ok := t.program.At(st.pc)
+		if !ok {
+			return nil // ran off the end: STOP
+		}
+		st.steps++
+		t.totSteps++
+		fork, done := t.step(st, ins)
+		if done {
+			return fork
+		}
+	}
+}
+
+func (t *tase) fresh(label string) *Expr {
+	t.envSeq++
+	return NewEnv(label, t.envSeq)
+}
+
+// record deduplicates and stores an event.
+func (t *tase) record(ev Event) {
+	key := eventKey(ev)
+	if t.seen[key] {
+		return
+	}
+	t.seen[key] = true
+	t.events = append(t.events, ev)
+}
+
+func eventKey(ev Event) string {
+	switch ev.Kind {
+	case EvCDL:
+		return fmt.Sprintf("L|%d|%s", ev.PC, ev.Off.String())
+	case EvCDC:
+		return fmt.Sprintf("C|%d|%d|%s|%s", ev.PC, ev.Dst, ev.Src.String(), ev.Len.String())
+	default:
+		parts := make([]string, 0, len(ev.Args))
+		for _, a := range ev.Args {
+			parts = append(parts, a.String())
+		}
+		return fmt.Sprintf("O|%d|%s|%v", ev.PC, ev.Op, parts)
+	}
+}
+
+// guardsSnapshot copies the active guards for attachment to an event.
+func guardsSnapshot(st *state) []Guard {
+	return append([]Guard(nil), st.guards...)
+}
+
+// step executes one instruction. It returns (forks, true) when the path
+// ends or branches, or (nil, false) to continue.
+func (t *tase) step(st *state, ins evm.Instruction) ([]*state, bool) {
+	op := ins.Op
+	if !op.Defined() {
+		return nil, true
+	}
+	pops := op.StackPops()
+	if len(st.stack) < pops {
+		return nil, true // malformed path; abandon
+	}
+	pop := func() *Expr {
+		e := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		return e
+	}
+	push := func(e *Expr) { st.stack = append(st.stack, e) }
+	nextPC := ins.PC + 1 + uint64(len(ins.ArgBytes))
+
+	switch {
+	case op.IsPush():
+		push(NewConst(ins.Arg))
+	case op.IsDup():
+		n := int(op-evm.DUP1) + 1
+		push(st.stack[len(st.stack)-n])
+	case op.IsSwap():
+		n := int(op-evm.SWAP1) + 1
+		top := len(st.stack) - 1
+		st.stack[top], st.stack[top-n] = st.stack[top-n], st.stack[top]
+	default:
+		switch op {
+		case evm.STOP, evm.RETURN, evm.REVERT, evm.INVALID, evm.SELFDESTRUCT:
+			return nil, true
+
+		case evm.JUMP:
+			dst := pop()
+			dv, ok := dst.ConstUint()
+			if !ok || !t.program.IsJumpDest(dv) {
+				// Input-dependent jump target: stop this path (the paper's
+				// documented TASE restriction).
+				return nil, true
+			}
+			st.pc = dv
+			return nil, false
+
+		case evm.JUMPI:
+			dst := pop()
+			cond := pop()
+			dv, okDst := dst.ConstUint()
+			if !okDst || !t.program.IsJumpDest(dv) {
+				return nil, true
+			}
+			lo, hi := ins.PC, dv
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			mkGuard := func(taken bool) Guard {
+				return Guard{PC: ins.PC, Cond: cond, Taken: taken, Lo: lo, Hi: hi}
+			}
+			if cond.Conc != nil {
+				taken := !cond.Conc.IsZero()
+				st.guards = append(st.guards, mkGuard(taken))
+				if taken {
+					st.pc = dv
+				} else {
+					st.pc = nextPC
+				}
+				return nil, false
+			}
+			// Symbolic condition: fork within the visit budget.
+			st.visits[ins.PC]++
+			if st.visits[ins.PC] > maxVisitsPerJumpi {
+				// Budget hit: follow the forward branch (usually the loop
+				// exit) unless it lands in an abort block, in which case
+				// keep falling through (the branch is a range check).
+				follow := dv > ins.PC && !t.isRevertBlock(dv)
+				st.guards = append(st.guards, mkGuard(follow))
+				if follow {
+					st.pc = dv
+				} else {
+					st.pc = nextPC
+				}
+				return nil, false
+			}
+			other := st.clone()
+			st.guards = append(st.guards, mkGuard(false))
+			st.pc = nextPC
+			other.guards = append(other.guards, mkGuard(true))
+			other.pc = dv
+			// Continue the fall-through here; queue the taken branch.
+			forks := t.explore(st)
+			return append(forks, other), true
+
+		case evm.CALLDATALOAD:
+			off := pop()
+			var val *Expr
+			if v, ok := off.ConstUint(); ok && v == 0 && t.selWord != nil {
+				val = NewConst(*t.selWord)
+			} else {
+				val = NewCData(off)
+				t.record(Event{Kind: EvCDL, PC: ins.PC, Off: off, Val: val, Guards: guardsSnapshot(st)})
+			}
+			push(val)
+
+		case evm.CALLDATASIZE:
+			push(&Expr{Kind: KindCSize})
+
+		case evm.CALLDATACOPY:
+			dst, src, ln := pop(), pop(), pop()
+			if dv, ok := dst.ConstUint(); ok {
+				st.copies = append(st.copies, memCopy{dst: dv, src: src, ln: ln})
+				t.record(Event{Kind: EvCDC, PC: ins.PC, Dst: dv, Src: src, Len: ln, Guards: guardsSnapshot(st)})
+			}
+
+		case evm.MLOAD:
+			addr := pop()
+			push(t.mload(st, addr))
+
+		case evm.MSTORE:
+			addr, val := pop(), pop()
+			if av, ok := addr.ConstUint(); ok {
+				st.mem[av] = val
+			}
+
+		case evm.MSTORE8:
+			pop()
+			pop()
+
+		case evm.SLOAD:
+			pop()
+			push(t.fresh("sload"))
+
+		case evm.SSTORE:
+			pop()
+			pop()
+
+		case evm.KECCAK256:
+			pop()
+			pop()
+			push(t.fresh("sha3"))
+
+		case evm.ADDRESS, evm.ORIGIN, evm.CALLER, evm.CALLVALUE, evm.GASPRICE,
+			evm.COINBASE, evm.TIMESTAMP, evm.NUMBER, evm.PREVRANDAO,
+			evm.GASLIMIT, evm.CHAINID, evm.SELFBALANCE, evm.BASEFEE,
+			evm.MSIZE, evm.GAS, evm.RETURNDATASIZE, evm.CODESIZE:
+			push(t.fresh(op.String()))
+
+		case evm.PC:
+			push(NewConstUint(ins.PC))
+
+		case evm.JUMPDEST:
+			// no-op
+
+		case evm.POP:
+			pop()
+
+		case evm.BALANCE, evm.EXTCODESIZE, evm.EXTCODEHASH, evm.BLOCKHASH:
+			pop()
+			push(t.fresh(op.String()))
+
+		case evm.CODECOPY, evm.RETURNDATACOPY:
+			pop()
+			pop()
+			pop()
+
+		case evm.EXTCODECOPY:
+			pop()
+			pop()
+			pop()
+			pop()
+
+		case evm.CREATE, evm.CREATE2:
+			for i := 0; i < pops; i++ {
+				pop()
+			}
+			push(t.fresh("create"))
+
+		case evm.CALL, evm.CALLCODE, evm.DELEGATECALL, evm.STATICCALL:
+			for i := 0; i < pops; i++ {
+				pop()
+			}
+			push(t.fresh("callret"))
+
+		case evm.LOG0, evm.LOG0 + 1, evm.LOG0 + 2, evm.LOG0 + 3, evm.LOG4:
+			for i := 0; i < pops; i++ {
+				pop()
+			}
+
+		default:
+			// Pure computational opcode: build the application.
+			args := make([]*Expr, pops)
+			for i := 0; i < pops; i++ {
+				args[i] = pop()
+			}
+			e := NewApp(op, args...)
+			if tainted(args) {
+				t.record(Event{Kind: EvOp, PC: ins.PC, Op: op, Args: args, Guards: guardsSnapshot(st)})
+			}
+			if op.StackPushes() > 0 {
+				push(e)
+			}
+		}
+	}
+	st.pc = nextPC
+	return nil, false
+}
+
+func tainted(args []*Expr) bool {
+	for _, a := range args {
+		if a.ContainsCData() {
+			return true
+		}
+	}
+	return false
+}
+
+// isRevertBlock reports whether the code at pc immediately aborts
+// (JUMPDEST followed by a short push sequence ending in REVERT/INVALID).
+func (t *tase) isRevertBlock(pc uint64) bool {
+	idx, ok := t.program.IndexOf(pc)
+	if !ok {
+		return false
+	}
+	for i := idx; i < len(t.program.Instructions) && i < idx+6; i++ {
+		op := t.program.Instructions[i].Op
+		switch {
+		case op == evm.REVERT || op == evm.INVALID:
+			return true
+		case op == evm.JUMPDEST || op.IsPush() || op.IsDup():
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// mload resolves a memory read against word stores and copy regions.
+func (t *tase) mload(st *state, addr *Expr) *Expr {
+	if av, ok := addr.ConstUint(); ok {
+		if v, hit := st.mem[av]; hit {
+			return v
+		}
+		if cp, hit := findCopy(st.copies, av); hit {
+			off := NewApp(evm.ADD, cp.src, NewConstUint(av-cp.dst))
+			return NewCData(off)
+		}
+		return NewConst(evm.ZeroWord) // untouched memory reads zero
+	}
+	// Symbolic address: attribute via the constant component.
+	lin := Linearize(addr)
+	if base, ok := lin.Const.Uint64(); ok {
+		if cp, hit := findCopy(st.copies, base); hit {
+			delta := NewApp(evm.SUB, addr, NewConstUint(cp.dst))
+			return NewCData(NewApp(evm.ADD, cp.src, delta))
+		}
+	}
+	return t.fresh("mem")
+}
+
+// findCopy locates the most recent copy region covering the address.
+func findCopy(copies []memCopy, addr uint64) (memCopy, bool) {
+	for i := len(copies) - 1; i >= 0; i-- {
+		cp := copies[i]
+		span := uint64(memRegionSpan)
+		if lv, ok := cp.ln.ConstUint(); ok && lv > 0 && lv < span {
+			span = lv
+		}
+		if addr >= cp.dst && addr < cp.dst+span {
+			return cp, true
+		}
+	}
+	return memCopy{}, false
+}
+
+// TraceFunction symbolically executes the contract as if called with the
+// given selector and returns the observed events.
+func TraceFunction(program *Program, selector [4]byte) Trace {
+	var selWord evm.Word
+	b := make([]byte, 32)
+	copy(b, selector[:])
+	selWord = evm.WordFromBytes(b)
+	t := &tase{program: program, selWord: &selWord}
+	events := t.run()
+	return Trace{Selector: selector, Events: events, Truncated: t.trunc}
+}

@@ -1,0 +1,85 @@
+package core
+
+// This file encodes the paper's Fig. 13 -- the decision tree that organizes
+// rules R1-R31 -- as a queryable artifact. The inference engine in infer.go
+// implements the same structure operationally; the tree here is the
+// documentation-of-record that tests cross-check against the implemented
+// rule set, and that tools can print.
+
+// DecisionPath is one root-to-leaf path of the decision tree: applying the
+// listed rules in order yields the result type class.
+type DecisionPath struct {
+	// Result is the recovered type class at the leaf.
+	Result string
+	// Mode is "public", "external", or "any" (the paper colors nodes by
+	// function mode).
+	Mode string
+	// Language is "solidity" or "vyper".
+	Language string
+	// Rules are applied root-to-leaf.
+	Rules []RuleID
+}
+
+// DecisionTree returns every path of the paper's Fig. 13, extended with the
+// generalized-mask rules of §7. The engine's behaviour is tested against
+// this table: every rule must appear on some path, and every path's leaf
+// class must be constructible by the engine.
+func DecisionTree() []DecisionPath {
+	sol := func(result, mode string, rules ...RuleID) DecisionPath {
+		return DecisionPath{Result: result, Mode: mode, Language: "solidity", Rules: rules}
+	}
+	vy := func(result string, rules ...RuleID) DecisionPath {
+		return DecisionPath{Result: result, Mode: "any", Language: "vyper", Rules: rules}
+	}
+	return []DecisionPath{
+		// CALLDATALOAD-rooted paths (R1 detects the offset/num pattern).
+		sol("T[]...[] dynamic array", "external", R1, R2),
+		sol("T[N]...[N] static array", "external", R3),
+		sol("uint256 (default 32-byte value)", "any", R4),
+
+		// CALLDATACOPY-rooted paths (public copies).
+		sol("T[] one-dimensional dynamic array", "public", R1, R5, R7),
+		sol("bytes", "public", R1, R5, R8, R17),
+		sol("string", "public", R1, R5, R8),
+		sol("T[N] one-dimensional static array", "public", R6),
+		sol("T[N1]..[Nn] multi-dimensional static array", "public", R9),
+		sol("T[N1]..[] multi-dimensional dynamic array", "public", R1, R5, R10),
+
+		// Fine refinement of a 32-byte value (after R4).
+		sol("uintM", "any", R4, R11),
+		sol("bytesM", "any", R4, R12),
+		sol("intM", "any", R4, R13),
+		sol("bool", "any", R4, R14),
+		sol("int256", "any", R4, R15),
+		sol("address", "any", R4, R16),
+		sol("bytes32", "any", R4, R18),
+
+		// Structs and nested arrays.
+		sol("struct", "any", R1, R21),
+		sol("struct with nested-array member", "any", R1, R21, R19),
+		sol("nested array", "any", R1, R22),
+		sol("bytes (external, byte access)", "external", R1, R17),
+
+		// Vyper paths (after R20 recognizes the language).
+		vy("fixed-size byte array bytes[N]", R20, R1, R23, R26),
+		vy("fixed-size string string[N]", R20, R1, R23),
+		vy("fixed-size list", R20, R24),
+		vy("uint256 (default)", R20, R25),
+		vy("address", R20, R25, R27),
+		vy("int128", R20, R25, R28),
+		vy("decimal", R20, R25, R29),
+		vy("bool", R20, R25, R30),
+		vy("bytes32", R20, R25, R31),
+	}
+}
+
+// RulesCovered returns the set of rules reachable through the tree.
+func RulesCovered() map[RuleID]bool {
+	out := make(map[RuleID]bool, NumRules)
+	for _, p := range DecisionTree() {
+		for _, r := range p.Rules {
+			out[r] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// TestDecisionTreeCoversAllRules: every one of the 31 rules must appear on
+// some path of the Fig. 13 artifact.
+func TestDecisionTreeCoversAllRules(t *testing.T) {
+	covered := RulesCovered()
+	for r := RuleID(1); int(r) <= NumRules; r++ {
+		if !covered[r] {
+			t.Errorf("%s missing from the decision tree", r)
+		}
+	}
+}
+
+// TestDecisionTreeWellFormed checks structural sanity.
+func TestDecisionTreeWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for i, p := range DecisionTree() {
+		if p.Result == "" || len(p.Rules) == 0 {
+			t.Errorf("path %d incomplete: %+v", i, p)
+		}
+		switch p.Mode {
+		case "public", "external", "any":
+		default:
+			t.Errorf("path %d: bad mode %q", i, p.Mode)
+		}
+		switch p.Language {
+		case "solidity", "vyper":
+		default:
+			t.Errorf("path %d: bad language %q", i, p.Language)
+		}
+		key := p.Language + "/" + p.Mode + "/" + p.Result
+		if seen[key] {
+			t.Errorf("duplicate path %q", key)
+		}
+		seen[key] = true
+		for _, r := range p.Rules {
+			if int(r) < 1 || int(r) > NumRules {
+				t.Errorf("path %d: rule %d out of range", i, int(r))
+			}
+		}
+	}
+	// Vyper paths must all start with the language-detection rule.
+	for _, p := range DecisionTree() {
+		if p.Language == "vyper" && p.Rules[0] != R20 {
+			t.Errorf("vyper path %q must start with R20", p.Result)
+		}
+	}
+}

@@ -1,0 +1,517 @@
+// Package corpus generates labeled contract corpora: random function
+// signatures with realistic type distributions, compiled by the miniature
+// Solidity/Vyper compilers under randomly drawn versions, optimization
+// levels, and body usage plans.
+//
+// It is the substitution for the paper's Etherscan datasets (DESIGN.md §4):
+// ground truth comes from the generated declaration, and recovery accuracy
+// below 100% emerges from the same causes the paper reports (bodies that
+// leave insufficient clues, type conversions, flattened static structs,
+// optimized constant-index accesses).
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/solc"
+	"sigrec/internal/vyperc"
+)
+
+// Language labels the source compiler of an entry.
+type Language int
+
+// Corpus languages.
+const (
+	Solidity Language = iota + 1
+	Vyper
+)
+
+// String implements fmt.Stringer.
+func (l Language) String() string {
+	if l == Vyper {
+		return "vyper"
+	}
+	return "solidity"
+}
+
+// Entry is one labeled function: the declared signature (ground truth), the
+// contract bytecode implementing it, and the generation metadata.
+type Entry struct {
+	// Sig is the declared signature: the ground truth for accuracy.
+	Sig abi.Signature
+	// Code is the runtime bytecode of the (single-function) contract.
+	Code []byte
+	// Language, Version, Optimized and Mode describe how it was compiled.
+	Language  Language
+	Version   string
+	Optimized bool
+	Mode      solc.Mode
+	// Flaw explains why recovery may legitimately fail ("" = clue-rich).
+	Flaw string
+}
+
+// Config controls generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Solidity and Vyper are the number of functions per language.
+	Solidity int
+	Vyper    int
+	// AmbiguityRate is the probability that a parameter's body usage drops
+	// the clue SigRec needs (the paper's case 5); applied only to
+	// ambiguity-prone types.
+	AmbiguityRate float64
+	// ConversionRate is the probability a body accesses a parameter as a
+	// converted narrower type (the paper's case 2).
+	ConversionRate float64
+	// AsmReadRate is the probability a function body reads undeclared
+	// call-data values through inline assembly (the paper's case 1).
+	AsmReadRate float64
+	// StorageRefRate is the probability a reference-typed parameter is a
+	// storage pointer, read as a slot key (the paper's case 4).
+	StorageRefRate float64
+	// MaxParams bounds the parameter count per function.
+	MaxParams int
+}
+
+// DefaultConfig mirrors the corpus proportions used by the experiments.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		Solidity:       2000,
+		Vyper:          150,
+		AmbiguityRate:  0.035,
+		ConversionRate: 0.004,
+		AsmReadRate:    0.004,
+		StorageRefRate: 0.005,
+		MaxParams:      4,
+	}
+}
+
+// Corpus is a generated set of labeled entries.
+type Corpus struct {
+	Entries []Entry
+}
+
+// Generate builds a corpus.
+func Generate(cfg Config) (*Corpus, error) {
+	if cfg.MaxParams <= 0 {
+		cfg.MaxParams = 4
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: cfg, r: r}
+	c := &Corpus{Entries: make([]Entry, 0, cfg.Solidity+cfg.Vyper)}
+	for i := 0; i < cfg.Solidity; i++ {
+		e, err := g.solidityEntry(i)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: solidity entry %d: %w", i, err)
+		}
+		c.Entries = append(c.Entries, e)
+	}
+	for i := 0; i < cfg.Vyper; i++ {
+		e, err := g.vyperEntry(i)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: vyper entry %d: %w", i, err)
+		}
+		c.Entries = append(c.Entries, e)
+	}
+	return c, nil
+}
+
+type generator struct {
+	cfg Config
+	r   *rand.Rand
+}
+
+// --- name generation ---
+
+var nameStems = []string{
+	"transfer", "approve", "mint", "burn", "stake", "claim", "deposit",
+	"withdraw", "swap", "vote", "register", "update", "set", "get",
+	"execute", "cancel", "pause", "configure", "delegate", "settle",
+}
+
+func (g *generator) funcName(i int) string {
+	stem := nameStems[g.r.Intn(len(nameStems))]
+	return fmt.Sprintf("%s%c%d", stem, 'A'+rune(g.r.Intn(26)), i)
+}
+
+// randomLetters builds the synthesized-dataset names (5 random letters).
+func randomLetters(r *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+// --- Solidity type distribution ---
+
+// solType draws a parameter type with an Etherscan-like distribution:
+// addresses and uint256 dominate, dynamic types are common, structs and
+// nested arrays are rare (0.5% in the paper's dataset 3).
+func (g *generator) solType(allowV2 bool) abi.Type {
+	roll := g.r.Float64()
+	switch {
+	case roll < 0.28:
+		return abi.Address()
+	case roll < 0.56:
+		return abi.Uint(256)
+	case roll < 0.63:
+		return abi.Uint(8 * (1 + g.r.Intn(31))) // uint8..uint248
+	case roll < 0.68:
+		return abi.Bool()
+	case roll < 0.72:
+		return abi.FixedBytes(32)
+	case roll < 0.74:
+		return abi.FixedBytes(1 + g.r.Intn(31))
+	case roll < 0.77:
+		if g.r.Intn(2) == 0 {
+			return abi.Int(256)
+		}
+		return abi.Int(8 * (1 + g.r.Intn(31)))
+	case roll < 0.83:
+		return abi.String_()
+	case roll < 0.87:
+		return abi.Bytes()
+	case roll < 0.93:
+		return abi.SliceOf(g.solBasic())
+	case roll < 0.955:
+		return abi.ArrayOf(g.solBasic(), 2+g.r.Intn(4))
+	case roll < 0.975:
+		// Multi-dimensional.
+		inner := abi.ArrayOf(g.solBasic(), 2+g.r.Intn(3))
+		if g.r.Intn(2) == 0 {
+			return abi.SliceOf(inner)
+		}
+		return abi.ArrayOf(inner, 2+g.r.Intn(3))
+	case roll < 0.985 && allowV2:
+		// Nested array.
+		if g.r.Intn(2) == 0 {
+			return abi.SliceOf(abi.SliceOf(g.solBasic()))
+		}
+		return abi.ArrayOf(abi.SliceOf(g.solBasic()), 2+g.r.Intn(3))
+	case allowV2:
+		// Struct; mostly dynamic, some static (static ones flatten), and
+		// occasionally a nested-array member (rule R19's case).
+		switch g.r.Intn(4) {
+		case 0:
+			return abi.TupleOf(g.solBasic(), g.solBasic())
+		case 1:
+			return abi.TupleOf(abi.SliceOf(abi.SliceOf(g.solBasic())), g.solBasic())
+		default:
+			return abi.TupleOf(abi.SliceOf(g.solBasic()), g.solBasic())
+		}
+	default:
+		return abi.Uint(256)
+	}
+}
+
+func (g *generator) solBasic() abi.Type {
+	switch g.r.Intn(6) {
+	case 0:
+		return abi.Address()
+	case 1:
+		return abi.Uint(8 * (1 + g.r.Intn(31)))
+	case 2:
+		return abi.Bool()
+	case 3:
+		return abi.Int(8 * (1 + g.r.Intn(32)))
+	default:
+		return abi.Uint(256)
+	}
+}
+
+// --- usage plans and flaws ---
+
+// planWithFlaws derives the usage plan, possibly dropping clues.
+func (g *generator) planWithFlaws(sig abi.Signature, optimize bool) ([]solc.Usage, string) {
+	plan := make([]solc.Usage, len(sig.Inputs))
+	flaw := ""
+	for i, t := range sig.Inputs {
+		u := solc.DefaultUsage(t)
+		if g.r.Float64() < g.cfg.AmbiguityRate {
+			switch {
+			case t.Kind == abi.KindBytes:
+				u.ByteAccess = false
+				flaw = "bytes without byte access"
+			case t.Kind == abi.KindFixedBytes && t.Size == 32:
+				u.ByteAccess = false
+				flaw = "bytes32 without byte access"
+			case t.Kind == abi.KindInt && t.Bits == 256:
+				u.SignedOp = false
+				flaw = "int256 without signed op"
+			case t.Kind == abi.KindUint && t.Bits == 160:
+				u.Math = false
+				flaw = "uint160 without arithmetic"
+			case t.Kind == abi.KindArray && !t.IsDynamic() && optimize:
+				u.ConstIndex = true
+				flaw = "optimized constant-index static array"
+			}
+		}
+		plan[i] = u
+	}
+	for _, t := range sig.Inputs {
+		if t.Kind == abi.KindTuple && !t.IsDynamic() {
+			flaw = "static struct flattens"
+		}
+	}
+	return plan, flaw
+}
+
+// maybeConvert applies the paper's case-2 flaw: the body accesses the value
+// as a narrower converted type. The returned signature is what the body is
+// compiled against; the declared one stays the ground truth.
+func (g *generator) maybeConvert(sig abi.Signature) (abi.Signature, string) {
+	if g.r.Float64() >= g.cfg.ConversionRate {
+		return sig, ""
+	}
+	body := sig
+	body.Inputs = append([]abi.Type(nil), sig.Inputs...)
+	for i, t := range body.Inputs {
+		if t.Kind == abi.KindUint && t.Bits == 256 {
+			body.Inputs[i] = abi.Uint(8)
+			return body, "uint256 accessed as uint8 (type conversion)"
+		}
+	}
+	return sig, ""
+}
+
+// --- entries ---
+
+func (g *generator) solidityEntry(i int) (Entry, error) {
+	versions := solc.Versions()
+	v := versions[g.r.Intn(len(versions))]
+	optimize := g.r.Intn(2) == 0
+	n := g.r.Intn(g.cfg.MaxParams + 1)
+	sig := abi.Signature{Name: g.funcName(i)}
+	for p := 0; p < n; p++ {
+		sig.Inputs = append(sig.Inputs, g.solType(v.ABIEncoderV2))
+	}
+	mode := solc.Public
+	if g.r.Intn(2) == 0 {
+		mode = solc.External
+	}
+	bodySig, convFlaw := g.maybeConvert(sig)
+	plan, flaw := g.planWithFlaws(bodySig, optimize)
+	if convFlaw != "" {
+		flaw = convFlaw
+	}
+	fn := solc.Function{
+		Sig:  abi.Signature{Name: sig.Name, Inputs: bodySig.Inputs},
+		Mode: mode,
+		Plan: plan,
+	}
+	// Paper case 1: inline-assembly reads of undeclared values.
+	if g.r.Float64() < g.cfg.AsmReadRate {
+		fn.AsmReads = 1 + g.r.Intn(2)
+		flaw = "inline assembly reads undeclared values"
+	}
+	// Paper case 4: a reference-typed parameter with the storage modifier.
+	if g.r.Float64() < g.cfg.StorageRefRate {
+		for i, t := range bodySig.Inputs {
+			if t.IsDynamic() || t.Kind == abi.KindArray {
+				refs := make([]bool, len(bodySig.Inputs))
+				refs[i] = true
+				fn.StorageRef = refs
+				flaw = "storage-modifier parameter read as slot reference"
+				break
+			}
+		}
+	}
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{fn}}, solc.Config{Version: v, Optimize: optimize})
+	if err != nil {
+		return Entry{}, err
+	}
+	// The dispatcher must answer to the *declared* selector: patch the
+	// compiled selector constant when a conversion changed the type list.
+	if convFlaw != "" {
+		code = patchSelector(code, bodySig.Selector(), sig.Selector())
+	}
+	return Entry{
+		Sig:       sig,
+		Code:      code,
+		Language:  Solidity,
+		Version:   v.Name,
+		Optimized: optimize,
+		Mode:      mode,
+		Flaw:      flaw,
+	}, nil
+}
+
+func (g *generator) vyperEntry(i int) (Entry, error) {
+	versions := vyperc.Versions()
+	v := versions[g.r.Intn(len(versions))]
+	n := 1 + g.r.Intn(3)
+	sig := abi.Signature{Name: g.funcName(i)}
+	for p := 0; p < n; p++ {
+		sig.Inputs = append(sig.Inputs, g.vyType())
+	}
+	plan := make([]vyperc.Usage, len(sig.Inputs))
+	flaw := ""
+	for p, t := range sig.Inputs {
+		u := vyperc.DefaultUsage(t)
+		if g.r.Float64() < g.cfg.AmbiguityRate {
+			switch t.Kind {
+			case abi.KindFixedBytes:
+				u.ByteAccess = false
+				flaw = "bytes32 without byte access"
+			case abi.KindBoundedBytes:
+				u.ByteAccess = false
+				flaw = "bytes[n] without byte access"
+			}
+		}
+		plan[p] = u
+	}
+	for _, t := range sig.Inputs {
+		if t.Kind == abi.KindTuple {
+			flaw = "static struct flattens"
+		}
+	}
+	code, err := vyperc.Compile(vyperc.Contract{Functions: []vyperc.Function{{
+		Sig:  sig,
+		Plan: plan,
+	}}}, vyperc.Config{Version: v})
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{
+		Sig:      sig,
+		Code:     code,
+		Language: Vyper,
+		Version:  v.Name,
+		Mode:     solc.External,
+		Flaw:     flaw,
+	}, nil
+}
+
+// vyType draws from Vyper's type system.
+func (g *generator) vyType() abi.Type {
+	roll := g.r.Float64()
+	switch {
+	case roll < 0.30:
+		return abi.Uint(256)
+	case roll < 0.50:
+		return abi.Address()
+	case roll < 0.60:
+		return abi.Bool()
+	case roll < 0.70:
+		return abi.Int(128)
+	case roll < 0.76:
+		return abi.Decimal()
+	case roll < 0.82:
+		return abi.FixedBytes(32)
+	case roll < 0.90:
+		return abi.ArrayOf(g.vyBasic(), 2+g.r.Intn(4))
+	case roll < 0.95:
+		return abi.BoundedBytes(32 * (1 + g.r.Intn(3)))
+	case roll < 0.99:
+		return abi.BoundedString(32 * (1 + g.r.Intn(3)))
+	default:
+		return abi.TupleOf(abi.Uint(256), abi.Uint(256))
+	}
+}
+
+func (g *generator) vyBasic() abi.Type {
+	switch g.r.Intn(4) {
+	case 0:
+		return abi.Address()
+	case 1:
+		return abi.Bool()
+	case 2:
+		return abi.Int(128)
+	default:
+		return abi.Uint(256)
+	}
+}
+
+// patchSelector rewrites the PUSH4 dispatcher constant.
+func patchSelector(code []byte, from, to abi.Selector) []byte {
+	out := append([]byte(nil), code...)
+	for i := 0; i+5 <= len(out); i++ {
+		if out[i] == 0x63 && // PUSH4
+			out[i+1] == from[0] && out[i+2] == from[1] &&
+			out[i+3] == from[2] && out[i+4] == from[3] {
+			copy(out[i+1:i+5], to[:])
+			return out
+		}
+	}
+	return out
+}
+
+// GenerateSynthesized reproduces the paper's dataset 2: 1,000 functions
+// with 5-random-letter names, 1-5 parameters each, arrays of at most 3
+// dimensions and 5 items per dimension, grouped into 100 contracts of 10
+// functions, compiled by one compiler version with 50% optimization.
+func GenerateSynthesized(seed int64) ([]Entry, error) {
+	r := rand.New(rand.NewSource(seed))
+	g := &generator{cfg: Config{AmbiguityRate: 0, MaxParams: 5}, r: r}
+	version := solc.DefaultVersion()
+	version.Name = "0.5.5"
+	var entries []Entry
+	for contract := 0; contract < 100; contract++ {
+		optimize := r.Intn(2) == 0
+		var fns []solc.Function
+		var sigs []abi.Signature
+		for k := 0; k < 10; k++ {
+			sig := abi.Signature{Name: randomLetters(r, 5) + fmt.Sprintf("%d", contract*10+k)}
+			n := 1 + r.Intn(5)
+			for p := 0; p < n; p++ {
+				sig.Inputs = append(sig.Inputs, g.synthType())
+			}
+			mode := solc.Public
+			if r.Intn(2) == 0 {
+				mode = solc.External
+			}
+			fns = append(fns, solc.Function{Sig: sig, Mode: mode})
+			sigs = append(sigs, sig)
+		}
+		code, err := solc.Compile(solc.Contract{Functions: fns}, solc.Config{Version: version, Optimize: optimize})
+		if err != nil {
+			return nil, fmt.Errorf("corpus: synthesized contract %d: %w", contract, err)
+		}
+		for k, sig := range sigs {
+			entries = append(entries, Entry{
+				Sig:       sig,
+				Code:      code,
+				Language:  Solidity,
+				Version:   version.Name,
+				Optimized: optimize,
+				Mode:      fns[k].Mode,
+			})
+		}
+	}
+	return entries, nil
+}
+
+// synthType draws the synthesized-dataset parameter types: every basic type
+// plus arrays up to 3 dimensions with at most 5 items each.
+func (g *generator) synthType() abi.Type {
+	roll := g.r.Float64()
+	switch {
+	case roll < 0.55:
+		return g.solBasic()
+	case roll < 0.65:
+		return abi.FixedBytes(1 + g.r.Intn(32))
+	case roll < 0.72:
+		return abi.String_()
+	case roll < 0.79:
+		return abi.Bytes()
+	case roll < 0.89:
+		return abi.SliceOf(g.solBasic())
+	case roll < 0.96:
+		return abi.ArrayOf(g.solBasic(), 2+g.r.Intn(4))
+	default:
+		dims := 2 + g.r.Intn(2) // 2 or 3 dimensions
+		t := g.solBasic()
+		for d := 0; d < dims-1; d++ {
+			t = abi.ArrayOf(t, 2+g.r.Intn(4))
+		}
+		if g.r.Intn(2) == 0 {
+			return abi.SliceOf(t)
+		}
+		return abi.ArrayOf(t, 2+g.r.Intn(4))
+	}
+}

@@ -1,0 +1,263 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/core"
+	"sigrec/internal/evm"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Solidity: 30, Vyper: 10, AmbiguityRate: 0.05}
+	c1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Entries) != 40 || len(c2.Entries) != 40 {
+		t.Fatalf("entry counts: %d, %d", len(c1.Entries), len(c2.Entries))
+	}
+	for i := range c1.Entries {
+		if c1.Entries[i].Sig.Canonical() != c2.Entries[i].Sig.Canonical() {
+			t.Fatalf("entry %d differs between runs", i)
+		}
+		if string(c1.Entries[i].Code) != string(c2.Entries[i].Code) {
+			t.Fatalf("entry %d bytecode differs between runs", i)
+		}
+	}
+}
+
+func TestGeneratedEntriesValid(t *testing.T) {
+	c, err := Generate(Config{Seed: 11, Solidity: 60, Vyper: 20, AmbiguityRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range c.Entries {
+		if err := e.Sig.Validate(); err != nil {
+			t.Errorf("entry %d: invalid signature: %v", i, err)
+		}
+		if len(e.Code) == 0 {
+			t.Errorf("entry %d: empty bytecode", i)
+		}
+		if e.Version == "" {
+			t.Errorf("entry %d: missing version", i)
+		}
+	}
+}
+
+// TestCorpusRecoveryAccuracy is the integration check: SigRec's accuracy on
+// a clue-rich corpus must be high, and each flawed entry must fail in the
+// expected direction.
+func TestCorpusRecoveryAccuracy(t *testing.T) {
+	c, err := Generate(Config{Seed: 3, Solidity: 150, Vyper: 40, AmbiguityRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, flawedWrong, cleanWrong := 0, 0, 0
+	for _, e := range c.Entries {
+		rec, _ := core.RecoverFunction(e.Code, e.Sig.Selector())
+		got := abi.Signature{Name: e.Sig.Name, Inputs: rec.Inputs}
+		if got.EqualTypes(e.Sig) {
+			correct++
+			continue
+		}
+		if e.Flaw != "" {
+			flawedWrong++
+			continue
+		}
+		cleanWrong++
+		if cleanWrong <= 5 {
+			t.Logf("clean miss: %s (%s %s opt=%v %s) -> %s",
+				e.Sig.Canonical(), e.Language, e.Version, e.Optimized, e.Mode, got.TypeList())
+		}
+	}
+	if cleanWrong > 0 {
+		t.Errorf("%d clue-rich entries recovered wrongly (correct=%d flawed=%d)",
+			cleanWrong, correct, flawedWrong)
+	}
+	if correct == 0 {
+		t.Fatal("nothing recovered")
+	}
+}
+
+func TestSynthesizedDataset(t *testing.T) {
+	entries, err := GenerateSynthesized(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1000 {
+		t.Fatalf("want 1000 synthesized functions, got %d", len(entries))
+	}
+	for i, e := range entries {
+		if n := len(e.Sig.Inputs); n < 1 || n > 5 {
+			t.Errorf("entry %d: %d params", i, n)
+		}
+		if len(e.Sig.Name) < 5 {
+			t.Errorf("entry %d: name %q", i, e.Sig.Name)
+		}
+	}
+	// 10 functions share each contract's bytecode.
+	if string(entries[0].Code) != string(entries[9].Code) {
+		t.Error("functions 0-9 should share one contract")
+	}
+	if string(entries[0].Code) == string(entries[10].Code) {
+		t.Error("contracts 0 and 1 should differ")
+	}
+}
+
+// TestFlawedEntriesFailAsDocumented checks that each injected flaw class
+// produces the failure the paper describes.
+func TestFlawedEntriesFailAsDocumented(t *testing.T) {
+	cfg := Config{
+		Seed: 77, Solidity: 400, Vyper: 0,
+		AmbiguityRate:  0.5, // force plenty of flaws
+		ConversionRate: 0.05,
+		AsmReadRate:    0.05,
+		StorageRefRate: 0.10,
+	}
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flawKinds := make(map[string]int)
+	flawWrong := make(map[string]int)
+	for _, e := range c.Entries {
+		if e.Flaw == "" {
+			continue
+		}
+		flawKinds[e.Flaw]++
+		rec, _ := core.RecoverFunction(e.Code, e.Sig.Selector())
+		got := abi.Signature{Name: e.Sig.Name, Inputs: rec.Inputs}
+		if !got.EqualTypes(e.Sig) {
+			flawWrong[e.Flaw]++
+		}
+	}
+	for _, kind := range []string{
+		"inline assembly reads undeclared values",
+		"storage-modifier parameter read as slot reference",
+		"uint256 accessed as uint8 (type conversion)",
+	} {
+		if flawKinds[kind] == 0 {
+			t.Errorf("flaw %q never generated", kind)
+			continue
+		}
+		if flawWrong[kind] == 0 {
+			t.Errorf("flaw %q (%d entries) never caused a recovery error", kind, flawKinds[kind])
+		}
+	}
+}
+
+func TestGenerateDeployed(t *testing.T) {
+	dcs, err := GenerateDeployed(DeployedConfig{Seed: 5, Contracts: 12, MinFuncs: 2, MaxFuncs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dcs) != 12 {
+		t.Fatalf("%d contracts", len(dcs))
+	}
+	for i, dc := range dcs {
+		if len(dc.Functions) < 2 || len(dc.Functions) > 4 {
+			t.Errorf("contract %d has %d functions", i, len(dc.Functions))
+		}
+		res, err := core.Recover(dc.Code)
+		if err != nil {
+			t.Fatalf("contract %d: %v", i, err)
+		}
+		if len(res.Functions) != len(dc.Functions) {
+			t.Errorf("contract %d: recovered %d of %d functions",
+				i, len(res.Functions), len(dc.Functions))
+		}
+		for k, sig := range dc.Functions {
+			if k < len(res.Functions) && res.Functions[k].Selector != sig.Selector() {
+				t.Errorf("contract %d fn %d: selector mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c, err := Generate(Config{Seed: 8, Solidity: 25, Vyper: 8, AmbiguityRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, c.Entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(c.Entries) {
+		t.Fatalf("%d entries back, want %d", len(back), len(c.Entries))
+	}
+	for i := range back {
+		if back[i].Sig.Canonical() != c.Entries[i].Sig.Canonical() {
+			t.Errorf("entry %d signature differs", i)
+		}
+		if !bytes.Equal(back[i].Code, c.Entries[i].Code) {
+			t.Errorf("entry %d bytecode differs", i)
+		}
+		if back[i].Language != c.Entries[i].Language || back[i].Mode != c.Entries[i].Mode {
+			t.Errorf("entry %d metadata differs", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsTampered(t *testing.T) {
+	bad := `[{"signature":"f(uint256)","selector":"0xdeadbeef","language":"solidity","mode":"external","bytecode":"0x00"}]`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("selector mismatch accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader("junk")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestJSONPreservesVyperTypes(t *testing.T) {
+	sig := abi.Signature{Name: "f", Inputs: []abi.Type{
+		abi.BoundedBytes(64), abi.Decimal(), abi.BoundedString(32),
+	}}
+	in := []Entry{{Sig: sig, Code: []byte{0x00}, Language: Vyper, Version: "0.2.8"}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back[0].Sig.EqualTypes(sig) {
+		t.Errorf("Vyper type structure lost: %s vs %s",
+			back[0].Sig.DisplayString(), sig.DisplayString())
+	}
+}
+
+// TestGeneratedCodeStackDisciplined: every compiled corpus contract must
+// pass the static stack-depth validator (codegen safety net).
+func TestGeneratedCodeStackDisciplined(t *testing.T) {
+	c, err := Generate(Config{Seed: 19, Solidity: 120, Vyper: 30, AmbiguityRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range c.Entries {
+		if err := evm.Disassemble(e.Code).ValidateStackDepth(); err != nil {
+			t.Errorf("entry %d (%s %s): %v", i, e.Language, e.Sig.Canonical(), err)
+		}
+	}
+	synth, err := GenerateSynthesized(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(synth); i += 10 { // one per contract
+		if err := evm.Disassemble(synth[i].Code).ValidateStackDepth(); err != nil {
+			t.Errorf("synthesized contract %d: %v", i/10, err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/solc"
+)
+
+// DeployedContract groups several functions behind one dispatcher, like a
+// real deployed contract (the per-entry corpus compiles one function per
+// contract for per-function labeling; applications that work per contract
+// -- reverse engineering, auditing -- use this form).
+type DeployedContract struct {
+	// Code is the runtime bytecode.
+	Code []byte
+	// Functions are the declared signatures, dispatcher order.
+	Functions []abi.Signature
+	// Version and Optimized describe the compilation.
+	Version   string
+	Optimized bool
+}
+
+// DeployedConfig controls multi-function generation.
+type DeployedConfig struct {
+	Seed      int64
+	Contracts int
+	// MinFuncs and MaxFuncs bound the functions per contract.
+	MinFuncs, MaxFuncs int
+	// MaxParams bounds parameters per function.
+	MaxParams int
+}
+
+// GenerateDeployed builds multi-function contracts with clue-rich bodies.
+func GenerateDeployed(cfg DeployedConfig) ([]DeployedContract, error) {
+	if cfg.MinFuncs <= 0 {
+		cfg.MinFuncs = 2
+	}
+	if cfg.MaxFuncs < cfg.MinFuncs {
+		cfg.MaxFuncs = cfg.MinFuncs + 3
+	}
+	if cfg.MaxParams <= 0 {
+		cfg.MaxParams = 4
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: Config{MaxParams: cfg.MaxParams}, r: r}
+	versions := solc.Versions()
+	out := make([]DeployedContract, 0, cfg.Contracts)
+	for ci := 0; ci < cfg.Contracts; ci++ {
+		v := versions[r.Intn(len(versions))]
+		optimize := r.Intn(2) == 0
+		n := cfg.MinFuncs + r.Intn(cfg.MaxFuncs-cfg.MinFuncs+1)
+		var fns []solc.Function
+		var sigs []abi.Signature
+		for k := 0; k < n; k++ {
+			sig := abi.Signature{Name: g.funcName(ci*100 + k)}
+			params := 1 + r.Intn(cfg.MaxParams)
+			for p := 0; p < params; p++ {
+				sig.Inputs = append(sig.Inputs, g.solType(v.ABIEncoderV2))
+			}
+			mode := solc.Public
+			if r.Intn(2) == 0 {
+				mode = solc.External
+			}
+			fns = append(fns, solc.Function{Sig: sig, Mode: mode})
+			sigs = append(sigs, sig)
+		}
+		code, err := solc.Compile(solc.Contract{Functions: fns},
+			solc.Config{Version: v, Optimize: optimize})
+		if err != nil {
+			return nil, fmt.Errorf("corpus: deployed contract %d: %w", ci, err)
+		}
+		out = append(out, DeployedContract{
+			Code:      code,
+			Functions: sigs,
+			Version:   v.Name,
+			Optimized: optimize,
+		})
+	}
+	return out, nil
+}

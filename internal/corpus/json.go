@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/solc"
+)
+
+// jsonEntry is the interchange form of one labeled function (the format
+// cmd/corpusgen emits and external datasets can adopt).
+type jsonEntry struct {
+	Signature string `json:"signature"`
+	// Declared carries the source-level spelling when it differs from the
+	// canonical form (Vyper bounded types, decimal); readers prefer it so
+	// type structure survives the round trip.
+	Declared  string `json:"declared,omitempty"`
+	Selector  string `json:"selector"`
+	Language  string `json:"language"`
+	Version   string `json:"version"`
+	Optimized bool   `json:"optimized"`
+	Mode      string `json:"mode"`
+	Flaw      string `json:"flaw,omitempty"`
+	Bytecode  string `json:"bytecode"`
+}
+
+// WriteJSON serializes entries in the interchange format.
+func WriteJSON(w io.Writer, entries []Entry) error {
+	out := make([]jsonEntry, 0, len(entries))
+	for _, e := range entries {
+		sel := e.Sig.Selector()
+		declared := ""
+		if d := e.Sig.DisplayString(); d != e.Sig.Canonical() {
+			declared = d
+		}
+		out = append(out, jsonEntry{
+			Signature: e.Sig.Canonical(),
+			Declared:  declared,
+			Selector:  sel.Hex(),
+			Language:  e.Language.String(),
+			Version:   e.Version,
+			Optimized: e.Optimized,
+			Mode:      e.Mode.String(),
+			Flaw:      e.Flaw,
+			Bytecode:  "0x" + hex.EncodeToString(e.Code),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON loads entries from the interchange format, validating each
+// signature and selector.
+func ReadJSON(r io.Reader) ([]Entry, error) {
+	var raw []jsonEntry
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("corpus: decode: %w", err)
+	}
+	out := make([]Entry, 0, len(raw))
+	for i, je := range raw {
+		src := je.Signature
+		if je.Declared != "" {
+			src = je.Declared
+		}
+		sig, err := abi.ParseSignature(src)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: entry %d: %w", i, err)
+		}
+		if got := sig.Selector().Hex(); got != je.Selector {
+			return nil, fmt.Errorf("corpus: entry %d: selector %s does not match signature (%s)",
+				i, je.Selector, got)
+		}
+		code, err := hex.DecodeString(trimHexPrefix(je.Bytecode))
+		if err != nil {
+			return nil, fmt.Errorf("corpus: entry %d: bytecode: %w", i, err)
+		}
+		lang := Solidity
+		if je.Language == "vyper" {
+			lang = Vyper
+		}
+		mode := solc.External
+		if je.Mode == "public" {
+			mode = solc.Public
+		}
+		out = append(out, Entry{
+			Sig:       sig,
+			Code:      code,
+			Language:  lang,
+			Version:   je.Version,
+			Optimized: je.Optimized,
+			Mode:      mode,
+			Flaw:      je.Flaw,
+		})
+	}
+	return out, nil
+}
+
+func trimHexPrefix(s string) string {
+	if len(s) >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		return s[2:]
+	}
+	return s
+}

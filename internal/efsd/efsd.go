@@ -1,0 +1,72 @@
+// Package efsd simulates the Ethereum Function Signature Database that the
+// baseline tools (OSD, EBD, JEB, Eveem, Gigahorse) query by function id.
+//
+// The real EFSD is a crowd-sourced mapping from 4-byte ids to textual
+// signatures with partial coverage (the paper measures that over 49% of
+// open-source function signatures are missing from it). The simulation
+// exposes exactly that behaviour through a coverage knob.
+package efsd
+
+import (
+	"math/rand"
+	"sync"
+
+	"sigrec/internal/abi"
+)
+
+// DB is a selector-to-signature database. It is safe for concurrent reads
+// after Build.
+type DB struct {
+	mu      sync.RWMutex
+	entries map[abi.Selector]string
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{entries: make(map[abi.Selector]string)}
+}
+
+// Add registers a signature under its selector.
+func (db *DB) Add(sig abi.Signature) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.entries[sig.Selector()] = sig.Canonical()
+}
+
+// AddCanonical registers a pre-rendered canonical signature string.
+func (db *DB) AddCanonical(canonical string) error {
+	sig, err := abi.ParseSignature(canonical)
+	if err != nil {
+		return err
+	}
+	db.Add(sig)
+	return nil
+}
+
+// Lookup returns the canonical signature for a selector.
+func (db *DB) Lookup(sel abi.Selector) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.entries[sel]
+	return s, ok
+}
+
+// Len returns the number of entries.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Build populates a database with a random fraction of the given
+// signatures, modeling EFSD's partial coverage.
+func Build(sigs []abi.Signature, coverage float64, seed int64) *DB {
+	r := rand.New(rand.NewSource(seed))
+	db := New()
+	for _, s := range sigs {
+		if r.Float64() < coverage {
+			db.Add(s)
+		}
+	}
+	return db
+}

@@ -1,0 +1,110 @@
+package efsd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sigrec/internal/abi"
+)
+
+func TestAddLookup(t *testing.T) {
+	db := New()
+	sig, _ := abi.ParseSignature("transfer(address,uint256)")
+	db.Add(sig)
+	got, ok := db.Lookup(sig.Selector())
+	if !ok || got != "transfer(address,uint256)" {
+		t.Errorf("lookup: %q %v", got, ok)
+	}
+	var missing abi.Selector
+	if _, ok := db.Lookup(missing); ok {
+		t.Error("zero selector should miss")
+	}
+	if db.Len() != 1 {
+		t.Errorf("len = %d", db.Len())
+	}
+}
+
+func TestAddCanonical(t *testing.T) {
+	db := New()
+	if err := db.AddCanonical("balanceOf(address)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddCanonical("not a signature"); err == nil {
+		t.Error("malformed canonical must fail")
+	}
+	if db.Len() != 1 {
+		t.Errorf("len = %d", db.Len())
+	}
+}
+
+func TestBuildCoverage(t *testing.T) {
+	var sigs []abi.Signature
+	for _, s := range []string{
+		"a(uint256)", "b(uint256)", "c(uint256)", "d(uint256)", "e(uint256)",
+		"f(uint256)", "g(uint256)", "h(uint256)", "i(uint256)", "j(uint256)",
+	} {
+		sig, _ := abi.ParseSignature(s)
+		sigs = append(sigs, sig)
+	}
+	full := Build(sigs, 1.0, 1)
+	if full.Len() != len(sigs) {
+		t.Errorf("full coverage: %d", full.Len())
+	}
+	none := Build(sigs, 0.0, 1)
+	if none.Len() != 0 {
+		t.Errorf("zero coverage: %d", none.Len())
+	}
+	half := Build(sigs, 0.5, 1)
+	if half.Len() == 0 || half.Len() == len(sigs) {
+		t.Errorf("half coverage: %d", half.Len())
+	}
+	// Deterministic for a seed.
+	if Build(sigs, 0.5, 1).Len() != half.Len() {
+		t.Error("Build must be deterministic per seed")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New()
+	for _, s := range []string{
+		"transfer(address,uint256)", "approve(address,uint256)", "mint(uint8[])",
+	} {
+		if err := db.AddCanonical(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, buf.String())
+	}
+	if back.Len() != db.Len() {
+		t.Errorf("len %d vs %d", back.Len(), db.Len())
+	}
+	sig, _ := abi.ParseSignature("transfer(address,uint256)")
+	got, ok := back.Lookup(sig.Selector())
+	if !ok || got != "transfer(address,uint256)" {
+		t.Errorf("lookup after load: %q %v", got, ok)
+	}
+}
+
+func TestLoadRejectsPoisoned(t *testing.T) {
+	// A selector claiming the wrong signature must be rejected.
+	poisoned := `{"0xdeadbeef": "transfer(address,uint256)"}`
+	if _, err := Load(strings.NewReader(poisoned)); err == nil {
+		t.Error("poisoned database accepted")
+	}
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"0xzz": "f()"}`)); err == nil {
+		t.Error("bad selector hex accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"0x12345678": "not a signature"}`)); err == nil {
+		t.Error("bad signature accepted")
+	}
+}

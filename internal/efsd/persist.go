@@ -1,0 +1,94 @@
+package efsd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"sigrec/internal/abi"
+)
+
+// fileFormat is the on-disk JSON shape: selector hex -> canonical
+// signature, matching the export format of public signature databases.
+type fileFormat map[string]string
+
+// Save writes the database as JSON (selectors sorted for stable diffs).
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	out := make(fileFormat, len(db.entries))
+	for sel, sig := range db.entries {
+		out[sel.Hex()] = sig
+	}
+	db.mu.RUnlock()
+
+	keys := make([]string, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]string, len(out))
+	for _, k := range keys {
+		ordered[k] = out[k]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ordered)
+}
+
+// Load reads a JSON database, validating every signature. Entries whose
+// canonical signature does not hash to its claimed selector are rejected
+// (a poisoned-database guard).
+func Load(r io.Reader) (*DB, error) {
+	var raw fileFormat
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("efsd: decode: %w", err)
+	}
+	db := New()
+	for selHex, canonical := range raw {
+		if err := db.AddCanonical(canonical); err != nil {
+			return nil, fmt.Errorf("efsd: entry %s: %w", selHex, err)
+		}
+	}
+	// Verify the claimed selectors.
+	for selHex, canonical := range raw {
+		sel, err := parseHexSelector(selHex)
+		if err != nil {
+			return nil, err
+		}
+		got, ok := db.Lookup(abi.Selector(sel))
+		if !ok || got != canonical {
+			return nil, fmt.Errorf("efsd: entry %s: selector does not match %q", selHex, canonical)
+		}
+	}
+	return db, nil
+}
+
+func parseHexSelector(s string) ([4]byte, error) {
+	var sel [4]byte
+	if len(s) != 10 || s[:2] != "0x" {
+		return sel, fmt.Errorf("efsd: bad selector %q", s)
+	}
+	for i := 0; i < 4; i++ {
+		hi, err1 := hexNibble(s[2+2*i])
+		lo, err2 := hexNibble(s[3+2*i])
+		if err1 != nil || err2 != nil {
+			return sel, fmt.Errorf("efsd: bad selector %q", s)
+		}
+		sel[i] = hi<<4 | lo
+	}
+	return sel, nil
+}
+
+func hexNibble(c byte) (byte, error) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', nil
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, nil
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, nil
+	default:
+		return 0, fmt.Errorf("efsd: bad hex digit %q", c)
+	}
+}

@@ -1,0 +1,425 @@
+// Package erays implements a register-based IR lifter for EVM bytecode in
+// the style of the Erays reverse-engineering tool, plus Erays+ (paper
+// §6.3): the same lifting enhanced with SigRec's recovered function
+// signatures -- typed parameter names replace anonymous registers, offset
+// and num field loads get symbolic names, and compiler-generated
+// parameter-access boilerplate is collapsed into simple assignments.
+package erays
+
+import (
+	"fmt"
+	"strings"
+
+	"sigrec/internal/core"
+	"sigrec/internal/evm"
+)
+
+// LineKind classifies IR lines for the enhancement pass.
+type LineKind int
+
+// Line kinds.
+const (
+	// LineNormal is ordinary program logic.
+	LineNormal LineKind = iota + 1
+	// LineParamAccess is compiler-generated parameter-access code
+	// (call-data loads, copies, masks, and the arithmetic feeding them).
+	LineParamAccess
+	// LineControl is a jump or label.
+	LineControl
+)
+
+// Line is one register-based IR statement.
+type Line struct {
+	PC   uint64
+	Text string
+	Kind LineKind
+	// HeadOffset is the constant call-data offset for direct loads (0 when
+	// not applicable).
+	HeadOffset uint64
+	// Def is the register this line defines ("" for stores/jumps).
+	Def string
+}
+
+// Listing is a lifted contract.
+type Listing struct {
+	Lines []Line
+}
+
+// String renders the listing.
+func (l *Listing) String() string {
+	var b strings.Builder
+	for _, ln := range l.Lines {
+		fmt.Fprintf(&b, "%05x: %s\n", ln.PC, ln.Text)
+	}
+	return b.String()
+}
+
+// Lift converts bytecode to register-based IR. The conversion is a linear
+// stack-to-register pass: each value-producing instruction defines a fresh
+// register, and stack manipulation disappears into register references --
+// the same presentation Erays produces.
+func Lift(code []byte) *Listing {
+	program := evm.Disassemble(code)
+	out := &Listing{}
+	var stack []string
+	regSeq := 0
+	phantomSeq := 0
+	tainted := make(map[string]bool) // registers derived from the call data
+
+	fresh := func() string {
+		regSeq++
+		return fmt.Sprintf("v%d", regSeq)
+	}
+	pop := func() string {
+		if len(stack) == 0 {
+			phantomSeq++
+			return fmt.Sprintf("s%d", phantomSeq)
+		}
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return top
+	}
+	push := func(r string) { stack = append(stack, r) }
+	emit := func(ln Line) { out.Lines = append(out.Lines, ln) }
+
+	for _, ins := range program.Instructions {
+		op := ins.Op
+		switch {
+		case op.IsPush():
+			push("0x" + strings.TrimLeft(fmt.Sprintf("%x", ins.ArgBytes), "0") + zeroIfEmpty(ins.ArgBytes))
+		case op.IsDup():
+			n := int(op-evm.DUP1) + 1
+			if len(stack) >= n {
+				push(stack[len(stack)-n])
+			} else {
+				push(pop())
+			}
+		case op.IsSwap():
+			n := int(op-evm.SWAP1) + 1
+			if len(stack) > n {
+				top := len(stack) - 1
+				stack[top], stack[top-n] = stack[top-n], stack[top]
+			}
+		case op == evm.JUMPDEST:
+			stack = stack[:0] // block boundary: registers do not flow across
+			emit(Line{PC: ins.PC, Text: fmt.Sprintf("loc_%x:", ins.PC), Kind: LineControl})
+		case op == evm.JUMP:
+			dst := pop()
+			emit(Line{PC: ins.PC, Text: "goto " + dst, Kind: LineControl})
+		case op == evm.JUMPI:
+			dst, cond := pop(), pop()
+			emit(Line{PC: ins.PC, Text: fmt.Sprintf("if %s goto %s", cond, dst), Kind: LineControl})
+		case op == evm.CALLDATALOAD:
+			off := pop()
+			def := fresh()
+			tainted[def] = true
+			ln := Line{
+				PC:   ins.PC,
+				Text: fmt.Sprintf("%s = calldataload(%s)", def, off),
+				Kind: LineParamAccess,
+				Def:  def,
+			}
+			if v, ok := parseHex(off); ok {
+				ln.HeadOffset = v
+			}
+			emit(ln)
+			push(def)
+		case op == evm.CALLDATACOPY:
+			dst, src, n := pop(), pop(), pop()
+			emit(Line{
+				PC:   ins.PC,
+				Text: fmt.Sprintf("calldatacopy(%s, %s, %s)", dst, src, n),
+				Kind: LineParamAccess,
+			})
+		case op == evm.MSTORE:
+			addr, val := pop(), pop()
+			kind := LineNormal
+			if tainted[val] {
+				kind = LineParamAccess
+			}
+			emit(Line{PC: ins.PC, Text: fmt.Sprintf("mem[%s] = %s", addr, val), Kind: kind})
+		case op == evm.MLOAD:
+			addr := pop()
+			def := fresh()
+			emit(Line{PC: ins.PC, Text: fmt.Sprintf("%s = mem[%s]", def, addr), Def: def})
+			push(def)
+		case op == evm.SSTORE:
+			key, val := pop(), pop()
+			emit(Line{PC: ins.PC, Text: fmt.Sprintf("storage[%s] = %s", key, val)})
+		case op == evm.SLOAD:
+			key := pop()
+			def := fresh()
+			emit(Line{PC: ins.PC, Text: fmt.Sprintf("%s = storage[%s]", def, key), Def: def})
+			push(def)
+		case op == evm.STOP:
+			emit(Line{PC: ins.PC, Text: "stop", Kind: LineControl})
+		case op == evm.RETURN:
+			off, n := pop(), pop()
+			emit(Line{PC: ins.PC, Text: fmt.Sprintf("return mem[%s..+%s]", off, n), Kind: LineControl})
+		case op == evm.REVERT:
+			pop()
+			pop()
+			emit(Line{PC: ins.PC, Text: "revert", Kind: LineControl})
+		case op == evm.POP:
+			pop()
+		default:
+			pops := op.StackPops()
+			args := make([]string, pops)
+			taint := false
+			for i := 0; i < pops; i++ {
+				args[i] = pop()
+				if tainted[args[i]] {
+					taint = true
+				}
+			}
+			if op.StackPushes() == 0 {
+				emit(Line{PC: ins.PC, Text: fmt.Sprintf("%s(%s)", strings.ToLower(op.String()), strings.Join(args, ", "))})
+				continue
+			}
+			def := fresh()
+			kind := LineNormal
+			if taint && isMaskOp(op) {
+				kind = LineParamAccess
+				tainted[def] = true
+			} else if taint {
+				tainted[def] = true
+			}
+			emit(Line{
+				PC:   ins.PC,
+				Text: fmt.Sprintf("%s = %s(%s)", def, strings.ToLower(op.String()), strings.Join(args, ", ")),
+				Kind: kind,
+				Def:  def,
+			})
+			push(def)
+		}
+	}
+	return out
+}
+
+func isMaskOp(op evm.Op) bool {
+	switch op {
+	case evm.AND, evm.SIGNEXTEND, evm.ISZERO, evm.DIV, evm.MUL, evm.ADD, evm.BYTE:
+		return true
+	default:
+		return false
+	}
+}
+
+func zeroIfEmpty(b []byte) string {
+	for _, x := range b {
+		if x != 0 {
+			return ""
+		}
+	}
+	return "0"
+}
+
+func parseHex(s string) (uint64, bool) {
+	if !strings.HasPrefix(s, "0x") {
+		return 0, false
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(s, "0x%x", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Metrics quantify the readability improvement of Erays+ over Erays (the
+// paper's §6.3 measurements).
+type Metrics struct {
+	// AddedTypes counts parameter types added to function headers.
+	AddedTypes int
+	// AddedNames counts registers renamed to argN.
+	AddedNames int
+	// AddedNums counts num-field loads renamed to num(argN).
+	AddedNums int
+	// RemovedLines counts collapsed parameter-access lines.
+	RemovedLines int
+}
+
+// Enhanced is the Erays+ output.
+type Enhanced struct {
+	Listing *Listing
+	Headers []string
+	Metrics Metrics
+	Renamed map[string]string
+}
+
+// Enhance applies recovered signatures to a lifted listing: headers with
+// typed parameters, argN names for head loads, num(argN) for length loads,
+// and removal of the mask/copy boilerplate.
+func Enhance(code []byte, recovery core.Result) *Enhanced {
+	base := Lift(code)
+	enh := &Enhanced{Renamed: make(map[string]string)}
+
+	// Head-offset -> parameter name, from the recovered layouts.
+	argAt := make(map[uint64]string)
+	headerBySel := make(map[string]string, len(recovery.Functions))
+	for _, f := range recovery.Functions {
+		parts := make([]string, len(f.Inputs))
+		head := uint64(4)
+		for i, t := range f.Inputs {
+			name := fmt.Sprintf("arg%d", i+1)
+			parts[i] = t.Display() + " " + name
+			argAt[head] = name
+			head += uint64(t.HeadSize())
+			enh.Metrics.AddedTypes++
+		}
+		header := fmt.Sprintf("function %s(%s)", f.Selector.Hex(), strings.Join(parts, ", "))
+		enh.Headers = append(enh.Headers, header)
+		headerBySel[f.Selector.Hex()] = header
+	}
+	// Body-entry PCs from the dispatcher's PUSH4 id / PUSH2 target pairs,
+	// so headers land inline above each function's label.
+	headerAtPC := bodyHeaders(code, headerBySel)
+
+	// Pass 1: propagate argument aliases through registers and memory
+	// slots, so indirect loads (num fields reached via saved offsets) can
+	// be named.
+	regArg := make(map[string]string) // register -> argN it carries/derives
+	memArg := make(map[string]string) // memory-slot text -> argN
+	argOf := func(operand string) string {
+		if a, ok := regArg[operand]; ok {
+			return a
+		}
+		return ""
+	}
+	for _, ln := range base.Lines {
+		switch {
+		case ln.Kind == LineParamAccess && ln.HeadOffset >= 4 && ln.Def != "":
+			if name, ok := argAt[ln.HeadOffset]; ok {
+				regArg[ln.Def] = name
+			}
+		case strings.HasPrefix(ln.Text, "mem["):
+			// "mem[ADDR] = VAL"
+			if addr, val, ok := splitMemStore(ln.Text); ok {
+				if a := argOf(val); a != "" {
+					memArg[addr] = a
+				}
+			}
+		case ln.Def != "" && strings.Contains(ln.Text, "= mem["):
+			if addr, ok := memLoadAddr(ln.Text); ok {
+				if a, hit := memArg[addr]; hit {
+					regArg[ln.Def] = a
+				}
+			}
+		case ln.Def != "":
+			// Arithmetic over an arg-derived register stays derived.
+			for reg, a := range regArg {
+				if containsOperand(ln.Text, reg) {
+					regArg[ln.Def] = a
+					break
+				}
+			}
+		}
+	}
+
+	out := &Listing{}
+	for _, ln := range base.Lines {
+		if ln.Kind == LineControl {
+			if h, ok := headerAtPC[ln.PC]; ok {
+				out.Lines = append(out.Lines, Line{PC: ln.PC, Text: "// " + h, Kind: LineControl})
+			}
+		}
+		switch {
+		case ln.Kind == LineParamAccess && ln.HeadOffset >= 4:
+			if name, ok := argAt[ln.HeadOffset]; ok {
+				// Direct head load becomes a named assignment.
+				out.Lines = append(out.Lines, Line{
+					PC:   ln.PC,
+					Text: fmt.Sprintf("%s = %s", ln.Def, name),
+					Kind: LineNormal,
+					Def:  ln.Def,
+				})
+				enh.Renamed[ln.Def] = name
+				enh.Metrics.AddedNames++
+				continue
+			}
+			out.Lines = append(out.Lines, ln)
+		case ln.Kind == LineParamAccess && ln.Def != "" && strings.Contains(ln.Text, "calldataload("):
+			// Indirect load: an offset or num field of an argument.
+			operand := ln.Text[strings.Index(ln.Text, "calldataload(")+len("calldataload(") : len(ln.Text)-1]
+			if a := argOf(operand); a != "" {
+				out.Lines = append(out.Lines, Line{
+					PC:   ln.PC,
+					Text: fmt.Sprintf("%s = num(%s)", ln.Def, a),
+					Kind: LineNormal,
+					Def:  ln.Def,
+				})
+				enh.Renamed[ln.Def] = "num(" + a + ")"
+				enh.Metrics.AddedNums++
+				continue
+			}
+			enh.Metrics.RemovedLines++
+		case ln.Kind == LineParamAccess:
+			// Mask/copy boilerplate disappears: its effect is already in
+			// the typed header.
+			enh.Metrics.RemovedLines++
+		default:
+			out.Lines = append(out.Lines, ln)
+		}
+	}
+	enh.Listing = out
+	return enh
+}
+
+// bodyHeaders maps function-body entry PCs to their recovered headers by
+// scanning the dispatcher's PUSH4 id / EQ / PUSH2 target pattern.
+func bodyHeaders(code []byte, headerBySel map[string]string) map[uint64]string {
+	out := make(map[uint64]string)
+	ins := evm.Disassemble(code).Instructions
+	for i := 0; i+2 < len(ins); i++ {
+		if ins[i].Op != evm.PUSH4 || ins[i+1].Op != evm.EQ || ins[i+2].Op != evm.PUSH2 {
+			continue
+		}
+		sel := fmt.Sprintf("0x%x", ins[i].ArgBytes)
+		if h, ok := headerBySel[sel]; ok {
+			if target, okT := ins[i+2].Arg.Uint64(); okT {
+				out[target] = h
+			}
+		}
+	}
+	return out
+}
+
+// splitMemStore parses "mem[ADDR] = VAL".
+func splitMemStore(text string) (addr, val string, ok bool) {
+	rest, found := strings.CutPrefix(text, "mem[")
+	if !found {
+		return "", "", false
+	}
+	i := strings.Index(rest, "] = ")
+	if i < 0 {
+		return "", "", false
+	}
+	return rest[:i], rest[i+4:], true
+}
+
+// memLoadAddr parses "DEF = mem[ADDR]".
+func memLoadAddr(text string) (string, bool) {
+	i := strings.Index(text, "= mem[")
+	if i < 0 || !strings.HasSuffix(text, "]") {
+		return "", false
+	}
+	return text[i+6 : len(text)-1], true
+}
+
+// containsOperand reports whether the register appears as an operand token.
+func containsOperand(text, reg string) bool {
+	idx := strings.Index(text, "= ")
+	if idx < 0 {
+		return false
+	}
+	rhs := text[idx+2:]
+	for _, sep := range []string{"(", ", ", " "} {
+		rhs = strings.ReplaceAll(rhs, sep, ",")
+	}
+	rhs = strings.ReplaceAll(rhs, ")", ",")
+	for _, tok := range strings.Split(rhs, ",") {
+		if tok == reg {
+			return true
+		}
+	}
+	return false
+}

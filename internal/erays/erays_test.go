@@ -1,0 +1,154 @@
+package erays
+
+import (
+	"strings"
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/core"
+	"sigrec/internal/solc"
+)
+
+func compile(t *testing.T, sigStr string, mode solc.Mode) []byte {
+	t.Helper()
+	sig, err := abi.ParseSignature(sigStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{{Sig: sig, Mode: mode}}},
+		solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+func TestLiftBasicShape(t *testing.T) {
+	code := compile(t, "f(uint8,address)", solc.External)
+	l := Lift(code)
+	text := l.String()
+	if !strings.Contains(text, "calldataload(") {
+		t.Error("lifting lost calldata loads")
+	}
+	if !strings.Contains(text, "storage[") {
+		t.Error("lifting lost storage writes")
+	}
+	if !strings.Contains(text, "goto") && !strings.Contains(text, "if ") {
+		t.Error("lifting lost control flow")
+	}
+	// Registers must be defined before use in straight-line code.
+	if strings.Contains(text, "= calldataload(s") {
+		t.Log(text)
+	}
+}
+
+func TestLiftClassifiesParamAccess(t *testing.T) {
+	code := compile(t, "f(uint8)", solc.External)
+	l := Lift(code)
+	var paramLines int
+	for _, ln := range l.Lines {
+		if ln.Kind == LineParamAccess {
+			paramLines++
+		}
+	}
+	if paramLines < 2 { // the load and the mask at least
+		t.Errorf("only %d parameter-access lines", paramLines)
+	}
+}
+
+func TestEnhanceAddsTypesAndNames(t *testing.T) {
+	code := compile(t, "f(uint8,address)", solc.External)
+	rec, err := core.Recover(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enh := Enhance(code, rec)
+	if len(enh.Headers) != 1 {
+		t.Fatalf("headers: %v", enh.Headers)
+	}
+	h := enh.Headers[0]
+	if !strings.Contains(h, "uint8 arg1") || !strings.Contains(h, "address arg2") {
+		t.Errorf("header = %q", h)
+	}
+	if enh.Metrics.AddedTypes != 2 {
+		t.Errorf("added types = %d", enh.Metrics.AddedTypes)
+	}
+	if enh.Metrics.AddedNames < 2 {
+		t.Errorf("added names = %d", enh.Metrics.AddedNames)
+	}
+	if enh.Metrics.RemovedLines == 0 {
+		t.Error("no boilerplate removed")
+	}
+	text := enh.Listing.String()
+	if !strings.Contains(text, "= arg1") {
+		t.Errorf("no named assignment in output:\n%s", text)
+	}
+}
+
+func TestEnhanceNamesNumFields(t *testing.T) {
+	code := compile(t, "f(uint256[])", solc.External)
+	rec, err := core.Recover(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enh := Enhance(code, rec)
+	if enh.Metrics.AddedNums == 0 {
+		t.Errorf("no num fields named; listing:\n%s", enh.Listing.String())
+	}
+}
+
+func TestEnhanceShrinksListing(t *testing.T) {
+	code := compile(t, "f(uint8[3],bytes)", solc.Public)
+	rec, err := core.Recover(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Lift(code)
+	enh := Enhance(code, rec)
+	if len(enh.Listing.Lines) >= len(base.Lines) {
+		t.Errorf("enhanced listing not smaller: %d vs %d",
+			len(enh.Listing.Lines), len(base.Lines))
+	}
+}
+
+func TestLiftEmptyCode(t *testing.T) {
+	l := Lift(nil)
+	if len(l.Lines) != 0 {
+		t.Error("empty code should lift to nothing")
+	}
+}
+
+// TestEnhanceInlinesHeaders: the typed header appears inline above each
+// function's body label in a multi-function contract.
+func TestEnhanceInlinesHeaders(t *testing.T) {
+	var fns []solc.Function
+	for _, s := range []string{"alpha(uint8)", "beta(address,bool)"} {
+		sig, _ := abi.ParseSignature(s)
+		fns = append(fns, solc.Function{Sig: sig, Mode: solc.External})
+	}
+	code, err := solc.Compile(solc.Contract{Functions: fns}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := core.Recover(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enh := Enhance(code, rec)
+	text := enh.Listing.String()
+	if !strings.Contains(text, "// function") {
+		t.Fatalf("no inline headers:\n%s", text)
+	}
+	if !strings.Contains(text, "uint8 arg1") || !strings.Contains(text, "address arg1, bool arg2") {
+		t.Errorf("headers incomplete:\n%s", text)
+	}
+	// Each header precedes its loc_ label.
+	lines := strings.Split(text, "\n")
+	for i, ln := range lines {
+		if strings.Contains(ln, "// function") {
+			if i+1 >= len(lines) || !strings.Contains(lines[i+1], "loc_") {
+				t.Errorf("header not directly above a label: %q then %q", ln, lines[i+1])
+			}
+		}
+	}
+}

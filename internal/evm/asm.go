@@ -1,0 +1,154 @@
+package evm
+
+import (
+	"fmt"
+)
+
+// Label is a forward-referenceable jump target inside an Assembler program.
+type Label int
+
+// Assembler builds EVM bytecode with symbolic labels. Jump targets are
+// emitted as fixed-width PUSH2 immediates and patched when Assemble is
+// called, so label addresses never change the layout.
+type Assembler struct {
+	code    []byte
+	labels  []int   // label -> byte offset, -1 if unbound
+	patches []patch // PUSH2 sites awaiting label addresses
+	errs    []error
+}
+
+type patch struct {
+	offset int // position of the 2 immediate bytes
+	label  Label
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{}
+}
+
+// Len returns the current code size in bytes.
+func (a *Assembler) Len() int { return len(a.code) }
+
+// Op appends raw opcodes with no immediates.
+func (a *Assembler) Op(ops ...Op) *Assembler {
+	for _, op := range ops {
+		a.code = append(a.code, byte(op))
+	}
+	return a
+}
+
+// Push appends the shortest PUSH for v.
+func (a *Assembler) Push(v uint64) *Assembler {
+	return a.PushWord(WordFromUint64(v))
+}
+
+// PushWord appends the shortest PUSH for w (PUSH1 0x00 for zero, to stay
+// compatible with pre-Shanghai dialects that lack PUSH0).
+func (a *Assembler) PushWord(w Word) *Assembler {
+	b := w.Bytes()
+	if len(b) == 0 {
+		b = []byte{0}
+	}
+	op, err := PushOp(len(b))
+	if err != nil {
+		a.errs = append(a.errs, err)
+		return a
+	}
+	a.code = append(a.code, byte(op))
+	a.code = append(a.code, b...)
+	return a
+}
+
+// PushBytes appends a PUSH with exactly the given immediate bytes (used for
+// masks whose leading zeros are significant to pattern width).
+func (a *Assembler) PushBytes(b []byte) *Assembler {
+	op, err := PushOp(len(b))
+	if err != nil {
+		a.errs = append(a.errs, err)
+		return a
+	}
+	a.code = append(a.code, byte(op))
+	a.code = append(a.code, b...)
+	return a
+}
+
+// Dup appends DUPn.
+func (a *Assembler) Dup(n int) *Assembler {
+	op, err := DupOp(n)
+	if err != nil {
+		a.errs = append(a.errs, err)
+		return a
+	}
+	return a.Op(op)
+}
+
+// Swap appends SWAPn.
+func (a *Assembler) Swap(n int) *Assembler {
+	op, err := SwapOp(n)
+	if err != nil {
+		a.errs = append(a.errs, err)
+		return a
+	}
+	return a.Op(op)
+}
+
+// NewLabel allocates an unbound label.
+func (a *Assembler) NewLabel() Label {
+	a.labels = append(a.labels, -1)
+	return Label(len(a.labels) - 1)
+}
+
+// Bind places the label at the current position and emits a JUMPDEST.
+func (a *Assembler) Bind(l Label) *Assembler {
+	if int(l) >= len(a.labels) {
+		a.errs = append(a.errs, fmt.Errorf("evm: bind of unknown label %d", l))
+		return a
+	}
+	if a.labels[l] != -1 {
+		a.errs = append(a.errs, fmt.Errorf("evm: label %d bound twice", l))
+		return a
+	}
+	a.labels[l] = len(a.code)
+	return a.Op(JUMPDEST)
+}
+
+// PushLabel emits a PUSH2 whose immediate will be the label's address.
+func (a *Assembler) PushLabel(l Label) *Assembler {
+	a.code = append(a.code, byte(PUSH2))
+	a.patches = append(a.patches, patch{offset: len(a.code), label: l})
+	a.code = append(a.code, 0, 0)
+	return a
+}
+
+// Jump emits an unconditional jump to the label.
+func (a *Assembler) Jump(l Label) *Assembler {
+	return a.PushLabel(l).Op(JUMP)
+}
+
+// JumpI emits a conditional jump to the label (consumes the condition on the
+// stack below the pushed target).
+func (a *Assembler) JumpI(l Label) *Assembler {
+	return a.PushLabel(l).Op(JUMPI)
+}
+
+// Assemble resolves labels and returns the final bytecode.
+func (a *Assembler) Assemble() ([]byte, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	out := make([]byte, len(a.code))
+	copy(out, a.code)
+	for _, p := range a.patches {
+		addr := a.labels[p.label]
+		if addr == -1 {
+			return nil, fmt.Errorf("evm: label %d never bound", p.label)
+		}
+		if addr > 0xffff {
+			return nil, fmt.Errorf("evm: label address %#x exceeds PUSH2 range", addr)
+		}
+		out[p.offset] = byte(addr >> 8)
+		out[p.offset+1] = byte(addr)
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package evm
+
+import "sort"
+
+// CFG is a control-flow graph over basic blocks with statically resolvable
+// edges: jump targets are recovered from the PUSH immediately feeding each
+// JUMP/JUMPI (the pattern every compiler here emits); computed targets
+// yield no edge.
+type CFG struct {
+	Blocks []BasicBlock
+	// Succs[i] lists successor block indexes of Blocks[i], sorted.
+	Succs [][]int
+	// Preds[i] lists predecessor block indexes, sorted.
+	Preds [][]int
+}
+
+// CFG builds the control-flow graph.
+func (p *Program) CFG() *CFG {
+	blocks := p.BasicBlocks()
+	g := &CFG{
+		Blocks: blocks,
+		Succs:  make([][]int, len(blocks)),
+		Preds:  make([][]int, len(blocks)),
+	}
+	blockAt := make(map[uint64]int, len(blocks))
+	for i, b := range blocks {
+		blockAt[b.Start] = i
+	}
+	addEdge := func(from, to int) {
+		g.Succs[from] = append(g.Succs[from], to)
+		g.Preds[to] = append(g.Preds[to], from)
+	}
+	for i, b := range blocks {
+		last := p.Instructions[b.Last]
+		switch last.Op {
+		case JUMP:
+			if t, ok := p.staticTarget(b.Last); ok {
+				if ti, hit := blockAt[t]; hit {
+					addEdge(i, ti)
+				}
+			}
+		case JUMPI:
+			if t, ok := p.staticTarget(b.Last); ok {
+				if ti, hit := blockAt[t]; hit {
+					addEdge(i, ti)
+				}
+			}
+			if i+1 < len(blocks) {
+				addEdge(i, i+1)
+			}
+		default:
+			if !last.Op.IsTerminator() && i+1 < len(blocks) {
+				addEdge(i, i+1)
+			}
+		}
+	}
+	for i := range g.Succs {
+		sort.Ints(g.Succs[i])
+		sort.Ints(g.Preds[i])
+	}
+	return g
+}
+
+// staticTarget resolves the jump target of the instruction at index when a
+// PUSH immediately precedes it and names a JUMPDEST.
+func (p *Program) staticTarget(idx int) (uint64, bool) {
+	if idx == 0 {
+		return 0, false
+	}
+	prev := p.Instructions[idx-1]
+	if !prev.Op.IsPush() {
+		return 0, false
+	}
+	t, ok := prev.Arg.Uint64()
+	if !ok || !p.IsJumpDest(t) {
+		return 0, false
+	}
+	return t, true
+}
+
+// Reachable returns the set of block indexes reachable from the entry.
+func (g *CFG) Reachable() map[int]bool {
+	seen := make(map[int]bool)
+	if len(g.Blocks) == 0 {
+		return seen
+	}
+	stack := []int{0}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, g.Succs[b]...)
+	}
+	return seen
+}
+
+// HasBackEdge reports whether the graph contains a loop (an edge to a block
+// that starts at or before the source block).
+func (g *CFG) HasBackEdge() bool {
+	for i, succs := range g.Succs {
+		for _, s := range succs {
+			if s <= i {
+				return true
+			}
+		}
+	}
+	return false
+}

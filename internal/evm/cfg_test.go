@@ -1,0 +1,100 @@
+package evm
+
+import "testing"
+
+func buildCFG(t *testing.T, build func(a *Assembler)) *CFG {
+	t.Helper()
+	a := NewAssembler()
+	build(a)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Disassemble(code).CFG()
+}
+
+func TestCFGLinear(t *testing.T) {
+	g := buildCFG(t, func(a *Assembler) {
+		a.Push(1).Op(POP).Op(STOP)
+	})
+	if len(g.Blocks) != 1 || len(g.Succs[0]) != 0 {
+		t.Errorf("linear program: %d blocks, succs %v", len(g.Blocks), g.Succs)
+	}
+}
+
+func TestCFGBranch(t *testing.T) {
+	g := buildCFG(t, func(a *Assembler) {
+		taken := a.NewLabel()
+		a.Push(0).Op(CALLDATALOAD)
+		a.JumpI(taken) // block 0 -> {1, 2}
+		a.Op(STOP)     // block 1
+		a.Bind(taken)  // block 2
+		a.Op(STOP)
+	})
+	if len(g.Blocks) != 3 {
+		t.Fatalf("%d blocks", len(g.Blocks))
+	}
+	if len(g.Succs[0]) != 2 {
+		t.Errorf("branch block succs = %v", g.Succs[0])
+	}
+	if len(g.Preds[2]) != 1 || g.Preds[2][0] != 0 {
+		t.Errorf("taken block preds = %v", g.Preds[2])
+	}
+	if g.HasBackEdge() {
+		t.Error("no loop expected")
+	}
+}
+
+func TestCFGLoop(t *testing.T) {
+	g := buildCFG(t, func(a *Assembler) {
+		top := a.NewLabel()
+		exit := a.NewLabel()
+		a.Push(0)
+		a.Bind(top)
+		a.Dup(1).Push(5).Swap(1).Op(LT).Op(ISZERO)
+		a.JumpI(exit)
+		a.Push(1).Op(ADD)
+		a.Jump(top)
+		a.Bind(exit)
+		a.Op(STOP)
+	})
+	if !g.HasBackEdge() {
+		t.Error("loop must produce a back edge")
+	}
+	reach := g.Reachable()
+	if len(reach) != len(g.Blocks) {
+		t.Errorf("only %d/%d blocks reachable", len(reach), len(g.Blocks))
+	}
+}
+
+func TestCFGUnreachable(t *testing.T) {
+	g := buildCFG(t, func(a *Assembler) {
+		a.Op(STOP)     // block 0 terminates
+		a.Op(JUMPDEST) // block 1: never targeted
+		a.Push(1).Op(POP)
+		a.Op(STOP)
+	})
+	reach := g.Reachable()
+	if reach[1] {
+		t.Error("dead block reported reachable")
+	}
+}
+
+func TestCFGComputedJumpHasNoEdge(t *testing.T) {
+	g := buildCFG(t, func(a *Assembler) {
+		a.Push(0).Op(CALLDATALOAD)
+		a.Op(JUMP) // computed target
+		a.Op(JUMPDEST)
+		a.Op(STOP)
+	})
+	if len(g.Succs[0]) != 0 {
+		t.Errorf("computed jump should have no static edge, got %v", g.Succs[0])
+	}
+}
+
+func TestCFGEmpty(t *testing.T) {
+	g := Disassemble(nil).CFG()
+	if len(g.Blocks) != 0 || len(g.Reachable()) != 0 {
+		t.Error("empty code should yield an empty graph")
+	}
+}

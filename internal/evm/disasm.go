@@ -1,0 +1,152 @@
+package evm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instruction is one decoded EVM instruction.
+type Instruction struct {
+	// PC is the byte offset of the opcode within the code.
+	PC uint64
+	// Op is the opcode byte.
+	Op Op
+	// Arg is the immediate value for PUSH instructions (zero otherwise).
+	Arg Word
+	// ArgBytes is the raw immediate (nil for non-PUSH). Truncated PUSH
+	// immediates at the end of the code are zero-padded, matching EVM
+	// execution semantics.
+	ArgBytes []byte
+	// Truncated marks a PUSH whose immediate ran past the end of the code.
+	Truncated bool
+}
+
+// String formats the instruction as "PC: OP [0xarg]".
+func (ins Instruction) String() string {
+	if len(ins.ArgBytes) > 0 {
+		return fmt.Sprintf("%05x: %s 0x%x", ins.PC, ins.Op, ins.ArgBytes)
+	}
+	return fmt.Sprintf("%05x: %s", ins.PC, ins.Op)
+}
+
+// Program is a disassembled contract: the instruction stream plus indexes
+// used by the analyses.
+type Program struct {
+	Code         []byte
+	Instructions []Instruction
+
+	byPC      map[uint64]int
+	jumpdests map[uint64]bool
+}
+
+// Disassemble decodes runtime bytecode with a linear sweep, the same way the
+// Geth disassembler does. It never fails: undefined bytes decode as INVALID
+// one-byte instructions and truncated PUSH immediates are zero-padded.
+func Disassemble(code []byte) *Program {
+	p := &Program{
+		Code:         code,
+		Instructions: make([]Instruction, 0, len(code)),
+		byPC:         make(map[uint64]int, len(code)),
+		jumpdests:    make(map[uint64]bool),
+	}
+	for pc := 0; pc < len(code); {
+		op := Op(code[pc])
+		ins := Instruction{PC: uint64(pc), Op: op}
+		size := 1
+		if imm := op.ImmediateSize(); imm > 0 {
+			end := pc + 1 + imm
+			raw := make([]byte, imm)
+			if end > len(code) {
+				copy(raw, code[pc+1:])
+				ins.Truncated = true
+			} else {
+				copy(raw, code[pc+1:end])
+			}
+			ins.ArgBytes = raw
+			ins.Arg = WordFromBytes(raw)
+			size += imm
+		}
+		if op == JUMPDEST {
+			p.jumpdests[uint64(pc)] = true
+		}
+		p.byPC[uint64(pc)] = len(p.Instructions)
+		p.Instructions = append(p.Instructions, ins)
+		pc += size
+	}
+	return p
+}
+
+// At returns the instruction at the given program counter, if one starts
+// there (PCs inside PUSH immediates have no instruction).
+func (p *Program) At(pc uint64) (Instruction, bool) {
+	idx, ok := p.byPC[pc]
+	if !ok {
+		return Instruction{}, false
+	}
+	return p.Instructions[idx], true
+}
+
+// IndexOf returns the instruction-slice index for a PC.
+func (p *Program) IndexOf(pc uint64) (int, bool) {
+	idx, ok := p.byPC[pc]
+	return idx, ok
+}
+
+// IsJumpDest reports whether pc holds a JUMPDEST (the only legal jump target).
+func (p *Program) IsJumpDest(pc uint64) bool { return p.jumpdests[pc] }
+
+// String renders the full disassembly listing.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, ins := range p.Instructions {
+		b.WriteString(ins.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BasicBlock is a maximal straight-line instruction sequence: it starts at a
+// leader (entry, JUMPDEST, or fall-through of a branch) and ends at a
+// terminator, a JUMPI, or immediately before the next leader.
+type BasicBlock struct {
+	// Start and End are PCs: [Start, End] covers the block's instructions.
+	Start, End uint64
+	// Instructions indexes into Program.Instructions.
+	First, Last int
+}
+
+// BasicBlocks partitions the program into basic blocks in PC order.
+func (p *Program) BasicBlocks() []BasicBlock {
+	if len(p.Instructions) == 0 {
+		return nil
+	}
+	leaders := map[int]bool{0: true}
+	for i, ins := range p.Instructions {
+		switch {
+		case ins.Op == JUMPDEST:
+			leaders[i] = true
+		case ins.Op == JUMPI || ins.Op.IsTerminator():
+			if i+1 < len(p.Instructions) {
+				leaders[i+1] = true
+			}
+		}
+	}
+	var blocks []BasicBlock
+	start := 0
+	flush := func(end int) {
+		blocks = append(blocks, BasicBlock{
+			Start: p.Instructions[start].PC,
+			End:   p.Instructions[end].PC,
+			First: start,
+			Last:  end,
+		})
+	}
+	for i := 1; i < len(p.Instructions); i++ {
+		if leaders[i] {
+			flush(i - 1)
+			start = i
+		}
+	}
+	flush(len(p.Instructions) - 1)
+	return blocks
+}

@@ -1,0 +1,111 @@
+package evm
+
+// Dominator analysis over the CFG, using the Cooper-Harvey-Kennedy
+// iterative algorithm. Dominance is the precise form of the control-
+// dependence question TASE approximates with guard intervals; the analysis
+// is exposed for tooling (cmd/evmdis) and validation tests.
+
+// Dominators holds the immediate-dominator tree of a CFG.
+type Dominators struct {
+	// Idom[i] is the immediate dominator of block i; the entry block is
+	// its own idom. Unreachable blocks have Idom -1.
+	Idom []int
+	cfg  *CFG
+	// rpoNumber orders blocks by reverse postorder.
+	rpoNumber []int
+}
+
+// Dominators computes the dominator tree from the entry block.
+func (g *CFG) Dominators() *Dominators {
+	n := len(g.Blocks)
+	d := &Dominators{
+		Idom:      make([]int, n),
+		cfg:       g,
+		rpoNumber: make([]int, n),
+	}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+	}
+	if n == 0 {
+		return d
+	}
+	// Reverse postorder from the entry.
+	var order []int
+	visited := make([]bool, n)
+	var dfs func(b int)
+	dfs = func(b int) {
+		visited[b] = true
+		for _, s := range g.Succs[b] {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(0)
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for idx, b := range order {
+		d.rpoNumber[b] = idx
+	}
+	d.Idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Preds[b] {
+				if !visited[p] || d.Idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+					continue
+				}
+				newIdom = d.intersect(p, newIdom)
+			}
+			if newIdom != -1 && d.Idom[b] != newIdom {
+				d.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// intersect walks the two candidate dominators up the tree to their
+// common ancestor in reverse postorder.
+func (d *Dominators) intersect(a, b int) int {
+	for a != b {
+		for d.rpoNumber[a] > d.rpoNumber[b] {
+			a = d.Idom[a]
+		}
+		for d.rpoNumber[b] > d.rpoNumber[a] {
+			b = d.Idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (d *Dominators) Dominates(a, b int) bool {
+	if d.Idom[b] == -1 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 {
+			return a == 0
+		}
+		b = d.Idom[b]
+		if b == -1 {
+			return false
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package evm
+
+// Gas schedule. The constants follow the Ethereum yellow paper's fee
+// schedule (Shanghai-era values) closely enough for relative costs to be
+// meaningful: cheap stack/arithmetic ops, mid-cost memory traffic, and
+// expensive storage writes, with quadratic memory expansion.
+const (
+	gasZero    = 0
+	gasBase    = 2
+	gasVeryLow = 3
+	gasLow     = 5
+	gasMid     = 8
+	gasHigh    = 10
+	gasJumpDst = 1
+
+	gasKeccakBase    = 30
+	gasKeccakPerWord = 6
+	gasCopyPerWord   = 3
+	gasBalance       = 100
+	gasSLoad         = 100
+	gasSStoreSet     = 20000
+	gasSStoreReset   = 2900
+	gasLogBase       = 375
+	gasLogPerTopic   = 375
+	gasLogPerByte    = 8
+	gasCall          = 100
+	gasCreate        = 32000
+	gasSelfdestruct  = 5000
+	gasExpBase       = 10
+	gasExpPerByte    = 50
+
+	// memory expansion: words*3 + words^2/512
+	gasMemPerWord     = 3
+	gasMemQuadDivisor = 512
+)
+
+// staticGas returns the flat cost of an opcode (dynamic components are
+// added by the interpreter).
+func staticGas(op Op) uint64 {
+	switch {
+	case op.IsPush() || op.IsDup() || op.IsSwap():
+		return gasVeryLow
+	}
+	switch op {
+	case STOP, RETURN, REVERT:
+		return gasZero
+	case ADDRESS, ORIGIN, CALLER, CALLVALUE, CALLDATASIZE, CODESIZE,
+		GASPRICE, COINBASE, TIMESTAMP, NUMBER, PREVRANDAO, GASLIMIT,
+		CHAINID, BASEFEE, RETURNDATASIZE, POP, PC, MSIZE, GAS:
+		return gasBase
+	case ADD, SUB, NOT, LT, GT, SLT, SGT, EQ, ISZERO, AND, OR, XOR, BYTE,
+		SHL, SHR, SAR, CALLDATALOAD, MLOAD, MSTORE, MSTORE8:
+		return gasVeryLow
+	case MUL, DIV, SDIV, MOD, SMOD, SIGNEXTEND, SELFBALANCE:
+		return gasLow
+	case ADDMOD, MULMOD, JUMP:
+		return gasMid
+	case JUMPI:
+		return gasHigh
+	case EXP:
+		return gasExpBase
+	case JUMPDEST:
+		return gasJumpDst
+	case KECCAK256:
+		return gasKeccakBase
+	case CALLDATACOPY, CODECOPY, RETURNDATACOPY:
+		return gasVeryLow
+	case EXTCODECOPY, EXTCODESIZE, EXTCODEHASH, BALANCE, BLOCKHASH:
+		return gasBalance
+	case SLOAD:
+		return gasSLoad
+	case SSTORE:
+		return 0 // fully dynamic
+	case LOG0, LOG0 + 1, LOG0 + 2, LOG0 + 3, LOG4:
+		return gasLogBase + uint64(op-LOG0)*gasLogPerTopic
+	case CALL, CALLCODE, DELEGATECALL, STATICCALL:
+		return gasCall
+	case CREATE, CREATE2:
+		return gasCreate
+	case SELFDESTRUCT:
+		return gasSelfdestruct
+	default:
+		return gasBase
+	}
+}
+
+// memoryGas returns the total gas attributable to a memory of the given
+// byte size (the interpreter charges the delta on expansion).
+func memoryGas(sizeBytes uint64) uint64 {
+	words := (sizeBytes + 31) / 32
+	return words*gasMemPerWord + words*words/gasMemQuadDivisor
+}
+
+// copyGas is the per-word surcharge for copy operations.
+func copyGas(n uint64) uint64 {
+	return (n + 31) / 32 * gasCopyPerWord
+}
+
+// keccakGas is the per-word surcharge for hashing.
+func keccakGas(n uint64) uint64 {
+	return (n + 31) / 32 * gasKeccakPerWord
+}
+
+// expGas is the surcharge for EXP by exponent byte length.
+func expGas(exponent Word) uint64 {
+	return uint64(len(exponent.Bytes())) * gasExpPerByte
+}
+
+// logGas is the per-byte surcharge for LOG data.
+func logGas(n uint64) uint64 {
+	return n * gasLogPerByte
+}
+
+// sstoreGas approximates the net-metered store cost: writing a fresh slot
+// costs the set price, overwriting costs the reset price.
+func sstoreGas(existing, newVal Word, hadKey bool) uint64 {
+	if !hadKey && !newVal.IsZero() {
+		return gasSStoreSet
+	}
+	_ = existing
+	return gasSStoreReset
+}

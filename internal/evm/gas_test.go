@@ -1,0 +1,115 @@
+package evm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGasAccountingBasics(t *testing.T) {
+	// PUSH1 3 PUSH1 4 ADD POP STOP: 3+3+3+2+0 = 11
+	res := runAsm(t, func(a *Assembler) {
+		a.Push(3).Push(4).Op(ADD).Op(POP).Op(STOP)
+	}, CallContext{})
+	if res.GasUsed != 11 {
+		t.Errorf("gas = %d, want 11", res.GasUsed)
+	}
+}
+
+func TestGasOutOfGas(t *testing.T) {
+	res := runAsm(t, func(a *Assembler) {
+		top := a.NewLabel()
+		a.Bind(top)
+		a.Jump(top) // spin forever
+	}, CallContext{Gas: 500})
+	if !errors.Is(res.Err, ErrOutOfGas) {
+		t.Fatalf("err = %v", res.Err)
+	}
+	if res.GasUsed <= 500-20 {
+		t.Errorf("gas used %d well below budget at abort", res.GasUsed)
+	}
+}
+
+func TestGasMemoryExpansion(t *testing.T) {
+	// Touching high memory must cost quadratically more than low memory.
+	cost := func(off uint64) uint64 {
+		res := runAsm(t, func(a *Assembler) {
+			a.Push(1).Push(off).Op(MSTORE)
+			a.Push(0).Push(0).Op(MSTORE) // extra step so expansion is billed
+			a.Op(STOP)
+		}, CallContext{})
+		return res.GasUsed
+	}
+	low := cost(0)
+	mid := cost(32 * 1024)
+	high := cost(256 * 1024)
+	if mid <= low {
+		t.Errorf("expansion not charged: low=%d mid=%d", low, mid)
+	}
+	// Quadratic component: cost growth from mid to high must exceed the
+	// linear ratio (8x memory must be more than 8x the expansion cost).
+	if (high - low) < 8*(mid-low) {
+		t.Errorf("expansion not superlinear: low=%d mid=%d high=%d", low, mid, high)
+	}
+}
+
+func TestGasStorageWrites(t *testing.T) {
+	a := NewAssembler()
+	a.Push(1).Push(7).Op(SSTORE) // fresh slot: 20000
+	a.Push(2).Push(7).Op(SSTORE) // overwrite: 2900
+	a.Op(STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewInterpreter(code).Execute(CallContext{})
+	if res.GasUsed < gasSStoreSet+gasSStoreReset {
+		t.Errorf("gas = %d, want >= %d", res.GasUsed, gasSStoreSet+gasSStoreReset)
+	}
+	if res.GasUsed > gasSStoreSet+gasSStoreReset+100 {
+		t.Errorf("gas = %d, storage dominated expected", res.GasUsed)
+	}
+}
+
+func TestGasExpByExponentSize(t *testing.T) {
+	cost := func(exp Word) uint64 {
+		res := runAsm(t, func(a *Assembler) {
+			a.PushWord(exp).Push(2).Op(EXP).Op(POP).Op(STOP)
+		}, CallContext{})
+		return res.GasUsed
+	}
+	small := cost(WordFromUint64(3))
+	big := cost(MaxWord)
+	if big-small != 31*gasExpPerByte {
+		t.Errorf("exp gas delta = %d, want %d", big-small, 31*gasExpPerByte)
+	}
+}
+
+func TestGasCopyPerWord(t *testing.T) {
+	cost := func(n uint64) uint64 {
+		res := runAsm(t, func(a *Assembler) {
+			a.Push(n).Push(0).Push(0).Op(CALLDATACOPY)
+			a.Op(STOP)
+		}, CallContext{CallData: make([]byte, 256)})
+		return res.GasUsed
+	}
+	delta := cost(256) - cost(32)
+	if delta < 7*gasCopyPerWord {
+		t.Errorf("copy gas delta = %d", delta)
+	}
+}
+
+func TestGasUnmeteredByDefault(t *testing.T) {
+	// Gas==0 means unlimited but still tracked.
+	res := runAsm(t, func(a *Assembler) {
+		for i := 0; i < 100; i++ {
+			a.Push(1).Op(POP)
+		}
+		a.Op(STOP)
+	}, CallContext{})
+	if res.Err != nil {
+		t.Fatalf("unmetered run failed: %v", res.Err)
+	}
+	if res.GasUsed == 0 {
+		t.Error("gas not tracked")
+	}
+}

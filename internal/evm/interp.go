@@ -1,0 +1,693 @@
+package evm
+
+import (
+	"errors"
+	"fmt"
+
+	"sigrec/internal/keccak"
+)
+
+// Interpreter errors surfaced by Execute. Out-of-gas style step exhaustion
+// and stack faults are returned rather than panicking, per EVM semantics
+// (they would consume all gas on a real node).
+var (
+	ErrOutOfGas        = errors.New("evm: out of gas")
+	ErrStackUnderflow  = errors.New("evm: stack underflow")
+	ErrStackOverflow   = errors.New("evm: stack overflow")
+	ErrInvalidJump     = errors.New("evm: jump to invalid destination")
+	ErrInvalidOpcode   = errors.New("evm: invalid opcode")
+	ErrStepLimit       = errors.New("evm: step limit exceeded")
+	ErrWriteProtection = errors.New("evm: state write in static context")
+)
+
+const (
+	maxStack = 1024
+	// defaultStepLimit bounds execution of generated contracts; they are
+	// tiny, so this is generous.
+	defaultStepLimit = 1 << 20
+	// maxMemory bounds interpreter memory growth (per execution).
+	maxMemory = 1 << 24
+)
+
+// CallContext carries the environment of a message call.
+type CallContext struct {
+	CallData []byte
+	// Caller and Address seed CALLER / ADDRESS; zero values are fine for
+	// analysis workloads.
+	Caller  Word
+	Address Word
+	Value   Word
+	// Static forbids SSTORE/LOG/SELFDESTRUCT.
+	Static bool
+	// StepLimit overrides the default execution budget when positive.
+	StepLimit int
+	// Gas is the gas budget; zero disables metering (the analysis
+	// workloads do not need it, the fuzzing ones may).
+	Gas uint64
+	// CollectCoverage records the set of executed instruction offsets in
+	// the result (for coverage-guided fuzzing).
+	CollectCoverage bool
+	// Tracer, when set, observes every instruction before it executes.
+	// Stack is a read-only view (top last); implementations must not
+	// retain it past the call.
+	Tracer func(step TraceStep)
+}
+
+// TraceStep is one instruction observation delivered to a Tracer.
+type TraceStep struct {
+	PC      uint64
+	Op      Op
+	Stack   []Word
+	GasUsed uint64
+	Depth   int
+}
+
+// ExecResult is the outcome of a call.
+type ExecResult struct {
+	// ReturnData is the RETURN or REVERT payload.
+	ReturnData []byte
+	// Reverted is true when execution ended in REVERT or a fault.
+	Reverted bool
+	// Err is non-nil on faults (invalid jump, stack fault, step limit).
+	Err error
+	// Steps is the number of instructions executed.
+	Steps int
+	// GasUsed is the metered gas consumption (tracked even when the
+	// budget is unlimited). Memory expansion is charged at the following
+	// step, so a terminal instruction's expansion is not billed.
+	GasUsed uint64
+	// Coverage is the set of executed instruction offsets, populated when
+	// CallContext.CollectCoverage is set.
+	Coverage map[uint64]bool
+	// StorageWrites counts SSTOREs, used by the fuzzer's bug oracles.
+	StorageWrites int
+	// Logs records LOGn topics, used as bug beacons by the fuzzer.
+	Logs []LogRecord
+}
+
+// LogRecord is one LOGn emission.
+type LogRecord struct {
+	Topics []Word
+	Data   []byte
+}
+
+// Storage is the persistent key/value store of one contract.
+type Storage map[Word]Word
+
+// memory is a byte-addressed, zero-extended memory.
+type memory struct {
+	data []byte
+}
+
+func (m *memory) grow(end uint64) error {
+	if end > maxMemory {
+		return fmt.Errorf("evm: memory limit: need %d bytes", end)
+	}
+	if uint64(len(m.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, m.data)
+		m.data = grown
+	}
+	return nil
+}
+
+func (m *memory) load32(off uint64) (Word, error) {
+	if err := m.grow(off + 32); err != nil {
+		return Word{}, err
+	}
+	return WordFromBytes(m.data[off : off+32]), nil
+}
+
+func (m *memory) store32(off uint64, w Word) error {
+	if err := m.grow(off + 32); err != nil {
+		return err
+	}
+	b := w.Bytes32()
+	copy(m.data[off:off+32], b[:])
+	return nil
+}
+
+func (m *memory) store8(off uint64, b byte) error {
+	if err := m.grow(off + 1); err != nil {
+		return err
+	}
+	m.data[off] = b
+	return nil
+}
+
+func (m *memory) copyFrom(dst uint64, src []byte, srcOff, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	if err := m.grow(dst + n); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		var b byte
+		if srcOff+i < uint64(len(src)) {
+			b = src[srcOff+i]
+		}
+		m.data[dst+i] = b
+	}
+	return nil
+}
+
+func (m *memory) slice(off, n uint64) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if err := m.grow(off + n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, m.data[off:off+n])
+	return out, nil
+}
+
+// Interpreter executes EVM bytecode concretely. It is the substrate for the
+// fuzzing application and for differential tests of the generated contracts.
+// Standalone interpreters stub external calls; attach a World (evm.World)
+// to execute them for real.
+type Interpreter struct {
+	program *Program
+	storage Storage
+
+	// world and account are set when executing inside a multi-contract
+	// World: storage writes journal through it and calls recurse.
+	world   *World
+	account *Account
+	depth   int
+}
+
+// NewInterpreter prepares an interpreter for the given runtime bytecode with
+// fresh storage.
+func NewInterpreter(code []byte) *Interpreter {
+	return &Interpreter{
+		program: Disassemble(code),
+		storage: make(Storage),
+	}
+}
+
+// Storage exposes a copy of the contract storage (for assertions).
+func (in *Interpreter) Storage() Storage {
+	cp := make(Storage, len(in.storage))
+	for k, v := range in.storage {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Execute runs a message call against the contract. Faults are reported in
+// the result (Reverted + Err), not as a Go error: a fault is a legitimate
+// execution outcome for the fuzzing workloads.
+func (in *Interpreter) Execute(ctx CallContext) ExecResult {
+	limit := ctx.StepLimit
+	if limit <= 0 {
+		limit = defaultStepLimit
+	}
+	var (
+		lastReturn []byte
+		stack      = make([]Word, 0, 64)
+		mem        memory
+		pc         uint64
+		res        ExecResult
+		fault      = func(err error) ExecResult { res.Reverted, res.Err = true, err; return res }
+		pop        = func() Word { w := stack[len(stack)-1]; stack = stack[:len(stack)-1]; return w }
+		push       = func(w Word) { stack = append(stack, w) }
+		needs      = func(n int) bool { return len(stack) >= n }
+		asU64      = func(w Word) (uint64, bool) { return w.Uint64() }
+		toSize     = func(w Word) (uint64, bool) {
+			v, ok := w.Uint64()
+			return v, ok && v <= maxMemory
+		}
+	)
+	var memCharged uint64 // memory-expansion gas billed so far
+	if ctx.CollectCoverage {
+		res.Coverage = make(map[uint64]bool, 64)
+	}
+	for {
+		if res.Coverage != nil {
+			res.Coverage[pc] = true
+		}
+		if res.Steps >= limit {
+			return fault(ErrStepLimit)
+		}
+		// Fold in memory expansion from the previous step and enforce the
+		// gas budget.
+		if mg := memoryGas(uint64(len(mem.data))); mg > memCharged {
+			res.GasUsed += mg - memCharged
+			memCharged = mg
+		}
+		if ctx.Gas > 0 && res.GasUsed > ctx.Gas {
+			return fault(ErrOutOfGas)
+		}
+		ins, ok := in.program.At(pc)
+		if !ok {
+			// Running off the end of code is STOP per EVM semantics.
+			return res
+		}
+		res.Steps++
+		op := ins.Op
+		if ctx.Tracer != nil {
+			ctx.Tracer(TraceStep{
+				PC:      pc,
+				Op:      op,
+				Stack:   stack,
+				GasUsed: res.GasUsed,
+				Depth:   in.depth,
+			})
+		}
+		res.GasUsed += staticGas(op)
+		info := opTable[op]
+		if !info.defined {
+			return fault(ErrInvalidOpcode)
+		}
+		if !needs(info.pops) {
+			return fault(ErrStackUnderflow)
+		}
+		if len(stack)-info.pops+info.pushes > maxStack {
+			return fault(ErrStackOverflow)
+		}
+		nextPC := pc + 1 + uint64(len(ins.ArgBytes))
+		switch {
+		case op.IsPush():
+			push(ins.Arg)
+		case op.IsDup():
+			n := int(op-DUP1) + 1
+			push(stack[len(stack)-n])
+		case op.IsSwap():
+			n := int(op-SWAP1) + 1
+			top := len(stack) - 1
+			stack[top], stack[top-n] = stack[top-n], stack[top]
+		default:
+			switch op {
+			case STOP:
+				return res
+			case ADD:
+				a, b := pop(), pop()
+				push(a.Add(b))
+			case MUL:
+				a, b := pop(), pop()
+				push(a.Mul(b))
+			case SUB:
+				a, b := pop(), pop()
+				push(a.Sub(b))
+			case DIV:
+				a, b := pop(), pop()
+				push(a.Div(b))
+			case SDIV:
+				a, b := pop(), pop()
+				push(a.SDiv(b))
+			case MOD:
+				a, b := pop(), pop()
+				push(a.Mod(b))
+			case SMOD:
+				a, b := pop(), pop()
+				push(a.SMod(b))
+			case ADDMOD:
+				a, b, m := pop(), pop(), pop()
+				push(a.AddMod(b, m))
+			case MULMOD:
+				a, b, m := pop(), pop(), pop()
+				push(a.MulMod(b, m))
+			case EXP:
+				a, b := pop(), pop()
+				res.GasUsed += expGas(b)
+				push(a.Exp(b))
+			case SIGNEXTEND:
+				k, v := pop(), pop()
+				push(v.SignExtend(k))
+			case LT:
+				a, b := pop(), pop()
+				push(a.Lt(b))
+			case GT:
+				a, b := pop(), pop()
+				push(a.Gt(b))
+			case SLT:
+				a, b := pop(), pop()
+				push(a.Slt(b))
+			case SGT:
+				a, b := pop(), pop()
+				push(a.Sgt(b))
+			case EQ:
+				a, b := pop(), pop()
+				push(a.EqWord(b))
+			case ISZERO:
+				push(pop().IsZeroWord())
+			case AND:
+				a, b := pop(), pop()
+				push(a.And(b))
+			case OR:
+				a, b := pop(), pop()
+				push(a.Or(b))
+			case XOR:
+				a, b := pop(), pop()
+				push(a.Xor(b))
+			case NOT:
+				push(pop().Not())
+			case BYTE:
+				i, v := pop(), pop()
+				push(v.Byte(i))
+			case SHL:
+				n, v := pop(), pop()
+				push(v.Shl(n))
+			case SHR:
+				n, v := pop(), pop()
+				push(v.Shr(n))
+			case SAR:
+				n, v := pop(), pop()
+				push(v.Sar(n))
+			case KECCAK256:
+				off, size := pop(), pop()
+				ov, ok1 := toSize(off)
+				sv, ok2 := toSize(size)
+				if !ok1 || !ok2 {
+					return fault(fmt.Errorf("evm: keccak range out of bounds"))
+				}
+				res.GasUsed += keccakGas(sv)
+				data, err := mem.slice(ov, sv)
+				if err != nil {
+					return fault(err)
+				}
+				sum := keccak.Sum256(data)
+				push(WordFromBytes(sum[:]))
+			case ADDRESS:
+				push(ctx.Address)
+			case CALLER:
+				push(ctx.Caller)
+			case ORIGIN:
+				push(ctx.Caller)
+			case CALLVALUE:
+				push(ctx.Value)
+			case CALLDATALOAD:
+				off := pop()
+				push(calldataLoad(ctx.CallData, off))
+			case CALLDATASIZE:
+				push(WordFromUint64(uint64(len(ctx.CallData))))
+			case CALLDATACOPY:
+				dst, src, n := pop(), pop(), pop()
+				dv, ok1 := toSize(dst)
+				nv, ok3 := toSize(n)
+				if !ok1 || !ok3 {
+					return fault(fmt.Errorf("evm: calldatacopy out of bounds"))
+				}
+				sv, ok2 := asU64(src)
+				if !ok2 {
+					sv = uint64(len(ctx.CallData)) // reads past end are zeros
+				}
+				res.GasUsed += copyGas(nv)
+				if err := mem.copyFrom(dv, ctx.CallData, sv, nv); err != nil {
+					return fault(err)
+				}
+			case CODESIZE:
+				push(WordFromUint64(uint64(len(in.program.Code))))
+			case CODECOPY:
+				dst, src, n := pop(), pop(), pop()
+				dv, ok1 := toSize(dst)
+				nv, ok3 := toSize(n)
+				if !ok1 || !ok3 {
+					return fault(fmt.Errorf("evm: codecopy out of bounds"))
+				}
+				sv, ok2 := asU64(src)
+				if !ok2 {
+					sv = uint64(len(in.program.Code))
+				}
+				res.GasUsed += copyGas(nv)
+				if err := mem.copyFrom(dv, in.program.Code, sv, nv); err != nil {
+					return fault(err)
+				}
+			case BALANCE:
+				addr := pop()
+				if in.world != nil {
+					if acc, ok := in.world.Account(addr); ok {
+						push(acc.Balance)
+						break
+					}
+				}
+				push(ZeroWord)
+			case EXTCODESIZE:
+				addr := pop()
+				if in.world != nil {
+					if acc, ok := in.world.Account(addr); ok {
+						push(WordFromUint64(uint64(len(acc.Code))))
+						break
+					}
+				}
+				push(ZeroWord)
+			case EXTCODEHASH, BLOCKHASH:
+				pop()
+				push(ZeroWord)
+			case GASPRICE, COINBASE, TIMESTAMP, NUMBER, PREVRANDAO, GASLIMIT,
+				CHAINID, BASEFEE, MSIZE, GAS:
+				push(ZeroWord)
+			case SELFBALANCE:
+				if in.account != nil {
+					push(in.account.Balance)
+				} else {
+					push(ZeroWord)
+				}
+			case RETURNDATASIZE:
+				push(WordFromUint64(uint64(len(lastReturn))))
+			case RETURNDATACOPY:
+				dst, src, n := pop(), pop(), pop()
+				dv, ok1 := toSize(dst)
+				nv, ok3 := toSize(n)
+				if !ok1 || !ok3 {
+					return fault(fmt.Errorf("evm: returndatacopy out of bounds"))
+				}
+				sv, ok2 := asU64(src)
+				if !ok2 {
+					sv = uint64(len(lastReturn))
+				}
+				if err := mem.copyFrom(dv, lastReturn, sv, nv); err != nil {
+					return fault(err)
+				}
+			case EXTCODECOPY:
+				pop()
+				pop()
+				pop()
+				pop()
+			case POP:
+				pop()
+			case MLOAD:
+				off := pop()
+				ov, ok := toSize(off)
+				if !ok {
+					return fault(fmt.Errorf("evm: mload out of bounds"))
+				}
+				w, err := mem.load32(ov)
+				if err != nil {
+					return fault(err)
+				}
+				push(w)
+			case MSTORE:
+				off, val := pop(), pop()
+				ov, ok := toSize(off)
+				if !ok {
+					return fault(fmt.Errorf("evm: mstore out of bounds"))
+				}
+				if err := mem.store32(ov, val); err != nil {
+					return fault(err)
+				}
+			case MSTORE8:
+				off, val := pop(), pop()
+				ov, ok := toSize(off)
+				if !ok {
+					return fault(fmt.Errorf("evm: mstore8 out of bounds"))
+				}
+				lo, _ := val.Uint64()
+				if err := mem.store8(ov, byte(lo)); err != nil {
+					return fault(err)
+				}
+			case SLOAD:
+				key := pop()
+				push(in.storage[key])
+			case SSTORE:
+				if ctx.Static {
+					return fault(ErrWriteProtection)
+				}
+				key, val := pop(), pop()
+				existing, hadKey := in.storage[key]
+				res.GasUsed += sstoreGas(existing, val, hadKey)
+				if in.world != nil && in.account != nil {
+					in.world.writeStorage(in.account, key, val)
+				} else {
+					in.storage[key] = val
+				}
+				res.StorageWrites++
+			case JUMP:
+				dst := pop()
+				dv, ok := asU64(dst)
+				if !ok || !in.program.IsJumpDest(dv) {
+					return fault(ErrInvalidJump)
+				}
+				pc = dv
+				continue
+			case JUMPI:
+				dst, cond := pop(), pop()
+				if !cond.IsZero() {
+					dv, ok := asU64(dst)
+					if !ok || !in.program.IsJumpDest(dv) {
+						return fault(ErrInvalidJump)
+					}
+					pc = dv
+					continue
+				}
+			case PC:
+				push(WordFromUint64(pc))
+			case JUMPDEST:
+				// no-op
+			case LOG0, LOG0 + 1, LOG0 + 2, LOG0 + 3, LOG4:
+				if ctx.Static {
+					return fault(ErrWriteProtection)
+				}
+				off, size := pop(), pop()
+				topicCount := int(op - LOG0)
+				topics := make([]Word, topicCount)
+				for i := range topics {
+					topics[i] = pop()
+				}
+				ov, ok1 := toSize(off)
+				sv, ok2 := toSize(size)
+				if !ok1 || !ok2 {
+					return fault(fmt.Errorf("evm: log range out of bounds"))
+				}
+				res.GasUsed += logGas(sv)
+				data, err := mem.slice(ov, sv)
+				if err != nil {
+					return fault(err)
+				}
+				res.Logs = append(res.Logs, LogRecord{Topics: topics, Data: data})
+			case CALL, CALLCODE, DELEGATECALL, STATICCALL:
+				if in.world == nil || in.account == nil {
+					// Standalone mode: external calls are stubbed.
+					for i := 0; i < info.pops; i++ {
+						pop()
+					}
+					push(OneWord)
+					break
+				}
+				callGas, _ := pop().Uint64()
+				target := pop()
+				value := ZeroWord
+				if op == CALL || op == CALLCODE {
+					value = pop()
+				}
+				argsOff, argsLen, retOff, retLen := pop(), pop(), pop(), pop()
+				ao, okA := toSize(argsOff)
+				al, okB := toSize(argsLen)
+				ro, okC := toSize(retOff)
+				rl, okD := toSize(retLen)
+				if !okA || !okB || !okC || !okD {
+					return fault(fmt.Errorf("evm: call memory range out of bounds"))
+				}
+				input, err := mem.slice(ao, al)
+				if err != nil {
+					return fault(err)
+				}
+				if (op == CALL || op == CALLCODE) && ctx.Static && !value.IsZero() {
+					return fault(ErrWriteProtection)
+				}
+				child, okCall := in.world.nestedCall(callParams{
+					kind:         op,
+					caller:       in.account,
+					target:       target,
+					value:        value,
+					input:        input,
+					static:       ctx.Static || op == STATICCALL,
+					depth:        in.depth + 1,
+					gas:          callGas,
+					parentCaller: ctx.Caller,
+					parentValue:  ctx.Value,
+				})
+				lastReturn = child.ReturnData
+				res.StorageWrites += child.StorageWrites
+				res.Logs = append(res.Logs, child.Logs...)
+				res.GasUsed += child.GasUsed
+				if rl > 0 {
+					n := rl
+					if uint64(len(lastReturn)) < n {
+						n = uint64(len(lastReturn))
+					}
+					if err := mem.copyFrom(ro, lastReturn, 0, n); err != nil {
+						return fault(err)
+					}
+				}
+				if okCall {
+					push(OneWord)
+				} else {
+					push(ZeroWord)
+				}
+			case CREATE, CREATE2:
+				for i := 0; i < info.pops; i++ {
+					pop()
+				}
+				push(ZeroWord)
+			case RETURN:
+				off, size := pop(), pop()
+				ov, ok1 := toSize(off)
+				sv, ok2 := toSize(size)
+				if !ok1 || !ok2 {
+					return fault(fmt.Errorf("evm: return range out of bounds"))
+				}
+				data, err := mem.slice(ov, sv)
+				if err != nil {
+					return fault(err)
+				}
+				res.ReturnData = data
+				return res
+			case REVERT:
+				off, size := pop(), pop()
+				ov, ok1 := toSize(off)
+				sv, ok2 := toSize(size)
+				if ok1 && ok2 {
+					res.ReturnData, _ = mem.slice(ov, sv)
+				}
+				res.Reverted = true
+				return res
+			case INVALID:
+				return fault(ErrInvalidOpcode)
+			case SELFDESTRUCT:
+				if ctx.Static {
+					return fault(ErrWriteProtection)
+				}
+				pop()
+				return res
+			default:
+				return fault(fmt.Errorf("evm: unhandled opcode %s", op))
+			}
+		}
+		pc = nextPC
+	}
+}
+
+// ExtractRuntime executes deployment bytecode (constructor/init code) and
+// returns the runtime bytecode it deploys -- the RETURN payload of the init
+// execution. This is how a tool pointed at a deployment transaction obtains
+// the code SigRec analyzes.
+func ExtractRuntime(deployCode []byte) ([]byte, error) {
+	in := NewInterpreter(deployCode)
+	res := in.Execute(CallContext{StepLimit: 1 << 16})
+	if res.Err != nil {
+		return nil, fmt.Errorf("evm: init code faulted: %w", res.Err)
+	}
+	if res.Reverted {
+		return nil, errors.New("evm: init code reverted")
+	}
+	if len(res.ReturnData) == 0 {
+		return nil, errors.New("evm: init code returned no runtime bytecode")
+	}
+	return res.ReturnData, nil
+}
+
+// calldataLoad implements CALLDATALOAD semantics: 32 bytes from offset,
+// zero-padded past the end; enormous offsets read all zeros.
+func calldataLoad(data []byte, off Word) Word {
+	ov, ok := off.Uint64()
+	if !ok || ov > uint64(len(data)) {
+		return ZeroWord
+	}
+	var buf [32]byte
+	copy(buf[:], data[ov:])
+	return WordFromBytes(buf[:])
+}

@@ -1,0 +1,249 @@
+package evm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// runAsm assembles and executes a program, failing the test on assembly
+// errors.
+func runAsm(t *testing.T, build func(a *Assembler), ctx CallContext) ExecResult {
+	t.Helper()
+	a := NewAssembler()
+	build(a)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return NewInterpreter(code).Execute(ctx)
+}
+
+func TestInterpArithmeticReturn(t *testing.T) {
+	// return 3 + 4 as a 32-byte word
+	res := runAsm(t, func(a *Assembler) {
+		a.Push(3).Push(4).Op(ADD)
+		a.Push(0).Op(MSTORE)
+		a.Push(32).Push(0).Op(RETURN)
+	}, CallContext{})
+	if res.Reverted {
+		t.Fatalf("reverted: %v", res.Err)
+	}
+	want := WordFromUint64(7).Bytes32()
+	if !bytes.Equal(res.ReturnData, want[:]) {
+		t.Errorf("return = %x", res.ReturnData)
+	}
+}
+
+func TestInterpCalldata(t *testing.T) {
+	calldata := make([]byte, 36)
+	copy(calldata, []byte{0xa9, 0x05, 0x9c, 0xbb})
+	calldata[35] = 0x2a // uint256 arg = 42
+	res := runAsm(t, func(a *Assembler) {
+		a.Push(4).Op(CALLDATALOAD) // load first arg
+		a.Push(0).Op(MSTORE)
+		a.Push(32).Push(0).Op(RETURN)
+	}, CallContext{CallData: calldata})
+	want := WordFromUint64(42).Bytes32()
+	if !bytes.Equal(res.ReturnData, want[:]) {
+		t.Errorf("return = %x", res.ReturnData)
+	}
+}
+
+func TestInterpCalldataPastEnd(t *testing.T) {
+	res := runAsm(t, func(a *Assembler) {
+		a.Push(1000).Op(CALLDATALOAD)
+		a.Push(0).Op(MSTORE)
+		a.Push(32).Push(0).Op(RETURN)
+	}, CallContext{CallData: []byte{1, 2, 3}})
+	if !WordFromBytes(res.ReturnData).IsZero() {
+		t.Errorf("reads past calldata end must be zero, got %x", res.ReturnData)
+	}
+}
+
+func TestInterpCalldatacopyZeroPads(t *testing.T) {
+	res := runAsm(t, func(a *Assembler) {
+		a.Push(8).Push(0).Push(0).Op(CALLDATACOPY) // copy 8 bytes from offset 0 to mem 0
+		a.Push(32).Push(0).Op(RETURN)
+	}, CallContext{CallData: []byte{0xaa, 0xbb}})
+	if res.ReturnData[0] != 0xaa || res.ReturnData[1] != 0xbb || res.ReturnData[2] != 0 {
+		t.Errorf("calldatacopy = %x", res.ReturnData[:8])
+	}
+}
+
+func TestInterpStorage(t *testing.T) {
+	a := NewAssembler()
+	a.Push(0x2a).Push(7).Op(SSTORE) // storage[7] = 42
+	a.Push(7).Op(SLOAD)
+	a.Push(0).Op(MSTORE)
+	a.Push(32).Push(0).Op(RETURN)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterpreter(code)
+	res := in.Execute(CallContext{})
+	if WordFromBytes(res.ReturnData).Cmp(WordFromUint64(0x2a)) != 0 {
+		t.Errorf("sload = %x", res.ReturnData)
+	}
+	if res.StorageWrites != 1 {
+		t.Errorf("writes = %d", res.StorageWrites)
+	}
+	if got := in.Storage()[WordFromUint64(7)]; !got.Eq(WordFromUint64(0x2a)) {
+		t.Errorf("storage[7] = %v", got)
+	}
+}
+
+func TestInterpStaticWriteProtection(t *testing.T) {
+	res := runAsm(t, func(a *Assembler) {
+		a.Push(1).Push(0).Op(SSTORE)
+	}, CallContext{Static: true})
+	if !errors.Is(res.Err, ErrWriteProtection) {
+		t.Errorf("err = %v", res.Err)
+	}
+}
+
+func TestInterpLoop(t *testing.T) {
+	// i = 0; while (i < 5) i++; storage[0] = i
+	res := runAsm(t, func(a *Assembler) {
+		top := a.NewLabel()
+		done := a.NewLabel()
+		a.Push(0) // i on stack
+		a.Bind(top)
+		a.Dup(1).Push(5).Swap(1).Op(LT) // i < 5
+		a.Op(ISZERO)
+		a.JumpI(done)
+		a.Push(1).Op(ADD)
+		a.Jump(top)
+		a.Bind(done)
+		a.Push(0).Op(SSTORE)
+		a.Op(STOP)
+	}, CallContext{})
+	if res.Reverted {
+		t.Fatalf("loop reverted: %v", res.Err)
+	}
+}
+
+func TestInterpRevert(t *testing.T) {
+	res := runAsm(t, func(a *Assembler) {
+		a.Push(0).Push(0).Op(REVERT)
+	}, CallContext{})
+	if !res.Reverted || res.Err != nil {
+		t.Errorf("revert result = %+v", res)
+	}
+}
+
+func TestInterpFaults(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(a *Assembler)
+		want  error
+	}{
+		{"underflow", func(a *Assembler) { a.Op(ADD) }, ErrStackUnderflow},
+		{"invalid jump", func(a *Assembler) { a.Push(3).Op(JUMP) }, ErrInvalidJump},
+		{"invalid op", func(a *Assembler) { a.Op(INVALID) }, ErrInvalidOpcode},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			res := runAsm(t, tc.build, CallContext{})
+			if !errors.Is(res.Err, tc.want) {
+				t.Errorf("err = %v, want %v", res.Err, tc.want)
+			}
+			if !res.Reverted {
+				t.Error("faults must revert")
+			}
+		})
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	res := runAsm(t, func(a *Assembler) {
+		top := a.NewLabel()
+		a.Bind(top)
+		a.Jump(top)
+	}, CallContext{StepLimit: 100})
+	if !errors.Is(res.Err, ErrStepLimit) {
+		t.Errorf("err = %v", res.Err)
+	}
+}
+
+func TestInterpKeccak(t *testing.T) {
+	// keccak256 of empty memory range must equal the empty-code hash.
+	res := runAsm(t, func(a *Assembler) {
+		a.Push(0).Push(0).Op(KECCAK256)
+		a.Push(0).Op(MSTORE)
+		a.Push(32).Push(0).Op(RETURN)
+	}, CallContext{})
+	want := MustWordFromHex("0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470")
+	if !WordFromBytes(res.ReturnData).Eq(want) {
+		t.Errorf("keccak = %x", res.ReturnData)
+	}
+}
+
+func TestInterpLogs(t *testing.T) {
+	res := runAsm(t, func(a *Assembler) {
+		a.Push(0xbeef)    // topic (third from top)
+		a.Push(0).Push(0) // size, then offset on top: LOG pops off, size, topics
+		a.Op(LOG0 + 1)    // LOG1
+		a.Op(STOP)
+	}, CallContext{})
+	if res.Err != nil {
+		t.Fatalf("err: %v", res.Err)
+	}
+	if len(res.Logs) != 1 || !res.Logs[0].Topics[0].Eq(WordFromUint64(0xbeef)) {
+		t.Errorf("logs = %+v", res.Logs)
+	}
+}
+
+func TestInterpRunOffEndIsStop(t *testing.T) {
+	code := []byte{byte(PUSH1), 0x01, byte(POP)}
+	res := NewInterpreter(code).Execute(CallContext{})
+	if res.Reverted || res.Err != nil {
+		t.Errorf("running off the end must be STOP: %+v", res)
+	}
+}
+
+func TestInterpCallStubs(t *testing.T) {
+	res := runAsm(t, func(a *Assembler) {
+		for i := 0; i < 7; i++ {
+			a.Push(0)
+		}
+		a.Op(CALL) // stub pushes 1
+		a.Push(0).Op(MSTORE)
+		a.Push(32).Push(0).Op(RETURN)
+	}, CallContext{})
+	if !WordFromBytes(res.ReturnData).Eq(OneWord) {
+		t.Errorf("CALL stub = %x", res.ReturnData)
+	}
+}
+
+func TestTracerObservesSteps(t *testing.T) {
+	a := NewAssembler()
+	a.Push(3).Push(4).Op(ADD).Op(POP).Op(STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []Op
+	var sawStackTwo bool
+	res := NewInterpreter(code).Execute(CallContext{
+		Tracer: func(s TraceStep) {
+			ops = append(ops, s.Op)
+			if s.Op == ADD && len(s.Stack) == 2 {
+				sawStackTwo = true
+			}
+		},
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(ops) != res.Steps {
+		t.Errorf("traced %d steps, executed %d", len(ops), res.Steps)
+	}
+	if ops[0] != PUSH1 || ops[len(ops)-1] != STOP {
+		t.Errorf("trace order: %v", ops)
+	}
+	if !sawStackTwo {
+		t.Error("tracer did not observe the pre-ADD stack")
+	}
+}

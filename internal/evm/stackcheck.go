@@ -1,0 +1,78 @@
+package evm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stack-validation errors.
+var (
+	// ErrStackCheckUnderflow reports an instruction that would pop more
+	// than the stack holds on some path.
+	ErrStackCheckUnderflow = errors.New("evm: static stack underflow")
+	// ErrStackCheckConflict reports a join point reached with different
+	// stack heights -- legal EVM but a bug in stack-disciplined generated
+	// code.
+	ErrStackCheckConflict = errors.New("evm: conflicting stack heights at join")
+	// ErrStackCheckOverflow reports exceeding the 1024-item limit.
+	ErrStackCheckOverflow = errors.New("evm: static stack overflow")
+)
+
+// ValidateStackDepth abstractly interprets the program over the CFG,
+// tracking the stack height at every block entry. It proves the generated
+// code can never underflow and that every join is height-consistent -- the
+// stack discipline the in-repo compilers promise. Blocks reachable only
+// through computed jumps are not checked (their entry height is unknown).
+func (p *Program) ValidateStackDepth() error {
+	g := p.CFG()
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	entry := make([]int, len(g.Blocks))
+	for i := range entry {
+		entry[i] = -1 // unknown
+	}
+	entry[0] = 0
+	work := []int{0}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		h, err := p.blockExitHeight(g.Blocks[b], entry[b])
+		if err != nil {
+			return err
+		}
+		for _, s := range g.Succs[b] {
+			switch entry[s] {
+			case -1:
+				entry[s] = h
+				work = append(work, s)
+			case h:
+				// consistent; nothing to do
+			default:
+				return fmt.Errorf("%w: block at %#x entered with %d and %d",
+					ErrStackCheckConflict, g.Blocks[s].Start, entry[s], h)
+			}
+		}
+	}
+	return nil
+}
+
+// blockExitHeight simulates one block's stack effects from the entry height.
+func (p *Program) blockExitHeight(b BasicBlock, h int) (int, error) {
+	for i := b.First; i <= b.Last; i++ {
+		ins := p.Instructions[i]
+		info := opTable[ins.Op]
+		if !info.defined {
+			return h, nil // execution faults here; nothing past it runs
+		}
+		if h < info.pops {
+			return 0, fmt.Errorf("%w: %s at %#x needs %d, stack has %d",
+				ErrStackCheckUnderflow, ins.Op, ins.PC, info.pops, h)
+		}
+		h = h - info.pops + info.pushes
+		if h > maxStack {
+			return 0, fmt.Errorf("%w: height %d at %#x", ErrStackCheckOverflow, h, ins.PC)
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,108 @@
+package evm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestValidateStackDepthClean(t *testing.T) {
+	a := NewAssembler()
+	body := a.NewLabel()
+	a.Push(0).Op(CALLDATALOAD)
+	a.JumpI(body)
+	a.Op(STOP)
+	a.Bind(body)
+	a.Push(4).Op(CALLDATALOAD).Push(0).Op(SSTORE)
+	a.Op(STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Disassemble(code).ValidateStackDepth(); err != nil {
+		t.Errorf("clean program rejected: %v", err)
+	}
+}
+
+func TestValidateStackDepthUnderflow(t *testing.T) {
+	code := []byte{byte(ADD), byte(STOP)}
+	err := Disassemble(code).ValidateStackDepth()
+	if !errors.Is(err, ErrStackCheckUnderflow) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateStackDepthJoinConflict(t *testing.T) {
+	// One branch pushes an extra item before the join.
+	a := NewAssembler()
+	taken := a.NewLabel()
+	join := a.NewLabel()
+	a.Push(0).Op(CALLDATALOAD)
+	a.JumpI(taken)
+	a.Push(1) // fall-through height +1
+	a.Jump(join)
+	a.Bind(taken) // height +0
+	a.Jump(join)
+	a.Bind(join)
+	a.Op(STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Disassemble(code).ValidateStackDepth()
+	if !errors.Is(err, ErrStackCheckConflict) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateStackDepthEmpty(t *testing.T) {
+	if err := Disassemble(nil).ValidateStackDepth(); err != nil {
+		t.Errorf("empty program: %v", err)
+	}
+}
+
+func TestValidateStackDepthLoop(t *testing.T) {
+	// A loop that keeps its counter on the stack must validate: the back
+	// edge re-enters the header at the same height.
+	a := NewAssembler()
+	top := a.NewLabel()
+	exit := a.NewLabel()
+	a.Push(0)
+	a.Bind(top)
+	a.Dup(1).Push(5).Swap(1).Op(LT).Op(ISZERO)
+	a.JumpI(exit)
+	a.Push(1).Op(ADD)
+	a.Jump(top)
+	a.Bind(exit)
+	a.Op(POP).Op(STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Disassemble(code).ValidateStackDepth(); err != nil {
+		t.Errorf("loop rejected: %v", err)
+	}
+}
+
+func TestValidateStackDepthUnbalancedLoop(t *testing.T) {
+	// A loop that leaks one stack item per iteration must be rejected.
+	a := NewAssembler()
+	top := a.NewLabel()
+	exit := a.NewLabel()
+	a.Push(0)
+	a.Bind(top)
+	a.Dup(1).Push(5).Swap(1).Op(LT).Op(ISZERO)
+	a.JumpI(exit)
+	a.Push(1).Op(ADD)
+	a.Push(99) // the leak
+	a.Jump(top)
+	a.Bind(exit)
+	a.Op(POP).Op(STOP)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Disassemble(code).ValidateStackDepth()
+	if !errors.Is(err, ErrStackCheckConflict) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,334 @@
+package evm
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomWord draws words with a mix of magnitudes so property tests cover
+// small values, boundary values, and full-width values.
+func randomWord(r *rand.Rand) Word {
+	switch r.Intn(5) {
+	case 0:
+		return WordFromUint64(r.Uint64() % 1024)
+	case 1:
+		return WordFromUint64(r.Uint64())
+	case 2:
+		return MaxWord.Sub(WordFromUint64(r.Uint64() % 1024))
+	case 3:
+		return HighMask(uint(1 + r.Intn(256)))
+	default:
+		var w Word
+		for i := range w.limbs {
+			w.limbs[i] = r.Uint64()
+		}
+		return w
+	}
+}
+
+// Generate implements quick.Generator for Word.
+func (Word) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomWord(r))
+}
+
+func mod256(v *big.Int) *big.Int {
+	m := new(big.Int).Mod(v, wordModulus())
+	if m.Sign() < 0 {
+		m.Add(m, wordModulus())
+	}
+	return m
+}
+
+func TestWordRoundTrips(t *testing.T) {
+	cases := []string{
+		"0x0", "0x1", "0xff", "0xdeadbeef",
+		"0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"[:66],
+		"0xa9059cbb000000000000000000000000000000000000000000000000000000ff"[:66],
+	}
+	for _, tc := range cases {
+		w, err := WordFromHex(tc)
+		if err != nil {
+			t.Fatalf("WordFromHex(%q): %v", tc, err)
+		}
+		back := WordFromBig(w.Big())
+		if !w.Eq(back) {
+			t.Errorf("big round trip %q: got %v", tc, back)
+		}
+		b32 := w.Bytes32()
+		if got := WordFromBytes(b32[:]); !got.Eq(w) {
+			t.Errorf("bytes round trip %q: got %v", tc, got)
+		}
+	}
+}
+
+func TestWordBasicOps(t *testing.T) {
+	two := WordFromUint64(2)
+	three := WordFromUint64(3)
+	tests := []struct {
+		name string
+		got  Word
+		want Word
+	}{
+		{"add", two.Add(three), WordFromUint64(5)},
+		{"add overflow", MaxWord.Add(OneWord), ZeroWord},
+		{"sub", three.Sub(two), OneWord},
+		{"sub underflow", ZeroWord.Sub(OneWord), MaxWord},
+		{"mul", two.Mul(three), WordFromUint64(6)},
+		{"div", WordFromUint64(7).Div(two), three},
+		{"div by zero", three.Div(ZeroWord), ZeroWord},
+		{"mod", WordFromUint64(7).Mod(three), OneWord},
+		{"mod by zero", three.Mod(ZeroWord), ZeroWord},
+		{"exp", two.Exp(WordFromUint64(10)), WordFromUint64(1024)},
+		{"exp zero", two.Exp(ZeroWord), OneWord},
+		{"shl", OneWord.Shl(WordFromUint64(255)), HighMask(1)},
+		{"shl 256", OneWord.Shl(WordFromUint64(256)), ZeroWord},
+		{"shr", HighMask(1).Shr(WordFromUint64(255)), OneWord},
+		{"sar negative", MaxWord.Sar(WordFromUint64(17)), MaxWord},
+		{"sar positive", WordFromUint64(8).Sar(WordFromUint64(2)), two},
+		{"byte 31", WordFromUint64(0xab).Byte(WordFromUint64(31)), WordFromUint64(0xab)},
+		{"byte 0", HighMask(8).Byte(ZeroWord), WordFromUint64(0xff)},
+		{"byte oob", MaxWord.Byte(WordFromUint64(32)), ZeroWord},
+		{"iszero of zero", ZeroWord.IsZeroWord(), OneWord},
+		{"iszero of one", OneWord.IsZeroWord(), ZeroWord},
+		{"lt", two.Lt(three), OneWord},
+		{"gt", two.Gt(three), ZeroWord},
+		{"slt negative", MaxWord.Slt(OneWord), OneWord}, // -1 < 1
+		{"sgt negative", MaxWord.Sgt(OneWord), ZeroWord},
+	}
+	for _, tc := range tests {
+		if !tc.got.Eq(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestWordSignedOps(t *testing.T) {
+	negOne := MaxWord
+	negSeven := WordFromUint64(7).Neg()
+	two := WordFromUint64(2)
+	if got := negSeven.SDiv(two); !got.Eq(WordFromUint64(3).Neg()) {
+		t.Errorf("SDiv(-7,2) = %v, want -3", got)
+	}
+	if got := negSeven.SMod(two); !got.Eq(negOne) {
+		t.Errorf("SMod(-7,2) = %v, want -1", got)
+	}
+	minInt := HighMask(1)
+	if got := minInt.SDiv(negOne); !got.Eq(minInt) {
+		t.Errorf("SDiv(min,-1) = %v, want min", got)
+	}
+	if got := OneWord.SDiv(ZeroWord); !got.IsZero() {
+		t.Errorf("SDiv by zero = %v, want 0", got)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	tests := []struct {
+		k    uint64
+		in   Word
+		want Word
+	}{
+		{0, WordFromUint64(0x7f), WordFromUint64(0x7f)},
+		{0, WordFromUint64(0x80), MaxWord.Sub(WordFromUint64(0x7f))},
+		{1, WordFromUint64(0x8000), MaxWord.Sub(WordFromUint64(0x7fff))},
+		{1, WordFromUint64(0x7fff), WordFromUint64(0x7fff)},
+		{31, MaxWord, MaxWord},
+		{200, WordFromUint64(0x80), WordFromUint64(0x80)},
+	}
+	for _, tc := range tests {
+		if got := tc.in.SignExtend(WordFromUint64(tc.k)); !got.Eq(tc.want) {
+			t.Errorf("SignExtend(%d, %v) = %v, want %v", tc.k, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMasks(t *testing.T) {
+	if got := LowMask(8); !got.Eq(WordFromUint64(0xff)) {
+		t.Errorf("LowMask(8) = %v", got)
+	}
+	if got := LowMask(0); !got.IsZero() {
+		t.Errorf("LowMask(0) = %v", got)
+	}
+	if got := LowMask(256); !got.Eq(MaxWord) {
+		t.Errorf("LowMask(256) = %v", got)
+	}
+	if got := HighMask(32).Or(LowMask(224)); !got.Eq(MaxWord) {
+		t.Errorf("HighMask(32)|LowMask(224) = %v", got)
+	}
+	if !HighMask(32).And(LowMask(224)).IsZero() {
+		t.Error("HighMask(32)&LowMask(224) should be zero")
+	}
+}
+
+// Property tests comparing every arithmetic operation against math/big.
+
+func TestWordPropsVsBig(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	type binOp struct {
+		name string
+		word func(a, b Word) Word
+		big  func(a, b *big.Int) *big.Int
+	}
+	ops := []binOp{
+		{"add", Word.Add, func(a, b *big.Int) *big.Int { return new(big.Int).Add(a, b) }},
+		{"sub", Word.Sub, func(a, b *big.Int) *big.Int { return new(big.Int).Sub(a, b) }},
+		{"mul", Word.Mul, func(a, b *big.Int) *big.Int { return new(big.Int).Mul(a, b) }},
+		{"and", Word.And, func(a, b *big.Int) *big.Int { return new(big.Int).And(a, b) }},
+		{"or", Word.Or, func(a, b *big.Int) *big.Int { return new(big.Int).Or(a, b) }},
+		{"xor", Word.Xor, func(a, b *big.Int) *big.Int { return new(big.Int).Xor(a, b) }},
+		{"div", Word.Div, func(a, b *big.Int) *big.Int {
+			if b.Sign() == 0 {
+				return new(big.Int)
+			}
+			return new(big.Int).Quo(a, b)
+		}},
+		{"mod", Word.Mod, func(a, b *big.Int) *big.Int {
+			if b.Sign() == 0 {
+				return new(big.Int)
+			}
+			return new(big.Int).Rem(a, b)
+		}},
+	}
+	for _, op := range ops {
+		op := op
+		t.Run(op.name, func(t *testing.T) {
+			f := func(a, b Word) bool {
+				got := op.word(a, b)
+				want := WordFromBig(op.big(a.Big(), b.Big()))
+				return got.Eq(want)
+			}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestWordShiftPropsVsBig(t *testing.T) {
+	f := func(a Word, nRaw uint16) bool {
+		n := uint(nRaw % 300)
+		nw := WordFromUint64(uint64(n))
+		shl := a.Shl(nw)
+		shr := a.Shr(nw)
+		var wantShl, wantShr *big.Int
+		if n >= 256 {
+			wantShl, wantShr = new(big.Int), new(big.Int)
+		} else {
+			wantShl = mod256(new(big.Int).Lsh(a.Big(), n))
+			wantShr = new(big.Int).Rsh(a.Big(), n)
+		}
+		return shl.Eq(WordFromBig(wantShl)) && shr.Eq(WordFromBig(wantShr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSignedPropsVsBig(t *testing.T) {
+	f := func(a, b Word) bool {
+		if b.IsZero() {
+			return a.SDiv(b).IsZero() && a.SMod(b).IsZero()
+		}
+		as, bs := a.SignedBig(), b.SignedBig()
+		wantQ := WordFromBig(new(big.Int).Quo(as, bs))
+		wantR := WordFromBig(new(big.Int).Rem(as, bs))
+		return a.SDiv(b).Eq(wantQ) && a.SMod(b).Eq(wantR)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSignExtendPropVsBig(t *testing.T) {
+	f := func(a Word, kRaw uint8) bool {
+		k := uint64(kRaw % 40)
+		got := a.SignExtend(WordFromUint64(k))
+		if k >= 31 {
+			return got.Eq(a)
+		}
+		bits := (k + 1) * 8
+		low := a.Big()
+		low.And(low, LowMask(uint(bits)).Big())
+		if low.Bit(int(bits-1)) == 1 {
+			ext := HighMask(uint(256 - bits)).Big()
+			low.Or(low, ext)
+		}
+		return got.Eq(WordFromBig(low))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordModularPropsVsBig(t *testing.T) {
+	f := func(a, b, m Word) bool {
+		gotA, gotM := a.AddMod(b, m), a.MulMod(b, m)
+		if m.IsZero() {
+			return gotA.IsZero() && gotM.IsZero()
+		}
+		wantA := WordFromBig(new(big.Int).Mod(new(big.Int).Add(a.Big(), b.Big()), m.Big()))
+		wantM := WordFromBig(new(big.Int).Mod(new(big.Int).Mul(a.Big(), b.Big()), m.Big()))
+		return gotA.Eq(wantA) && gotM.Eq(wantM)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordExpPropVsBig(t *testing.T) {
+	f := func(a Word, eRaw uint8) bool {
+		e := WordFromUint64(uint64(eRaw))
+		got := a.Exp(e)
+		want := WordFromBig(new(big.Int).Exp(a.Big(), e.Big(), wordModulus()))
+		return got.Eq(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordComparisonProps(t *testing.T) {
+	f := func(a, b Word) bool {
+		cmpBig := a.Big().Cmp(b.Big())
+		if a.Cmp(b) != cmpBig {
+			return false
+		}
+		scmpBig := a.SignedBig().Cmp(b.SignedBig())
+		return a.Scmp(b) == scmpBig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSarPropVsBig(t *testing.T) {
+	f := func(a Word, nRaw uint16) bool {
+		n := uint(nRaw % 300)
+		got := a.Sar(WordFromUint64(uint64(n)))
+		want := new(big.Int).Rsh(a.SignedBig(), n)
+		return got.Eq(WordFromBig(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordHex(t *testing.T) {
+	if got := ZeroWord.Hex(); got != "0x0" {
+		t.Errorf("zero hex = %q", got)
+	}
+	if got := WordFromUint64(0xa9059cbb).Hex(); got != "0xa9059cbb" {
+		t.Errorf("hex = %q", got)
+	}
+	if _, err := WordFromHex(""); err == nil {
+		t.Error("empty hex should fail")
+	}
+	if _, err := WordFromHex("0x" + string(make([]byte, 100))); err == nil {
+		t.Error("oversized hex should fail")
+	}
+	if _, err := WordFromHex("zz"); err == nil {
+		t.Error("invalid hex should fail")
+	}
+}

@@ -1,0 +1,246 @@
+package evm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// World is a minimal multi-contract chain state: accounts with code,
+// storage, and balances. With a World attached, the interpreter executes
+// CALL/CALLCODE/DELEGATECALL/STATICCALL for real -- nested execution, value
+// transfer, return-data plumbing, and rollback of state changes when a
+// callee reverts (via a write journal).
+type World struct {
+	accounts map[Word]*Account
+	journal  []journalEntry
+}
+
+// Account is one contract or externally-owned account.
+type Account struct {
+	Address Word
+	Code    []byte
+	Storage Storage
+	Balance Word
+
+	program *Program
+}
+
+type journalEntry struct {
+	acc     *Account
+	key     Word
+	prev    Word
+	existed bool
+	// balance rollback
+	balanceOf   *Account
+	prevBalance Word
+	isBalance   bool
+}
+
+// World errors.
+var (
+	ErrNoAccount    = errors.New("evm: no such account")
+	ErrCallDepth    = errors.New("evm: call depth exceeded")
+	ErrInsufficient = errors.New("evm: insufficient balance")
+)
+
+// maxCallDepth bounds nested calls (the real limit is 1024; tests need far
+// less and a smaller bound fails fast on accidental recursion).
+const maxCallDepth = 128
+
+// NewWorld returns an empty world.
+func NewWorld() *World {
+	return &World{accounts: make(map[Word]*Account)}
+}
+
+// Deploy installs runtime bytecode at an address.
+func (w *World) Deploy(addr Word, code []byte) *Account {
+	acc := &Account{
+		Address: addr,
+		Code:    code,
+		Storage: make(Storage),
+		program: Disassemble(code),
+	}
+	w.accounts[addr] = acc
+	return acc
+}
+
+// DeployInit executes deployment bytecode and installs the returned
+// runtime at the address.
+func (w *World) DeployInit(addr Word, initCode []byte) (*Account, error) {
+	runtime, err := ExtractRuntime(initCode)
+	if err != nil {
+		return nil, err
+	}
+	return w.Deploy(addr, runtime), nil
+}
+
+// Account returns the account at an address.
+func (w *World) Account(addr Word) (*Account, bool) {
+	acc, ok := w.accounts[addr]
+	return acc, ok
+}
+
+// Fund credits a balance (creating an account without code if needed).
+func (w *World) Fund(addr Word, amount Word) {
+	acc, ok := w.accounts[addr]
+	if !ok {
+		acc = &Account{Address: addr, Storage: make(Storage), program: Disassemble(nil)}
+		w.accounts[addr] = acc
+	}
+	acc.Balance = acc.Balance.Add(amount)
+}
+
+// snapshot marks the journal position for later rollback.
+func (w *World) snapshot() int { return len(w.journal) }
+
+// revertTo unwinds every write after the snapshot.
+func (w *World) revertTo(snap int) {
+	for i := len(w.journal) - 1; i >= snap; i-- {
+		e := w.journal[i]
+		switch {
+		case e.isBalance:
+			e.balanceOf.Balance = e.prevBalance
+		case e.existed:
+			e.acc.Storage[e.key] = e.prev
+		default:
+			delete(e.acc.Storage, e.key)
+		}
+	}
+	w.journal = w.journal[:snap]
+}
+
+// writeStorage journals and applies one storage write.
+func (w *World) writeStorage(acc *Account, key, val Word) {
+	prev, existed := acc.Storage[key]
+	w.journal = append(w.journal, journalEntry{acc: acc, key: key, prev: prev, existed: existed})
+	acc.Storage[key] = val
+}
+
+// transfer journals and applies a balance move.
+func (w *World) transfer(from, to *Account, amount Word) error {
+	if amount.IsZero() {
+		return nil
+	}
+	if from.Balance.Cmp(amount) < 0 {
+		return ErrInsufficient
+	}
+	w.journal = append(w.journal,
+		journalEntry{isBalance: true, balanceOf: from, prevBalance: from.Balance},
+		journalEntry{isBalance: true, balanceOf: to, prevBalance: to.Balance},
+	)
+	from.Balance = from.Balance.Sub(amount)
+	to.Balance = to.Balance.Add(amount)
+	return nil
+}
+
+// Call executes a message call from an externally-owned account. State
+// changes persist on success and roll back entirely on revert or fault.
+func (w *World) Call(from, to Word, callData []byte, value Word, gas uint64) (ExecResult, error) {
+	callee, ok := w.accounts[to]
+	if !ok {
+		return ExecResult{}, fmt.Errorf("%w: %s", ErrNoAccount, to)
+	}
+	caller, ok := w.accounts[from]
+	if !ok {
+		w.Fund(from, ZeroWord)
+		caller = w.accounts[from]
+	}
+	snap := w.snapshot()
+	if err := w.transfer(caller, callee, value); err != nil {
+		return ExecResult{}, err
+	}
+	in := &Interpreter{
+		program: callee.program,
+		storage: callee.Storage,
+		world:   w,
+		account: callee,
+	}
+	res := in.Execute(CallContext{
+		CallData: callData,
+		Caller:   from,
+		Address:  to,
+		Value:    value,
+		Gas:      gas,
+	})
+	if res.Reverted {
+		w.revertTo(snap)
+	} else if snap == 0 {
+		// A committed top-level call can never be rolled back: release the
+		// journal so long-running worlds do not grow without bound.
+		w.journal = w.journal[:0]
+	}
+	return res, nil
+}
+
+// callFrame is the interpreter's entry point for nested calls.
+type callParams struct {
+	kind   Op // CALL, CALLCODE, DELEGATECALL, STATICCALL
+	caller *Account
+	target Word
+	value  Word
+	input  []byte
+	static bool
+	depth  int
+	gas    uint64
+	// parentCaller and parentValue propagate through DELEGATECALL, which
+	// keeps the original msg.sender and msg.value.
+	parentCaller Word
+	parentValue  Word
+}
+
+// nestedCall runs a call frame, handling storage context per call kind:
+// CALL runs the callee's code on the callee's storage; DELEGATECALL and
+// CALLCODE run the callee's code on the *caller's* storage.
+func (w *World) nestedCall(p callParams) (ExecResult, bool) {
+	if p.depth > maxCallDepth {
+		return ExecResult{Reverted: true, Err: ErrCallDepth}, false
+	}
+	target, ok := w.accounts[p.target]
+	if !ok {
+		// Calling an empty account succeeds vacuously (value may move).
+		if p.kind == CALL && !p.value.IsZero() {
+			w.Fund(p.target, ZeroWord)
+			if err := w.transfer(p.caller, w.accounts[p.target], p.value); err != nil {
+				return ExecResult{Reverted: true, Err: err}, false
+			}
+		}
+		return ExecResult{}, true
+	}
+	snap := w.snapshot()
+	stateAcc := target
+	selfAddr := p.target
+	if p.kind == DELEGATECALL || p.kind == CALLCODE {
+		stateAcc = p.caller
+		selfAddr = p.caller.Address
+	}
+	if p.kind == CALL && !p.value.IsZero() {
+		if err := w.transfer(p.caller, target, p.value); err != nil {
+			return ExecResult{Reverted: true, Err: err}, false
+		}
+	}
+	in := &Interpreter{
+		program: target.program,
+		storage: stateAcc.Storage,
+		world:   w,
+		account: stateAcc,
+		depth:   p.depth,
+	}
+	callerAddr, callValue := p.caller.Address, p.value
+	if p.kind == DELEGATECALL {
+		// DELEGATECALL preserves the original msg.sender and msg.value.
+		callerAddr, callValue = p.parentCaller, p.parentValue
+	}
+	res := in.Execute(CallContext{
+		CallData: p.input,
+		Caller:   callerAddr,
+		Address:  selfAddr,
+		Value:    callValue,
+		Static:   p.static,
+		Gas:      p.gas,
+	})
+	if res.Reverted {
+		w.revertTo(snap)
+		return res, false
+	}
+	return res, true
+}

@@ -1,0 +1,288 @@
+package evm
+
+import (
+	"errors"
+	"testing"
+)
+
+func addr(n uint64) Word { return WordFromUint64(n) }
+
+// assemble builds bytecode, failing the test on errors.
+func assemble(t *testing.T, build func(a *Assembler)) []byte {
+	t.Helper()
+	a := NewAssembler()
+	build(a)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+func TestWorldSimpleCall(t *testing.T) {
+	w := NewWorld()
+	// Callee: storage[1] = 0x2a; return the word 7.
+	callee := assemble(t, func(a *Assembler) {
+		a.Push(0x2a).Push(1).Op(SSTORE)
+		a.Push(7).Push(0).Op(MSTORE)
+		a.Push(32).Push(0).Op(RETURN)
+	})
+	// Caller: CALL callee, then store the returned word at slot 0.
+	caller := assemble(t, func(a *Assembler) {
+		a.Push(32)          // retLen
+		a.Push(0)           // retOff
+		a.Push(0)           // argsLen
+		a.Push(0)           // argsOff
+		a.Push(0)           // value
+		a.PushWord(addr(2)) // target
+		a.Push(100000)      // gas
+		a.Op(CALL)
+		a.Push(0).Op(SSTORE) // storage[success] -- slot 1 on success
+		a.Push(0).Op(MLOAD)
+		a.Push(9).Op(SSTORE) // storage[9] = returned word
+		a.Op(STOP)
+	})
+	w.Deploy(addr(1), caller)
+	w.Deploy(addr(2), callee)
+	res, err := w.Call(addr(0xCAFE), addr(1), nil, ZeroWord, 0)
+	if err != nil || res.Reverted {
+		t.Fatalf("call failed: %v %v", err, res.Err)
+	}
+	calleeAcc, _ := w.Account(addr(2))
+	if !calleeAcc.Storage[WordFromUint64(1)].Eq(WordFromUint64(0x2a)) {
+		t.Error("callee storage write lost")
+	}
+	callerAcc, _ := w.Account(addr(1))
+	if !callerAcc.Storage[WordFromUint64(9)].Eq(WordFromUint64(7)) {
+		t.Errorf("return data not plumbed: %v", callerAcc.Storage)
+	}
+}
+
+func TestWorldRevertRollsBack(t *testing.T) {
+	w := NewWorld()
+	// Callee writes then reverts.
+	callee := assemble(t, func(a *Assembler) {
+		a.Push(0x99).Push(5).Op(SSTORE)
+		a.Push(0).Push(0).Op(REVERT)
+	})
+	caller := assemble(t, func(a *Assembler) {
+		a.Push(0).Push(0).Push(0).Push(0).Push(0)
+		a.PushWord(addr(2))
+		a.Push(100000)
+		a.Op(CALL)
+		// Store the success flag at slot 0.
+		a.Push(0).Op(SSTORE)
+		a.Op(STOP)
+	})
+	w.Deploy(addr(1), caller)
+	w.Deploy(addr(2), callee)
+	res, err := w.Call(addr(0xCAFE), addr(1), nil, ZeroWord, 0)
+	if err != nil || res.Reverted {
+		t.Fatalf("outer call failed: %v %v", err, res.Err)
+	}
+	calleeAcc, _ := w.Account(addr(2))
+	if _, dirty := calleeAcc.Storage[WordFromUint64(5)]; dirty {
+		t.Error("reverted callee write persisted")
+	}
+	callerAcc, _ := w.Account(addr(1))
+	if !callerAcc.Storage[WordFromUint64(0)].IsZero() {
+		t.Error("CALL to reverting callee must push 0")
+	}
+}
+
+func TestWorldDelegateCallUsesCallerStorage(t *testing.T) {
+	w := NewWorld()
+	// Library code: storage[3] = 0x77 (runs on the *caller's* storage).
+	library := assemble(t, func(a *Assembler) {
+		a.Push(0x77).Push(3).Op(SSTORE)
+		a.Op(STOP)
+	})
+	caller := assemble(t, func(a *Assembler) {
+		a.Push(0).Push(0).Push(0).Push(0)
+		a.PushWord(addr(2))
+		a.Push(100000)
+		a.Op(DELEGATECALL)
+		a.Op(POP)
+		a.Op(STOP)
+	})
+	w.Deploy(addr(1), caller)
+	w.Deploy(addr(2), library)
+	if _, err := w.Call(addr(0xCAFE), addr(1), nil, ZeroWord, 0); err != nil {
+		t.Fatal(err)
+	}
+	callerAcc, _ := w.Account(addr(1))
+	libAcc, _ := w.Account(addr(2))
+	if !callerAcc.Storage[WordFromUint64(3)].Eq(WordFromUint64(0x77)) {
+		t.Error("delegatecall must write the caller's storage")
+	}
+	if len(libAcc.Storage) != 0 {
+		t.Error("delegatecall must not touch the library's storage")
+	}
+}
+
+func TestWorldStaticCallBlocksWrites(t *testing.T) {
+	w := NewWorld()
+	writer := assemble(t, func(a *Assembler) {
+		a.Push(1).Push(0).Op(SSTORE)
+		a.Op(STOP)
+	})
+	caller := assemble(t, func(a *Assembler) {
+		a.Push(0).Push(0).Push(0).Push(0)
+		a.PushWord(addr(2))
+		a.Push(100000)
+		a.Op(STATICCALL)
+		a.Push(7).Op(SSTORE) // record the success flag at slot 7
+		a.Op(STOP)
+	})
+	w.Deploy(addr(1), caller)
+	w.Deploy(addr(2), writer)
+	if _, err := w.Call(addr(0xCAFE), addr(1), nil, ZeroWord, 0); err != nil {
+		t.Fatal(err)
+	}
+	writerAcc, _ := w.Account(addr(2))
+	if len(writerAcc.Storage) != 0 {
+		t.Error("static callee wrote storage")
+	}
+	callerAcc, _ := w.Account(addr(1))
+	if !callerAcc.Storage[WordFromUint64(7)].IsZero() {
+		t.Error("STATICCALL to a writer must fail (push 0)")
+	}
+}
+
+func TestWorldValueTransfer(t *testing.T) {
+	w := NewWorld()
+	sink := assemble(t, func(a *Assembler) { a.Op(STOP) })
+	w.Deploy(addr(2), sink)
+	w.Fund(addr(1), WordFromUint64(1000))
+	// An EOA call carrying value.
+	caller := assemble(t, func(a *Assembler) {
+		a.Push(0).Push(0).Push(0).Push(0)
+		a.Push(250) // value
+		a.PushWord(addr(2))
+		a.Push(100000)
+		a.Op(CALL)
+		a.Op(POP)
+		a.Op(STOP)
+	})
+	w.Deploy(addr(1), caller)
+	// Re-fund (Deploy replaced the account).
+	w.Fund(addr(1), WordFromUint64(1000))
+	if _, err := w.Call(addr(0xCAFE), addr(1), nil, ZeroWord, 0); err != nil {
+		t.Fatal(err)
+	}
+	from, _ := w.Account(addr(1))
+	to, _ := w.Account(addr(2))
+	if !from.Balance.Eq(WordFromUint64(750)) || !to.Balance.Eq(WordFromUint64(250)) {
+		t.Errorf("balances: %v, %v", from.Balance, to.Balance)
+	}
+	// Insufficient balance: the CALL must fail, not panic.
+	broke := assemble(t, func(a *Assembler) {
+		a.Push(0).Push(0).Push(0).Push(0)
+		a.Push(250000) // more than the balance
+		a.PushWord(addr(2))
+		a.Push(100000)
+		a.Op(CALL)
+		a.Push(7).Op(SSTORE)
+		a.Op(STOP)
+	})
+	w.Deploy(addr(3), broke)
+	if _, err := w.Call(addr(0xCAFE), addr(3), nil, ZeroWord, 0); err != nil {
+		t.Fatal(err)
+	}
+	brokeAcc, _ := w.Account(addr(3))
+	if !brokeAcc.Storage[WordFromUint64(7)].IsZero() {
+		t.Error("overdraft CALL must push 0")
+	}
+}
+
+func TestWorldCallDepthBound(t *testing.T) {
+	w := NewWorld()
+	// Self-calling contract: recursion must stop at the depth bound.
+	self := assemble(t, func(a *Assembler) {
+		a.Push(0).Push(0).Push(0).Push(0).Push(0)
+		a.PushWord(addr(1))
+		a.Push(100000)
+		a.Op(CALL)
+		a.Op(POP)
+		a.Op(STOP)
+	})
+	w.Deploy(addr(1), self)
+	res, err := w.Call(addr(0xCAFE), addr(1), nil, ZeroWord, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reverted {
+		t.Fatalf("depth-bounded recursion should unwind cleanly: %v", res.Err)
+	}
+}
+
+func TestWorldErrors(t *testing.T) {
+	w := NewWorld()
+	if _, err := w.Call(addr(1), addr(99), nil, ZeroWord, 0); !errors.Is(err, ErrNoAccount) {
+		t.Errorf("missing account: %v", err)
+	}
+}
+
+func TestWorldDeployInit(t *testing.T) {
+	runtime := assemble(t, func(a *Assembler) {
+		a.Push(1).Push(0).Op(SSTORE)
+		a.Op(STOP)
+	})
+	// Init stub: CODECOPY the tail and return it. Assemble once with a
+	// placeholder offset to learn the stub length, then again for real.
+	buildInit := func(stubLen uint64) []byte {
+		return assemble(t, func(a *Assembler) {
+			a.Push(uint64(len(runtime)))
+			a.Push(stubLen)
+			a.Push(0)
+			a.Op(CODECOPY)
+			a.Push(uint64(len(runtime)))
+			a.Push(0)
+			a.Op(RETURN)
+		})
+	}
+	init := buildInit(uint64(len(buildInit(0))))
+	deploy := append(init, runtime...)
+	w := NewWorld()
+	acc, err := w.DeployInit(addr(5), deploy)
+	if err != nil {
+		t.Fatalf("deploy: %v (init len %d)", err, len(init))
+	}
+	if len(acc.Code) != len(runtime) {
+		t.Fatalf("deployed %d bytes, want %d", len(acc.Code), len(runtime))
+	}
+	res, err := w.Call(addr(0xCAFE), addr(5), nil, ZeroWord, 0)
+	if err != nil || res.Reverted {
+		t.Fatalf("call deployed contract: %v %v", err, res.Err)
+	}
+}
+
+// TestDelegateCallPreservesSender: msg.sender inside a delegatecalled
+// library is the original caller, not the delegating contract.
+func TestDelegateCallPreservesSender(t *testing.T) {
+	w := NewWorld()
+	// Library stores CALLER at slot 0 (in the caller's storage).
+	library := assemble(t, func(a *Assembler) {
+		a.Op(CALLER)
+		a.Push(0).Op(SSTORE)
+		a.Op(STOP)
+	})
+	proxy := assemble(t, func(a *Assembler) {
+		a.Push(0).Push(0).Push(0).Push(0)
+		a.PushWord(addr(2))
+		a.Push(100000)
+		a.Op(DELEGATECALL)
+		a.Op(POP)
+		a.Op(STOP)
+	})
+	w.Deploy(addr(1), proxy)
+	w.Deploy(addr(2), library)
+	eoa := addr(0xBEEF)
+	if _, err := w.Call(eoa, addr(1), nil, ZeroWord, 0); err != nil {
+		t.Fatal(err)
+	}
+	proxyAcc, _ := w.Account(addr(1))
+	if got := proxyAcc.Storage[ZeroWord]; !got.Eq(eoa) {
+		t.Errorf("delegatecall CALLER = %v, want the original sender %v", got, eoa)
+	}
+}

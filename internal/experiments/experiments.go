@@ -1,0 +1,177 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 and §6) on the synthetic substrate. Each experiment is a
+// function from a Params (scale knobs) to a Table; cmd/experiments prints
+// them, bench_test.go at the module root benchmarks them, and
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one reproduced table or figure.
+type Table struct {
+	// ID is the experiment id ("E1".."E13").
+	ID string
+	// Ref is the paper reference ("Table 2", "Fig. 19", ...).
+	Ref string
+	// Title describes the experiment.
+	Title string
+	// Header and Rows are the tabular payload.
+	Header []string
+	Rows   [][]string
+	// Notes carry caveats (substitutions, scale).
+	Notes []string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s): %s\n", t.ID, t.Ref, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "  %-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %s", c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s (%s)\n\n", strings.ToUpper(t.ID), t.Title, t.Ref)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Header))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = row[i]
+			}
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteString("\n")
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "> %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// Params scales the experiments. Zero values select the full defaults.
+type Params struct {
+	// Seed drives every generator.
+	Seed int64
+	// Scale multiplies corpus sizes; 1.0 is the full run, tests use less.
+	Scale float64
+}
+
+func (p Params) scaled(full int) int {
+	s := p.Scale
+	if s <= 0 {
+		s = 1.0
+	}
+	n := int(float64(full) * s)
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+func (p Params) seed() int64 {
+	if p.Seed == 0 {
+		return 42
+	}
+	return p.Seed
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID  string
+	Ref string
+	Run func(Params) (Table, error)
+}
+
+// All returns the experiment registry in order.
+func All() []Runner {
+	return []Runner{
+		{"e1", "Table: RQ1", E1Accuracy},
+		{"e2", "Fig. 15/16: RQ2", E2CompilerVersions},
+		{"e3", "Fig. 17: RQ3", E3TimeDistribution},
+		{"e4", "Fig. 18: RQ3", E4DimensionSweep},
+		{"e5", "Fig. 19: RQ4", E5RuleUsage},
+		{"e6", "Table 1: RQ5", E6Dataset1},
+		{"e7", "Table 2: RQ5", E7Dataset2},
+		{"e8", "Table 3: RQ5", E8Dataset3},
+		{"e9", "Table 4: RQ5", E9StructNested},
+		{"e10", "Table 5: RQ5", E10Vyper},
+		{"e11", "§6.1 + Table 6", E11ParChecker},
+		{"e12", "§6.2", E12Fuzzing},
+		{"e13", "§6.3", E13Erays},
+		{"e14", "§7 ablation", E14Obfuscation},
+	}
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// pct formats a ratio as a percentage.
+func pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// sortedKeys returns map keys in order.
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,278 @@
+// Package fuzz reproduces the paper's §6.2 experiment: how much knowing
+// function signatures helps a smart-contract fuzzer.
+//
+// It provides a generator of seeded-bug contracts (each hides a bug behind
+// the argument-validity checks real contracts perform), and two fuzzers
+// that differ in exactly one variable: ContractFuzzer mutates type-aware
+// inputs built from the recovered signature, ContractFuzzer⁻ feeds random
+// byte sequences after the selector. The bug beacon is a storage write the
+// concrete interpreter observes.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/evm"
+)
+
+// beaconSlot is the storage slot the seeded bug writes when triggered.
+var beaconSlot = evm.WordFromUint64(0xb06)
+
+// BugContract is one seeded-bug target.
+type BugContract struct {
+	// Sig is the single public function.
+	Sig abi.Signature
+	// Code is the runtime bytecode.
+	Code []byte
+	// Modulus and Residue define the bug trigger: the first integer-like
+	// argument v triggers when v % Modulus == Residue (after the body's
+	// validity checks pass).
+	Modulus uint64
+	Residue uint64
+	// Guarded reports whether any parameter carries a validity check that
+	// random byte sequences essentially never satisfy.
+	Guarded bool
+}
+
+// GenerateBugContracts builds n deterministic targets. guardedShare
+// controls how many have hard validity checks (the knob that sets the
+// typed-vs-random gap).
+func GenerateBugContracts(seed int64, n int, guardedShare float64) ([]BugContract, error) {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]BugContract, 0, n)
+	for i := 0; i < n; i++ {
+		guarded := r.Float64() < guardedShare
+		bc, err := buildBugContract(r, i, guarded)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: contract %d: %w", i, err)
+		}
+		out = append(out, bc)
+	}
+	return out, nil
+}
+
+// buildBugContract assembles a one-function contract: selector dispatch,
+// per-parameter validity checks, then the bug trigger on the first
+// integer-like parameter.
+func buildBugContract(r *rand.Rand, idx int, guarded bool) (BugContract, error) {
+	sig := abi.Signature{Name: fmt.Sprintf("target%d", idx)}
+	// First parameter carries the bug trigger.
+	sig.Inputs = append(sig.Inputs, abi.Uint(256))
+	extra := r.Intn(3)
+	for p := 0; p < extra; p++ {
+		if guarded {
+			switch r.Intn(3) {
+			case 0:
+				sig.Inputs = append(sig.Inputs, abi.Address())
+			case 1:
+				sig.Inputs = append(sig.Inputs, abi.Bool())
+			default:
+				sig.Inputs = append(sig.Inputs, abi.Uint(32))
+			}
+		} else {
+			sig.Inputs = append(sig.Inputs, abi.Uint(256))
+		}
+	}
+	if guarded && extra == 0 {
+		sig.Inputs = append(sig.Inputs, abi.Address())
+	}
+	modulus := uint64(6 + r.Intn(6))
+	residue := uint64(r.Intn(int(modulus)))
+
+	a := evm.NewAssembler()
+	fail := a.NewLabel()
+	body := a.NewLabel()
+	// Dispatcher.
+	sel := sig.Selector()
+	a.Push(0).Op(evm.CALLDATALOAD)
+	a.Push(0xe0).Op(evm.SHR)
+	a.PushBytes(sel[:]).Op(evm.EQ)
+	a.JumpI(body)
+	a.Op(evm.STOP)
+	a.Bind(body)
+	// The ABI decoder's calldatasize check (solc >= 0.5 semantics).
+	need := uint64(4 + 32*len(sig.Inputs))
+	a.Op(evm.CALLDATASIZE)
+	a.Push(need)
+	a.Op(evm.GT) // need > calldatasize
+	a.JumpI(fail)
+	// Validity checks, as a defensive contract would require().
+	for p, t := range sig.Inputs {
+		off := uint64(4 + 32*p)
+		switch t.Kind {
+		case abi.KindUint:
+			if t.Bits < 256 {
+				// require(v >> bits == 0)
+				a.Push(off).Op(evm.CALLDATALOAD)
+				a.Push(uint64(t.Bits)).Op(evm.SHR)
+				a.JumpI(fail)
+			} else if p > 0 {
+				// Unchecked parameters are still read by the body (so
+				// signature recovery sees them, as with real contracts).
+				a.Push(off).Op(evm.CALLDATALOAD)
+				a.Push(uint64(p)).Op(evm.SSTORE)
+			}
+		case abi.KindAddress:
+			a.Push(off).Op(evm.CALLDATALOAD)
+			a.Push(160).Op(evm.SHR)
+			a.JumpI(fail)
+		case abi.KindBool:
+			// require(v < 2)
+			a.Push(2)
+			a.Push(off).Op(evm.CALLDATALOAD)
+			a.Op(evm.LT).Op(evm.ISZERO)
+			a.JumpI(fail)
+		}
+	}
+	// Bug trigger: first argument v, beacon write when v % m == k.
+	hit := a.NewLabel()
+	a.Push(4).Op(evm.CALLDATALOAD)
+	a.Push(modulus).Op(evm.SWAP1).Op(evm.MOD) // v % m
+	a.Push(residue).Op(evm.EQ)
+	a.JumpI(hit)
+	a.Op(evm.STOP)
+	a.Bind(hit)
+	a.Push(1)
+	a.PushWord(beaconSlot)
+	a.Op(evm.SSTORE)
+	a.Op(evm.STOP)
+	a.Bind(fail)
+	a.Push(0).Push(0).Op(evm.REVERT)
+	code, err := a.Assemble()
+	if err != nil {
+		return BugContract{}, err
+	}
+	return BugContract{Sig: sig, Code: code, Modulus: modulus, Residue: residue, Guarded: guarded}, nil
+}
+
+// Outcome is one fuzzing campaign's result on one contract.
+type Outcome struct {
+	Triggered bool
+	// Trials is how many inputs were executed before the bug fired (or the
+	// budget, when it did not).
+	Trials int
+}
+
+// Fuzzer drives inputs against a target.
+type Fuzzer interface {
+	Name() string
+	// Run executes up to budget trials and reports whether the seeded bug
+	// was triggered.
+	Run(c BugContract, budget int, seed int64) Outcome
+}
+
+// Typed is ContractFuzzer with SigRec's signatures: it generates
+// well-formed arguments for the recovered parameter types and mutates with
+// boundary values.
+type Typed struct {
+	// Inputs overrides the parameter types (normally SigRec's recovery);
+	// nil falls back to the ground-truth signature, which models a perfect
+	// recovery.
+	Inputs map[string][]abi.Type
+}
+
+var _ Fuzzer = (*Typed)(nil)
+
+// Name implements Fuzzer.
+func (f *Typed) Name() string { return "ContractFuzzer" }
+
+// Run implements Fuzzer.
+func (f *Typed) Run(c BugContract, budget int, seed int64) Outcome {
+	r := rand.New(rand.NewSource(seed))
+	types := c.Sig.Inputs
+	if f.Inputs != nil {
+		if custom, ok := f.Inputs[c.Sig.Canonical()]; ok {
+			types = custom
+		}
+	}
+	sig := abi.Signature{Name: c.Sig.Name, Inputs: types}
+	for trial := 1; trial <= budget; trial++ {
+		vals := make([]abi.Value, len(types))
+		for i, t := range types {
+			vals[i] = f.mutate(r, t)
+		}
+		data, err := abi.EncodeCall(sig, vals)
+		if err != nil {
+			continue
+		}
+		// The recovered selector must match the true one; re-stamp it so a
+		// name mismatch cannot interfere (ids come from the dispatcher).
+		trueSel := c.Sig.Selector()
+		copy(data[:4], trueSel[:])
+		if execTriggers(c.Code, data) {
+			return Outcome{Triggered: true, Trials: trial}
+		}
+	}
+	return Outcome{Trials: budget}
+}
+
+// mutate draws a type-aware value: random, or a boundary value.
+func (f *Typed) mutate(r *rand.Rand, t abi.Type) abi.Value {
+	if t.Kind == abi.KindUint || t.Kind == abi.KindInt {
+		switch r.Intn(4) {
+		case 0:
+			return evm.WordFromUint64(uint64(r.Intn(16))) // small boundary
+		case 1:
+			return evm.WordFromUint64(r.Uint64())
+		}
+	}
+	return abi.RandomValue(r, t)
+}
+
+// Random is ContractFuzzer⁻: the same budget, but inputs are the selector
+// followed by random byte sequences (no type information).
+type Random struct{}
+
+var _ Fuzzer = (*Random)(nil)
+
+// Name implements Fuzzer.
+func (f *Random) Name() string { return "ContractFuzzer-" }
+
+// Run implements Fuzzer.
+func (f *Random) Run(c BugContract, budget int, seed int64) Outcome {
+	r := rand.New(rand.NewSource(seed))
+	sel := c.Sig.Selector()
+	for trial := 1; trial <= budget; trial++ {
+		n := 32 * (1 + r.Intn(6))
+		data := make([]byte, 4+n)
+		copy(data, sel[:])
+		r.Read(data[4:])
+		if execTriggers(c.Code, data) {
+			return Outcome{Triggered: true, Trials: trial}
+		}
+	}
+	return Outcome{Trials: budget}
+}
+
+// execTriggers runs one input and checks the bug beacon.
+func execTriggers(code, callData []byte) bool {
+	in := evm.NewInterpreter(code)
+	res := in.Execute(evm.CallContext{CallData: callData})
+	if res.Err != nil {
+		return false
+	}
+	return in.Storage()[beaconSlot].Eq(evm.OneWord)
+}
+
+// Campaign runs a fuzzer over a fleet of targets.
+type Campaign struct {
+	Found  int
+	Total  int
+	Trials int
+}
+
+// RunCampaign fuzzes every contract with the given per-target budget.
+func RunCampaign(f Fuzzer, targets []BugContract, budget int, seed int64) Campaign {
+	var c Campaign
+	for i, bc := range targets {
+		out := f.Run(bc, budget, seed+int64(i))
+		c.Total++
+		c.Trials += out.Trials
+		if out.Triggered {
+			c.Found++
+		}
+	}
+	return c
+}

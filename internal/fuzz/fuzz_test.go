@@ -1,0 +1,147 @@
+package fuzz
+
+import (
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/core"
+	"sigrec/internal/evm"
+)
+
+func TestBugContractsExecute(t *testing.T) {
+	targets, err := GenerateBugContracts(1, 20, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bc := range targets {
+		if len(bc.Code) == 0 {
+			t.Fatalf("contract %d empty", i)
+		}
+		// A crafted trigger input must fire the beacon.
+		vals := make([]abi.Value, len(bc.Sig.Inputs))
+		for p, ty := range bc.Sig.Inputs {
+			switch ty.Kind {
+			case abi.KindBool:
+				vals[p] = false
+			default:
+				vals[p] = evm.WordFromUint64(0)
+			}
+		}
+		vals[0] = evm.WordFromUint64(bc.Residue) // v % m == k
+		data, err := abi.EncodeCall(bc.Sig, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !execTriggers(bc.Code, data) {
+			t.Errorf("contract %d: crafted trigger did not fire (m=%d k=%d)", i, bc.Modulus, bc.Residue)
+		}
+		// A wrong residue must not fire.
+		vals[0] = evm.WordFromUint64(bc.Residue + 1)
+		data2, _ := abi.EncodeCall(bc.Sig, vals)
+		if execTriggers(bc.Code, data2) {
+			t.Errorf("contract %d: non-trigger fired", i)
+		}
+	}
+}
+
+func TestGuardedContractsRejectWildValues(t *testing.T) {
+	targets, err := GenerateBugContracts(3, 40, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bc := range targets {
+		// Find a parameter with a range check and overflow it; contracts
+		// whose only guard is a bool cannot be violated by an encoder, so
+		// patch raw bytes instead.
+		pos := -1
+		for i, ty := range bc.Sig.Inputs {
+			if ty.Kind == abi.KindAddress || (ty.Kind == abi.KindUint && ty.Bits < 256) ||
+				ty.Kind == abi.KindBool {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		vals := make([]abi.Value, len(bc.Sig.Inputs))
+		for i, ty := range bc.Sig.Inputs {
+			if ty.Kind == abi.KindBool {
+				vals[i] = false
+				continue
+			}
+			vals[i] = evm.WordFromUint64(0)
+		}
+		vals[0] = evm.WordFromUint64(bc.Residue) // would trigger if valid
+		data, _ := abi.EncodeCall(bc.Sig, vals)
+		// Overwrite the guarded slot with an out-of-range value.
+		slot := 4 + 32*pos
+		for b := slot; b < slot+32; b++ {
+			data[b] = 0xee
+		}
+		if execTriggers(bc.Code, data) {
+			t.Errorf("%s: guarded contract accepted out-of-range values", bc.Sig.Canonical())
+		}
+	}
+}
+
+// TestTypedBeatsRandom is the paper's §6.2 shape: with signatures the
+// fuzzer finds decidedly more bugs under the same budget.
+func TestTypedBeatsRandom(t *testing.T) {
+	targets, err := GenerateBugContracts(7, 120, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := RunCampaign(&Typed{}, targets, 80, 99)
+	random := RunCampaign(&Random{}, targets, 80, 99)
+	if typed.Found <= random.Found {
+		t.Fatalf("typed %d vs random %d: no advantage", typed.Found, random.Found)
+	}
+	gain := float64(typed.Found-random.Found) / float64(random.Found)
+	if gain < 0.05 {
+		t.Errorf("gain only %.2f", gain)
+	}
+	t.Logf("typed=%d random=%d gain=%.1f%%", typed.Found, random.Found, gain*100)
+}
+
+// TestTypedUsesRecoveredSignatures wires SigRec into the fuzzer: recovery
+// from the bug contract's bytecode feeds the typed fuzzer.
+func TestTypedUsesRecoveredSignatures(t *testing.T) {
+	targets, err := GenerateBugContracts(11, 10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make(map[string][]abi.Type)
+	for _, bc := range targets {
+		rec, _ := core.RecoverFunction(bc.Code, bc.Sig.Selector())
+		if len(rec.Inputs) == 0 {
+			t.Fatalf("%s: nothing recovered", bc.Sig.Canonical())
+		}
+		inputs[bc.Sig.Canonical()] = rec.Inputs
+	}
+	typed := RunCampaign(&Typed{Inputs: inputs}, targets, 100, 5)
+	if typed.Found < len(targets)*8/10 {
+		t.Errorf("recovered-signature fuzzing found only %d/%d", typed.Found, len(targets))
+	}
+}
+
+// TestCoverageGuidedBetweenRandomAndTyped: coverage feedback recovers part
+// of the signature advantage -- ordering must be typed >= guided >= random.
+func TestCoverageGuidedBetweenRandomAndTyped(t *testing.T) {
+	targets, err := GenerateBugContracts(31, 150, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 120
+	typed := RunCampaign(&Typed{}, targets, budget, 7)
+	guided := RunCampaign(&Guided{}, targets, budget, 7)
+	random := RunCampaign(&Random{}, targets, budget, 7)
+	t.Logf("typed=%d guided=%d random=%d", typed.Found, guided.Found, random.Found)
+	if guided.Found <= random.Found {
+		t.Errorf("coverage guidance gained nothing: guided %d vs random %d",
+			guided.Found, random.Found)
+	}
+	if typed.Found < guided.Found {
+		t.Errorf("typed %d below guided %d", typed.Found, guided.Found)
+	}
+}

@@ -1,0 +1,79 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"sigrec/internal/evm"
+)
+
+// Guided is a coverage-guided byte-level fuzzer (AFL-style): it keeps a
+// pool of inputs that reached new instructions and mutates them. It has no
+// type information -- the comparison point between ContractFuzzer⁻ (blind
+// random bytes) and ContractFuzzer (typed inputs): coverage feedback
+// recovers part of the gap by *learning* the validity checks one branch at
+// a time.
+type Guided struct{}
+
+var _ Fuzzer = (*Guided)(nil)
+
+// Name implements Fuzzer.
+func (f *Guided) Name() string { return "ContractFuzzer-cov" }
+
+// Run implements Fuzzer.
+func (f *Guided) Run(c BugContract, budget int, seed int64) Outcome {
+	r := rand.New(rand.NewSource(seed))
+	sel := c.Sig.Selector()
+
+	// Seed pool: all-zero arguments of a plausible length (zero passes
+	// most range checks, giving the explorer a foothold).
+	base := make([]byte, 4+32*len(c.Sig.Inputs))
+	copy(base, sel[:])
+	pool := [][]byte{base}
+	covered := make(map[uint64]bool)
+
+	in := evm.NewInterpreter(c.Code)
+	for trial := 1; trial <= budget; trial++ {
+		input := mutateBytes(r, pool[r.Intn(len(pool))])
+		res := in.Execute(evm.CallContext{CallData: input, CollectCoverage: true})
+		if res.Err == nil && in.Storage()[beaconSlot].Eq(evm.OneWord) {
+			return Outcome{Triggered: true, Trials: trial}
+		}
+		fresh := false
+		for pc := range res.Coverage {
+			if !covered[pc] {
+				covered[pc] = true
+				fresh = true
+			}
+		}
+		if fresh && len(pool) < 64 {
+			pool = append(pool, input)
+		}
+	}
+	return Outcome{Trials: budget}
+}
+
+// mutateBytes applies one random byte-level mutation.
+func mutateBytes(r *rand.Rand, seed []byte) []byte {
+	out := append([]byte(nil), seed...)
+	if len(out) <= 4 {
+		return out
+	}
+	pos := 4 + r.Intn(len(out)-4)
+	switch r.Intn(4) {
+	case 0:
+		out[pos] = byte(r.Intn(256))
+	case 1:
+		out[pos] ^= 1 << r.Intn(8)
+	case 2:
+		out[pos] = 0
+	default:
+		// Rewrite the low byte of a random 32-byte slot with a small value
+		// (hits modular trigger conditions).
+		slot := (pos - 4) / 32
+		low := 4 + slot*32 + 31
+		if low < len(out) {
+			out[low] = byte(r.Intn(16))
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package keccak implements the original Keccak-256 hash (as used by
+// Ethereum, with the pre-SHA-3 0x01 domain padding). The standard library
+// has no SHA-3 family, so the sponge and the Keccak-f[1600] permutation are
+// implemented here from scratch.
+package keccak
+
+import "math/bits"
+
+const (
+	// rate for Keccak-256: 1600 - 2*256 bits = 1088 bits = 136 bytes.
+	rate = 136
+	// Size is the digest length in bytes.
+	Size = 32
+	// rounds of Keccak-f[1600].
+	rounds = 24
+)
+
+// roundConstants for the iota step.
+var roundConstants = [rounds]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+	0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotation offsets for the rho step, indexed [x][y].
+var rotc = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+// state is the 5x5 lane array of the sponge.
+type state [25]uint64
+
+// permute applies Keccak-f[1600] in place.
+func (a *state) permute() {
+	var c, d [5]uint64
+	var b [25]uint64
+	for round := 0; round < rounds; round++ {
+		// theta
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+		// rho and pi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = bits.RotateLeft64(a[x+5*y], int(rotc[x][y]))
+			}
+		}
+		// chi
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// iota
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// Hasher computes a Keccak-256 digest incrementally. The zero value is ready
+// to use. It implements a subset of hash.Hash (Write/Sum semantics) without
+// claiming the interface, since Sum256 covers most callers.
+type Hasher struct {
+	a      state
+	buf    [rate]byte
+	buffed int
+}
+
+// Write absorbs p into the sponge. It never fails.
+func (h *Hasher) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		take := copy(h.buf[h.buffed:], p)
+		h.buffed += take
+		p = p[take:]
+		if h.buffed == rate {
+			h.absorb()
+		}
+	}
+	return n, nil
+}
+
+func (h *Hasher) absorb() {
+	for i := 0; i < rate/8; i++ {
+		h.a[i] ^= le64(h.buf[i*8:])
+	}
+	h.a.permute()
+	h.buffed = 0
+}
+
+// Sum returns the digest of everything written so far appended to b. The
+// hasher state is not modified, so further writes continue the same stream.
+func (h *Hasher) Sum(b []byte) []byte {
+	// Work on a copy so Sum is non-destructive.
+	cp := *h
+	// Original Keccak padding: 0x01 ... 0x80.
+	cp.buf[cp.buffed] = 0x01
+	for i := cp.buffed + 1; i < rate; i++ {
+		cp.buf[i] = 0
+	}
+	cp.buf[rate-1] |= 0x80
+	cp.absorb()
+	var out [Size]byte
+	for i := 0; i < Size/8; i++ {
+		putLE64(out[i*8:], cp.a[i])
+	}
+	return append(b, out[:]...)
+}
+
+// Reset restores the initial state.
+func (h *Hasher) Reset() {
+	*h = Hasher{}
+}
+
+// Sum256 returns the Keccak-256 digest of data.
+func Sum256(data []byte) [Size]byte {
+	var h Hasher
+	_, _ = h.Write(data)
+	var out [Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,117 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer vectors for Keccak-256 (original padding), including the
+// Ethereum function-selector examples from the SigRec paper.
+func TestSum256Vectors(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		// The well-known Ethereum empty-code hash.
+		{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+		{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+		{"transfer(address,uint256)", "a9059cbb2ab09eb219583f4a59a5d0623ade346d962bcd4e46b11da047c9049b"},
+		{"balanceOf(address)", "70a08231b98ef4ca268c9cc3f6b4590e4bfec28280db06bb5d45e689f2a360be"},
+		{"approve(address,uint256)", "095ea7b334ae44009aa867bfb386f5c3b4b443ac6f0ee573fa91c4608fbadfba"},
+	}
+	for _, tc := range tests {
+		got := Sum256([]byte(tc.in))
+		if hex.EncodeToString(got[:]) != tc.want {
+			t.Errorf("Sum256(%q) = %x, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSelectorExamples(t *testing.T) {
+	// The paper's running example: transfer(address,uint256) -> 0xa9059cbb.
+	d := Sum256([]byte("transfer(address,uint256)"))
+	if hex.EncodeToString(d[:4]) != "a9059cbb" {
+		t.Fatalf("transfer selector = %x", d[:4])
+	}
+}
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	f := func(data []byte, split uint8) bool {
+		cut := int(split) % (len(data) + 1)
+		var h Hasher
+		_, _ = h.Write(data[:cut])
+		_, _ = h.Write(data[cut:])
+		want := Sum256(data)
+		return bytes.Equal(h.Sum(nil), want[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumIsNonDestructive(t *testing.T) {
+	var h Hasher
+	_, _ = h.Write([]byte("hello"))
+	first := h.Sum(nil)
+	second := h.Sum(nil)
+	if !bytes.Equal(first, second) {
+		t.Error("Sum mutated hasher state")
+	}
+	_, _ = h.Write([]byte(" world"))
+	want := Sum256([]byte("hello world"))
+	if !bytes.Equal(h.Sum(nil), want[:]) {
+		t.Error("writes after Sum diverged from one-shot digest")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Hasher
+	_, _ = h.Write([]byte("garbage"))
+	h.Reset()
+	_, _ = h.Write([]byte("abc"))
+	want := Sum256([]byte("abc"))
+	if !bytes.Equal(h.Sum(nil), want[:]) {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+func TestNoCollisionOnLengths(t *testing.T) {
+	// Digests of all-zero messages of different lengths must differ: catches
+	// padding mistakes.
+	seen := make(map[[Size]byte]int, 300)
+	buf := make([]byte, 300)
+	for n := 0; n <= 300; n++ {
+		d := Sum256(buf[:n])
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		seen[d] = n
+	}
+}
+
+func TestSumAppends(t *testing.T) {
+	var h Hasher
+	_, _ = h.Write([]byte("x"))
+	prefix := []byte{1, 2, 3}
+	out := h.Sum(prefix)
+	if !bytes.Equal(out[:3], prefix) {
+		t.Error("Sum did not append to prefix")
+	}
+	if len(out) != 3+Size {
+		t.Errorf("Sum output length %d", len(out))
+	}
+}
+
+func BenchmarkSum256(b *testing.B) {
+	data := make([]byte, 1024)
+	r := rand.New(rand.NewSource(1))
+	r.Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

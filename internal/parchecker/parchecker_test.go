@@ -1,0 +1,263 @@
+package parchecker
+
+import (
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/chain"
+	"sigrec/internal/core"
+	"sigrec/internal/evm"
+	"sigrec/internal/solc"
+)
+
+func transferSig(t *testing.T) abi.Signature {
+	t.Helper()
+	sig, err := abi.ParseSignature("transfer(address,uint256)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig
+}
+
+func TestValidTransfer(t *testing.T) {
+	sig := transferSig(t)
+	c := New([]abi.Signature{sig})
+	data, _ := abi.EncodeCall(sig, []abi.Value{
+		evm.MustWordFromHex("0x1234567890123456789012345678901234567890"),
+		evm.WordFromUint64(0x2710),
+	})
+	rep := c.Check(data)
+	if rep.Verdict != VerdictValid {
+		t.Errorf("verdict = %s (%s)", rep.Verdict, rep.Reason)
+	}
+}
+
+// TestShortAddressAttack reproduces the paper's Fig. 20 scenario byte for
+// byte: transfer() with the address's trailing zero byte omitted.
+func TestShortAddressAttack(t *testing.T) {
+	sig := transferSig(t)
+	c := New([]abi.Signature{sig})
+	// Attacker-controlled address ends in 0x00.
+	data, _ := abi.EncodeCall(sig, []abi.Value{
+		evm.MustWordFromHex("0x1234567890123456789012345678901234567800"),
+		evm.WordFromUint64(0x2710),
+	})
+	// Leave off the trailing zero byte of the address: everything shifts.
+	attack := make([]byte, 0, len(data)-1)
+	attack = append(attack, data[:35]...) // 4 + 31: address short one byte
+	attack = append(attack, data[36:]...) // skip the stolen byte
+	rep := c.Check(attack)
+	if rep.Verdict != VerdictShortAddress {
+		t.Fatalf("verdict = %s (%s)", rep.Verdict, rep.Reason)
+	}
+	if rep.StolenBytes != 1 {
+		t.Errorf("stolen = %d", rep.StolenBytes)
+	}
+}
+
+func TestInvalidPaddings(t *testing.T) {
+	sig, _ := abi.ParseSignature("f(uint8,bool)")
+	c := New([]abi.Signature{sig})
+	data, _ := abi.EncodeCall(sig, []abi.Value{evm.WordFromUint64(5), true})
+	// Dirty the uint8 padding.
+	bad := append([]byte(nil), data...)
+	bad[10] = 0xff
+	if rep := c.Check(bad); rep.Verdict != VerdictInvalid {
+		t.Errorf("dirty uint8: %s", rep.Verdict)
+	}
+	// Bool out of range.
+	bad2 := append([]byte(nil), data...)
+	bad2[4+63] = 3
+	if rep := c.Check(bad2); rep.Verdict != VerdictInvalid {
+		t.Errorf("bool=3: %s", rep.Verdict)
+	}
+}
+
+func TestUnknownAndShortData(t *testing.T) {
+	c := New([]abi.Signature{transferSig(t)})
+	if rep := c.Check([]byte{1, 2}); rep.Verdict != VerdictInvalid {
+		t.Errorf("tiny data: %s", rep.Verdict)
+	}
+	if rep := c.Check([]byte{0xde, 0xad, 0xbe, 0xef}); rep.Verdict != VerdictUnknown {
+		t.Errorf("unknown selector: %s", rep.Verdict)
+	}
+}
+
+// TestEndToEndWithRecovery wires the full pipeline: compile a contract,
+// recover its signatures with SigRec, then scan a synthetic workload and
+// compare against the ground-truth labels.
+func TestEndToEndWithRecovery(t *testing.T) {
+	sigStrs := []string{
+		"transfer(address,uint256)",
+		"approve(address,uint256)",
+		"setFlag(bool)",
+		"store(uint8,uint256)",
+	}
+	var fns []solc.Function
+	var sigs []abi.Signature
+	for _, s := range sigStrs {
+		sig, _ := abi.ParseSignature(s)
+		sigs = append(sigs, sig)
+		fns = append(fns, solc.Function{Sig: sig, Mode: solc.External})
+	}
+	code, err := solc.Compile(solc.Contract{Functions: fns}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Recover(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := FromRecovery(res)
+
+	w, err := chain.Generate(chain.Config{
+		Seed: 9, Blocks: 40, TxPerBlock: 25, InvalidRate: 0.10, ShortAddressShare: 0.25,
+	}, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var falseAlarms, missed, caughtAttacks, attacks int
+	for _, tx := range w.Txs {
+		rep := checker.Check(tx.CallData)
+		switch tx.Kind {
+		case chain.Valid:
+			if rep.Verdict != VerdictValid {
+				falseAlarms++
+				if falseAlarms <= 3 {
+					t.Logf("false alarm: %s on %s (%s)", rep.Verdict, tx.Sig.Canonical(), rep.Reason)
+				}
+			}
+		case chain.ShortAddress:
+			attacks++
+			if rep.Verdict == VerdictShortAddress {
+				caughtAttacks++
+			}
+		default:
+			if rep.Verdict == VerdictValid {
+				missed++
+				if missed <= 3 {
+					t.Logf("missed %s on %s", tx.Kind, tx.Sig.Canonical())
+				}
+			}
+		}
+	}
+	if falseAlarms > 0 {
+		t.Errorf("%d valid transactions flagged", falseAlarms)
+	}
+	if missed > 0 {
+		t.Errorf("%d malformed transactions accepted", missed)
+	}
+	if attacks == 0 || caughtAttacks != attacks {
+		t.Errorf("short-address: caught %d of %d", caughtAttacks, attacks)
+	}
+}
+
+func TestScanStats(t *testing.T) {
+	sig := transferSig(t)
+	c := New([]abi.Signature{sig})
+	valid, _ := abi.EncodeCall(sig, []abi.Value{evm.WordFromUint64(1), evm.WordFromUint64(2)})
+	st, err := c.Scan([][]byte{valid, valid[:40], {0xde, 0xad, 0xbe, 0xef}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 3 || st.Valid != 1 || st.Unknown != 1 || st.Invalid+st.ShortAddress != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	empty := New(nil)
+	if _, err := empty.Scan(nil); err == nil {
+		t.Error("empty checker must error")
+	}
+}
+
+func TestPaddingRulesTable(t *testing.T) {
+	rules := PaddingRules()
+	if len(rules) < 6 {
+		t.Errorf("only %d padding rules", len(rules))
+	}
+}
+
+// TestVyperTypesSupported: the paper defers Vyper support in ParChecker to
+// future work; the strict decoder here covers the Vyper types, so the
+// checker validates them out of the box.
+func TestVyperTypesSupported(t *testing.T) {
+	sig, err := abi.ParseSignature("f(decimal,bool,address)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New([]abi.Signature{sig})
+	valid, err := abi.EncodeCall(sig, []abi.Value{
+		evm.WordFromUint64(123_0000000000),
+		true,
+		evm.MustWordFromHex("0x00112233445566778899aabbccddeeff00112233"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := c.Check(valid); rep.Verdict != VerdictValid {
+		t.Errorf("valid vyper args: %s (%s)", rep.Verdict, rep.Reason)
+	}
+	// Decimal without sign extension (garbage high bytes) is invalid.
+	bad := append([]byte(nil), valid...)
+	bad[4+5] = 0x77
+	if rep := c.Check(bad); rep.Verdict != VerdictInvalid {
+		t.Errorf("corrupt decimal accepted: %s", rep.Verdict)
+	}
+	// Bounded bytes obey the bytes rules.
+	bsig, _ := abi.ParseSignature("g(bytes[32])")
+	cb := New([]abi.Signature{bsig})
+	enc, err := abi.EncodeCall(bsig, []abi.Value{[]byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := cb.Check(enc); rep.Verdict != VerdictValid {
+		t.Errorf("bounded bytes: %s (%s)", rep.Verdict, rep.Reason)
+	}
+	enc[len(enc)-1] = 0x9 // dirty tail padding
+	if rep := cb.Check(enc); rep.Verdict != VerdictInvalid {
+		t.Errorf("dirty bounded-bytes tail accepted: %s", rep.Verdict)
+	}
+}
+
+// TestScanParallelMatchesSerial: the concurrent scan must produce the same
+// statistics as the serial one, for any worker count.
+func TestScanParallelMatchesSerial(t *testing.T) {
+	var sigs []abi.Signature
+	for _, s := range []string{
+		"transfer(address,uint256)", "flag(bool)", "blob(bytes)",
+	} {
+		sig, _ := abi.ParseSignature(s)
+		sigs = append(sigs, sig)
+	}
+	c := New(sigs)
+	w, err := chain.Generate(chain.Config{
+		Seed: 77, Blocks: 60, TxPerBlock: 30, InvalidRate: 0.2, ShortAddressShare: 0.2,
+	}, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, len(w.Txs))
+	for i, tx := range w.Txs {
+		payloads[i] = tx.CallData
+	}
+	serial, err := c.Scan(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		par, err := c.ScanParallel(payloads, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Total != serial.Total || par.Valid != serial.Valid ||
+			par.Invalid != serial.Invalid || par.ShortAddress != serial.ShortAddress ||
+			par.Unknown != serial.Unknown {
+			t.Errorf("workers=%d: %+v vs serial %+v", workers, par, serial)
+		}
+		if len(par.UniqueTargets) != len(serial.UniqueTargets) {
+			t.Errorf("workers=%d: targets %d vs %d", workers, len(par.UniqueTargets), len(serial.UniqueTargets))
+		}
+	}
+	if _, err := New(nil).ScanParallel(payloads, 4); err == nil {
+		t.Error("empty checker must error")
+	}
+}

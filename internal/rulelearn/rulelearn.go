@@ -1,0 +1,196 @@
+// Package rulelearn reproduces the paper's §3.1 rule-generation pipeline as
+// an executable artifact. The paper derives its 31 rules in five steps; the
+// first four are automated and implemented here:
+//
+//  1. generate single-parameter smart contracts for every type (all widths,
+//     all dimensions) and compile them;
+//  2. collect each parameter's accessing pattern (the instruction sequence
+//     that touches the call data);
+//  3. extract the common accessing pattern across a type family (e.g. the
+//     subsequence shared by uint8, uint16, ..., uint256);
+//  4. symbolically characterize the pattern (delegated to core's TASE).
+//
+// Step 5 -- summarizing rules -- is the human step; its output is the rule
+// set in internal/core, and the tests here verify the paper's commonality
+// claims hold on our substrate: every uintM shares the CALLDATALOAD+AND
+// skeleton, every static array family shares its loop skeleton, and so on.
+package rulelearn
+
+import (
+	"fmt"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/evm"
+	"sigrec/internal/solc"
+)
+
+// Pattern is one parameter's accessing pattern: the opcode sequence, in
+// execution order, that participates in reading the parameter. Immediates
+// are abstracted away so patterns compare across widths and offsets.
+type Pattern []evm.Op
+
+// String renders the mnemonic sequence.
+func (p Pattern) String() string {
+	out := ""
+	for i, op := range p {
+		if i > 0 {
+			out += " "
+		}
+		out += op.String()
+	}
+	return out
+}
+
+// Sample is one generated contract and its extracted pattern.
+type Sample struct {
+	Type    abi.Type
+	Mode    solc.Mode
+	Code    []byte
+	Pattern Pattern
+}
+
+// CollectPattern implements steps 1-2 for one parameter type: generate the
+// single-parameter contract and extract its accessing pattern.
+func CollectPattern(t abi.Type, mode solc.Mode) (Sample, error) {
+	sig := abi.Signature{Name: "learn", Inputs: []abi.Type{t}}
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: mode},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		return Sample{}, fmt.Errorf("rulelearn: %s: %w", t.Display(), err)
+	}
+	return Sample{
+		Type:    t,
+		Mode:    mode,
+		Code:    code,
+		Pattern: extractPattern(code),
+	}, nil
+}
+
+// extractPattern walks the body instructions and keeps the call-data-
+// relevant opcodes: the loads and copies themselves plus the masking,
+// bound-check, and loop scaffolding around them. Offsets and mask widths
+// are immaterial (they are the *parameters* of the pattern, not its shape).
+func extractPattern(code []byte) Pattern {
+	var out Pattern
+	for _, ins := range evm.Disassemble(code).Instructions {
+		switch ins.Op {
+		case evm.CALLDATALOAD, evm.CALLDATACOPY,
+			evm.AND, evm.SIGNEXTEND, evm.ISZERO, evm.BYTE,
+			evm.SDIV, evm.SLT, evm.SGT,
+			evm.LT, evm.GT, evm.MUL, evm.DIV,
+			evm.MLOAD, evm.MSTORE, evm.JUMPI:
+			out = append(out, ins.Op)
+		}
+	}
+	return out
+}
+
+// CommonPattern implements step 3: the longest common subsequence of the
+// given patterns, the paper's "instruction sequence that appears in all
+// these accessing patterns".
+func CommonPattern(patterns []Pattern) Pattern {
+	if len(patterns) == 0 {
+		return nil
+	}
+	common := patterns[0]
+	for _, p := range patterns[1:] {
+		common = lcs(common, p)
+		if len(common) == 0 {
+			return nil
+		}
+	}
+	return common
+}
+
+// lcs computes the longest common subsequence of two opcode sequences.
+func lcs(a, b Pattern) Pattern {
+	n, m := len(a), len(b)
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	out := make(Pattern, 0, dp[0][0])
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Subtract implements the paper's residual construction: the instructions
+// in the common pattern of a composite type that are *not* explained by its
+// element type's pattern (multiset difference, order-preserving on the
+// composite side). The residual is the structural skeleton -- the loop and
+// offset machinery a dimension adds.
+func Subtract(composite, element Pattern) Pattern {
+	remaining := make(map[evm.Op]int)
+	for _, op := range element {
+		remaining[op]++
+	}
+	var out Pattern
+	for _, op := range composite {
+		if remaining[op] > 0 {
+			remaining[op]--
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// Family runs the pipeline over a family of types (steps 1-3), returning
+// the per-type samples and their common pattern.
+func Family(types []abi.Type, mode solc.Mode) ([]Sample, Pattern, error) {
+	samples := make([]Sample, 0, len(types))
+	patterns := make([]Pattern, 0, len(types))
+	for _, t := range types {
+		s, err := CollectPattern(t, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		samples = append(samples, s)
+		patterns = append(patterns, s.Pattern)
+	}
+	return samples, CommonPattern(patterns), nil
+}
+
+// contains reports whether the pattern has the opcode.
+func (p Pattern) contains(op evm.Op) bool {
+	for _, x := range p {
+		if x == op {
+			return true
+		}
+	}
+	return false
+}
+
+// Has reports whether every listed opcode occurs in the pattern.
+func (p Pattern) Has(ops ...evm.Op) bool {
+	for _, op := range ops {
+		if !p.contains(op) {
+			return false
+		}
+	}
+	return true
+}

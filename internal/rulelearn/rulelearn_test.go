@@ -1,0 +1,156 @@
+package rulelearn
+
+import (
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/evm"
+	"sigrec/internal/solc"
+)
+
+// TestUintFamilyCommonPattern reproduces §3.1's first derivation: the
+// common accessing pattern of uint8..uint248 is CALLDATALOAD followed by an
+// AND mask -- the skeleton rule R11 keys on.
+func TestUintFamilyCommonPattern(t *testing.T) {
+	var family []abi.Type
+	for bits := 8; bits < 256; bits += 8 {
+		family = append(family, abi.Uint(bits))
+	}
+	_, common, err := Family(family, solc.External)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !common.Has(evm.CALLDATALOAD, evm.AND) {
+		t.Errorf("uint family common pattern %s lacks CDL+AND", common)
+	}
+	if common.Has(evm.SIGNEXTEND) {
+		t.Errorf("uint family pattern must not contain SIGNEXTEND: %s", common)
+	}
+}
+
+// TestIntFamilyUsesSignExtend: intM (M<256) shares CALLDATALOAD+SIGNEXTEND.
+func TestIntFamilyUsesSignExtend(t *testing.T) {
+	var family []abi.Type
+	for bits := 8; bits < 256; bits += 8 {
+		family = append(family, abi.Int(bits))
+	}
+	_, common, err := Family(family, solc.External)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !common.Has(evm.CALLDATALOAD, evm.SIGNEXTEND) {
+		t.Errorf("int family common pattern %s lacks CDL+SIGNEXTEND", common)
+	}
+}
+
+// TestStaticArrayResidual reproduces the one-dimensional static-array
+// derivation: subtracting the element's pattern from T[N]'s common pattern
+// leaves the loop skeleton (bound check LT + JUMPI and the element loads).
+func TestStaticArrayResidual(t *testing.T) {
+	elemSample, err := CollectPattern(abi.Uint(8), solc.External)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var family []abi.Type
+	for n := 1; n <= 10; n++ {
+		family = append(family, abi.ArrayOf(abi.Uint(8), n))
+	}
+	_, common, err := Family(family, solc.External)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residual := Subtract(common, elemSample.Pattern)
+	if !residual.Has(evm.LT, evm.JUMPI) {
+		t.Errorf("static-array residual %s lacks the bound-check skeleton", residual)
+	}
+}
+
+// TestDynamicArrayPublicResidual: the paper's dynamic-array derivation --
+// the pattern of uint8[] minus uint8's leaves the offset/num reads, the
+// copy, and the size multiplication.
+func TestDynamicArrayPublicResidual(t *testing.T) {
+	elemSample, err := CollectPattern(abi.Uint(8), solc.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrSample, err := CollectPattern(abi.SliceOf(abi.Uint(8)), solc.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residual := Subtract(arrSample.Pattern, elemSample.Pattern)
+	if !residual.Has(evm.CALLDATALOAD, evm.CALLDATACOPY, evm.MUL) {
+		t.Errorf("dynamic-array residual %s lacks offset/copy/size skeleton", residual)
+	}
+}
+
+// TestBytesVsArrayLengthComputation: the copy-length computations differ
+// exactly as rule R8 requires -- bytes rounds up with DIV, arrays multiply.
+func TestBytesVsArrayLengthComputation(t *testing.T) {
+	bytesSample, err := CollectPattern(abi.Bytes(), solc.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrSample, err := CollectPattern(abi.SliceOf(abi.Uint(256)), solc.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytesSample.Pattern.Has(evm.DIV) {
+		t.Errorf("bytes pattern %s lacks the round-up DIV", bytesSample.Pattern)
+	}
+	if arrSample.Pattern.Has(evm.DIV) {
+		t.Errorf("array pattern %s should not divide", arrSample.Pattern)
+	}
+}
+
+// TestMultiDimGrowsLoops: each added dimension adds a bound check, which is
+// how step 5 generalizes rules R2/R3 "for all possible dimensions".
+func TestMultiDimGrowsLoops(t *testing.T) {
+	counts := make([]int, 0, 3)
+	ty := abi.Uint(256)
+	for dim := 1; dim <= 3; dim++ {
+		ty = abi.ArrayOf(ty, 2)
+		s, err := CollectPattern(ty, solc.External)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt := 0
+		for _, op := range s.Pattern {
+			if op == evm.LT {
+				lt++
+			}
+		}
+		counts = append(counts, lt)
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Errorf("bound checks do not grow with dimension: %v", counts)
+	}
+}
+
+// TestLCSProperties sanity-checks the subsequence machinery.
+func TestLCSProperties(t *testing.T) {
+	a := Pattern{evm.CALLDATALOAD, evm.AND, evm.MSTORE}
+	b := Pattern{evm.CALLDATALOAD, evm.MSTORE}
+	got := lcs(a, b)
+	if got.String() != "CALLDATALOAD MSTORE" {
+		t.Errorf("lcs = %s", got)
+	}
+	if len(lcs(a, nil)) != 0 {
+		t.Error("lcs with empty must be empty")
+	}
+	if CommonPattern(nil) != nil {
+		t.Error("CommonPattern(nil) must be nil")
+	}
+	self := CommonPattern([]Pattern{a, a})
+	if self.String() != a.String() {
+		t.Errorf("self-common = %s", self)
+	}
+}
+
+func TestSubtractMultiset(t *testing.T) {
+	comp := Pattern{evm.CALLDATALOAD, evm.CALLDATALOAD, evm.AND}
+	elem := Pattern{evm.CALLDATALOAD}
+	got := Subtract(comp, elem)
+	if got.String() != "CALLDATALOAD AND" {
+		t.Errorf("residual = %s", got)
+	}
+}

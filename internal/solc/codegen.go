@@ -1,0 +1,294 @@
+package solc
+
+import (
+	"fmt"
+
+	"sigrec/internal/evm"
+)
+
+// Memory layout of generated code. Loop counters and saved offset/num fields
+// live in a scratch region well above the parameter copy regions, so the two
+// never collide and symbolic memory resolution stays exact.
+const (
+	// regionBase is where parameter copy regions start.
+	regionBase = 0x100
+	// regionStride separates per-parameter copy regions.
+	regionStride = 0x8000
+	// scratchBase is where loop counters and saved fields start.
+	scratchBase = 0x40000
+)
+
+// codegen carries the state of one Compile call.
+type codegen struct {
+	cfg Config
+	asm *evm.Assembler
+
+	// per-function state
+	scratchNext uint64
+	sinkNext    uint64
+}
+
+// contract emits the dispatcher and all function bodies.
+func (g *codegen) contract(c Contract) ([]byte, error) {
+	a := g.asm
+	if g.cfg.Version.CallValueGuard {
+		// Non-payable prologue: revert when value was sent.
+		ok := a.NewLabel()
+		a.Op(evm.CALLVALUE).Op(evm.ISZERO)
+		a.JumpI(ok)
+		a.Push(0).Push(0).Op(evm.REVERT)
+		a.Bind(ok)
+	}
+	// Selector extraction.
+	a.Push(0).Op(evm.CALLDATALOAD)
+	if g.cfg.Version.UseSHR {
+		// SHR takes the shift amount from the stack top.
+		a.Push(0xe0).Op(evm.SHR)
+	} else {
+		// DIV by 2^224 then mask to 4 bytes.
+		div := make([]byte, 29)
+		div[0] = 0x01
+		a.PushBytes(div).Swap(1).Op(evm.DIV)
+		a.PushBytes([]byte{0xff, 0xff, 0xff, 0xff}).Op(evm.AND)
+	}
+	// Dispatch: a linear EQ ladder for small contracts, the binary-search
+	// split real solc emits for larger ones (the split comparisons are the
+	// GT tests function-id extraction must see through).
+	bodies := make([]evm.Label, len(c.Functions))
+	for i := range c.Functions {
+		bodies[i] = a.NewLabel()
+	}
+	if len(c.Functions) >= binarySearchThreshold {
+		g.binaryDispatch(c.Functions, bodies)
+	} else {
+		for i, f := range c.Functions {
+			sel := f.Sig.Selector()
+			a.Dup(1).PushBytes(sel[:]).Op(evm.EQ)
+			a.JumpI(bodies[i])
+		}
+	}
+	// Fallback: no match.
+	a.Op(evm.POP).Op(evm.STOP)
+	// Bodies.
+	for i, f := range c.Functions {
+		a.Bind(bodies[i])
+		a.Op(evm.POP) // drop the selector copy
+		if err := g.functionBody(f); err != nil {
+			return nil, fmt.Errorf("solc: %s: %w", f.Sig.Canonical(), err)
+		}
+		a.Op(evm.STOP)
+	}
+	return a.Assemble()
+}
+
+// binarySearchThreshold is the function count at which the dispatcher
+// switches from a linear ladder to binary search (solc uses a similar
+// heuristic).
+const binarySearchThreshold = 6
+
+// binaryDispatch emits the split dispatcher: the selector space is halved
+// with GT comparisons until a small group remains, which gets EQ tests.
+func (g *codegen) binaryDispatch(fns []Function, bodies []evm.Label) {
+	type entry struct {
+		sel  uint64
+		body evm.Label
+	}
+	entries := make([]entry, len(fns))
+	for i, f := range fns {
+		sel := f.Sig.Selector()
+		entries[i] = entry{
+			sel: uint64(sel[0])<<24 | uint64(sel[1])<<16 |
+				uint64(sel[2])<<8 | uint64(sel[3]),
+			body: bodies[i],
+		}
+	}
+	sorted := append([]entry(nil), entries...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1].sel > sorted[j].sel; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	a := g.asm
+	noMatch := a.NewLabel()
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if hi-lo <= 3 {
+			for _, e := range sorted[lo:hi] {
+				a.Dup(1).Push(e.sel).Op(evm.EQ)
+				a.JumpI(e.body)
+			}
+			a.Jump(noMatch)
+			return
+		}
+		mid := (lo + hi) / 2
+		lower := a.NewLabel()
+		// if pivot > selector, search the lower half (stack keeps [sel])
+		a.Dup(1).Push(sorted[mid].sel).Op(evm.GT)
+		a.JumpI(lower)
+		split(mid, hi)
+		a.Bind(lower)
+		split(lo, mid)
+	}
+	split(0, len(sorted))
+	a.Bind(noMatch)
+	a.Op(evm.POP)
+	a.Op(evm.STOP)
+	// The caller's shared fallback (POP; STOP) is unreachable for binary
+	// dispatch; leave the stack as the linear path would ([sel]) so the
+	// emitted dead code stays well formed.
+	a.Push(0)
+}
+
+// functionBody emits the parameter-accessing code for one function.
+func (g *codegen) functionBody(f Function) error {
+	g.scratchNext = scratchBase
+	g.sinkNext = 0
+	head := uint64(4)
+	for i, t := range f.Sig.Inputs {
+		if i < len(f.StorageRef) && f.StorageRef[i] {
+			// Storage-modifier parameter: the call data slot is a storage
+			// reference, read as one word and dereferenced (paper case 4).
+			g.calldataload(constLoc(head))
+			g.asm.Op(evm.SLOAD)
+			g.sink()
+			head += 32
+			continue
+		}
+		if err := g.param(t, f.Mode, f.usage(i), head, regionBase+uint64(i)*regionStride); err != nil {
+			return fmt.Errorf("parameter %d (%s): %w", i, t.Display(), err)
+		}
+		head += uint64(t.HeadSize())
+	}
+	// Inline-assembly reads of undeclared values (paper case 1).
+	for k := 0; k < f.AsmReads; k++ {
+		g.calldataload(constLoc(head + uint64(32*k)))
+		g.sink()
+	}
+	return nil
+}
+
+// --- low-level emission helpers ---
+
+// scratch allocates a 32-byte scratch slot.
+func (g *codegen) scratch() uint64 {
+	s := g.scratchNext
+	g.scratchNext += 32
+	return s
+}
+
+// sink stores the stack top into the next storage slot (the generated
+// body's way of "using" a value, observable by the concrete interpreter).
+func (g *codegen) sink() {
+	g.asm.Push(g.sinkNext).Op(evm.SSTORE)
+	g.sinkNext++
+}
+
+// storeTo saves the stack top into a memory slot.
+func (g *codegen) storeTo(slot uint64) {
+	g.asm.Push(slot).Op(evm.MSTORE)
+}
+
+// loadFrom pushes the value of a memory slot.
+func (g *codegen) loadFrom(slot uint64) {
+	g.asm.Push(slot).Op(evm.MLOAD)
+}
+
+// term is one linear component of a runtime address: coeff * MLOAD(slot).
+type term struct {
+	slot  uint64
+	coeff uint64
+}
+
+// loc is a runtime-computable call-data or memory address:
+// constant + sum(coeff * MLOAD(slot)).
+type loc struct {
+	c     uint64
+	terms []term
+}
+
+func constLoc(c uint64) loc { return loc{c: c} }
+
+func (l loc) add(c uint64) loc {
+	out := loc{c: l.c + c, terms: make([]term, len(l.terms))}
+	copy(out.terms, l.terms)
+	return out
+}
+
+func (l loc) addTerm(slot, coeff uint64) loc {
+	out := l.add(0)
+	out.terms = append(out.terms, term{slot: slot, coeff: coeff})
+	return out
+}
+
+// isConst reports whether the address needs no runtime computation.
+func (l loc) isConst() bool { return len(l.terms) == 0 }
+
+// push emits code leaving the address value on the stack.
+func (g *codegen) push(l loc) {
+	a := g.asm
+	a.Push(l.c)
+	for _, t := range l.terms {
+		g.loadFrom(t.slot)
+		if t.coeff != 1 {
+			a.Push(t.coeff).Op(evm.MUL)
+		}
+		a.Op(evm.ADD)
+	}
+}
+
+// calldataload emits CALLDATALOAD of the address.
+func (g *codegen) calldataload(l loc) {
+	g.push(l)
+	g.asm.Op(evm.CALLDATALOAD)
+}
+
+// mload emits MLOAD of the address.
+func (g *codegen) mload(l loc) {
+	g.push(l)
+	g.asm.Op(evm.MLOAD)
+}
+
+// calldatacopy emits CALLDATACOPY(dst, src, length). Each argument is
+// emitted with push, so any of them may be runtime-computed. lengthPush
+// emits the length; it runs first (stack order: length deepest).
+func (g *codegen) calldatacopy(dst, src loc, lengthPush func()) {
+	lengthPush()
+	g.push(src)
+	g.push(dst)
+	g.asm.Op(evm.CALLDATACOPY)
+}
+
+// emitLoop emits a counted loop `for i := 0; i < bound; i++ { body }` with
+// the counter in a fresh scratch slot. boundPush emits the bound value.
+// The loop guard compiles to the LT instruction whose control dependence
+// SigRec's rules R2/R3 key on.
+func (g *codegen) emitLoop(boundPush func(), body func(iSlot uint64)) {
+	a := g.asm
+	iSlot := g.scratch()
+	a.Push(0)
+	g.storeTo(iSlot)
+	top := a.NewLabel()
+	exit := a.NewLabel()
+	a.Bind(top)
+	boundPush()       // bound
+	g.loadFrom(iSlot) // i on top
+	a.Op(evm.LT)      // i < bound
+	a.Op(evm.ISZERO)  // negate
+	a.JumpI(exit)     // exit when done
+	body(iSlot)
+	g.loadFrom(iSlot)
+	a.Push(1).Op(evm.ADD)
+	g.storeTo(iSlot)
+	a.Jump(top)
+	a.Bind(exit)
+}
+
+// pushConst is a boundPush for compile-time bounds.
+func (g *codegen) pushConst(v uint64) func() {
+	return func() { g.asm.Push(v) }
+}
+
+// pushSlot is a boundPush for runtime bounds saved in scratch.
+func (g *codegen) pushSlot(slot uint64) func() {
+	return func() { g.loadFrom(slot) }
+}

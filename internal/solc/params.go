@@ -1,0 +1,414 @@
+package solc
+
+import (
+	"fmt"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/evm"
+)
+
+// param emits the accessing code for one top-level parameter whose head slot
+// starts at absolute call-data offset headOff. region is the memory region
+// reserved for this parameter's CALLDATACOPY destination in public mode.
+func (g *codegen) param(t abi.Type, mode Mode, u Usage, headOff, region uint64) error {
+	switch {
+	case isBasic(t):
+		g.calldataload(constLoc(headOff))
+		g.basicOps(t, u)
+		g.sink()
+		return nil
+
+	case t.Kind == abi.KindTuple && !t.IsDynamic():
+		// Static struct: the call data layout and accessing code are the
+		// same as for the flattened members (paper §2.3.1, struct). Each
+		// member uses its own default usage so the emitted body is
+		// byte-identical to the flattened declaration.
+		off := headOff
+		for i, f := range t.Fields {
+			if err := g.param(f, mode, DefaultUsage(f), off, region+uint64(i)*0x1000); err != nil {
+				return err
+			}
+			off += uint64(f.HeadSize())
+		}
+		return nil
+
+	case isStaticBasicArray(t):
+		if mode == Public {
+			return g.staticArrayPublic(t, u, headOff, region)
+		}
+		return g.staticArrayExternal(t, u, headOff)
+
+	case t.Kind == abi.KindSlice && isStaticBasicArrayOrBasic(*t.Elem):
+		// Dynamic array: one dynamic (highest) dimension over a static body.
+		if mode == Public {
+			return g.dynArrayPublic(t, u, headOff, region)
+		}
+		return g.onDemand(t, u, constLoc(4), constLoc(headOff))
+
+	case t.Kind == abi.KindBytes || t.Kind == abi.KindString:
+		if mode == Public {
+			return g.bytesPublic(t, u, headOff, region)
+		}
+		return g.onDemand(t, u, constLoc(4), constLoc(headOff))
+
+	default:
+		// Nested arrays and dynamic structs: the paper observes the public
+		// and external accessing patterns coincide (on-demand reads).
+		return g.onDemand(t, u, constLoc(4), constLoc(headOff))
+	}
+}
+
+// --- shape helpers ---
+
+func isBasic(t abi.Type) bool {
+	switch t.Kind {
+	case abi.KindUint, abi.KindInt, abi.KindAddress, abi.KindBool, abi.KindFixedBytes:
+		return true
+	default:
+		return false
+	}
+}
+
+// isStaticBasicArray reports a T[N1]...[Nk] with basic T and all dims static.
+func isStaticBasicArray(t abi.Type) bool {
+	if t.Kind != abi.KindArray {
+		return false
+	}
+	return isStaticBasicArrayOrBasic(*t.Elem)
+}
+
+func isStaticBasicArrayOrBasic(t abi.Type) bool {
+	for t.Kind == abi.KindArray {
+		t = *t.Elem
+	}
+	return isBasic(t)
+}
+
+// arrayShape returns outermost-first dimension lengths (0 marks the dynamic
+// top dimension of a slice) and the basic element type.
+func arrayShape(t abi.Type) (dims []uint64, elem abi.Type) {
+	for {
+		switch t.Kind {
+		case abi.KindArray:
+			dims = append(dims, uint64(t.Len))
+			t = *t.Elem
+		case abi.KindSlice:
+			dims = append(dims, 0)
+			t = *t.Elem
+		default:
+			return dims, t
+		}
+	}
+}
+
+// strides returns, for each dimension, the byte stride of its index
+// (product of the inner dimensions times 32).
+func strides(dims []uint64) []uint64 {
+	out := make([]uint64, len(dims))
+	acc := uint64(32)
+	for j := len(dims) - 1; j >= 0; j-- {
+		out[j] = acc
+		acc *= dims[j]
+	}
+	return out
+}
+
+// --- basic value operations ---
+
+// basicOps applies the type's distinguishing instruction pattern to the
+// value on the stack top, leaving the transformed value there.
+func (g *codegen) basicOps(t abi.Type, u Usage) {
+	a := g.asm
+	switch t.Kind {
+	case abi.KindUint:
+		if t.Bits < 256 {
+			a.PushBytes(onesMask(t.Bits / 8)).Op(evm.AND)
+		}
+		if u.Math {
+			a.Push(1).Op(evm.ADD)
+		}
+	case abi.KindInt:
+		if t.Bits < 256 {
+			a.Push(uint64(t.Bits/8 - 1)).Op(evm.SIGNEXTEND)
+		}
+		if u.SignedOp {
+			a.Push(2).Op(evm.SDIV)
+		}
+	case abi.KindAddress:
+		a.PushBytes(onesMask(20)).Op(evm.AND)
+	case abi.KindBool:
+		a.Op(evm.ISZERO).Op(evm.ISZERO)
+	case abi.KindFixedBytes:
+		if t.Size < 32 {
+			a.PushBytes(highMask(t.Size)).Op(evm.AND)
+		} else if u.ByteAccess {
+			a.Push(0).Op(evm.BYTE)
+		}
+	}
+}
+
+// onesMask is M bytes of 0xff (the low mask PUSHed for uintM / address).
+func onesMask(nBytes int) []byte {
+	b := make([]byte, nBytes)
+	for i := range b {
+		b[i] = 0xff
+	}
+	return b
+}
+
+// highMask is the full-width mask with the high n bytes set (bytesN).
+func highMask(nBytes int) []byte {
+	b := make([]byte, 32)
+	for i := 0; i < nBytes; i++ {
+		b[i] = 0xff
+	}
+	return b
+}
+
+// --- public-mode copy emitters ---
+
+// staticArrayPublic copies a static array to memory with a CALLDATACOPY
+// nest of depth dims-1 (paper Listing 1), then optionally reads one item.
+func (g *codegen) staticArrayPublic(t abi.Type, u Usage, headOff, region uint64) error {
+	dims, elem := arrayShape(t)
+	st := strides(dims)
+	rowLen := dims[len(dims)-1] * 32
+	if len(dims) == 1 {
+		g.calldatacopy(constLoc(region), constLoc(headOff), g.pushConst(rowLen))
+	} else {
+		g.copyNest(dims[:len(dims)-1], st, rowLen, constLoc(region), constLoc(headOff), 0)
+	}
+	if u.ItemAccess {
+		g.mload(constLoc(region))
+		g.basicOps(elem, u)
+		g.sink()
+	}
+	return nil
+}
+
+// copyNest emits nested copy loops over dims[level:]; innermost copies rows.
+func (g *codegen) copyNest(loopDims, st []uint64, rowLen uint64, dst, src loc, level int) {
+	if level == len(loopDims) {
+		g.calldatacopy(dst, src, g.pushConst(rowLen))
+		return
+	}
+	g.emitLoop(g.pushConst(loopDims[level]), func(iSlot uint64) {
+		g.copyNest(loopDims, st, rowLen,
+			dst.addTerm(iSlot, st[level]),
+			src.addTerm(iSlot, st[level]),
+			level+1)
+	})
+}
+
+// dynArrayPublic reads the offset and num fields, stores num to memory, and
+// copies all items (paper §2.3.1, dynamic array, public mode).
+func (g *codegen) dynArrayPublic(t abi.Type, u Usage, headOff, region uint64) error {
+	dims, elem := arrayShape(t)
+	st := strides(dims)
+	offSlot := g.scratch()
+	numSlot := g.scratch()
+	// offset field
+	g.calldataload(constLoc(headOff))
+	g.storeTo(offSlot)
+	// num field at 4 + offset
+	g.calldataload(loc{c: 4, terms: []term{{slot: offSlot, coeff: 1}}})
+	g.storeTo(numSlot)
+	// item number is placed at the start of the memory region (MSTORE).
+	g.loadFrom(numSlot)
+	g.storeTo(region)
+	itemsSrc := loc{c: 4 + 32, terms: []term{{slot: offSlot, coeff: 1}}}
+	itemsDst := constLoc(region + 32)
+	if len(dims) == 1 {
+		// One CALLDATACOPY of num*32 bytes.
+		g.calldatacopy(itemsDst, itemsSrc, func() {
+			g.loadFrom(numSlot)
+			g.asm.Push(32).Op(evm.MUL)
+		})
+	} else {
+		rowLen := dims[len(dims)-1] * 32
+		g.dynCopyNest(dims[:len(dims)-1], st, rowLen, itemsDst, itemsSrc, numSlot, 0)
+	}
+	if u.ItemAccess {
+		g.mload(constLoc(region + 32))
+		g.basicOps(elem, u)
+		g.sink()
+	}
+	return nil
+}
+
+// dynCopyNest is copyNest with a runtime bound for the top dimension.
+func (g *codegen) dynCopyNest(loopDims, st []uint64, rowLen uint64, dst, src loc, numSlot uint64, level int) {
+	if level == len(loopDims) {
+		g.calldatacopy(dst, src, g.pushConst(rowLen))
+		return
+	}
+	bound := g.pushConst(loopDims[level])
+	if level == 0 {
+		bound = g.pushSlot(numSlot)
+	}
+	g.emitLoop(bound, func(iSlot uint64) {
+		g.dynCopyNest(loopDims, st, rowLen,
+			dst.addTerm(iSlot, st[level]),
+			src.addTerm(iSlot, st[level]),
+			numSlot, level+1)
+	})
+}
+
+// bytesPublic copies a bytes/string parameter: the copy length is the num
+// field rounded up to a multiple of 32 (this rounding, instead of num*32,
+// is what rule R8 keys on).
+func (g *codegen) bytesPublic(t abi.Type, u Usage, headOff, region uint64) error {
+	offSlot := g.scratch()
+	numSlot := g.scratch()
+	g.calldataload(constLoc(headOff))
+	g.storeTo(offSlot)
+	g.calldataload(loc{c: 4, terms: []term{{slot: offSlot, coeff: 1}}})
+	g.storeTo(numSlot)
+	g.loadFrom(numSlot)
+	g.storeTo(region)
+	g.calldatacopy(constLoc(region+32), loc{c: 36, terms: []term{{slot: offSlot, coeff: 1}}}, func() {
+		// ((num + 31) / 32) * 32
+		a := g.asm
+		g.loadFrom(numSlot)
+		a.Push(31).Op(evm.ADD)
+		a.Push(32).Swap(1).Op(evm.DIV)
+		a.Push(32).Op(evm.MUL)
+	})
+	g.mload(constLoc(region + 32))
+	if t.Kind == abi.KindBytes && u.ByteAccess {
+		g.asm.Push(0).Op(evm.BYTE)
+	}
+	g.sink()
+	return nil
+}
+
+// --- on-demand reader (external arrays, nested arrays, dynamic structs) ---
+
+// onDemand emits code that reads a value of type t directly from the call
+// data. frame is the absolute offset of the enclosing encoding frame (4 for
+// top-level parameters); head is the absolute offset of this value's head
+// slot. Offsets stored in the call data are relative to frame.
+func (g *codegen) onDemand(t abi.Type, u Usage, frame, head loc) error {
+	switch {
+	case isBasic(t):
+		g.calldataload(head)
+		g.basicOps(t, u)
+		g.sink()
+		return nil
+
+	case t.Kind == abi.KindArray && !t.IsDynamic():
+		// Inline static array: bound-checked loop per dimension.
+		elemSize := uint64(t.Elem.HeadSize())
+		var err error
+		g.emitLoop(g.pushConst(uint64(t.Len)), func(iSlot uint64) {
+			if e := g.onDemand(*t.Elem, u, frame, head.addTerm(iSlot, elemSize)); e != nil {
+				err = e
+			}
+		})
+		return err
+
+	case t.Kind == abi.KindArray && t.IsDynamic():
+		// Static-length array of dynamic elements: the head slot holds an
+		// offset; the body is a sequence of per-element offset slots.
+		body := g.deref(frame, head)
+		var err error
+		g.emitLoop(g.pushConst(uint64(t.Len)), func(iSlot uint64) {
+			if e := g.onDemand(*t.Elem, u, body, body.addTerm(iSlot, 32)); e != nil {
+				err = e
+			}
+		})
+		return err
+
+	case t.Kind == abi.KindSlice:
+		body := g.deref(frame, head)
+		numSlot := g.scratch()
+		g.calldataload(body)
+		g.storeTo(numSlot)
+		seq := body.add(32)
+		elemSize := uint64(32)
+		if !t.Elem.IsDynamic() {
+			elemSize = uint64(t.Elem.HeadSize())
+		}
+		var err error
+		g.emitLoop(g.pushSlot(numSlot), func(iSlot uint64) {
+			if e := g.onDemand(*t.Elem, u, seq, seq.addTerm(iSlot, elemSize)); e != nil {
+				err = e
+			}
+		})
+		return err
+
+	case t.Kind == abi.KindBytes || t.Kind == abi.KindString:
+		body := g.deref(frame, head)
+		numSlot := g.scratch()
+		g.calldataload(body)
+		g.storeTo(numSlot)
+		// Element access is bounds-checked against the length, as real solc
+		// emits (and as rule R2's control-dependence evidence requires).
+		skip := g.asm.NewLabel()
+		g.loadFrom(numSlot)
+		g.asm.Push(0)
+		g.asm.Op(evm.LT) // 0 < num
+		g.asm.Op(evm.ISZERO)
+		g.asm.JumpI(skip)
+		// Read the first content word; for bytes, extract a single byte
+		// (the paper's bytes-vs-string distinguishing access).
+		g.calldataload(body.add(32))
+		if t.Kind == abi.KindBytes && u.ByteAccess {
+			g.asm.Push(0).Op(evm.BYTE)
+		}
+		g.sink()
+		g.asm.Bind(skip)
+		return nil
+
+	case t.Kind == abi.KindTuple && t.IsDynamic():
+		body := g.deref(frame, head)
+		off := uint64(0)
+		for _, f := range t.Fields {
+			if err := g.onDemand(f, u, body, body.add(off)); err != nil {
+				return err
+			}
+			off += uint64(f.HeadSize())
+		}
+		return nil
+
+	case t.Kind == abi.KindTuple:
+		// Static tuple inline: members as if flattened.
+		off := uint64(0)
+		for _, f := range t.Fields {
+			if err := g.onDemand(f, u, frame, head.add(off)); err != nil {
+				return err
+			}
+			off += uint64(f.HeadSize())
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("solc: unsupported parameter type %s", t.Display())
+	}
+}
+
+// deref reads the offset stored at head and returns the location of the
+// value body (frame + offset), saving the offset in a scratch slot.
+func (g *codegen) deref(frame, head loc) loc {
+	offSlot := g.scratch()
+	g.calldataload(head)
+	g.storeTo(offSlot)
+	return frame.addTerm(offSlot, 1)
+}
+
+// staticArrayExternal reads items with bound-checked CALLDATALOADs, or, when
+// optimized with constant indices, a single unguarded load (which removes
+// SigRec's evidence -- the paper's case 5).
+func (g *codegen) staticArrayExternal(t abi.Type, u Usage, headOff uint64) error {
+	if !u.ItemAccess {
+		return nil // unused array: no instructions touch it
+	}
+	if g.cfg.Optimize && u.ConstIndex {
+		_, elem := arrayShape(t)
+		g.calldataload(constLoc(headOff))
+		g.basicOps(elem, u)
+		g.sink()
+		return nil
+	}
+	return g.onDemand(t, u, constLoc(4), constLoc(headOff))
+}

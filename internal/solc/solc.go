@@ -1,0 +1,264 @@
+// Package solc is a pattern-faithful miniature Solidity compiler.
+//
+// It does not compile Solidity source; it compiles *function declarations*
+// (signatures plus a usage plan describing how the body touches each
+// parameter) into EVM runtime bytecode whose parameter-accessing instruction
+// sequences match the ones real solc emits, as documented in §2.3.1 of the
+// SigRec paper: the DIV/SHR dispatcher, AND masks for unsigned integers and
+// fixed byte sequences, SIGNEXTEND for signed integers, double-ISZERO for
+// bools, CALLDATACOPY loops for arrays in public functions, LT bound-check
+// chains for arrays in external functions, and offset/num chains for
+// dynamic types.
+//
+// This package is the substitution for the paper's corpus of contracts
+// compiled by 155 real solc versions (see DESIGN.md §4): SigRec keys only on
+// these accessing patterns, so generating them directly preserves the
+// inference problem while remaining fully self-contained.
+package solc
+
+import (
+	"fmt"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/evm"
+)
+
+// Mode distinguishes how a function's parameters are accessed.
+type Mode int
+
+// Function visibility modes (they differ in array access patterns).
+const (
+	// Public functions copy array/bytes parameters to memory with
+	// CALLDATACOPY before use.
+	Public Mode = iota + 1
+	// External functions read parameters from call data on demand with
+	// CALLDATALOAD.
+	External
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Public:
+		return "public"
+	case External:
+		return "external"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Usage describes the clues a function body provides about one parameter.
+// The paper's accuracy losses (its "case 5") come precisely from bodies that
+// leave these false.
+type Usage struct {
+	// Math involves the value in arithmetic: distinguishes uint160 from
+	// address (rule R16) and is the natural state for integers.
+	Math bool
+	// SignedOp applies a signed operation (SDIV): distinguishes int256
+	// from uint256 (rule R15).
+	SignedOp bool
+	// ByteAccess reads a single byte: distinguishes bytes32 from uint256
+	// (rules R17/R18) and bytes from string.
+	ByteAccess bool
+	// ItemAccess reads an element of an array/list (needed to learn the
+	// element type).
+	ItemAccess bool
+	// ConstIndex uses a compile-time-constant index for external static
+	// arrays; combined with optimization it removes the runtime bound
+	// checks and with them SigRec's evidence (paper case 5).
+	ConstIndex bool
+}
+
+// DefaultUsage returns the clue-rich usage for a type: every distinguishing
+// operation the type supports is exercised.
+func DefaultUsage(t abi.Type) Usage {
+	u := Usage{ItemAccess: true}
+	switch t.Kind {
+	case abi.KindUint:
+		u.Math = true
+	case abi.KindInt:
+		u.SignedOp = true
+	case abi.KindFixedBytes:
+		u.ByteAccess = t.Size == 32 // bytes32 needs BYTE; narrower widths mask
+	case abi.KindBytes, abi.KindBoundedBytes:
+		u.ByteAccess = true
+	case abi.KindArray, abi.KindSlice:
+		eu := DefaultUsage(*t.Elem)
+		u.Math, u.SignedOp, u.ByteAccess = eu.Math, eu.SignedOp, eu.ByteAccess
+	case abi.KindTuple:
+		for _, f := range t.Fields {
+			fu := DefaultUsage(f)
+			u.Math = u.Math || fu.Math
+			u.SignedOp = u.SignedOp || fu.SignedOp
+			u.ByteAccess = u.ByteAccess || fu.ByteAccess
+		}
+	}
+	return u
+}
+
+// Function is one public/external function to compile.
+type Function struct {
+	Sig  abi.Signature
+	Mode Mode
+	// Plan holds one Usage per parameter; nil means DefaultUsage for all.
+	Plan []Usage
+	// AsmReads emits that many 32-byte call-data reads beyond the declared
+	// parameters, modeling inline-assembly calldataload() of undeclared
+	// values (the paper's accuracy case 1: SigRec reports them as
+	// parameters because it infers from usage, not declarations).
+	AsmReads int
+	// StorageRef marks parameters declared with the storage modifier: the
+	// call data carries a storage slot reference, so the body reads a
+	// single word and dereferences storage (the paper's case 4).
+	StorageRef []bool
+}
+
+// usage returns the plan entry for parameter i.
+func (f Function) usage(i int) Usage {
+	if i < len(f.Plan) {
+		return f.Plan[i]
+	}
+	return DefaultUsage(f.Sig.Inputs[i])
+}
+
+// Contract is a set of functions compiled behind one dispatcher.
+type Contract struct {
+	Functions []Function
+}
+
+// Version describes a compiler dialect. The fields are the properties that
+// changed across real solc releases and that affect the patterns SigRec
+// sees.
+type Version struct {
+	// Name is the release label, e.g. "0.4.24".
+	Name string
+	// UseSHR selects the SHR-based selector extraction (solc >= 0.5.0)
+	// instead of the DIV-by-2^224 form.
+	UseSHR bool
+	// CallValueGuard emits the non-payable prologue.
+	CallValueGuard bool
+	// ABIEncoderV2 enables struct and nested-array parameters
+	// (solc >= 0.4.19 experimental, default from 0.8.0).
+	ABIEncoderV2 bool
+}
+
+// Config selects the dialect and optimization level.
+type Config struct {
+	Version  Version
+	Optimize bool
+}
+
+// Versions returns the ladder of representative dialects, oldest first.
+// Each minor release family shares pattern behaviour with its siblings,
+// exactly as the paper observes (accuracy is flat across versions).
+func Versions() []Version {
+	var out []Version
+	add := func(name string, shr, guard, v2 bool, patches int) {
+		for p := 0; p < patches; p++ {
+			out = append(out, Version{
+				Name:           fmt.Sprintf("%s.%d", name, p),
+				UseSHR:         shr,
+				CallValueGuard: guard,
+				ABIEncoderV2:   v2,
+			})
+		}
+	}
+	add("0.1", false, false, false, 7)
+	add("0.2", false, false, false, 2)
+	add("0.3", false, false, false, 6)
+	add("0.4", false, true, false, 26)
+	add("0.5", true, true, true, 17)
+	add("0.6", true, true, true, 12)
+	add("0.7", true, true, true, 6)
+	add("0.8", true, true, true, 1)
+	return out
+}
+
+// DefaultVersion is a modern dialect for callers that do not sweep versions.
+func DefaultVersion() Version {
+	return Version{Name: "0.8.0", UseSHR: true, CallValueGuard: true, ABIEncoderV2: true}
+}
+
+// LegacyVersion is a pre-0.5 dialect (DIV dispatch).
+func LegacyVersion() Version {
+	return Version{Name: "0.4.24", CallValueGuard: true}
+}
+
+// CompileDeployment wraps the runtime bytecode in the standard constructor
+// stub: the init code copies the runtime to memory and returns it, exactly
+// what a deployment transaction carries.
+func CompileDeployment(c Contract, cfg Config) ([]byte, error) {
+	runtime, err := Compile(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	a := evm.NewAssembler()
+	// CODECOPY(0, initLen, len(runtime)); RETURN(0, len(runtime))
+	// The init stub length is fixed: emit with placeholder-free layout by
+	// computing sizes up front (PUSH2 immediates keep widths stable).
+	push2 := func(v int) {
+		a.PushBytes([]byte{byte(v >> 8), byte(v)})
+	}
+	const stubLen = 3 + 3 + 2 + 1 + 3 + 2 + 1 // PUSH2 PUSH2 PUSH1 CODECOPY PUSH2 PUSH1 RETURN
+	push2(len(runtime))
+	push2(stubLen)
+	a.Push(0)
+	a.Op(evm.CODECOPY)
+	push2(len(runtime))
+	a.Push(0)
+	a.Op(evm.RETURN)
+	stub, err := a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	if len(stub) != stubLen {
+		return nil, fmt.Errorf("solc: init stub is %d bytes, expected %d", len(stub), stubLen)
+	}
+	return append(stub, runtime...), nil
+}
+
+// Compile produces runtime bytecode for the contract.
+func Compile(c Contract, cfg Config) ([]byte, error) {
+	for _, f := range c.Functions {
+		if err := f.Sig.Validate(); err != nil {
+			return nil, fmt.Errorf("solc: %s: %w", f.Sig.Canonical(), err)
+		}
+		for _, in := range f.Sig.Inputs {
+			if in.IsVyperOnly() {
+				return nil, fmt.Errorf("solc: %s: type %s is Vyper-only", f.Sig.Canonical(), in.Display())
+			}
+			if needsEncoderV2(in) && !cfg.Version.ABIEncoderV2 {
+				return nil, fmt.Errorf("solc: %s: type %s needs ABIEncoderV2 (version %s)",
+					f.Sig.Canonical(), in.Display(), cfg.Version.Name)
+			}
+		}
+	}
+	g := &codegen{cfg: cfg, asm: evm.NewAssembler()}
+	return g.contract(c)
+}
+
+// needsEncoderV2 reports whether the type requires the V2 encoder (structs
+// and nested arrays, per the paper's Table 4 discussion).
+func needsEncoderV2(t abi.Type) bool {
+	switch t.Kind {
+	case abi.KindTuple:
+		return true
+	case abi.KindArray, abi.KindSlice:
+		// A dynamic dimension below the top makes a nested array.
+		return hasInnerDynamic(*t.Elem)
+	default:
+		return false
+	}
+}
+
+func hasInnerDynamic(t abi.Type) bool {
+	switch t.Kind {
+	case abi.KindSlice, abi.KindBytes, abi.KindString:
+		return true
+	case abi.KindArray:
+		return hasInnerDynamic(*t.Elem)
+	default:
+		return false
+	}
+}

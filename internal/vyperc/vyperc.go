@@ -1,0 +1,401 @@
+// Package vyperc is a pattern-faithful miniature Vyper compiler, the
+// companion of package solc for the paper's §2.3.2 accessing patterns.
+//
+// Vyper differs from Solidity in exactly the ways SigRec's rules key on:
+// values are validated with comparison-based range checks (LT/SLT/SGT
+// against type bounds, Listing 5 of the paper) instead of AND masks or
+// SIGNEXTEND; public and external functions compile identically; and the
+// language adds decimal, fixed-size lists, bytes[maxLen], and
+// string[maxLen].
+package vyperc
+
+import (
+	"fmt"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/evm"
+)
+
+// Function is one Vyper function to compile. Vyper generates the same code
+// for public and external functions, so there is no mode.
+type Function struct {
+	Sig abi.Signature
+	// Plan mirrors solc's usage clues; nil means clue-rich defaults.
+	Plan []Usage
+}
+
+// Usage describes the clues the body provides for one parameter.
+type Usage struct {
+	// Math uses the value arithmetically (uint256 vs bytes32 refinement).
+	Math bool
+	// ByteAccess reads one byte (bytes32 vs uint256; bytes[N] vs string[N]).
+	ByteAccess bool
+	// ItemAccess reads a list item.
+	ItemAccess bool
+}
+
+// DefaultUsage is the clue-rich plan for a type.
+func DefaultUsage(t abi.Type) Usage {
+	u := Usage{ItemAccess: true}
+	switch t.Kind {
+	case abi.KindUint:
+		u.Math = true
+	case abi.KindFixedBytes:
+		u.ByteAccess = true
+	case abi.KindBoundedBytes:
+		u.ByteAccess = true
+	case abi.KindArray:
+		return DefaultUsage(*t.Elem)
+	}
+	return u
+}
+
+func (f Function) usage(i int) Usage {
+	if i < len(f.Plan) {
+		return f.Plan[i]
+	}
+	return DefaultUsage(f.Sig.Inputs[i])
+}
+
+// Contract is a set of functions behind one dispatcher.
+type Contract struct {
+	Functions []Function
+}
+
+// Version is a Vyper release dialect.
+type Version struct {
+	Name   string
+	UseSHR bool
+}
+
+// Versions returns the ladder of releases the evaluation sweeps (the paper
+// used 17 versions from 0.1.0b4 to 0.2.8).
+func Versions() []Version {
+	var out []Version
+	for b := 4; b <= 16; b++ {
+		out = append(out, Version{Name: fmt.Sprintf("0.1.0b%d", b)})
+	}
+	for p := 0; p <= 3; p++ {
+		out = append(out, Version{Name: fmt.Sprintf("0.2.%d", p*2+2), UseSHR: true})
+	}
+	return out
+}
+
+// DefaultVersion returns a modern dialect.
+func DefaultVersion() Version { return Version{Name: "0.2.8", UseSHR: true} }
+
+// Config selects the dialect.
+type Config struct {
+	Version Version
+}
+
+// Memory layout (mirrors solc's: copy regions low, scratch high).
+const (
+	regionBase   = 0x100
+	regionStride = 0x8000
+	scratchBase  = 0x40000
+)
+
+// Compile produces runtime bytecode for the contract.
+func Compile(c Contract, cfg Config) ([]byte, error) {
+	for _, f := range c.Functions {
+		if err := f.Sig.Validate(); err != nil {
+			return nil, fmt.Errorf("vyperc: %s: %w", f.Sig.Canonical(), err)
+		}
+		for _, in := range f.Sig.Inputs {
+			if err := checkSupported(in); err != nil {
+				return nil, fmt.Errorf("vyperc: %s: %w", f.Sig.Canonical(), err)
+			}
+		}
+	}
+	g := &codegen{cfg: cfg, asm: evm.NewAssembler()}
+	return g.contract(c)
+}
+
+// checkSupported enforces Vyper's type system: bool, int128, uint256,
+// address, bytes32, decimal, fixed-size lists of those, bytes[N], string[N],
+// and structs of basic types.
+func checkSupported(t abi.Type) error {
+	switch t.Kind {
+	case abi.KindBool, abi.KindAddress, abi.KindDecimal,
+		abi.KindBoundedBytes, abi.KindBoundedString:
+		return nil
+	case abi.KindUint:
+		if t.Bits != 256 {
+			return fmt.Errorf("vyperc: uint%d unsupported (only uint256)", t.Bits)
+		}
+		return nil
+	case abi.KindInt:
+		if t.Bits != 128 {
+			return fmt.Errorf("vyperc: int%d unsupported (only int128)", t.Bits)
+		}
+		return nil
+	case abi.KindFixedBytes:
+		if t.Size != 32 {
+			return fmt.Errorf("vyperc: bytes%d unsupported (only bytes32)", t.Size)
+		}
+		return nil
+	case abi.KindArray:
+		return checkSupported(*t.Elem)
+	case abi.KindTuple:
+		for _, f := range t.Fields {
+			if f.Kind == abi.KindArray || f.Kind == abi.KindTuple ||
+				f.Kind == abi.KindBoundedBytes || f.Kind == abi.KindBoundedString {
+				return fmt.Errorf("vyperc: struct member %s unsupported", f.Display())
+			}
+			if err := checkSupported(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("vyperc: type %s unsupported", t.Display())
+	}
+}
+
+type codegen struct {
+	cfg Config
+	asm *evm.Assembler
+
+	scratchNext uint64
+	sinkNext    uint64
+	fail        evm.Label
+}
+
+func (g *codegen) contract(c Contract) ([]byte, error) {
+	a := g.asm
+	g.fail = a.NewLabel()
+	// Selector extraction (same dispatcher family as solc).
+	a.Push(0).Op(evm.CALLDATALOAD)
+	if g.cfg.Version.UseSHR {
+		// SHR takes the shift amount from the stack top.
+		a.Push(0xe0).Op(evm.SHR)
+	} else {
+		div := make([]byte, 29)
+		div[0] = 0x01
+		a.PushBytes(div).Swap(1).Op(evm.DIV)
+		a.PushBytes([]byte{0xff, 0xff, 0xff, 0xff}).Op(evm.AND)
+	}
+	bodies := make([]evm.Label, len(c.Functions))
+	for i, f := range c.Functions {
+		bodies[i] = a.NewLabel()
+		sel := f.Sig.Selector()
+		a.Dup(1).PushBytes(sel[:]).Op(evm.EQ)
+		a.JumpI(bodies[i])
+	}
+	a.Op(evm.POP).Op(evm.STOP)
+	for i, f := range c.Functions {
+		a.Bind(bodies[i])
+		a.Op(evm.POP)
+		if err := g.functionBody(f); err != nil {
+			return nil, fmt.Errorf("vyperc: %s: %w", f.Sig.Canonical(), err)
+		}
+		a.Op(evm.STOP)
+	}
+	// Shared range-check failure: abort execution.
+	a.Bind(g.fail)
+	a.Push(0).Push(0).Op(evm.REVERT)
+	return a.Assemble()
+}
+
+func (g *codegen) functionBody(f Function) error {
+	g.scratchNext = scratchBase
+	g.sinkNext = 0
+	head := uint64(4)
+	for i, t := range f.Sig.Inputs {
+		if err := g.param(t, f.usage(i), head, regionBase+uint64(i)*regionStride); err != nil {
+			return fmt.Errorf("parameter %d (%s): %w", i, t.Display(), err)
+		}
+		head += uint64(t.HeadSize())
+	}
+	return nil
+}
+
+func (g *codegen) scratch() uint64 {
+	s := g.scratchNext
+	g.scratchNext += 32
+	return s
+}
+
+func (g *codegen) sink() {
+	g.asm.Push(g.sinkNext).Op(evm.SSTORE)
+	g.sinkNext++
+}
+
+func (g *codegen) param(t abi.Type, u Usage, headOff, region uint64) error {
+	switch t.Kind {
+	case abi.KindBool, abi.KindAddress, abi.KindUint, abi.KindInt,
+		abi.KindDecimal, abi.KindFixedBytes:
+		g.asm.Push(headOff).Op(evm.CALLDATALOAD)
+		g.rangeCheckOps(t, u)
+		g.sink()
+		return nil
+	case abi.KindTuple:
+		// Struct layout equals the flattened members (paper §2.3.2).
+		off := headOff
+		for _, f := range t.Fields {
+			if err := g.param(f, u, off, region); err != nil {
+				return err
+			}
+			off += uint64(f.HeadSize())
+		}
+		return nil
+	case abi.KindArray:
+		return g.fixedList(t, u, headOff)
+	case abi.KindBoundedBytes, abi.KindBoundedString:
+		return g.boundedBytes(t, u, headOff, region)
+	default:
+		return fmt.Errorf("vyperc: unsupported parameter %s", t.Display())
+	}
+}
+
+// rangeCheckOps validates the stack-top value with the comparison-based
+// checks real Vyper emits (Listing 5 of the paper), leaving the value on
+// the stack.
+func (g *codegen) rangeCheckOps(t abi.Type, u Usage) {
+	a := g.asm
+	switch t.Kind {
+	case abi.KindBool:
+		// fail unless value < 2
+		g.compareBoundLT(evm.WordFromUint64(2))
+	case abi.KindAddress:
+		// fail unless value < 2^160
+		g.compareBoundLT(evm.OneWord.Shl(evm.WordFromUint64(160)))
+	case abi.KindUint:
+		if u.Math {
+			a.Push(1).Op(evm.ADD)
+		}
+	case abi.KindInt:
+		// int128: fail if v < -2^127 or v > 2^127-1
+		min := evm.OneWord.Shl(evm.WordFromUint64(127)).Neg()
+		max := evm.OneWord.Shl(evm.WordFromUint64(127)).Sub(evm.OneWord)
+		g.signedRange(min, max)
+	case abi.KindDecimal:
+		// fail if outside ±2^127 scaled by 10^10
+		scale := evm.WordFromUint64(10_000_000_000)
+		min := evm.OneWord.Shl(evm.WordFromUint64(127)).Mul(scale).Neg()
+		max := evm.OneWord.Shl(evm.WordFromUint64(127)).Mul(scale).Sub(evm.OneWord)
+		g.signedRange(min, max)
+	case abi.KindFixedBytes:
+		if u.ByteAccess {
+			a.Push(0).Op(evm.BYTE)
+		}
+	}
+}
+
+// compareBoundLT emits the Listing-5 pattern: the bound constant is staged
+// in memory, loaded back, and compared with LT; out-of-range aborts.
+func (g *codegen) compareBoundLT(bound evm.Word) {
+	a := g.asm
+	slot := g.scratch()
+	a.PushWord(bound)
+	a.Push(slot).Op(evm.MSTORE)
+	a.Push(slot).Op(evm.MLOAD) // bound
+	a.Dup(2)                   // value on top
+	a.Op(evm.LT)               // value < bound
+	a.Op(evm.ISZERO)
+	a.JumpI(g.fail)
+}
+
+// signedRange emits the two signed comparisons for int128/decimal.
+func (g *codegen) signedRange(min, max evm.Word) {
+	a := g.asm
+	// fail if value < min
+	a.PushWord(min)
+	a.Dup(2)
+	a.Op(evm.SLT) // value < min
+	a.JumpI(g.fail)
+	// fail if value > max
+	a.PushWord(max)
+	a.Dup(2)
+	a.Op(evm.SGT) // value > max
+	a.JumpI(g.fail)
+}
+
+// fixedList reads list items with bound-checked CALLDATALOADs, the same
+// pattern as a Solidity external static array.
+func (g *codegen) fixedList(t abi.Type, u Usage, headOff uint64) error {
+	if !u.ItemAccess {
+		return nil
+	}
+	return g.listNest(t, u, headOff, nil)
+}
+
+// listNest recursively emits the loop nest; terms accumulate index strides.
+func (g *codegen) listNest(t abi.Type, u Usage, base uint64, idx []struct{ slot, coeff uint64 }) error {
+	if t.Kind != abi.KindArray {
+		a := g.asm
+		a.Push(base)
+		for _, tm := range idx {
+			a.Push(tm.slot).Op(evm.MLOAD)
+			a.Push(tm.coeff).Op(evm.MUL)
+			a.Op(evm.ADD)
+		}
+		a.Op(evm.CALLDATALOAD)
+		g.rangeCheckOps(t, u)
+		g.sink()
+		return nil
+	}
+	stride := uint64(t.Elem.HeadSize())
+	var err error
+	g.loop(uint64(t.Len), func(iSlot uint64) {
+		next := append(append([]struct{ slot, coeff uint64 }{}, idx...),
+			struct{ slot, coeff uint64 }{iSlot, stride})
+		if e := g.listNest(*t.Elem, u, base, next); e != nil {
+			err = e
+		}
+	})
+	return err
+}
+
+// loop emits `for i := 0; i < bound; i++ { body }` with the counter in
+// scratch memory; the LT guard is the bound check SigRec's R24 keys on.
+func (g *codegen) loop(bound uint64, body func(iSlot uint64)) {
+	a := g.asm
+	iSlot := g.scratch()
+	a.Push(0).Push(iSlot).Op(evm.MSTORE)
+	top := a.NewLabel()
+	exit := a.NewLabel()
+	a.Bind(top)
+	a.Push(bound)
+	a.Push(iSlot).Op(evm.MLOAD)
+	a.Op(evm.LT).Op(evm.ISZERO)
+	a.JumpI(exit)
+	body(iSlot)
+	a.Push(iSlot).Op(evm.MLOAD)
+	a.Push(1).Op(evm.ADD)
+	a.Push(iSlot).Op(evm.MSTORE)
+	a.Jump(top)
+	a.Bind(exit)
+}
+
+// boundedBytes reads a bytes[maxLen]/string[maxLen]: offset field, num field
+// with an upper-bound check, then one CALLDATACOPY whose length is the
+// compile-time constant 32+maxLen (rule R23's signature).
+func (g *codegen) boundedBytes(t abi.Type, u Usage, headOff, region uint64) error {
+	a := g.asm
+	offSlot := g.scratch()
+	a.Push(headOff).Op(evm.CALLDATALOAD)
+	a.Push(offSlot).Op(evm.MSTORE)
+	// num field at 4 + offset
+	a.Push(4).Push(offSlot).Op(evm.MLOAD).Op(evm.ADD).Op(evm.CALLDATALOAD)
+	// fail if num > maxLen
+	a.Push(uint64(t.MaxLen))
+	a.Dup(2)
+	a.Op(evm.GT) // num > maxLen
+	a.JumpI(g.fail)
+	a.Op(evm.POP)
+	// copy 32 + maxLen bytes starting at the num field
+	padded := uint64(32 + (t.MaxLen+31)/32*32)
+	a.Push(padded)
+	a.Push(4).Push(offSlot).Op(evm.MLOAD).Op(evm.ADD)
+	a.Push(region)
+	a.Op(evm.CALLDATACOPY)
+	// use the first content word
+	a.Push(region + 32).Op(evm.MLOAD)
+	if t.Kind == abi.KindBoundedBytes && u.ByteAccess {
+		a.Push(0).Op(evm.BYTE)
+	}
+	g.sink()
+	return nil
+}

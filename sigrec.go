@@ -1,0 +1,79 @@
+// Package sigrec recovers function signatures from Ethereum smart-contract
+// runtime bytecode, implementing the SigRec system: function ids are
+// extracted from the dispatcher, and parameter types are inferred with
+// type-aware symbolic execution (TASE) over the EVM instruction patterns
+// that access the call data -- no source code and no signature database.
+//
+// Quick start:
+//
+//	sigs, err := sigrec.Recover(bytecode)
+//	for _, f := range sigs.Functions {
+//	    fmt.Println(f.Selector, f.TypeList())
+//	}
+//
+// The internal packages provide the full substrate: an EVM disassembler and
+// interpreter, an ABI codec, miniature Solidity/Vyper compilers used for
+// evaluation, the ParChecker call-data validator, fuzzing, and the Erays+
+// reverse-engineering enhancer. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced evaluation.
+package sigrec
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/core"
+	"sigrec/internal/evm"
+)
+
+// Function is one recovered public/external function.
+type Function = core.RecoveredFunction
+
+// Result is the recovery output for one contract.
+type Result = core.Result
+
+// RuleStats counts inference-rule applications (R1-R31).
+type RuleStats = core.RuleStats
+
+// Selector is a 4-byte function id.
+type Selector = abi.Selector
+
+// Recover runs SigRec on runtime bytecode.
+func Recover(code []byte) (Result, error) {
+	return core.Recover(code)
+}
+
+// RecoverHex runs SigRec on 0x-prefixed or bare hex bytecode.
+func RecoverHex(hexCode string) (Result, error) {
+	s := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(hexCode), "0x"))
+	code, err := hex.DecodeString(s)
+	if err != nil {
+		return Result{}, fmt.Errorf("sigrec: decode hex: %w", err)
+	}
+	return Recover(code)
+}
+
+// RecoverFunction recovers a single function by its known id.
+func RecoverFunction(code []byte, selector Selector) (Function, RuleStats) {
+	return core.RecoverFunction(code, selector)
+}
+
+// RecoverDeployment accepts deployment bytecode (constructor/init code),
+// executes it to extract the runtime bytecode, and recovers that. Use this
+// when the input is a contract-creation transaction's payload rather than
+// the deployed code.
+func RecoverDeployment(deployCode []byte) (Result, error) {
+	runtime, err := evm.ExtractRuntime(deployCode)
+	if err != nil {
+		return Result{}, fmt.Errorf("sigrec: %w", err)
+	}
+	return core.Recover(runtime)
+}
+
+// ParseSignature parses "name(type1,type2,...)" into the ABI representation
+// (useful for computing ids of known signatures).
+func ParseSignature(s string) (abi.Signature, error) {
+	return abi.ParseSignature(s)
+}
