@@ -1,0 +1,37 @@
+# The `check` target is the tier-1 gate: .github/workflows/ci.yml runs
+# exactly these targets, so the local and CI command sequences cannot
+# drift. Run `make check` before pushing.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race fuzz-smoke bench-smoke
+
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/evm
+
+# Smoke-run every fuzz target and the E1/E3 experiment benchmarks so the
+# harnesses cannot silently rot (CI job "smoke").
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseType$$' -fuzztime 10s ./internal/abi
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeTransfer$$' -fuzztime 10s ./internal/abi
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeNested$$' -fuzztime 10s ./internal/abi
+	$(GO) test -run '^$$' -fuzz '^FuzzRecover$$' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzInferMutatedContract$$' -fuzztime 10s ./internal/core
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'E1|E3' -benchtime 1x .

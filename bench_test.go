@@ -6,7 +6,9 @@
 package sigrec
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"sigrec/internal/abi"
 	"sigrec/internal/core"
@@ -108,6 +110,53 @@ func BenchmarkBatchRecovery(b *testing.B) {
 		items := core.RecoverAll(codes, 0)
 		if len(items) != len(codes) {
 			b.Fatal("batch incomplete")
+		}
+	}
+}
+
+// BenchmarkBatchRecoveryCached is BenchmarkBatchRecovery over a corpus
+// where every contract appears multiple times, batched through a shared
+// result cache — the fleet-scan shape (deployed bytecode is massively
+// duplicated on-chain, so the cache absorbs most of the TASE work).
+func BenchmarkBatchRecoveryCached(b *testing.B) {
+	c, err := corpus.Generate(corpus.Config{Seed: 9, Solidity: 16, Vyper: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var codes [][]byte
+	for rep := 0; rep < 8; rep++ {
+		for _, e := range c.Entries {
+			codes = append(codes, e.Code)
+		}
+	}
+	cache := core.NewCache(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := core.RecoverAllContext(context.Background(), codes, 0, core.Options{Cache: cache})
+		if len(items) != len(codes) {
+			b.Fatal("batch incomplete")
+		}
+	}
+}
+
+// BenchmarkRecoverBounded measures the overhead of running a recovery
+// with an (unreached) deadline and step budget armed — the bounds checks
+// themselves, which must stay in the noise.
+func BenchmarkRecoverBounded(b *testing.B) {
+	sig, _ := abi.ParseSignature("transfer(address,uint256)")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{{Sig: sig, Mode: solc.External}}},
+		solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Deadline: time.Minute, StepBudget: 1 << 30}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RecoverContext(context.Background(), code, opts)
+		if err != nil || len(res.Functions) == 0 {
+			b.Fatal("recovery failed")
 		}
 	}
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"flag"
@@ -42,6 +43,9 @@ func run() error {
 		dbPath   = flag.String("db", "", "JSON signature database for name annotation")
 		deployed = flag.Bool("deployed", false, "input is deployment (init) bytecode: execute it to extract the runtime first")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of text")
+		timeout  = flag.Duration("timeout", 0, "per-contract wall-clock deadline (e.g. 100ms; 0 = unbounded); on expiry a partial result is printed, flagged truncated")
+		budget   = flag.Int("budget", 0, "TASE step budget per exploration (0 = built-in default)")
+		stats    = flag.Bool("stats", false, "print the telemetry exposition (timings, path counts, rule hits) after the run")
 	)
 	flag.Parse()
 
@@ -75,19 +79,22 @@ func run() error {
 		input = string(b)
 	}
 
+	opts := sigrec.Options{Deadline: *timeout, StepBudget: *budget}
+	code, err := decodeHexInput(input)
+	if err != nil {
+		return err
+	}
 	var res sigrec.Result
-	var err error
 	if *deployed {
-		code, derr := decodeHexInput(input)
-		if derr != nil {
-			return derr
-		}
-		res, err = sigrec.RecoverDeployment(code)
+		res, err = sigrec.RecoverDeploymentContext(context.Background(), code, opts)
 	} else {
-		res, err = sigrec.RecoverHex(input)
+		res, err = sigrec.RecoverContext(context.Background(), code, opts)
 	}
 	if err != nil {
 		return err
+	}
+	if *stats {
+		defer sigrec.WriteMetrics(os.Stderr)
 	}
 	if *jsonOut {
 		return emitJSON(os.Stdout, res, db)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -9,18 +10,30 @@ import (
 type BatchItem struct {
 	// Index is the input position.
 	Index int
-	// Result is the recovery output (zero when Err is set).
+	// Result is the recovery output (zero when Err is set). Result.Truncated
+	// reports per-item budget truncation.
 	Result Result
 	// Err is the per-contract failure, if any.
 	Err error
 }
 
 // RecoverAll recovers many contracts concurrently with a bounded worker
-// pool. Results are returned in input order. workers <= 0 selects
-// GOMAXPROCS. Recovery is CPU-bound and per-contract independent, so the
-// speedup is near-linear for large batches (the paper analyzed 37M
-// contracts; this is the API a fleet scan would use).
+// pool under the default budgets. It is RecoverAllContext with a
+// background context and zero Options.
 func RecoverAll(codes [][]byte, workers int) []BatchItem {
+	return RecoverAllContext(context.Background(), codes, workers, Options{})
+}
+
+// RecoverAllContext recovers many contracts concurrently with a bounded
+// worker pool, applying the same Options (budgets, deadline, shared cache)
+// to every item. Results are returned in input order. workers <= 0 selects
+// GOMAXPROCS; the pool never exceeds the batch size, and batches of one
+// (or one worker) run inline with no goroutines at all. Recovery is
+// CPU-bound and per-contract independent, so the speedup is near-linear
+// for large batches (the paper analyzed 37M contracts; this is the API a
+// fleet scan would use — with Options.Cache set, duplicated bytecode is
+// recovered once).
+func RecoverAllContext(ctx context.Context, codes [][]byte, workers int, opts Options) []BatchItem {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -29,6 +42,18 @@ func RecoverAll(codes [][]byte, workers int) []BatchItem {
 	}
 	out := make([]BatchItem, len(codes))
 	if len(codes) == 0 {
+		return out
+	}
+	mBatches.Inc()
+	recover1 := func(idx int) {
+		res, err := RecoverContext(ctx, codes[idx], opts)
+		out[idx] = BatchItem{Index: idx, Result: res, Err: err}
+	}
+	if workers == 1 {
+		// Tiny batch (or explicit single worker): no pool, no channel.
+		for i := range codes {
+			recover1(i)
+		}
 		return out
 	}
 	var (
@@ -40,8 +65,7 @@ func RecoverAll(codes [][]byte, workers int) []BatchItem {
 		go func() {
 			defer wg.Done()
 			for idx := range next {
-				res, err := Recover(codes[idx])
-				out[idx] = BatchItem{Index: idx, Result: res, Err: err}
+				recover1(idx)
 			}
 		}()
 	}

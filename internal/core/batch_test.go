@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"sigrec/internal/abi"
@@ -57,5 +58,49 @@ func TestRecoverAll(t *testing.T) {
 func TestRecoverAllEmpty(t *testing.T) {
 	if items := RecoverAll(nil, 4); len(items) != 0 {
 		t.Errorf("empty batch returned %d items", len(items))
+	}
+}
+
+// TestRecoverAllTinyBatch covers the degenerate pool shapes: a one-item
+// batch (which runs inline, spawning no workers however many were asked
+// for) and zero/negative worker counts.
+func TestRecoverAllTinyBatch(t *testing.T) {
+	sig, _ := abi.ParseSignature("ping(uint64)")
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.External},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 0, 1, 16} {
+		items := RecoverAll([][]byte{code}, workers)
+		if len(items) != 1 {
+			t.Fatalf("workers=%d: %d items", workers, len(items))
+		}
+		if items[0].Err != nil {
+			t.Fatalf("workers=%d: %v", workers, items[0].Err)
+		}
+		got := abi.Signature{Name: "f", Inputs: items[0].Result.Functions[0].Inputs}
+		if !got.EqualTypes(sig) {
+			t.Errorf("workers=%d: recovered %s", workers, got.TypeList())
+		}
+	}
+}
+
+// TestRecoverAllReportsPerItemTruncation: budget options flow through the
+// batch API and truncation is visible on the affected item only.
+func TestRecoverAllReportsPerItemTruncation(t *testing.T) {
+	easy, _ := compileSig(t, "ok(uint256)")
+	deep, _ := deepNestedCode(t, 1)
+	items := RecoverAllContext(context.Background(), [][]byte{easy, deep}, 2,
+		Options{StepBudget: 500})
+	if len(items) != 2 {
+		t.Fatalf("%d items", len(items))
+	}
+	if items[0].Err != nil || items[0].Result.Truncated {
+		t.Errorf("easy item: err=%v truncated=%v", items[0].Err, items[0].Result.Truncated)
+	}
+	if !items[1].Result.Truncated {
+		t.Error("deep item not reported truncated")
 	}
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"sigrec/internal/keccak"
+)
+
+// Cache is a size-bounded, concurrency-safe LRU of whole-contract recovery
+// results keyed by keccak256 of the runtime bytecode. Deployed bytecode is
+// massively duplicated on-chain (the same token/proxy templates deployed
+// millions of times), so a fleet scan that dedupes by code hash skips the
+// bulk of the symbolic-execution work; hit/miss/eviction counters land in
+// the pipeline telemetry.
+//
+// Only complete results are stored: truncated recoveries depend on the
+// budget that produced them and are recomputed. Cached Results are shared
+// between callers and must be treated as immutable.
+type Cache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[[32]byte]*list.Element
+}
+
+type cacheEntry struct {
+	key [32]byte
+	res Result
+	err error
+}
+
+// NewCache returns a cache bounded to maxEntries results (minimum 1).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache{max: maxEntries, ll: list.New(), m: make(map[[32]byte]*list.Element)}
+}
+
+// Len returns the current number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// lookup returns the cached outcome for the bytecode, if present.
+func (c *Cache) lookup(code []byte) (Result, error, bool) {
+	key := keccak.Sum256(code)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		mCacheMisses.Inc()
+		return Result{}, nil, false
+	}
+	c.ll.MoveToFront(el)
+	mCacheHits.Inc()
+	ent := el.Value.(*cacheEntry)
+	return ent.res, ent.err, true
+}
+
+// store inserts an outcome, evicting the least recently used entry when
+// over capacity.
+func (c *Cache) store(code []byte, res Result, err error) {
+	key := keccak.Sum256(code)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = &cacheEntry{key: key, res: res, err: err}
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, err: err})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+		mCacheEvicted.Inc()
+	}
+	mCacheEntries.Set(int64(c.ll.Len()))
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/solc"
+)
+
+// compileSig builds a one-function contract for the given signature string.
+func compileSig(t testing.TB, sigStr string) ([]byte, abi.Signature) {
+	t.Helper()
+	sig, err := abi.ParseSignature(sigStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.External},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, sig
+}
+
+func TestCacheHitReturnsSameResult(t *testing.T) {
+	code, sig := compileSig(t, "transfer(address,uint256)")
+	cache := NewCache(8)
+	opts := Options{Cache: cache}
+
+	before := Metrics().Snapshot().Counters
+	first, err := RecoverContext(context.Background(), code, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RecoverContext(context.Background(), code, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Metrics().Snapshot().Counters
+
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", cache.Len())
+	}
+	if hits := after["sigrec_cache_hits_total"] - before["sigrec_cache_hits_total"]; hits != 1 {
+		t.Errorf("cache hits delta = %d, want 1", hits)
+	}
+	if misses := after["sigrec_cache_misses_total"] - before["sigrec_cache_misses_total"]; misses != 1 {
+		t.Errorf("cache misses delta = %d, want 1", misses)
+	}
+	for _, res := range []Result{first, second} {
+		if len(res.Functions) != 1 {
+			t.Fatalf("%d functions", len(res.Functions))
+		}
+		got := abi.Signature{Name: "f", Inputs: res.Functions[0].Inputs}
+		if !got.EqualTypes(sig) {
+			t.Errorf("recovered %s", got.TypeList())
+		}
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	codes := make([][]byte, 3)
+	for i := range codes {
+		codes[i], _ = compileSig(t, fmt.Sprintf("f%c(uint%d)", 'a'+i, 8*(i+1)))
+	}
+	cache := NewCache(2)
+	opts := Options{Cache: cache}
+	ctx := context.Background()
+
+	RecoverContext(ctx, codes[0], opts)
+	RecoverContext(ctx, codes[1], opts)
+	RecoverContext(ctx, codes[0], opts) // refresh 0: 1 is now LRU
+	RecoverContext(ctx, codes[2], opts) // evicts 1
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.Len())
+	}
+
+	before := Metrics().Snapshot().Counters
+	RecoverContext(ctx, codes[0], opts) // still cached
+	RecoverContext(ctx, codes[1], opts) // evicted: must miss
+	after := Metrics().Snapshot().Counters
+	if hits := after["sigrec_cache_hits_total"] - before["sigrec_cache_hits_total"]; hits != 1 {
+		t.Errorf("hits delta = %d, want 1", hits)
+	}
+	if misses := after["sigrec_cache_misses_total"] - before["sigrec_cache_misses_total"]; misses != 1 {
+		t.Errorf("misses delta = %d, want 1", misses)
+	}
+}
+
+func TestCacheSkipsTruncatedResults(t *testing.T) {
+	code, _ := deepNestedCode(t, 1)
+	cache := NewCache(8)
+	res, err := RecoverContext(context.Background(), code,
+		Options{Cache: cache, StepBudget: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("expected a truncated result")
+	}
+	if cache.Len() != 0 {
+		t.Errorf("truncated result was cached (%d entries)", cache.Len())
+	}
+}
+
+// TestRecoverAllSharedCache runs a 1,000-contract batch with heavily
+// duplicated bytecode through one shared Cache and the global telemetry
+// registry. Run under -race this doubles as the concurrency check for the
+// cache and the atomic counters; the duplicated corpus must produce a
+// positive cache hit count and identical results for identical bytecode.
+func TestRecoverAllSharedCache(t *testing.T) {
+	uniqueSigs := []string{
+		"transfer(address,uint256)", "approve(address,uint256)",
+		"balanceOf(address)", "mint(address,uint8)", "burn(uint256)",
+		"pause(bool)", "setOwner(address)", "sweep(uint256[])",
+		"deposit(bytes)", "claim(uint32,bytes32)",
+	}
+	uniques := make([][]byte, len(uniqueSigs))
+	wants := make([]abi.Signature, len(uniqueSigs))
+	for i, s := range uniqueSigs {
+		uniques[i], wants[i] = compileSig(t, s)
+	}
+	const n = 1000
+	codes := make([][]byte, n)
+	for i := range codes {
+		codes[i] = uniques[i%len(uniques)]
+	}
+
+	before := Metrics().Snapshot().Counters
+	items := RecoverAllContext(context.Background(), codes, 8,
+		Options{Cache: NewCache(64)})
+	after := Metrics().Snapshot().Counters
+
+	if len(items) != n {
+		t.Fatalf("%d items", len(items))
+	}
+	for i, item := range items {
+		if item.Err != nil {
+			t.Fatalf("item %d: %v", i, item.Err)
+		}
+		got := abi.Signature{Name: "f", Inputs: item.Result.Functions[0].Inputs}
+		if !got.EqualTypes(wants[i%len(wants)]) {
+			t.Errorf("item %d: recovered %s", i, got.TypeList())
+		}
+	}
+	hits := after["sigrec_cache_hits_total"] - before["sigrec_cache_hits_total"]
+	if hits == 0 {
+		t.Error("duplicated corpus produced no cache hits")
+	}
+	if recs := after["sigrec_recoveries_total"] - before["sigrec_recoveries_total"]; recs != n {
+		t.Errorf("recoveries delta = %d, want %d", recs, n)
+	}
+}

@@ -9,8 +9,17 @@ import (
 // 4-byte constant and an expression derived from CALLDATALOAD(0) via
 // DIV/SHR/AND is a dispatch test (§2.2 of the paper).
 func ExtractSelectors(program *Program) [][4]byte {
-	t := &tase{program: program} // selWord nil: the selector stays symbolic
+	sels, _ := extractSelectors(program, defaultLimits())
+	return sels
+}
+
+// extractSelectors runs the dispatcher exploration under the given limits
+// and additionally reports whether the exploration was truncated (the
+// selector list may then be incomplete).
+func extractSelectors(program *Program, lim limits) ([][4]byte, bool) {
+	t := &tase{program: program, lim: lim} // selWord nil: the selector stays symbolic
 	events := t.run()
+	recordTASE(t)
 	var out [][4]byte
 	seen := make(map[[4]byte]bool)
 	for _, ev := range events {
@@ -38,7 +47,7 @@ func ExtractSelectors(program *Program) [][4]byte {
 			out = append(out, id)
 		}
 	}
-	return out
+	return out, t.trunc
 }
 
 // isSelectorExpr recognizes expressions that extract the high 4 bytes of

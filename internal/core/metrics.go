@@ -1,0 +1,41 @@
+package core
+
+import (
+	"sigrec/internal/telemetry"
+)
+
+// tel is the pipeline-wide metrics registry. Every recovery entry point
+// (Recover, RecoverContext, RecoverFunction, RecoverAll) reports into it;
+// Metrics exposes it to the facade and CLI.
+var tel = telemetry.NewRegistry()
+
+// Pre-resolved instruments so the hot path never touches the registry map.
+var (
+	mRecoveries    = tel.Counter("sigrec_recoveries_total")
+	mRecoverErrors = tel.Counter("sigrec_recover_errors_total")
+	mTruncated     = tel.Counter("sigrec_recoveries_truncated_total")
+	mFunctions     = tel.Counter("sigrec_functions_recovered_total")
+	mPathsExplored = tel.Counter("sigrec_tase_paths_explored_total")
+	mPathsPruned   = tel.Counter("sigrec_tase_paths_pruned_total")
+	mTASESteps     = tel.Counter("sigrec_tase_steps_total")
+	mEvents        = tel.Counter("sigrec_tase_events_collected_total")
+	mCacheHits     = tel.Counter("sigrec_cache_hits_total")
+	mCacheMisses   = tel.Counter("sigrec_cache_misses_total")
+	mCacheEvicted  = tel.Counter("sigrec_cache_evictions_total")
+	mCacheEntries  = tel.Gauge("sigrec_cache_entries")
+	mBatches       = tel.Counter("sigrec_batches_total")
+	mRecoverUS     = tel.Histogram("sigrec_recover_duration_microseconds", nil)
+)
+
+// Metrics returns the pipeline's telemetry registry. Counters are
+// cumulative for the process lifetime; use Snapshot deltas to meter a
+// single run.
+func Metrics() *telemetry.Registry { return tel }
+
+// recordTASE folds one finished exploration into the aggregate counters.
+func recordTASE(t *tase) {
+	mPathsExplored.Add(uint64(t.paths))
+	mPathsPruned.Add(uint64(t.pruned))
+	mTASESteps.Add(uint64(t.totSteps))
+	mEvents.Add(uint64(len(t.events)))
+}

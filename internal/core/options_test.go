@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/solc"
+)
+
+// deepNestedCode compiles an E4-style deep nested-array contract:
+// dimension 20, inner widths of width, outer dimension 2 (Fig. 18's sweep
+// shape). width 1 recovers fully in well under a millisecond; width 2 is
+// pathological (hundreds of milliseconds unbounded).
+func deepNestedCode(t testing.TB, width int) ([]byte, abi.Signature) {
+	t.Helper()
+	ty := abi.Uint(256)
+	for d := 0; d < 19; d++ {
+		ty = abi.ArrayOf(ty, width)
+	}
+	ty = abi.ArrayOf(ty, 2)
+	sig := abi.Signature{Name: "sweep", Inputs: []abi.Type{ty}}
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.External},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, sig
+}
+
+func TestStepBudgetTruncatesDeepNestedArray(t *testing.T) {
+	code, sig := deepNestedCode(t, 1)
+
+	// A tiny step budget must yield a best-effort result flagged Truncated.
+	res, err := RecoverContext(context.Background(), code, Options{StepBudget: 200})
+	if err != nil {
+		t.Fatalf("tiny budget: %v", err)
+	}
+	if !res.Truncated {
+		t.Error("tiny budget: result not flagged Truncated")
+	}
+
+	// The default budget must recover the exact dimension-20 type.
+	res, err = RecoverContext(context.Background(), code, Options{})
+	if err != nil {
+		t.Fatalf("default budget: %v", err)
+	}
+	if res.Truncated {
+		t.Error("default budget: result unexpectedly Truncated")
+	}
+	if len(res.Functions) != 1 {
+		t.Fatalf("default budget: %d functions", len(res.Functions))
+	}
+	got := abi.Signature{Name: "f", Inputs: res.Functions[0].Inputs}
+	if !got.EqualTypes(sig) {
+		t.Errorf("default budget: recovered %s", got.TypeList())
+	}
+}
+
+func TestDeadlineBoundsPathologicalContract(t *testing.T) {
+	// Width-2 nesting at dimension 20 runs for hundreds of milliseconds
+	// unbounded; under a short deadline the recovery must return promptly
+	// (deadline checks fire every few hundred symbolic steps) with a
+	// partial, Truncated result instead of stalling a batch.
+	code, _ := deepNestedCode(t, 2)
+	deadline := 2 * time.Millisecond
+	start := time.Now()
+	res, err := RecoverContext(context.Background(), code, Options{Deadline: deadline})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("deadline recovery: %v", err)
+	}
+	if !res.Truncated {
+		t.Error("deadline hit but result not flagged Truncated")
+	}
+	// 10x headroom per the operational target, plus slack for the race
+	// detector and loaded CI machines.
+	if limit := 20 * deadline; elapsed > limit {
+		t.Errorf("recovery took %v, want <= %v", elapsed, limit)
+	}
+}
+
+func TestContextCancellationStopsRecovery(t *testing.T) {
+	code, _ := deepNestedCode(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := RecoverContext(ctx, code, Options{})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled recovery took %v", elapsed)
+	}
+	// An already-cancelled context stops even the dispatcher walk, so the
+	// selector list may be empty (ErrNoFunctions); either way the result
+	// must be flagged Truncated.
+	if err != nil && err != ErrNoFunctions {
+		t.Fatalf("cancelled recovery: %v", err)
+	}
+	if !res.Truncated {
+		t.Error("cancelled recovery not flagged Truncated")
+	}
+}
+
+func TestMaxPathsBound(t *testing.T) {
+	code, _ := deepNestedCode(t, 2)
+	res, err := RecoverContext(context.Background(), code, Options{MaxPaths: 2})
+	// Two paths may not even clear the dispatcher's range checks, in which
+	// case the selector list comes back empty; either way the bound must
+	// surface as truncation, never as unbounded exploration.
+	if err != nil && err != ErrNoFunctions {
+		t.Fatalf("max-paths recovery: %v", err)
+	}
+	if !res.Truncated {
+		t.Error("2-path bound on a forking contract not flagged Truncated")
+	}
+}
+
+func TestTelemetryCountersAdvance(t *testing.T) {
+	code, _ := deepNestedCode(t, 1)
+	before := Metrics().Snapshot()
+	if _, err := RecoverContext(context.Background(), code, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	after := Metrics().Snapshot()
+	for _, name := range []string{
+		"sigrec_recoveries_total",
+		"sigrec_functions_recovered_total",
+		"sigrec_tase_paths_explored_total",
+		"sigrec_tase_steps_total",
+		"sigrec_tase_events_collected_total",
+	} {
+		if after.Counters[name] <= before.Counters[name] {
+			t.Errorf("%s did not advance (%d -> %d)", name, before.Counters[name], after.Counters[name])
+		}
+	}
+	h := after.Histograms["sigrec_recover_duration_microseconds"]
+	if h.Count <= before.Histograms["sigrec_recover_duration_microseconds"].Count {
+		t.Error("latency histogram did not record the recovery")
+	}
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strconv"
+	"time"
 
 	"sigrec/internal/abi"
 	"sigrec/internal/evm"
@@ -10,6 +12,45 @@ import (
 
 // ErrNoFunctions reports bytecode with no recoverable dispatcher.
 var ErrNoFunctions = errors.New("core: no public/external functions found")
+
+// Options bounds and instruments one contract recovery. The zero value
+// selects the built-in exploration budgets, no deadline, and no cache.
+type Options struct {
+	// StepBudget caps the symbolic steps of each TASE exploration (the
+	// dispatcher walk and each per-function trace). <= 0 selects the
+	// built-in default. When the budget runs out the exploration stops
+	// forking at JUMPI fan-out points and the result is flagged Truncated.
+	StepBudget int
+	// MaxPaths caps the number of explored paths per TASE exploration.
+	// <= 0 selects the built-in default.
+	MaxPaths int
+	// Deadline is the per-contract wall-clock budget; all explorations for
+	// the contract share it. <= 0 means no deadline. On expiry the
+	// recovery returns promptly with whatever was collected, flagged
+	// Truncated, rather than erroring.
+	Deadline time.Duration
+	// Cache, when non-nil, memoizes whole-contract recoveries keyed by
+	// keccak256(code). Cached Results are shared; callers must not mutate
+	// them.
+	Cache *Cache
+}
+
+// limits translates caller options into exploration bounds. The deadline
+// and cancellation channel are computed once per contract so every
+// exploration shares them.
+func (o Options) limits(ctx context.Context) limits {
+	lim := limits{maxSteps: o.StepBudget, maxPaths: o.MaxPaths}
+	if o.Deadline > 0 {
+		lim.deadline = time.Now().Add(o.Deadline)
+	}
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok && (lim.deadline.IsZero() || dl.Before(lim.deadline)) {
+			lim.deadline = dl
+		}
+		lim.done = ctx.Done()
+	}
+	return lim
+}
 
 // RecoveredFunction is one recovered function signature: the id plus the
 // inferred parameter type list (names are not recoverable from bytecode).
@@ -39,23 +80,61 @@ type Result struct {
 	Functions []RecoveredFunction
 	// Rules aggregates rule usage over all functions (the paper's RQ4).
 	Rules RuleStats
+	// Truncated reports that some exploration budget or deadline was hit:
+	// the function list or the recovered types may be incomplete.
+	Truncated bool
 }
 
 // Recover runs SigRec on runtime bytecode: disassemble, extract function
 // ids from the dispatcher, then run TASE per function and infer parameter
-// types with rules R1-R31.
+// types with rules R1-R31. It is RecoverContext under the default budgets.
 func Recover(code []byte) (Result, error) {
+	return RecoverContext(context.Background(), code, Options{})
+}
+
+// RecoverContext runs SigRec under caller-supplied resource bounds. A hit
+// budget or an expired deadline/context yields a partial Result with
+// Truncated set rather than an error, so batch callers always get
+// whatever was recovered. Every call is metered into the pipeline
+// telemetry (see Metrics).
+func RecoverContext(ctx context.Context, code []byte, opts Options) (Result, error) {
+	start := time.Now()
+	if opts.Cache != nil {
+		if res, err, ok := opts.Cache.lookup(code); ok {
+			mRecoveries.Inc()
+			mRecoverUS.ObserveDuration(time.Since(start))
+			return res, err
+		}
+	}
+	res, err := recoverUncached(ctx, code, opts)
+	if opts.Cache != nil && !res.Truncated && (err == nil || errors.Is(err, ErrNoFunctions)) {
+		opts.Cache.store(code, res, err)
+	}
+	mRecoveries.Inc()
+	if err != nil {
+		mRecoverErrors.Inc()
+	}
+	if res.Truncated {
+		mTruncated.Inc()
+	}
+	mFunctions.Add(uint64(len(res.Functions)))
+	mRecoverUS.ObserveDuration(time.Since(start))
+	return res, err
+}
+
+func recoverUncached(ctx context.Context, code []byte, opts Options) (Result, error) {
 	if len(code) == 0 {
 		return Result{}, errors.New("core: empty bytecode")
 	}
+	lim := opts.limits(ctx)
 	program := evm.Disassemble(code)
-	selectors := ExtractSelectors(program)
+	selectors, dispTrunc := extractSelectors(program, lim)
 	if len(selectors) == 0 {
-		return Result{}, ErrNoFunctions
+		return Result{Truncated: dispTrunc}, ErrNoFunctions
 	}
-	var res Result
+	res := Result{Truncated: dispTrunc}
 	for _, sel := range selectors {
-		tr := TraceFunction(program, sel)
+		tr := traceFunction(program, sel, lim)
 		d := Infer(tr)
 		res.Rules.Add(d.Stats)
 		res.Functions = append(res.Functions, RecoveredFunction{
@@ -65,15 +144,20 @@ func Recover(code []byte) (Result, error) {
 			Language:   d.Language,
 			Truncated:  tr.Truncated,
 		})
+		res.Truncated = res.Truncated || tr.Truncated
 	}
 	return res, nil
 }
 
-// RecoverFunction runs TASE and inference for a single known selector.
+// RecoverFunction runs TASE and inference for a single known selector
+// under the default budgets. The recovery is metered into the E3-bucket
+// latency histogram.
 func RecoverFunction(code []byte, selector abi.Selector) (RecoveredFunction, RuleStats) {
+	start := time.Now()
 	program := evm.Disassemble(code)
 	tr := TraceFunction(program, selector)
 	d := Infer(tr)
+	mRecoverUS.ObserveDuration(time.Since(start))
 	return RecoveredFunction{
 		Selector:   selector,
 		Inputs:     d.Types,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sigrec/internal/evm"
 )
@@ -17,7 +18,31 @@ const (
 	// memRegionSpan bounds how far past a CALLDATACOPY destination an MLOAD
 	// is still attributed to that copy when the copy length is symbolic.
 	memRegionSpan = 0x8000
+	// deadlineCheckMask: the wall clock and the cancellation channel are
+	// polled every (mask+1) steps; at sub-microsecond step cost this keeps
+	// deadline overshoot far below a millisecond while adding well under 1%
+	// overhead.
+	deadlineCheckMask = 255
 )
+
+// limits bounds one TASE exploration. The zero value means "no explicit
+// caller bounds"; defaultLimits fills in the built-in budgets.
+type limits struct {
+	// maxSteps caps the total symbolic steps across all paths.
+	maxSteps int
+	// maxPaths caps the number of explored paths.
+	maxPaths int
+	// deadline is the wall-clock cutoff; zero means none.
+	deadline time.Time
+	// done, when non-nil, cancels the exploration when closed (a
+	// context.Context's Done channel).
+	done <-chan struct{}
+}
+
+// defaultLimits returns the built-in exploration budgets.
+func defaultLimits() limits {
+	return limits{maxSteps: maxTotalSteps, maxPaths: maxPathsPerFn}
+}
 
 // EventKind discriminates collected events.
 type EventKind int
@@ -121,14 +146,41 @@ func (s *state) clone() *state {
 // then folds concretely and execution reaches exactly the selected
 // function's body.
 type tase struct {
-	program  *Program
-	selWord  *evm.Word // value returned for CALLDATALOAD(0), nil = symbolic
-	events   []Event
-	seen     map[string]bool
-	envSeq   int
-	paths    int
-	totSteps int
-	trunc    bool
+	program    *Program
+	selWord    *evm.Word // value returned for CALLDATALOAD(0), nil = symbolic
+	lim        limits
+	events     []Event
+	seen       map[string]bool
+	envSeq     int
+	paths      int
+	totSteps   int
+	pruned     int // forks suppressed and worklist states dropped by budgets
+	trunc      bool
+	cancelable bool // a deadline or cancellation channel is armed
+	expired    bool // deadline passed or context cancelled
+}
+
+// pollCancel checks the cancellation channel and the wall-clock deadline.
+// It is deliberately out of the per-step hot path: explore calls it only
+// every deadlineCheckMask+1 steps (and at fork points), and only when
+// cancelable is set, so unbounded recoveries pay a single flag test.
+func (t *tase) pollCancel() bool {
+	if t.expired {
+		return true
+	}
+	if t.lim.done != nil {
+		select {
+		case <-t.lim.done:
+			t.expired = true
+			return true
+		default:
+		}
+	}
+	if !t.lim.deadline.IsZero() && time.Now().After(t.lim.deadline) {
+		t.expired = true
+		return true
+	}
+	return false
 }
 
 // Program wraps a disassembled contract for analysis.
@@ -137,19 +189,29 @@ type Program = evm.Program
 // run explores all paths and returns the deduplicated events.
 func (t *tase) run() []Event {
 	t.seen = make(map[string]bool)
+	if t.lim.maxSteps <= 0 {
+		t.lim.maxSteps = maxTotalSteps
+	}
+	if t.lim.maxPaths <= 0 {
+		t.lim.maxPaths = maxPathsPerFn
+	}
+	t.cancelable = t.lim.done != nil || !t.lim.deadline.IsZero()
 	start := &state{
 		pc:     0,
 		mem:    make(map[uint64]*Expr),
 		visits: make(map[uint64]int),
 	}
 	worklist := []*state{start}
-	for len(worklist) > 0 && t.paths < maxPathsPerFn && t.totSteps < maxTotalSteps {
+	for len(worklist) > 0 && t.paths < t.lim.maxPaths && t.totSteps < t.lim.maxSteps &&
+		!(t.cancelable && t.pollCancel()) {
 		st := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
 		forks := t.explore(st)
 		worklist = append(worklist, forks...)
 	}
-	if len(t.events) > 0 && (t.paths >= maxPathsPerFn || t.totSteps >= maxTotalSteps) {
+	if len(worklist) > 0 {
+		// Budget exhausted with states still queued: the result is partial.
+		t.pruned += len(worklist)
 		t.trunc = true
 	}
 	return t.events
@@ -159,7 +221,11 @@ func (t *tase) run() []Event {
 func (t *tase) explore(st *state) []*state {
 	t.paths++
 	for {
-		if st.steps >= maxStepsPerPath || t.totSteps >= maxTotalSteps {
+		if st.steps >= maxStepsPerPath || t.totSteps >= t.lim.maxSteps {
+			t.trunc = true
+			return nil
+		}
+		if t.cancelable && t.totSteps&deadlineCheckMask == 0 && t.pollCancel() {
 			t.trunc = true
 			return nil
 		}
@@ -286,6 +352,7 @@ func (t *tase) step(st *state, ins evm.Instruction) ([]*state, bool) {
 				// Budget hit: follow the forward branch (usually the loop
 				// exit) unless it lands in an abort block, in which case
 				// keep falling through (the branch is a range check).
+				t.pruned++
 				follow := dv > ins.PC && !t.isRevertBlock(dv)
 				st.guards = append(st.guards, mkGuard(follow))
 				if follow {
@@ -293,6 +360,16 @@ func (t *tase) step(st *state, ins evm.Instruction) ([]*state, bool) {
 				} else {
 					st.pc = nextPC
 				}
+				return nil, false
+			}
+			if t.paths >= t.lim.maxPaths || t.totSteps >= t.lim.maxSteps ||
+				(t.cancelable && t.pollCancel()) {
+				// Fan-out point with the global budget spent: stop forking,
+				// follow the fall-through only, and flag the result partial.
+				t.pruned++
+				t.trunc = true
+				st.guards = append(st.guards, mkGuard(false))
+				st.pc = nextPC
 				return nil, false
 			}
 			other := st.clone()
@@ -487,13 +564,21 @@ func findCopy(copies []memCopy, addr uint64) (memCopy, bool) {
 }
 
 // TraceFunction symbolically executes the contract as if called with the
-// given selector and returns the observed events.
+// given selector and returns the observed events, under the default
+// exploration budgets.
 func TraceFunction(program *Program, selector [4]byte) Trace {
+	return traceFunction(program, selector, defaultLimits())
+}
+
+// traceFunction is TraceFunction under caller-supplied limits; it also
+// reports exploration counters into the pipeline telemetry.
+func traceFunction(program *Program, selector [4]byte, lim limits) Trace {
 	var selWord evm.Word
 	b := make([]byte, 32)
 	copy(b, selector[:])
 	selWord = evm.WordFromBytes(b)
-	t := &tase{program: program, selWord: &selWord}
+	t := &tase{program: program, selWord: &selWord, lim: lim}
 	events := t.run()
+	recordTASE(t)
 	return Trace{Selector: selector, Events: events, Truncated: t.trunc}
 }

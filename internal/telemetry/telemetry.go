@@ -1,0 +1,273 @@
+// Package telemetry is a dependency-free metrics substrate for the
+// recovery pipeline: atomic counters, gauges, and fixed-bucket monotonic
+// histograms, with a point-in-time Snapshot and a Prometheus-flavoured
+// text exposition. All mutation paths are lock-free (a registry lock is
+// taken only on first metric registration), so instruments can sit on the
+// TASE hot path without measurable overhead.
+//
+// Histogram buckets are microsecond upper bounds chosen to match the E3
+// time-distribution buckets of the paper's Fig. 17 (<1ms, 1-10ms,
+// 10-100ms, >=100ms), so the served metrics line up with the evaluation.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// E3Buckets is the default histogram bucket layout: upper bounds in
+// microseconds mirroring the paper's Fig. 17 recovery-time buckets. The
+// implicit final bucket is +Inf.
+var E3Buckets = []uint64{1_000, 10_000, 100_000}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of microsecond observations. The
+// per-bucket counts are stored non-cumulatively and cumulated at snapshot
+// time, which keeps Observe to a single atomic add per call.
+type Histogram struct {
+	bounds []uint64 // sorted upper bounds, microseconds
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []uint64) *Histogram {
+	b := append([]uint64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one microsecond value.
+func (h *Histogram) Observe(us uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return us <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(us)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration, clamped at zero.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d.Microseconds()))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// HistogramSnapshot is the point-in-time state of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds in microseconds; the final
+	// implicit bucket is +Inf.
+	Bounds []uint64
+	// Cumulative holds one entry per bound plus the +Inf bucket; entry i
+	// counts observations <= Bounds[i] (monotone non-decreasing, last
+	// entry == Count).
+	Cumulative []uint64
+	// Sum is the total of all observed values, microseconds.
+	Sum uint64
+	// Count is the number of observations.
+	Count uint64
+}
+
+// Snapshot is a consistent-enough point-in-time copy of a registry. (Each
+// metric is read atomically; cross-metric skew under concurrent writers is
+// bounded by the snapshot walk, which carries no locks on the write path.)
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// microsecond bucket bounds on first use (nil selects E3Buckets). Bounds
+// passed on later calls for the same name are ignored.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = E3Buckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot copies the current state of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Bounds:     append([]uint64(nil), h.bounds...),
+			Cumulative: make([]uint64, len(h.counts)),
+			Sum:        h.sum.Load(),
+			Count:      h.count.Load(),
+		}
+		var cum uint64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			hs.Cumulative[i] = cum
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteTo writes the text exposition of the registry's current state.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	return r.Snapshot().WriteTo(w)
+}
+
+// WriteTo writes the snapshot in a Prometheus-flavoured text format:
+// sorted by metric name, one "# TYPE" line per metric, histograms as
+// cumulative le="..." buckets plus _sum and _count.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		switch {
+		case hasKey(s.Counters, n):
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[n])
+		case hasKey(s.Gauges, n):
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[n])
+		default:
+			h := s.Histograms[n]
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+			for i, bound := range h.Bounds {
+				fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", n, bound, h.Cumulative[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+			fmt.Fprintf(&b, "%s_sum %d\n", n, h.Sum)
+			fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the exposition as a string.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	s.WriteTo(&b)
+	return b.String()
+}
+
+func hasKey[V any](m map[string]V, k string) bool {
+	_, ok := m[k]
+	return ok
+}

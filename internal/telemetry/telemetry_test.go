@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("hits") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	g := r.Gauge("entries")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_us", nil) // E3 buckets: 1ms / 10ms / 100ms in us
+	for _, us := range []uint64{10, 999, 1000, 1001, 50_000, 2_000_000} {
+		h.Observe(us)
+	}
+	s := r.Snapshot().Histograms["lat_us"]
+	if s.Count != 6 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Cumulative: <=1000 -> 3 (10, 999, 1000); <=10000 -> 4; <=100000 -> 5.
+	want := []uint64{3, 4, 5, 6}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Cumulative[i], w)
+		}
+	}
+	if s.Sum != 10+999+1000+1001+50_000+2_000_000 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_us", nil)
+	h.ObserveDuration(3 * time.Millisecond)
+	h.ObserveDuration(-time.Second) // clamped to zero
+	s := r.Snapshot().Histograms["d_us"]
+	if s.Count != 2 || s.Sum != 3000 {
+		t.Errorf("count=%d sum=%d, want 2/3000", s.Count, s.Sum)
+	}
+}
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total").Add(3)
+	r.Gauge("a_entries").Set(2)
+	r.Histogram("m_us", []uint64{100}).Observe(50)
+	out := r.Snapshot().String()
+	for _, want := range []string{
+		"# TYPE a_entries gauge\na_entries 2\n",
+		"# TYPE m_us histogram\nm_us_bucket{le=\"100\"} 1\nm_us_bucket{le=\"+Inf\"} 1\nm_us_sum 50\nm_us_count 1\n",
+		"# TYPE z_total counter\nz_total 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "a_entries") > strings.Index(out, "z_total") {
+		t.Error("exposition not sorted by name")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", nil).Observe(uint64(j))
+				if j%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != 8000 || s.Gauges["g"] != 8000 || s.Histograms["h"].Count != 8000 {
+		t.Errorf("lost updates: %+v", s)
+	}
+}

@@ -19,13 +19,16 @@
 package sigrec
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"strings"
 
 	"sigrec/internal/abi"
 	"sigrec/internal/core"
 	"sigrec/internal/evm"
+	"sigrec/internal/telemetry"
 )
 
 // Function is one recovered public/external function.
@@ -40,9 +43,58 @@ type RuleStats = core.RuleStats
 // Selector is a 4-byte function id.
 type Selector = abi.Selector
 
+// Options bounds and instruments a recovery: TASE step budget, explored-
+// path cap, per-contract wall-clock deadline, and an optional shared
+// result cache. The zero value selects the built-in budgets.
+type Options = core.Options
+
+// Cache is a size-bounded LRU of recovery results keyed by keccak256 of
+// the bytecode, safe for concurrent use. Share one across RecoverContext
+// and RecoverAllContext calls to dedupe repeated bytecode (deployed
+// contracts are massively duplicated on-chain).
+type Cache = core.Cache
+
+// NewCache returns a Cache bounded to maxEntries results.
+func NewCache(maxEntries int) *Cache { return core.NewCache(maxEntries) }
+
+// BatchItem is one contract's outcome in a batch recovery.
+type BatchItem = core.BatchItem
+
+// MetricsSnapshot is a point-in-time copy of the pipeline telemetry:
+// counters (recoveries, truncations, TASE paths/steps/events, cache
+// hits/misses), gauges, and the E3-bucket recovery-latency histogram.
+type MetricsSnapshot = telemetry.Snapshot
+
 // Recover runs SigRec on runtime bytecode.
 func Recover(code []byte) (Result, error) {
 	return core.Recover(code)
+}
+
+// RecoverContext runs SigRec under resource bounds: budgets and deadline
+// from opts, plus cancellation/deadline from ctx. A hit bound returns a
+// partial Result with Truncated set rather than an error.
+func RecoverContext(ctx context.Context, code []byte, opts Options) (Result, error) {
+	return core.RecoverContext(ctx, code, opts)
+}
+
+// RecoverAll recovers many contracts concurrently with a bounded worker
+// pool (workers <= 0 selects GOMAXPROCS), applying opts to every item.
+// Results come back in input order with per-item errors and truncation.
+func RecoverAll(ctx context.Context, codes [][]byte, workers int, opts Options) []BatchItem {
+	return core.RecoverAllContext(ctx, codes, workers, opts)
+}
+
+// Metrics returns a snapshot of the pipeline telemetry. Counters are
+// cumulative for the process; diff two snapshots to meter a single run.
+func Metrics() MetricsSnapshot {
+	return core.Metrics().Snapshot()
+}
+
+// WriteMetrics writes the telemetry exposition (a Prometheus-flavoured
+// text format) to w.
+func WriteMetrics(w io.Writer) error {
+	_, err := core.Metrics().Snapshot().WriteTo(w)
+	return err
 }
 
 // RecoverHex runs SigRec on 0x-prefixed or bare hex bytecode.
@@ -65,11 +117,16 @@ func RecoverFunction(code []byte, selector Selector) (Function, RuleStats) {
 // when the input is a contract-creation transaction's payload rather than
 // the deployed code.
 func RecoverDeployment(deployCode []byte) (Result, error) {
+	return RecoverDeploymentContext(context.Background(), deployCode, Options{})
+}
+
+// RecoverDeploymentContext is RecoverDeployment under resource bounds.
+func RecoverDeploymentContext(ctx context.Context, deployCode []byte, opts Options) (Result, error) {
 	runtime, err := evm.ExtractRuntime(deployCode)
 	if err != nil {
 		return Result{}, fmt.Errorf("sigrec: %w", err)
 	}
-	return core.Recover(runtime)
+	return core.RecoverContext(ctx, runtime, opts)
 }
 
 // ParseSignature parses "name(type1,type2,...)" into the ABI representation

@@ -1,7 +1,10 @@
 package sigrec
 
 import (
+	"bytes"
+	"context"
 	"encoding/hex"
+	"strings"
 	"testing"
 
 	"sigrec/internal/abi"
@@ -127,5 +130,55 @@ func TestRecoverDeployment(t *testing.T) {
 	}
 	if _, err := RecoverDeployment([]byte{0xfe}); err == nil {
 		t.Error("faulting init code must fail")
+	}
+}
+
+func TestRecoverContextFacade(t *testing.T) {
+	code, sigs := compileDemo(t)
+	cache := NewCache(4)
+	opts := Options{Cache: cache}
+	for pass := 0; pass < 2; pass++ {
+		res, err := RecoverContext(context.Background(), code, opts)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if len(res.Functions) != len(sigs) || res.Truncated {
+			t.Fatalf("pass %d: %d functions, truncated=%v", pass, len(res.Functions), res.Truncated)
+		}
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d entries", cache.Len())
+	}
+
+	items := RecoverAll(context.Background(), [][]byte{code, code, code}, 0, opts)
+	for i, item := range items {
+		if item.Err != nil || len(item.Result.Functions) != len(sigs) {
+			t.Errorf("batch item %d: err=%v functions=%d", i, item.Err, len(item.Result.Functions))
+		}
+	}
+}
+
+func TestMetricsFacade(t *testing.T) {
+	code, _ := compileDemo(t)
+	if _, err := Recover(code); err != nil {
+		t.Fatal(err)
+	}
+	snap := Metrics()
+	if snap.Counters["sigrec_recoveries_total"] == 0 {
+		t.Error("recoveries counter is zero after a recovery")
+	}
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sigrec_recoveries_total counter",
+		"sigrec_recover_duration_microseconds_bucket{le=\"1000\"}",
+		"sigrec_recover_duration_microseconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }
