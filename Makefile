@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz-smoke bench-smoke
+.PHONY: check fmt vet build test race fuzz-smoke bench-smoke bench bench-gate
+
+# BENCH is the tracked benchmark artifact for this PR in the BENCH_<n>.json
+# trajectory; bump the number when a PR re-records performance.
+BENCH ?= BENCH_2.json
 
 check: fmt vet build test race
 
@@ -35,3 +39,20 @@ fuzz-smoke:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'E1|E3' -benchtime 1x .
+
+# Record the E1/E3 experiment benchmarks as machine-readable JSON so the
+# perf trajectory is tracked across PRs.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$' \
+		-benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH)
+
+# Gate: fail when E3 allocs/op regresses >10% against the committed
+# baseline. Allocation counts are deterministic enough for shared CI
+# runners; ns/op is recorded but not gated.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkE3TimeDistribution$$' -benchmem . \
+		| $(GO) run ./cmd/benchjson -out bench_current.json
+	$(GO) run ./cmd/benchjson -check -baseline bench_baseline.json \
+		-current bench_current.json -bench E3TimeDistribution \
+		-metric allocs_per_op -tolerance 0.10
+	@rm -f bench_current.json

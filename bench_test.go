@@ -140,6 +140,29 @@ func BenchmarkBatchRecoveryCached(b *testing.B) {
 	}
 }
 
+// BenchmarkRecoverInterningOff is the A/B control for the hash-consed
+// engine: the same batch as BenchmarkBatchRecovery with interning
+// disabled, quantifying what the interner and copy-on-write state buy.
+func BenchmarkRecoverInterningOff(b *testing.B) {
+	c, err := corpus.Generate(corpus.Config{Seed: 9, Solidity: 64, Vyper: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	codes := make([][]byte, len(c.Entries))
+	for i, e := range c.Entries {
+		codes[i] = e.Code
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := core.RecoverAllContext(context.Background(), codes, 0,
+			core.Options{DisableInterning: true})
+		if len(items) != len(codes) {
+			b.Fatal("batch incomplete")
+		}
+	}
+}
+
 // BenchmarkRecoverBounded measures the overhead of running a recovery
 // with an (unreached) deadline and step budget armed — the bounds checks
 // themselves, which must stay in the noise.

@@ -17,9 +17,9 @@ func ExtractSelectors(program *Program) [][4]byte {
 // and additionally reports whether the exploration was truncated (the
 // selector list may then be incomplete).
 func extractSelectors(program *Program, lim limits) ([][4]byte, bool) {
-	t := &tase{program: program, lim: lim} // selWord nil: the selector stays symbolic
+	t := newTASE(program, nil, lim) // selWord nil: the selector stays symbolic
 	events := t.run()
-	recordTASE(t)
+	finishTASE(t)
 	var out [][4]byte
 	seen := make(map[[4]byte]bool)
 	for _, ev := range events {

@@ -4,7 +4,7 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 
 	"sigrec/internal/evm"
@@ -13,7 +13,9 @@ import (
 // Expr is a symbolic 256-bit value. Every node may carry a concrete value
 // (Conc) when all of its inputs were concrete; this lets TASE execute
 // concretely where possible (loop counters, constant offsets) while keeping
-// full provenance for the rules.
+// full provenance for the rules. Nodes are immutable once built: TASE
+// hash-conses them through an interner (see intern.go), so structurally
+// identical values share one node and carry a per-trace integer id.
 type Expr struct {
 	// Kind discriminates the node.
 	Kind ExprKind
@@ -28,6 +30,14 @@ type Expr struct {
 	Env string
 	// Seq disambiguates distinct environment values.
 	Seq int
+
+	// id is the interner-assigned identity (0 = not interned). Within one
+	// trace, equal ids imply structural equality, so event dedup compares
+	// integers instead of rendered strings.
+	id uint32
+	// str caches the canonical rendering; expressions are immutable, so
+	// the first String() call fills it and later calls are free.
+	str string
 }
 
 // ExprKind is the node discriminator.
@@ -70,17 +80,17 @@ func NewEnv(label string, seq int) *Expr {
 // argument has one.
 func NewApp(op evm.Op, args ...*Expr) *Expr {
 	e := &Expr{Kind: KindApp, Op: op, Args: args}
-	words := make([]evm.Word, len(args))
-	allConc := true
+	var words [3]evm.Word // pure EVM opcodes pop at most three operands
+	allConc := len(args) <= len(words)
 	for i, a := range args {
-		if a.Conc == nil {
+		if !allConc || a.Conc == nil {
 			allConc = false
 			break
 		}
 		words[i] = *a.Conc
 	}
 	if allConc {
-		if w, ok := foldOp(op, words); ok {
+		if w, ok := foldOp(op, words[:len(args)]); ok {
 			e.Conc = &w
 		}
 	}
@@ -156,11 +166,16 @@ func (e *Expr) ConstUint() (uint64, bool) {
 	return e.Conc.Uint64()
 }
 
-// String renders a canonical form used for event deduplication.
+// String renders a canonical form used as the structural key throughout
+// inference. The rendering is cached on the node: expressions are immutable
+// and confined to one recovery, so repeated calls cost a field read.
 func (e *Expr) String() string {
-	var b strings.Builder
-	e.render(&b, 0)
-	return b.String()
+	if e.str == "" {
+		var b strings.Builder
+		e.render(&b, 0)
+		e.str = b.String()
+	}
+	return e.str
 }
 
 // maxRenderDepth bounds expression rendering. It must exceed the deepest
@@ -183,7 +198,9 @@ func (e *Expr) render(b *strings.Builder, depth int) {
 	case KindCSize:
 		b.WriteString("cdsize")
 	case KindEnv:
-		fmt.Fprintf(b, "%s#%d", e.Env, e.Seq)
+		b.WriteString(e.Env)
+		b.WriteByte('#')
+		b.WriteString(strconv.Itoa(e.Seq))
 	case KindApp:
 		b.WriteString(e.Op.String())
 		b.WriteString("(")

@@ -35,6 +35,11 @@ type inference struct {
 	cdcs []Event // CALLDATACOPY events
 	ops  []Event // tainted instruction events
 
+	// valIndex maps a loaded value's canonical key to the CDL event that
+	// produced it. viewBody needs it for every dynamic parameter; it is
+	// built once per trace on first use instead of per call.
+	valIndex map[string]Event
+
 	// cur accumulates the rules applied while classifying the current
 	// parameter (the per-parameter explanation).
 	cur []RuleID

@@ -60,13 +60,18 @@ func (inf *inference) viewBody(body bodyDesc) *bodyView {
 		directByPC: make(map[uint64][]uint64),
 	}
 	// Index: value key -> loading event (to locate inner offset origins).
-	valIndex := make(map[string]Event, len(inf.cdls))
-	for _, ev := range inf.cdls {
-		k := ev.Val.String()
-		if _, dup := valIndex[k]; !dup {
-			valIndex[k] = ev
+	// The CDL set is fixed for the whole trace, so build it lazily once
+	// and reuse it across the per-parameter viewBody calls.
+	if inf.valIndex == nil {
+		inf.valIndex = make(map[string]Event, len(inf.cdls))
+		for _, ev := range inf.cdls {
+			k := ev.Val.String()
+			if _, dup := inf.valIndex[k]; !dup {
+				inf.valIndex[k] = ev
+			}
 		}
 	}
+	valIndex := inf.valIndex
 	seenChild := make(map[string]bool)
 	for _, ev := range inf.cdls {
 		d, ok := descOf(ev.Off)

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"sigrec/internal/evm"
+)
+
+// interner hash-conses Expr nodes for one TASE exploration: structurally
+// identical expressions are canonicalized to a single immutable node and
+// assigned a small integer id. Because every canonical node's children are
+// themselves canonical, the structural hash and the equality check are both
+// shallow — a key of scalar fields plus child *pointers* — so lookups never
+// recurse and pointer equality substitutes for deep comparison everywhere
+// downstream (event dedup, common-subexpression reuse).
+//
+// An interner is confined to a single goroutine and lives for one trace.
+// The node table is deliberately NOT pooled: clearing a map with ~100-byte
+// keys costs a full-table memclr that small traces would pay at the
+// previous trace's high-water size, and generation-stamping retains stale
+// trees that bloat the GC-scanned heap. A fresh small table that grows to
+// the trace's own size measures faster than both.
+type interner struct {
+	nodes  map[internKey]*Expr
+	nextID uint32
+	// hits/misses meter the hash-consing effectiveness; finishTASE folds
+	// them into the pipeline telemetry.
+	hits, misses uint64
+}
+
+// internKey is the shallow structural identity of a node. Child pointers
+// are canonical, so pointer equality on a0..a2 is structural equality of
+// the subtrees. Pure EVM opcodes pop at most three operands (ADDMOD and
+// MULMOD), which bounds the arity of every interned application.
+type internKey struct {
+	kind       ExprKind
+	op         evm.Op
+	seq        int
+	nargs      int8
+	hasConc    bool
+	conc       evm.Word
+	env        string
+	a0, a1, a2 *Expr
+}
+
+func newInterner() *interner {
+	return &interner{nodes: make(map[internKey]*Expr, 64)}
+}
+
+// release drops the lookup structure. The canonical nodes themselves live
+// on in the recorded events.
+func (it *interner) release() {
+	it.nodes = nil
+}
+
+// lookup returns the canonical node for k, if installed.
+func (it *interner) lookup(k internKey) (*Expr, bool) {
+	e, ok := it.nodes[k]
+	if ok {
+		it.hits++
+	}
+	return e, ok
+}
+
+// install assigns e the next id and records it as the canonical node for k.
+func (it *interner) install(k internKey, e *Expr) *Expr {
+	it.misses++
+	it.nextID++
+	e.id = it.nextID
+	it.nodes[k] = e
+	return e
+}
+
+// constW returns the canonical constant node for w.
+func (it *interner) constW(w evm.Word) *Expr {
+	k := internKey{kind: KindConst, hasConc: true, conc: w}
+	if e, ok := it.lookup(k); ok {
+		return e
+	}
+	return it.install(k, NewConst(w))
+}
+
+// constUint is constW for small values.
+func (it *interner) constUint(v uint64) *Expr { return it.constW(evm.WordFromUint64(v)) }
+
+// cdata returns the canonical CALLDATALOAD(off) node; off must be canonical.
+func (it *interner) cdata(off *Expr) *Expr {
+	k := internKey{kind: KindCData, nargs: 1, a0: off}
+	if e, ok := it.lookup(k); ok {
+		return e
+	}
+	return it.install(k, NewCData(off))
+}
+
+// csize returns the canonical CALLDATASIZE node.
+func (it *interner) csize() *Expr {
+	k := internKey{kind: KindCSize}
+	if e, ok := it.lookup(k); ok {
+		return e
+	}
+	return it.install(k, &Expr{Kind: KindCSize})
+}
+
+// env returns the environment node for (label, seq). Sequence numbers are
+// unique per trace, so this always installs; interning it anyway gives the
+// node an id for integer event keys.
+func (it *interner) env(label string, seq int) *Expr {
+	k := internKey{kind: KindEnv, env: label, seq: seq}
+	if e, ok := it.lookup(k); ok {
+		return e
+	}
+	return it.install(k, NewEnv(label, seq))
+}
+
+// appKey builds the application key over canonical operands.
+func appKey(op evm.Op, args []*Expr) internKey {
+	k := internKey{kind: KindApp, op: op, nargs: int8(len(args))}
+	switch len(args) {
+	case 3:
+		k.a2 = args[2]
+		fallthrough
+	case 2:
+		k.a1 = args[1]
+		fallthrough
+	case 1:
+		k.a0 = args[0]
+	}
+	return k
+}
+
+// app returns the canonical Op(args...) node, folding concretely on first
+// construction; args must be canonical and at most three (every pure EVM
+// opcode satisfies this). The args slice is only retained on a miss.
+func (it *interner) app(op evm.Op, args ...*Expr) *Expr {
+	return it.appN(op, args)
+}
+
+// appN is app without the variadic copy, for callers that already hold a
+// slice (or a sub-slice of a scratch array — a fresh slice is made on miss
+// so the canonical node never aliases caller scratch space).
+func (it *interner) appN(op evm.Op, args []*Expr) *Expr {
+	k := appKey(op, args)
+	if e, ok := it.lookup(k); ok {
+		return e
+	}
+	owned := make([]*Expr, len(args))
+	copy(owned, args)
+	return it.install(k, NewApp(op, owned...))
+}
+
+// canonical returns the canonical node for an arbitrary expression tree,
+// interning any not-yet-seen structure bottom-up. Already-canonical nodes
+// (id set) return immediately, so on the interned construction path this
+// is a single field test; it only walks for foreign trees (the interning-
+// disabled mode, which still needs ids for event dedup keys).
+func (it *interner) canonical(e *Expr) *Expr {
+	if e.id != 0 {
+		return e
+	}
+	n := len(e.Args)
+	if n > 3 {
+		// Not an internable shape (cannot happen for TASE-built nodes);
+		// give it a unique id so dedup still has a stable key.
+		it.nextID++
+		e.id = it.nextID
+		return e
+	}
+	k := internKey{kind: e.Kind, op: e.Op, seq: e.Seq, env: e.Env, nargs: int8(n)}
+	if e.Kind == KindConst && e.Conc != nil {
+		// Only constants key on their value: an application's Conc is
+		// derived from its operands, and including it here would make the
+		// key shape disagree with the one appN builds.
+		k.hasConc = true
+		k.conc = *e.Conc
+	}
+	changed := false
+	var cargs [3]*Expr
+	for i := 0; i < n; i++ {
+		cargs[i] = it.canonical(e.Args[i])
+		changed = changed || cargs[i] != e.Args[i]
+	}
+	k.a0, k.a1, k.a2 = cargs[0], cargs[1], cargs[2]
+	if c, ok := it.lookup(k); ok {
+		return c
+	}
+	c := e
+	if changed {
+		c = &Expr{Kind: e.Kind, Conc: e.Conc, Op: e.Op, Env: e.Env, Seq: e.Seq,
+			Args: append([]*Expr(nil), cargs[:n]...)}
+	}
+	return it.install(k, c)
+}
+
+// idOf returns the canonical id of e, interning it if needed.
+func (it *interner) idOf(e *Expr) uint32 { return it.canonical(e).id }

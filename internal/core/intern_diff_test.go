@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sigrec/internal/corpus"
+	"sigrec/internal/evm"
+)
+
+// TestInterningDifferential checks that hash-consed construction is purely
+// an optimization: over a random corpus, recovery with interning ON and
+// OFF must produce byte-identical signatures, rule trails, and TASE event
+// sets. Any divergence means the interner changed observable semantics.
+func TestInterningDifferential(t *testing.T) {
+	cfg := corpus.Config{
+		Seed:           123,
+		Solidity:       60,
+		Vyper:          15,
+		AmbiguityRate:  0.15,
+		ConversionRate: 0.05,
+		AsmReadRate:    0.05,
+		StorageRefRate: 0.05,
+		MaxParams:      4,
+	}
+	c, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatalf("corpus: %v", err)
+	}
+	ctx := context.Background()
+	recovered := 0
+	for i, e := range c.Entries {
+		on, errOn := RecoverContext(ctx, e.Code, Options{})
+		off, errOff := RecoverContext(ctx, e.Code, Options{DisableInterning: true})
+		if (errOn == nil) != (errOff == nil) {
+			t.Fatalf("entry %d (%s): error mismatch: on=%v off=%v", i, e.Sig.Canonical(), errOn, errOff)
+		}
+		if got, want := renderResult(on), renderResult(off); got != want {
+			t.Fatalf("entry %d (%s): result diverges\ninterning on:\n%s\ninterning off:\n%s",
+				i, e.Sig.Canonical(), got, want)
+		}
+		// Compare the raw TASE event streams per selector, not just the
+		// inferred output: interning must not change what is observed.
+		program := evm.Disassemble(e.Code)
+		recovered += len(on.Functions)
+		for _, fn := range on.Functions {
+			sel := [4]byte(fn.Selector)
+			trOn := traceFunction(program, sel, limits{})
+			trOff := traceFunction(program, sel, limits{noIntern: true})
+			if got, want := renderTrace(trOn), renderTrace(trOff); got != want {
+				t.Fatalf("entry %d (%s) selector %x: trace diverges\ninterning on:\n%s\ninterning off:\n%s",
+					i, e.Sig.Canonical(), sel, got, want)
+			}
+		}
+	}
+	// Guard against the test passing vacuously on an empty corpus or a
+	// recovery pipeline that errors everywhere.
+	if recovered < len(c.Entries)/2 {
+		t.Fatalf("only %d functions recovered over %d entries; differential coverage too thin",
+			recovered, len(c.Entries))
+	}
+}
+
+// renderResult serializes everything a caller can observe from a recovery.
+func renderResult(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "truncated=%v rules=%v\n", r.Truncated, r.Rules)
+	for _, f := range r.Functions {
+		fmt.Fprintf(&b, "%x %s lang=%v trunc=%v rules=%v\n",
+			[4]byte(f.Selector), f.TypeList(), f.Language, f.Truncated, f.ParamRules)
+	}
+	return b.String()
+}
+
+// renderTrace serializes an event stream structurally.
+func renderTrace(tr Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "truncated=%v events=%d\n", tr.Truncated, len(tr.Events))
+	for _, ev := range tr.Events {
+		fmt.Fprintf(&b, "k=%d pc=%d op=%v dst=%d", ev.Kind, ev.PC, ev.Op, ev.Dst)
+		for _, e := range []*Expr{ev.Off, ev.Val, ev.Src, ev.Len} {
+			if e != nil {
+				b.WriteByte(' ')
+				b.WriteString(e.String())
+			}
+		}
+		for _, a := range ev.Args {
+			b.WriteByte(' ')
+			b.WriteString(a.String())
+		}
+		fmt.Fprintf(&b, " guards=%d", len(ev.Guards))
+		for _, g := range ev.Guards {
+			fmt.Fprintf(&b, " [%d:%v:%s]", g.PC, g.Taken, g.Cond.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -25,6 +25,16 @@ var (
 	mCacheEntries  = tel.Gauge("sigrec_cache_entries")
 	mBatches       = tel.Counter("sigrec_batches_total")
 	mRecoverUS     = tel.Histogram("sigrec_recover_duration_microseconds", nil)
+
+	// Interner and copy-on-write state instruments. Hit rate is exposed as a
+	// permille gauge so it reads directly off the exposition endpoint; pool
+	// reuse is derived as gets - allocs.
+	mInternHits    = tel.Counter("sigrec_intern_hits_total")
+	mInternMisses  = tel.Counter("sigrec_intern_misses_total")
+	mInternHitRate = tel.Gauge("sigrec_intern_hit_rate_permille")
+	mCloneBytes    = tel.Counter("sigrec_state_clone_bytes_total")
+	mStateGets     = tel.Counter("sigrec_state_pool_gets_total")
+	mStateAllocs   = tel.Counter("sigrec_state_pool_allocs_total")
 )
 
 // Metrics returns the pipeline's telemetry registry. Counters are
@@ -32,10 +42,24 @@ var (
 // single run.
 func Metrics() *telemetry.Registry { return tel }
 
-// recordTASE folds one finished exploration into the aggregate counters.
-func recordTASE(t *tase) {
+// finishTASE folds one finished exploration into the aggregate counters
+// and retires the engine's interner. Per-trace counts are accumulated
+// locally during exploration and flushed here in one shot, so the hot loop
+// never touches an atomic.
+func finishTASE(t *tase) {
 	mPathsExplored.Add(uint64(t.paths))
 	mPathsPruned.Add(uint64(t.pruned))
 	mTASESteps.Add(uint64(t.totSteps))
 	mEvents.Add(uint64(len(t.events)))
+	mStateGets.Add(t.stateGets)
+	mCloneBytes.Add(t.cloneBytes)
+	if t.it != nil {
+		mInternHits.Add(t.it.hits)
+		mInternMisses.Add(t.it.misses)
+		if total := mInternHits.Load() + mInternMisses.Load(); total > 0 {
+			mInternHitRate.Set(int64(mInternHits.Load() * 1000 / total))
+		}
+		t.it.release()
+		t.it = nil
+	}
 }

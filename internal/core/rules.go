@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
 
 	"sigrec/internal/evm"
 )
@@ -49,7 +49,7 @@ const (
 const NumRules = 31
 
 // String implements fmt.Stringer.
-func (r RuleID) String() string { return fmt.Sprintf("R%d", int(r)) }
+func (r RuleID) String() string { return "R" + strconv.Itoa(int(r)) }
 
 // RuleStats counts rule applications (the paper's Fig. 19).
 type RuleStats [NumRules + 1]uint64

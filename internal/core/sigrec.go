@@ -33,13 +33,18 @@ type Options struct {
 	// keccak256(code). Cached Results are shared; callers must not mutate
 	// them.
 	Cache *Cache
+	// DisableInterning turns off hash-consed expression construction in
+	// TASE. Recovery results are identical either way (the differential
+	// test enforces it); this exists as an operational escape hatch and
+	// for A/B benchmarking.
+	DisableInterning bool
 }
 
 // limits translates caller options into exploration bounds. The deadline
 // and cancellation channel are computed once per contract so every
 // exploration shares them.
 func (o Options) limits(ctx context.Context) limits {
-	lim := limits{maxSteps: o.StepBudget, maxPaths: o.MaxPaths}
+	lim := limits{maxSteps: o.StepBudget, maxPaths: o.MaxPaths, noIntern: o.DisableInterning}
 	if o.Deadline > 0 {
 		lim.deadline = time.Now().Add(o.Deadline)
 	}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"sync"
 	"time"
 
 	"sigrec/internal/evm"
@@ -37,6 +37,11 @@ type limits struct {
 	// done, when non-nil, cancels the exploration when closed (a
 	// context.Context's Done channel).
 	done <-chan struct{}
+	// noIntern disables hash-consed expression construction (nodes are
+	// still canonicalized lazily for event dedup keys). It exists for the
+	// interning ON/OFF differential test and as an operational escape
+	// hatch; recovery results must be identical either way.
+	noIntern bool
 }
 
 // defaultLimits returns the built-in exploration budgets.
@@ -105,15 +110,30 @@ type Trace struct {
 	Truncated bool
 }
 
-// state is one symbolic machine state during path exploration.
+// state is one symbolic machine state during path exploration. Forks share
+// every container copy-on-write: cloning is O(1), the append-only slices
+// (copies, guards) are capacity-trimmed so either side's next append
+// reallocates instead of scribbling on the shared prefix, and the mutable
+// containers (stack, mem, visits) carry ownership flags — a state copies
+// them into pooled storage the first time it writes after a fork.
 type state struct {
-	pc     uint64
-	stack  []*Expr
-	mem    map[uint64]*Expr
-	copies []memCopy
-	visits map[uint64]int
-	guards []Guard
-	steps  int
+	pc    uint64
+	steps int
+
+	stack []*Expr
+	// stackRef is the pool box the owned stack buffer came from; it is
+	// returned to the pool only while stackOwned (exclusive) at release.
+	stackRef *[]*Expr
+	mem      map[uint64]*Expr
+	copies   []memCopy
+	visits   map[uint64]int
+	guards   []Guard
+
+	// Ownership flags: false means the container is (potentially) shared
+	// with a forked sibling and must be copied before the next write.
+	stackOwned  bool
+	memOwned    bool
+	visitsOwned bool
 }
 
 type memCopy struct {
@@ -122,24 +142,23 @@ type memCopy struct {
 	ln  *Expr
 }
 
-func (s *state) clone() *state {
-	cp := &state{
-		pc:     s.pc,
-		stack:  append([]*Expr(nil), s.stack...),
-		mem:    make(map[uint64]*Expr, len(s.mem)),
-		copies: append([]memCopy(nil), s.copies...),
-		visits: make(map[uint64]int, len(s.visits)),
-		guards: append([]Guard(nil), s.guards...),
-		steps:  s.steps,
-	}
-	for k, v := range s.mem {
-		cp.mem[k] = v
-	}
-	for k, v := range s.visits {
-		cp.visits[k] = v
-	}
-	return cp
-}
+// Allocation pools for exploration state. States fork and die at every
+// JUMPI fan-out; recycling them (and their stack buffers and maps) keeps
+// the per-path cost flat regardless of state size. Guard and copy slices
+// are never pooled: events capture capacity-trimmed views of them that
+// outlive the exploration.
+var (
+	statePool = sync.Pool{New: func() any {
+		mStateAllocs.Inc()
+		return new(state)
+	}}
+	stackPool = sync.Pool{New: func() any {
+		b := make([]*Expr, 0, 32)
+		return &b
+	}}
+	memPool   = sync.Pool{New: func() any { return make(map[uint64]*Expr, 8) }}
+	visitPool = sync.Pool{New: func() any { return make(map[uint64]int, 8) }}
+)
 
 // tase explores the contract from pc 0 with the call data symbolic except
 // for the first 32 bytes, which carry the given selector. The dispatcher
@@ -149,15 +168,36 @@ type tase struct {
 	program    *Program
 	selWord    *evm.Word // value returned for CALLDATALOAD(0), nil = symbolic
 	lim        limits
+	it         *interner // per-trace hash-consing table
 	events     []Event
-	seen       map[string]bool
+	seen       map[eventID]bool
 	envSeq     int
 	paths      int
 	totSteps   int
 	pruned     int // forks suppressed and worklist states dropped by budgets
 	trunc      bool
-	cancelable bool // a deadline or cancellation channel is armed
-	expired    bool // deadline passed or context cancelled
+	cancelable bool   // a deadline or cancellation channel is armed
+	expired    bool   // deadline passed or context cancelled
+	cloneBytes uint64 // bytes materialized by copy-on-write ownership takes
+	stateGets  uint64 // state allocator requests (pool reuses + fresh allocs)
+}
+
+// newTASE builds an exploration engine with a fresh interner.
+func newTASE(program *Program, selWord *evm.Word, lim limits) *tase {
+	return &tase{program: program, selWord: selWord, lim: lim, it: newInterner()}
+}
+
+// eventID is the dedup key of an Event: expression identity is the interned
+// id, so keying does integer compares instead of recursive string
+// formatting. Pure opcodes carry at most three operands, which bounds the
+// arity (nargs disambiguates the defensive >3 fallback).
+type eventID struct {
+	kind       EventKind
+	op         evm.Op
+	nargs      int8
+	pc         uint64
+	dst        uint64
+	a0, a1, a2 uint32
 }
 
 // pollCancel checks the cancellation channel and the wall-clock deadline.
@@ -188,7 +228,10 @@ type Program = evm.Program
 
 // run explores all paths and returns the deduplicated events.
 func (t *tase) run() []Event {
-	t.seen = make(map[string]bool)
+	t.seen = make(map[eventID]bool)
+	if t.it == nil {
+		t.it = newInterner()
+	}
 	if t.lim.maxSteps <= 0 {
 		t.lim.maxSteps = maxTotalSteps
 	}
@@ -196,60 +239,193 @@ func (t *tase) run() []Event {
 		t.lim.maxPaths = maxPathsPerFn
 	}
 	t.cancelable = t.lim.done != nil || !t.lim.deadline.IsZero()
-	start := &state{
-		pc:     0,
-		mem:    make(map[uint64]*Expr),
-		visits: make(map[uint64]int),
-	}
+	start := t.newState()
 	worklist := []*state{start}
 	for len(worklist) > 0 && t.paths < t.lim.maxPaths && t.totSteps < t.lim.maxSteps &&
 		!(t.cancelable && t.pollCancel()) {
 		st := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
+		// Forks come back in encounter order; push them reversed so the
+		// pop order (earliest fork of the just-finished path first)
+		// matches the depth-first order the explorer has always used.
 		forks := t.explore(st)
-		worklist = append(worklist, forks...)
+		for i := len(forks) - 1; i >= 0; i-- {
+			worklist = append(worklist, forks[i])
+		}
 	}
 	if len(worklist) > 0 {
 		// Budget exhausted with states still queued: the result is partial.
 		t.pruned += len(worklist)
 		t.trunc = true
+		for _, st := range worklist {
+			t.releaseState(st)
+		}
 	}
 	return t.events
 }
 
-// explore runs one path until it ends, returning forked states.
+// newState takes a zeroed state from the pool.
+func (t *tase) newState() *state {
+	t.stateGets++
+	return statePool.Get().(*state)
+}
+
+// releaseState recycles a dead path's state. Only exclusively-owned
+// containers go back to their pools; anything shared with a live sibling
+// (ownership flag down) is left to that sibling and the GC.
+func (t *tase) releaseState(st *state) {
+	if st.stackOwned && st.stackRef != nil {
+		buf := st.stack[:cap(st.stack)]
+		clear(buf) // drop Expr references so pooled buffers don't pin traces
+		*st.stackRef = buf[:0]
+		stackPool.Put(st.stackRef)
+	}
+	if st.memOwned && st.mem != nil {
+		clear(st.mem)
+		memPool.Put(st.mem)
+	}
+	if st.visitsOwned && st.visits != nil {
+		clear(st.visits)
+		visitPool.Put(st.visits)
+	}
+	*st = state{}
+	statePool.Put(st)
+}
+
+// cloneState forks the state in O(1): every container is shared with the
+// original and both sides drop ownership, deferring any copying to the
+// first post-fork write (often never — a path that only pops and dies pays
+// nothing).
+func (t *tase) cloneState(s *state) *state {
+	s.stackOwned, s.memOwned, s.visitsOwned = false, false, false
+	s.copies = s.copies[:len(s.copies):len(s.copies)]
+	s.guards = s.guards[:len(s.guards):len(s.guards)]
+	cp := t.newState()
+	*cp = *s
+	return cp
+}
+
+// ownStack materializes a private copy of the stack into a pooled buffer.
+func (t *tase) ownStack(st *state) {
+	if st.stackOwned {
+		return
+	}
+	ref := stackPool.Get().(*[]*Expr)
+	buf := append((*ref)[:0], st.stack...)
+	t.cloneBytes += uint64(len(st.stack)) * 8
+	st.stack, st.stackRef, st.stackOwned = buf, ref, true
+}
+
+// ownMem materializes a private copy of the word-store map.
+func (t *tase) ownMem(st *state) {
+	if st.memOwned {
+		return
+	}
+	m := memPool.Get().(map[uint64]*Expr)
+	for k, v := range st.mem {
+		m[k] = v
+	}
+	t.cloneBytes += uint64(len(st.mem)) * 16
+	st.mem, st.memOwned = m, true
+}
+
+// ownVisits materializes a private copy of the JUMPI visit counters.
+func (t *tase) ownVisits(st *state) {
+	if st.visitsOwned {
+		return
+	}
+	m := visitPool.Get().(map[uint64]int)
+	for k, v := range st.visits {
+		m[k] = v
+	}
+	t.cloneBytes += uint64(len(st.visits)) * 16
+	st.visits, st.visitsOwned = m, true
+}
+
+// explore runs one path until it ends, returning forked states in the
+// order they were spawned. The state is consumed: it is released back to
+// the pool before returning.
 func (t *tase) explore(st *state) []*state {
 	t.paths++
+	var forks []*state
 	for {
 		if st.steps >= maxStepsPerPath || t.totSteps >= t.lim.maxSteps {
 			t.trunc = true
-			return nil
+			break
 		}
 		if t.cancelable && t.totSteps&deadlineCheckMask == 0 && t.pollCancel() {
 			t.trunc = true
-			return nil
+			break
 		}
 		ins, ok := t.program.At(st.pc)
 		if !ok {
-			return nil // ran off the end: STOP
+			break // ran off the end: STOP
 		}
 		st.steps++
 		t.totSteps++
 		fork, done := t.step(st, ins)
+		if fork != nil {
+			forks = append(forks, fork)
+		}
 		if done {
-			return fork
+			break
 		}
 	}
+	t.releaseState(st)
+	return forks
+}
+
+// Interned construction helpers. With interning on (the default), all
+// expression building funnels through the per-trace hash-consing table;
+// the noIntern mode builds fresh nodes exactly as the pre-interner engine
+// did, for the differential test.
+
+func (t *tase) constE(w evm.Word) *Expr {
+	if t.lim.noIntern {
+		return NewConst(w)
+	}
+	return t.it.constW(w)
+}
+
+func (t *tase) constUintE(v uint64) *Expr {
+	if t.lim.noIntern {
+		return NewConstUint(v)
+	}
+	return t.it.constUint(v)
+}
+
+func (t *tase) cdataE(off *Expr) *Expr {
+	if t.lim.noIntern {
+		return NewCData(off)
+	}
+	return t.it.cdata(off)
+}
+
+func (t *tase) csizeE() *Expr {
+	if t.lim.noIntern {
+		return &Expr{Kind: KindCSize}
+	}
+	return t.it.csize()
+}
+
+func (t *tase) appE(op evm.Op, args ...*Expr) *Expr {
+	if t.lim.noIntern {
+		return NewApp(op, args...)
+	}
+	return t.it.appN(op, args)
 }
 
 func (t *tase) fresh(label string) *Expr {
 	t.envSeq++
-	return NewEnv(label, t.envSeq)
+	if t.lim.noIntern {
+		return NewEnv(label, t.envSeq)
+	}
+	return t.it.env(label, t.envSeq)
 }
 
 // record deduplicates and stores an event.
 func (t *tase) record(ev Event) {
-	key := eventKey(ev)
+	key := t.eventID(ev)
 	if t.seen[key] {
 		return
 	}
@@ -257,29 +433,42 @@ func (t *tase) record(ev Event) {
 	t.events = append(t.events, ev)
 }
 
-func eventKey(ev Event) string {
+// eventID builds the integer dedup key of an event from interned ids.
+func (t *tase) eventID(ev Event) eventID {
 	switch ev.Kind {
 	case EvCDL:
-		return fmt.Sprintf("L|%d|%s", ev.PC, ev.Off.String())
+		return eventID{kind: EvCDL, pc: ev.PC, a0: t.it.idOf(ev.Off)}
 	case EvCDC:
-		return fmt.Sprintf("C|%d|%d|%s|%s", ev.PC, ev.Dst, ev.Src.String(), ev.Len.String())
+		return eventID{kind: EvCDC, pc: ev.PC, dst: ev.Dst,
+			a0: t.it.idOf(ev.Src), a1: t.it.idOf(ev.Len)}
 	default:
-		parts := make([]string, 0, len(ev.Args))
-		for _, a := range ev.Args {
-			parts = append(parts, a.String())
+		k := eventID{kind: EvOp, op: ev.Op, pc: ev.PC, nargs: int8(len(ev.Args))}
+		for i, a := range ev.Args {
+			switch i {
+			case 0:
+				k.a0 = t.it.idOf(a)
+			case 1:
+				k.a1 = t.it.idOf(a)
+			case 2:
+				k.a2 = t.it.idOf(a)
+			}
 		}
-		return fmt.Sprintf("O|%d|%s|%v", ev.PC, ev.Op, parts)
+		return k
 	}
 }
 
-// guardsSnapshot copies the active guards for attachment to an event.
+// guardsSnapshot captures the active guards for attachment to an event.
+// Guards are append-only and the slice is capacity-trimmed, so the
+// snapshot shares the backing array immutably instead of copying: a later
+// append (on this path or a fork) always reallocates past the trim.
 func guardsSnapshot(st *state) []Guard {
-	return append([]Guard(nil), st.guards...)
+	return st.guards[:len(st.guards):len(st.guards)]
 }
 
-// step executes one instruction. It returns (forks, true) when the path
-// ends or branches, or (nil, false) to continue.
-func (t *tase) step(st *state, ins evm.Instruction) ([]*state, bool) {
+// step executes one instruction. It returns a forked state to queue (at
+// most one, from a symbolic JUMPI whose fall-through this path keeps
+// following) and whether the path is done.
+func (t *tase) step(st *state, ins evm.Instruction) (*state, bool) {
 	op := ins.Op
 	if !op.Defined() {
 		return nil, true
@@ -293,17 +482,21 @@ func (t *tase) step(st *state, ins evm.Instruction) ([]*state, bool) {
 		st.stack = st.stack[:len(st.stack)-1]
 		return e
 	}
-	push := func(e *Expr) { st.stack = append(st.stack, e) }
+	push := func(e *Expr) {
+		t.ownStack(st)
+		st.stack = append(st.stack, e)
+	}
 	nextPC := ins.PC + 1 + uint64(len(ins.ArgBytes))
 
 	switch {
 	case op.IsPush():
-		push(NewConst(ins.Arg))
+		push(t.constE(ins.Arg))
 	case op.IsDup():
 		n := int(op-evm.DUP1) + 1
 		push(st.stack[len(st.stack)-n])
 	case op.IsSwap():
 		n := int(op-evm.SWAP1) + 1
+		t.ownStack(st)
 		top := len(st.stack) - 1
 		st.stack[top], st.stack[top-n] = st.stack[top-n], st.stack[top]
 	default:
@@ -347,6 +540,7 @@ func (t *tase) step(st *state, ins evm.Instruction) ([]*state, bool) {
 				return nil, false
 			}
 			// Symbolic condition: fork within the visit budget.
+			t.ownVisits(st)
 			st.visits[ins.PC]++
 			if st.visits[ins.PC] > maxVisitsPerJumpi {
 				// Budget hit: follow the forward branch (usually the loop
@@ -372,28 +566,30 @@ func (t *tase) step(st *state, ins evm.Instruction) ([]*state, bool) {
 				st.pc = nextPC
 				return nil, false
 			}
-			other := st.clone()
+			other := t.cloneState(st)
 			st.guards = append(st.guards, mkGuard(false))
 			st.pc = nextPC
 			other.guards = append(other.guards, mkGuard(true))
 			other.pc = dv
-			// Continue the fall-through here; queue the taken branch.
-			forks := t.explore(st)
-			return append(forks, other), true
+			// Continue the fall-through on this path (counted as a fresh
+			// path, matching the old recursive accounting); queue the
+			// taken branch.
+			t.paths++
+			return other, false
 
 		case evm.CALLDATALOAD:
 			off := pop()
 			var val *Expr
 			if v, ok := off.ConstUint(); ok && v == 0 && t.selWord != nil {
-				val = NewConst(*t.selWord)
+				val = t.constE(*t.selWord)
 			} else {
-				val = NewCData(off)
+				val = t.cdataE(off)
 				t.record(Event{Kind: EvCDL, PC: ins.PC, Off: off, Val: val, Guards: guardsSnapshot(st)})
 			}
 			push(val)
 
 		case evm.CALLDATASIZE:
-			push(&Expr{Kind: KindCSize})
+			push(t.csizeE())
 
 		case evm.CALLDATACOPY:
 			dst, src, ln := pop(), pop(), pop()
@@ -409,6 +605,7 @@ func (t *tase) step(st *state, ins evm.Instruction) ([]*state, bool) {
 		case evm.MSTORE:
 			addr, val := pop(), pop()
 			if av, ok := addr.ConstUint(); ok {
+				t.ownMem(st)
 				st.mem[av] = val
 			}
 
@@ -436,7 +633,7 @@ func (t *tase) step(st *state, ins evm.Instruction) ([]*state, bool) {
 			push(t.fresh(op.String()))
 
 		case evm.PC:
-			push(NewConstUint(ins.PC))
+			push(t.constUintE(ins.PC))
 
 		case evm.JUMPDEST:
 			// no-op
@@ -477,14 +674,34 @@ func (t *tase) step(st *state, ins evm.Instruction) ([]*state, bool) {
 			}
 
 		default:
-			// Pure computational opcode: build the application.
-			args := make([]*Expr, pops)
-			for i := 0; i < pops; i++ {
-				args[i] = pop()
-			}
-			e := NewApp(op, args...)
-			if tainted(args) {
-				t.record(Event{Kind: EvOp, PC: ins.PC, Op: op, Args: args, Guards: guardsSnapshot(st)})
+			// Pure computational opcode: build the application through the
+			// interner. Operands land in a scratch array — on an interner
+			// hit nothing is allocated; the canonical node's own Args
+			// slice backs any recorded event.
+			var argArr [3]*Expr
+			var e *Expr
+			if pops <= len(argArr) {
+				for i := 0; i < pops; i++ {
+					argArr[i] = pop()
+				}
+				args := argArr[:pops]
+				if t.lim.noIntern {
+					e = NewApp(op, append([]*Expr(nil), args...)...)
+				} else {
+					e = t.it.appN(op, args)
+				}
+				if tainted(args) {
+					t.record(Event{Kind: EvOp, PC: ins.PC, Op: op, Args: e.Args, Guards: guardsSnapshot(st)})
+				}
+			} else {
+				args := make([]*Expr, pops)
+				for i := 0; i < pops; i++ {
+					args[i] = pop()
+				}
+				e = t.appE(op, args...)
+				if tainted(args) {
+					t.record(Event{Kind: EvOp, PC: ins.PC, Op: op, Args: e.Args, Guards: guardsSnapshot(st)})
+				}
 			}
 			if op.StackPushes() > 0 {
 				push(e)
@@ -532,17 +749,17 @@ func (t *tase) mload(st *state, addr *Expr) *Expr {
 			return v
 		}
 		if cp, hit := findCopy(st.copies, av); hit {
-			off := NewApp(evm.ADD, cp.src, NewConstUint(av-cp.dst))
-			return NewCData(off)
+			off := t.appE(evm.ADD, cp.src, t.constUintE(av-cp.dst))
+			return t.cdataE(off)
 		}
-		return NewConst(evm.ZeroWord) // untouched memory reads zero
+		return t.constE(evm.ZeroWord) // untouched memory reads zero
 	}
 	// Symbolic address: attribute via the constant component.
 	lin := Linearize(addr)
 	if base, ok := lin.Const.Uint64(); ok {
 		if cp, hit := findCopy(st.copies, base); hit {
-			delta := NewApp(evm.SUB, addr, NewConstUint(cp.dst))
-			return NewCData(NewApp(evm.ADD, cp.src, delta))
+			delta := t.appE(evm.SUB, addr, t.constUintE(cp.dst))
+			return t.cdataE(t.appE(evm.ADD, cp.src, delta))
 		}
 	}
 	return t.fresh("mem")
@@ -571,14 +788,14 @@ func TraceFunction(program *Program, selector [4]byte) Trace {
 }
 
 // traceFunction is TraceFunction under caller-supplied limits; it also
-// reports exploration counters into the pipeline telemetry.
+// reports exploration counters into the pipeline telemetry and recycles
+// the engine's interner.
 func traceFunction(program *Program, selector [4]byte, lim limits) Trace {
-	var selWord evm.Word
-	b := make([]byte, 32)
-	copy(b, selector[:])
-	selWord = evm.WordFromBytes(b)
-	t := &tase{program: program, selWord: &selWord, lim: lim}
+	var b [32]byte
+	copy(b[:], selector[:])
+	selWord := evm.WordFromBytes(b[:])
+	t := newTASE(program, &selWord, lim)
 	events := t.run()
-	recordTASE(t)
+	finishTASE(t)
 	return Trace{Selector: selector, Events: events, Truncated: t.trunc}
 }

@@ -289,23 +289,71 @@ func (w Word) Mod(o Word) Word {
 	return r
 }
 
-// divmod computes the unsigned quotient and remainder using schoolbook long
-// division over bits. o must be nonzero.
+// log2IfPow2 returns k when w == 2^k (exactly one bit set).
+func (w Word) log2IfPow2() (uint, bool) {
+	var k uint
+	seen := false
+	for i, l := range w.limbs {
+		if l == 0 {
+			continue
+		}
+		if seen || l&(l-1) != 0 {
+			return 0, false
+		}
+		seen = true
+		k = uint(i*64 + bits.TrailingZeros64(l))
+	}
+	return k, seen
+}
+
+// divmod computes the unsigned quotient and remainder. o must be nonzero.
+// Real contracts divide almost exclusively by powers of two (type masks,
+// alignment) or small constants (fixed-point scaling), so those cases run
+// limb-native; the general 256-by-256 case falls back to big.Int.
 func divmod(w, o Word) (q, r Word) {
-	// Use big.Int for clarity; division is not on the interpreter hot path
-	// for our workloads, and this keeps the implementation evidently correct.
+	if k, ok := o.log2IfPow2(); ok {
+		return w.shrUint(k), w.And(LowMask(k))
+	}
+	if ov, ok := o.Uint64(); ok {
+		return divmod64(w, ov)
+	}
 	qb, rb := new(big.Int).QuoRem(w.Big(), o.Big(), new(big.Int))
 	return WordFromBig(qb), WordFromBig(rb)
 }
 
+// divmod64 divides by a 64-bit divisor limb by limb, most significant
+// first. The running remainder is always < d, so bits.Div64's quotient
+// fits a limb and the intrinsic never panics. d must be nonzero.
+func divmod64(w Word, d uint64) (q, r Word) {
+	var rem uint64
+	for i := 3; i >= 0; i-- {
+		q.limbs[i], rem = bits.Div64(rem, w.limbs[i], d)
+	}
+	return q, WordFromUint64(rem)
+}
+
 // SDiv returns the signed quotient per EVM SDIV (truncated toward zero),
 // with SDiv(minInt256, -1) == minInt256 and division by zero yielding zero.
+// Sign-adjusting around the unsigned division covers the overflow case for
+// free: |minInt256| is 2^255, whose quotient bit pattern is already the
+// two's-complement answer.
 func (w Word) SDiv(o Word) Word {
 	if o.IsZero() {
 		return ZeroWord
 	}
-	q := new(big.Int).Quo(w.SignedBig(), o.SignedBig())
-	return WordFromBig(q)
+	wneg, oneg := w.Sign() < 0, o.Sign() < 0
+	a, b := w, o
+	if wneg {
+		a = a.Neg()
+	}
+	if oneg {
+		b = b.Neg()
+	}
+	q := a.Div(b)
+	if wneg != oneg {
+		q = q.Neg()
+	}
+	return q
 }
 
 // SMod returns the signed remainder per EVM SMOD (sign follows dividend).
@@ -313,14 +361,42 @@ func (w Word) SMod(o Word) Word {
 	if o.IsZero() {
 		return ZeroWord
 	}
-	r := new(big.Int).Rem(w.SignedBig(), o.SignedBig())
-	return WordFromBig(r)
+	a, b := w, o
+	wneg := w.Sign() < 0
+	if wneg {
+		a = a.Neg()
+	}
+	if o.Sign() < 0 {
+		b = b.Neg()
+	}
+	r := a.Mod(b)
+	if wneg {
+		r = r.Neg()
+	}
+	return r
 }
 
 // AddMod returns (w + o) % m with intermediate precision, zero if m is zero.
 func (w Word) AddMod(o, m Word) Word {
 	if m.IsZero() {
 		return ZeroWord
+	}
+	if k, ok := m.log2IfPow2(); ok {
+		// 2^256 ≡ 0 (mod 2^k), so masking the wrapped sum is exact even
+		// when w+o overflows 256 bits.
+		return w.Add(o).And(LowMask(k))
+	}
+	if mv, ok := m.Uint64(); ok {
+		_, wr := divmod64(w, mv)
+		_, orr := divmod64(o, mv)
+		a, b := wr.limbs[0], orr.limbs[0]
+		s := a + b
+		// Both remainders are < mv, so at most one subtraction corrects
+		// the sum — including when it wrapped uint64 (s < a).
+		if s < a || s >= mv {
+			s -= mv
+		}
+		return WordFromUint64(s)
 	}
 	s := new(big.Int).Add(w.Big(), o.Big())
 	return WordFromBig(s.Mod(s, m.Big()))
@@ -331,13 +407,53 @@ func (w Word) MulMod(o, m Word) Word {
 	if m.IsZero() {
 		return ZeroWord
 	}
+	if k, ok := m.log2IfPow2(); ok {
+		return w.Mul(o).And(LowMask(k))
+	}
+	if mv, ok := m.Uint64(); ok {
+		_, wr := divmod64(w, mv)
+		_, orr := divmod64(o, mv)
+		// Both factors are < mv, so the 128-bit product's high half is
+		// < mv and bits.Div64 applies directly.
+		hi, lo := bits.Mul64(wr.limbs[0], orr.limbs[0])
+		_, rem := bits.Div64(hi, lo, mv)
+		return WordFromUint64(rem)
+	}
 	p := new(big.Int).Mul(w.Big(), o.Big())
 	return WordFromBig(p.Mod(p, m.Big()))
 }
 
-// Exp returns w^o mod 2^256.
+// Exp returns w^o mod 2^256, by single shift for power-of-two bases and
+// MSB-first square-and-multiply otherwise (Mul already reduces mod 2^256).
 func (w Word) Exp(o Word) Word {
-	return WordFromBig(new(big.Int).Exp(w.Big(), o.Big(), wordModulus()))
+	if k, ok := w.log2IfPow2(); ok {
+		if k == 0 {
+			return OneWord // 1^o
+		}
+		ev, fits := o.Uint64()
+		if !fits || ev >= 256 || uint(ev)*k >= 256 {
+			return ZeroWord
+		}
+		return OneWord.shlUint(uint(ev) * k)
+	}
+	hb := -1
+	for i := 3; i >= 0; i-- {
+		if o.limbs[i] != 0 {
+			hb = i*64 + 63 - bits.LeadingZeros64(o.limbs[i])
+			break
+		}
+	}
+	if hb < 0 {
+		return OneWord // w^0
+	}
+	result := OneWord
+	for i := hb; i >= 0; i-- {
+		result = result.Mul(result)
+		if o.Bit(uint(i)) {
+			result = result.Mul(w)
+		}
+	}
+	return result
 }
 
 // SignExtend implements EVM SIGNEXTEND: k selects the byte position of the

@@ -1,0 +1,136 @@
+package evm
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// These tests target the limb-native arithmetic fast paths (power-of-two
+// and <= 64-bit divisors/moduli, square-and-multiply Exp, sign-adjusted
+// SDiv/SMod) against the math/big oracle, drawing operands shaped to force
+// each branch rather than relying on the generic generators to hit them.
+
+// fastDivisor draws nonzero divisors that exercise the fast paths: powers
+// of two across the full width and arbitrary 64-bit values.
+func fastDivisor(r *rand.Rand) Word {
+	switch r.Intn(3) {
+	case 0:
+		return OneWord.Shl(WordFromUint64(uint64(r.Intn(256))))
+	case 1:
+		return WordFromUint64(r.Uint64()%1024 + 1)
+	default:
+		return WordFromUint64(r.Uint64() | 1)
+	}
+}
+
+func TestWordDivModFastPathsVsBig(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		w := randomWord(r)
+		o := fastDivisor(r)
+		wantQ := new(big.Int).Quo(w.Big(), o.Big())
+		wantR := new(big.Int).Rem(w.Big(), o.Big())
+		if got := w.Div(o); got.Big().Cmp(wantQ) != 0 {
+			t.Fatalf("Div(%v, %v) = %v, want %v", w, o, got, wantQ)
+		}
+		if got := w.Mod(o); got.Big().Cmp(wantR) != 0 {
+			t.Fatalf("Mod(%v, %v) = %v, want %v", w, o, got, wantR)
+		}
+	}
+}
+
+func TestWordSignedDivModFastPathsVsBig(t *testing.T) {
+	minInt256 := HighMask(1) // -2^255
+	negOne := MaxWord
+	// The EVM-defined overflow case: SDIV(minInt256, -1) wraps to minInt256.
+	if got := minInt256.SDiv(negOne); !got.Eq(minInt256) {
+		t.Fatalf("SDiv(min, -1) = %v, want %v", got, minInt256)
+	}
+	if got := minInt256.SMod(negOne); !got.IsZero() {
+		t.Fatalf("SMod(min, -1) = %v, want 0", got)
+	}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		w := randomWord(r)
+		o := fastDivisor(r)
+		if r.Intn(2) == 0 {
+			w = w.Neg()
+		}
+		if r.Intn(2) == 0 {
+			o = o.Neg()
+		}
+		if o.IsZero() {
+			continue
+		}
+		wantQ := mod256(new(big.Int).Quo(w.SignedBig(), o.SignedBig()))
+		wantR := mod256(new(big.Int).Rem(w.SignedBig(), o.SignedBig()))
+		if got := w.SDiv(o); got.Big().Cmp(wantQ) != 0 {
+			t.Fatalf("SDiv(%v, %v) = %v, want %v", w, o, got, wantQ)
+		}
+		if got := w.SMod(o); got.Big().Cmp(wantR) != 0 {
+			t.Fatalf("SMod(%v, %v) = %v, want %v", w, o, got, wantR)
+		}
+	}
+}
+
+func TestWordModularFastPathsVsBig(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		w, o := randomWord(r), randomWord(r)
+		m := fastDivisor(r)
+		sum := new(big.Int).Add(w.Big(), o.Big())
+		wantAdd := sum.Mod(sum, m.Big())
+		if got := w.AddMod(o, m); got.Big().Cmp(wantAdd) != 0 {
+			t.Fatalf("AddMod(%v, %v, %v) = %v, want %v", w, o, m, got, wantAdd)
+		}
+		prod := new(big.Int).Mul(w.Big(), o.Big())
+		wantMul := prod.Mod(prod, m.Big())
+		if got := w.MulMod(o, m); got.Big().Cmp(wantMul) != 0 {
+			t.Fatalf("MulMod(%v, %v, %v) = %v, want %v", w, o, m, got, wantMul)
+		}
+	}
+}
+
+func TestWordExpFastPathsVsBig(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 5000; i++ {
+		var base Word
+		switch r.Intn(3) {
+		case 0: // power-of-two base, the shift fast path
+			base = OneWord.Shl(WordFromUint64(uint64(r.Intn(256))))
+		case 1: // small base, the common contract shape (10^k scaling)
+			base = WordFromUint64(r.Uint64()%1000 + 2)
+		default:
+			base = randomWord(r)
+		}
+		var exp Word
+		switch r.Intn(3) {
+		case 0:
+			exp = WordFromUint64(uint64(r.Intn(300)))
+		case 1:
+			exp = WordFromUint64(r.Uint64())
+		default:
+			exp = randomWord(r)
+		}
+		want := new(big.Int).Exp(base.Big(), exp.Big(), wordModulus())
+		if got := base.Exp(exp); got.Big().Cmp(want) != 0 {
+			t.Fatalf("Exp(%v, %v) = %v, want %v", base, exp, got, want)
+		}
+	}
+}
+
+func TestLog2IfPow2(t *testing.T) {
+	for k := uint(0); k < 256; k++ {
+		w := OneWord.shlUint(k)
+		got, ok := w.log2IfPow2()
+		if !ok || got != k {
+			t.Fatalf("log2IfPow2(2^%d) = %d, %v", k, got, ok)
+		}
+	}
+	for _, w := range []Word{ZeroWord, WordFromUint64(3), WordFromUint64(6), MaxWord, HighMask(2)} {
+		if _, ok := w.log2IfPow2(); ok {
+			t.Fatalf("log2IfPow2(%v) unexpectedly ok", w)
+		}
+	}
+}

@@ -44,8 +44,10 @@ type RuleStats = core.RuleStats
 type Selector = abi.Selector
 
 // Options bounds and instruments a recovery: TASE step budget, explored-
-// path cap, per-contract wall-clock deadline, and an optional shared
-// result cache. The zero value selects the built-in budgets.
+// path cap, per-contract wall-clock deadline, an optional shared result
+// cache, and the DisableInterning escape hatch for the hash-consed
+// expression engine. The zero value selects the built-in budgets with
+// interning on.
 type Options = core.Options
 
 // Cache is a size-bounded LRU of recovery results keyed by keccak256 of
