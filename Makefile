@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz-smoke bench-smoke bench bench-gate
+.PHONY: check fmt vet build test race serve serve-e2e fuzz-smoke bench-smoke bench bench-gate
 
 # BENCH is the tracked benchmark artifact for this PR in the BENCH_<n>.json
 # trajectory; bump the number when a PR re-records performance.
-BENCH ?= BENCH_2.json
+BENCH ?= BENCH_3.json
 
 check: fmt vet build test race
 
@@ -26,7 +26,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/evm
+	$(GO) test -race ./internal/core ./internal/evm ./internal/server
+
+# Run the sigrecd HTTP daemon locally (see README "Serving" for flags).
+serve:
+	$(GO) run ./cmd/sigrecd
+
+# End-to-end serving-layer suite under the race detector: single recover,
+# streamed batch, 429 shedding, singleflight coalescing, graceful drain,
+# and the 200-contract load smoke through the batch endpoint (CI job
+# "smoke").
+serve-e2e:
+	$(GO) test -race -count=1 ./internal/server
 
 # Smoke-run every fuzz target and the E1/E3 experiment benchmarks so the
 # harnesses cannot silently rot (CI job "smoke").
@@ -40,11 +51,14 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'E1|E3' -benchtime 1x .
 
-# Record the E1/E3 experiment benchmarks as machine-readable JSON so the
-# perf trajectory is tracked across PRs.
+# Record the E1/E3 experiment benchmarks plus the serving-layer
+# throughput (req/s) as machine-readable JSON so the perf trajectory is
+# tracked across PRs.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$' \
-		-benchmem . | $(GO) run ./cmd/benchjson -out $(BENCH)
+	( $(GO) test -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$' \
+		-benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkServerThroughput$$' \
+		-benchmem ./internal/server ) | $(GO) run ./cmd/benchjson -out $(BENCH)
 
 # Gate: fail when E3 allocs/op regresses >10% against the committed
 # baseline. Allocation counts are deterministic enough for shared CI

@@ -16,7 +16,6 @@ package main
 
 import (
 	"context"
-	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,6 +25,7 @@ import (
 
 	"sigrec"
 	"sigrec/internal/efsd"
+	"sigrec/internal/server"
 )
 
 func main() {
@@ -132,49 +132,22 @@ func run() error {
 	return nil
 }
 
-// jsonFunction is the machine-readable recovery record.
-type jsonFunction struct {
-	Selector  string   `json:"selector"`
-	Types     string   `json:"types"`
-	Language  string   `json:"language"`
-	Rules     []string `json:"rules,omitempty"`
-	Known     string   `json:"knownSignature,omitempty"`
-	Truncated bool     `json:"truncated,omitempty"`
-}
-
+// emitJSON writes the wire schema the sigrecd server returns
+// (server.RecoverResponse), so CLI and server outputs are diffable.
 func emitJSON(w io.Writer, res sigrec.Result, db *efsd.DB) error {
-	out := make([]jsonFunction, 0, len(res.Functions))
-	for _, f := range res.Functions {
-		jf := jsonFunction{
-			Selector:  f.Selector.Hex(),
-			Types:     f.TypeList(),
-			Language:  f.Language.String(),
-			Truncated: f.Truncated,
-		}
-		seen := map[string]bool{}
-		for _, trail := range f.ParamRules {
-			for _, r := range trail {
-				if !seen[r.String()] {
-					seen[r.String()] = true
-					jf.Rules = append(jf.Rules, r.String())
-				}
-			}
-		}
-		if db != nil {
-			if known, ok := db.Lookup(f.Selector); ok && typeList(known) == f.TypeList() {
-				jf.Known = known
-			}
-		}
-		out = append(out, jf)
+	var annotate server.Annotate
+	if db != nil {
+		annotate = db.Lookup
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(server.ResponseFromResult(res, annotate))
 }
 
+// decodeHexInput tolerates a 0x prefix and surrounding whitespace and
+// reports malformed input with a typed *sigrec.HexInputError.
 func decodeHexInput(s string) ([]byte, error) {
-	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "0x"))
-	return hex.DecodeString(s)
+	return sigrec.DecodeHex(s)
 }
 
 func typeList(canonical string) string {

@@ -1,0 +1,100 @@
+// Command sigrecd serves SigRec signature recovery over HTTP.
+//
+// Usage:
+//
+//	sigrecd -addr :8409 -workers 8 -queue 128 -timeout 2s -cache 65536
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/recover        hex bytecode -> JSON recovery
+//	POST /v1/recover/batch  NDJSON in -> NDJSON out, streamed
+//	GET  /metrics           Prometheus-flavoured exposition
+//	GET  /healthz           liveness + pool state
+//
+// Recoveries run on a bounded worker pool behind a bounded admission
+// queue: when the queue is full, single recovers are shed with 429 +
+// Retry-After instead of queueing unboundedly. Identical concurrent
+// bytecodes are coalesced into one recovery in front of the shared result
+// cache. SIGTERM/SIGINT triggers graceful drain: stop accepting, finish
+// inflight work, flush a final metrics snapshot to stderr, exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sigrec"
+	"sigrec/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sigrecd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8409", "listen address")
+		workers = flag.Int("workers", 0, "concurrent recoveries (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", server.DefaultQueueDepth, "admission queue depth; beyond it requests are shed with 429")
+		timeout = flag.Duration("timeout", 2*time.Second, "per-request recovery deadline (0 = unbounded)")
+		budget  = flag.Int("budget", 0, "TASE step budget per exploration (0 = built-in default)")
+		paths   = flag.Int("maxpaths", 0, "explored-path cap per exploration (0 = built-in default)")
+		cache   = flag.Int("cache", server.DefaultCacheEntries, "result-cache entries (keccak-keyed LRU)")
+		maxBody = flag.Int64("maxbody", server.DefaultMaxBodyBytes, "max request-body bytes (and max batch line)")
+		drain   = flag.Duration("drain", 15*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		Timeout:      *timeout,
+		StepBudget:   *budget,
+		MaxPaths:     *paths,
+		CacheEntries: *cache,
+		MaxBodyBytes: *maxBody,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("sigrecd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	log.Printf("sigrecd draining (deadline %s)", *drain)
+	srv.BeginDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting and wait for inflight handlers, then flush the worker
+	// pool (queued jobs finish) and emit the final telemetry snapshot.
+	serr := hs.Shutdown(sctx)
+	derr := srv.Drain(sctx)
+	if err := sigrec.WriteMetrics(os.Stderr); err == nil {
+		log.Printf("sigrecd drained")
+	}
+	return errors.Join(serr, derr)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 
 	"sigrec/internal/keccak"
@@ -18,10 +19,11 @@ import (
 // budget that produced them and are recomputed. Cached Results are shared
 // between callers and must be treated as immutable.
 type Cache struct {
-	mu  sync.Mutex
-	max int
-	ll  *list.List // front = most recently used
-	m   map[[32]byte]*list.Element
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	m       map[[32]byte]*list.Element
+	flights map[[32]byte]*flight
 }
 
 type cacheEntry struct {
@@ -30,12 +32,25 @@ type cacheEntry struct {
 	err error
 }
 
+// flight is one in-progress recovery shared by coalesced GetOrCompute
+// callers: the winner computes, everyone else waits on done.
+type flight struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
 // NewCache returns a cache bounded to maxEntries results (minimum 1).
 func NewCache(maxEntries int) *Cache {
 	if maxEntries < 1 {
 		maxEntries = 1
 	}
-	return &Cache{max: maxEntries, ll: list.New(), m: make(map[[32]byte]*list.Element)}
+	return &Cache{
+		max:     maxEntries,
+		ll:      list.New(),
+		m:       make(map[[32]byte]*list.Element),
+		flights: make(map[[32]byte]*flight),
+	}
 }
 
 // Len returns the current number of cached results.
@@ -61,10 +76,73 @@ func (c *Cache) lookup(code []byte) (Result, error, bool) {
 	return ent.res, ent.err, true
 }
 
+// GetOrCompute returns the cached outcome for the bytecode or runs compute
+// once, coalescing concurrent callers for the same bytecode singleflight-
+// style: while one caller computes, the others wait and share its outcome
+// (a thundering herd on one contract costs one recovery). Complete
+// outcomes are stored; truncated ones are returned to every waiter but not
+// cached, matching RecoverContext's store policy.
+func (c *Cache) GetOrCompute(code []byte, compute func() (Result, error)) (Result, error) {
+	key := keccak.Sum256(code)
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		mCacheHits.Inc()
+		return ent.res, ent.err
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		mCacheCoalesced.Inc()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+	mCacheMisses.Inc()
+
+	completed := false
+	defer func() {
+		// On a compute panic, unblock waiters with a zero result before the
+		// panic propagates, so no goroutine is stuck on a dead flight.
+		if !completed {
+			c.retireFlight(key, f)
+		}
+	}()
+	f.res, f.err = compute()
+	completed = true
+	if cacheable(f.res, f.err) {
+		c.storeKey(key, f.res, f.err)
+	}
+	c.retireFlight(key, f)
+	return f.res, f.err
+}
+
+// retireFlight publishes the flight's outcome and removes it from the
+// inflight map so later callers recompute (or hit the cache).
+func (c *Cache) retireFlight(key [32]byte, f *flight) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// cacheable reports whether an outcome may be stored: only complete
+// results (truncation depends on the budget that produced it) and only
+// the definitive no-dispatcher error.
+func cacheable(res Result, err error) bool {
+	return !res.Truncated && (err == nil || errors.Is(err, ErrNoFunctions))
+}
+
 // store inserts an outcome, evicting the least recently used entry when
 // over capacity.
 func (c *Cache) store(code []byte, res Result, err error) {
-	key := keccak.Sum256(code)
+	c.storeKey(keccak.Sum256(code), res, err)
+}
+
+func (c *Cache) storeKey(key [32]byte, res Result, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGetOrComputeCoalesces proves the singleflight property: N concurrent
+// callers for the same bytecode perform exactly one compute and all share
+// its outcome.
+func TestGetOrComputeCoalesces(t *testing.T) {
+	cache := NewCache(8)
+	code := []byte{0x60, 0x80, 0x60, 0x40}
+	want := Result{Functions: []RecoveredFunction{{}}}
+
+	var computes atomic.Int32
+	release := make(chan struct{})
+	start := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			res, err := cache.GetOrCompute(code, func() (Result, error) {
+				computes.Add(1)
+				<-release
+				return want, nil
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(res.Functions) != len(want.Functions) {
+				errs[i] = errors.New("wrong result shared")
+			}
+		}(i)
+	}
+	close(start)
+	// Wait for the winner to enter compute; everyone else either coalesces
+	// onto its flight or, if scheduled after it finishes, hits the cache.
+	for computes.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want exactly 1", got)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", cache.Len())
+	}
+}
+
+// TestGetOrComputeTruncatedNotCached: truncated outcomes are returned but
+// never stored, so the next caller recomputes (matching RecoverContext's
+// store policy).
+func TestGetOrComputeTruncatedNotCached(t *testing.T) {
+	cache := NewCache(8)
+	code := []byte{0x01, 0x02}
+	var computes int
+	for i := 0; i < 2; i++ {
+		res, err := cache.GetOrCompute(code, func() (Result, error) {
+			computes++
+			return Result{Truncated: true}, nil
+		})
+		if err != nil || !res.Truncated {
+			t.Fatalf("call %d: res=%+v err=%v", i, res, err)
+		}
+	}
+	if computes != 2 {
+		t.Fatalf("computes = %d, want 2 (truncated results must not be cached)", computes)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("cache holds %d entries, want 0", cache.Len())
+	}
+}
+
+// TestGetOrComputeErrNoFunctionsCached: the definitive no-dispatcher error
+// is cacheable, like RecoverContext's policy.
+func TestGetOrComputeErrNoFunctionsCached(t *testing.T) {
+	cache := NewCache(8)
+	code := []byte{0xfe}
+	var computes int
+	for i := 0; i < 2; i++ {
+		_, err := cache.GetOrCompute(code, func() (Result, error) {
+			computes++
+			return Result{}, ErrNoFunctions
+		})
+		if !errors.Is(err, ErrNoFunctions) {
+			t.Fatalf("call %d: err=%v", i, err)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1 (ErrNoFunctions is cacheable)", computes)
+	}
+}
+
+// TestGetOrComputeTransientErrorNotCached: other errors are shared with
+// coalesced waiters but never stored.
+func TestGetOrComputeTransientErrorNotCached(t *testing.T) {
+	cache := NewCache(8)
+	code := []byte{0x03, 0x04}
+	boom := errors.New("transient")
+	var computes int
+	for i := 0; i < 2; i++ {
+		_, err := cache.GetOrCompute(code, func() (Result, error) {
+			computes++
+			return Result{}, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("call %d: err=%v", i, err)
+		}
+	}
+	if computes != 2 {
+		t.Fatalf("computes = %d, want 2 (transient errors must not be cached)", computes)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// HexInputError reports malformed hex bytecode input: either an odd number
+// of hex digits or a character outside [0-9a-fA-F]. It is the typed error
+// the serving layer maps to HTTP 400 and the CLI prints verbatim, so
+// callers can distinguish bad input from recovery failures with errors.As.
+type HexInputError struct {
+	// OddLength reports an odd number of hex digits.
+	OddLength bool
+	// Byte is the first non-hex character (meaningful when !OddLength).
+	Byte byte
+	// Offset is the position of Byte within the digits (after the optional
+	// 0x prefix and surrounding whitespace are stripped); -1 for odd
+	// length.
+	Offset int
+}
+
+// Error implements error.
+func (e *HexInputError) Error() string {
+	if e.OddLength {
+		return "core: odd-length hex bytecode"
+	}
+	return fmt.Sprintf("core: invalid hex byte %q at offset %d", e.Byte, e.Offset)
+}
+
+// DecodeHex decodes contract bytecode from a hex string, tolerating an
+// optional 0x/0X prefix and surrounding whitespace. Malformed input yields
+// a *HexInputError.
+func DecodeHex(s string) ([]byte, error) {
+	t := strings.TrimSpace(s)
+	if len(t) >= 2 && (t[:2] == "0x" || t[:2] == "0X") {
+		t = strings.TrimSpace(t[2:])
+	}
+	b, err := hex.DecodeString(t)
+	if err == nil {
+		return b, nil
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return nil, &HexInputError{Byte: c, Offset: i}
+		}
+	}
+	return nil, &HexInputError{OddLength: true, Offset: -1}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestDecodeHexAcceptsPrefix(t *testing.T) {
+	for _, in := range []string{"0x60806040", "0X60806040", "60806040"} {
+		b, err := DecodeHex(in)
+		if err != nil {
+			t.Fatalf("DecodeHex(%q): %v", in, err)
+		}
+		if !bytes.Equal(b, []byte{0x60, 0x80, 0x60, 0x40}) {
+			t.Fatalf("DecodeHex(%q) = %x", in, b)
+		}
+	}
+}
+
+func TestDecodeHexAcceptsWhitespace(t *testing.T) {
+	for _, in := range []string{"  60806040\n", "\t0x60806040 ", "0x 60806040", " 0x60806040\r\n"} {
+		b, err := DecodeHex(in)
+		if err != nil {
+			t.Fatalf("DecodeHex(%q): %v", in, err)
+		}
+		if !bytes.Equal(b, []byte{0x60, 0x80, 0x60, 0x40}) {
+			t.Fatalf("DecodeHex(%q) = %x", in, b)
+		}
+	}
+}
+
+func TestDecodeHexOddLengthTyped(t *testing.T) {
+	_, err := DecodeHex("0x608")
+	var he *HexInputError
+	if !errors.As(err, &he) {
+		t.Fatalf("error %v (%T), want *HexInputError", err, err)
+	}
+	if !he.OddLength || he.Offset != -1 {
+		t.Fatalf("got %+v, want OddLength with Offset -1", he)
+	}
+}
+
+func TestDecodeHexInvalidByteTyped(t *testing.T) {
+	_, err := DecodeHex("0x60zz")
+	var he *HexInputError
+	if !errors.As(err, &he) {
+		t.Fatalf("error %v (%T), want *HexInputError", err, err)
+	}
+	if he.OddLength || he.Byte != 'z' || he.Offset != 2 {
+		t.Fatalf("got %+v, want Byte 'z' at offset 2", he)
+	}
+}

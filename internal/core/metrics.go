@@ -11,20 +11,21 @@ var tel = telemetry.NewRegistry()
 
 // Pre-resolved instruments so the hot path never touches the registry map.
 var (
-	mRecoveries    = tel.Counter("sigrec_recoveries_total")
-	mRecoverErrors = tel.Counter("sigrec_recover_errors_total")
-	mTruncated     = tel.Counter("sigrec_recoveries_truncated_total")
-	mFunctions     = tel.Counter("sigrec_functions_recovered_total")
-	mPathsExplored = tel.Counter("sigrec_tase_paths_explored_total")
-	mPathsPruned   = tel.Counter("sigrec_tase_paths_pruned_total")
-	mTASESteps     = tel.Counter("sigrec_tase_steps_total")
-	mEvents        = tel.Counter("sigrec_tase_events_collected_total")
-	mCacheHits     = tel.Counter("sigrec_cache_hits_total")
-	mCacheMisses   = tel.Counter("sigrec_cache_misses_total")
-	mCacheEvicted  = tel.Counter("sigrec_cache_evictions_total")
-	mCacheEntries  = tel.Gauge("sigrec_cache_entries")
-	mBatches       = tel.Counter("sigrec_batches_total")
-	mRecoverUS     = tel.Histogram("sigrec_recover_duration_microseconds", nil)
+	mRecoveries     = tel.Counter("sigrec_recoveries_total")
+	mRecoverErrors  = tel.Counter("sigrec_recover_errors_total")
+	mTruncated      = tel.Counter("sigrec_recoveries_truncated_total")
+	mFunctions      = tel.Counter("sigrec_functions_recovered_total")
+	mPathsExplored  = tel.Counter("sigrec_tase_paths_explored_total")
+	mPathsPruned    = tel.Counter("sigrec_tase_paths_pruned_total")
+	mTASESteps      = tel.Counter("sigrec_tase_steps_total")
+	mEvents         = tel.Counter("sigrec_tase_events_collected_total")
+	mCacheHits      = tel.Counter("sigrec_cache_hits_total")
+	mCacheMisses    = tel.Counter("sigrec_cache_misses_total")
+	mCacheCoalesced = tel.Counter("sigrec_cache_coalesced_total")
+	mCacheEvicted   = tel.Counter("sigrec_cache_evictions_total")
+	mCacheEntries   = tel.Gauge("sigrec_cache_entries")
+	mBatches        = tel.Counter("sigrec_batches_total")
+	mRecoverUS      = tel.Histogram("sigrec_recover_duration_microseconds", nil)
 
 	// Interner and copy-on-write state instruments. Hit rate is exposed as a
 	// permille gauge so it reads directly off the exposition endpoint; pool

@@ -112,7 +112,7 @@ func RecoverContext(ctx context.Context, code []byte, opts Options) (Result, err
 		}
 	}
 	res, err := recoverUncached(ctx, code, opts)
-	if opts.Cache != nil && !res.Truncated && (err == nil || errors.Is(err, ErrNoFunctions)) {
+	if opts.Cache != nil && cacheable(res, err) {
 		opts.Cache.store(code, res, err)
 	}
 	mRecoveries.Inc()

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission errors. errQueueFull maps to HTTP 429 (+Retry-After);
+// errDraining maps to 503.
+var (
+	errQueueFull = errors.New("server: admission queue full")
+	errDraining  = errors.New("server: draining")
+)
+
+// job is one unit of recovery work queued for the worker pool. run is
+// executed by exactly one worker; done is closed when it returns.
+type job struct {
+	run  func()
+	done chan struct{}
+}
+
+// pool is a bounded worker pool behind a bounded admission queue: Workers
+// goroutines drain a buffered channel of queueDepth jobs. Admission is
+// explicit — trySubmit sheds load when the queue is full (the caller turns
+// that into 429) and submit applies blocking backpressure for streaming
+// batch items — so memory under overload is bounded by queueDepth jobs,
+// never by the arrival rate.
+type pool struct {
+	mu     sync.RWMutex // guards closed + the jobs channel lifecycle
+	closed bool
+	jobs   chan *job
+	wg     sync.WaitGroup
+}
+
+func newPool(workers, queueDepth int) *pool {
+	p := &pool{jobs: make(chan *job, queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		mQueueDepth.Add(-1)
+		mWorkersBusy.Add(1)
+		j.run()
+		mWorkersBusy.Add(-1)
+		close(j.done)
+	}
+}
+
+// trySubmit enqueues without blocking: errQueueFull when the queue is
+// saturated, errDraining after close began.
+func (p *pool) trySubmit(j *job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return errDraining
+	}
+	select {
+	case p.jobs <- j:
+		mQueueDepth.Add(1)
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// submit blocks until queue space frees up or ctx expires. The wait is
+// bounded: workers keep draining the queue until close, so a blocked
+// submit proceeds within the runtime of the queued work ahead of it.
+func (p *pool) submit(ctx context.Context, j *job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return errDraining
+	}
+	select {
+	case p.jobs <- j:
+		mQueueDepth.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// queued returns the current admission-queue depth.
+func (p *pool) queued() int { return len(p.jobs) }
+
+// close stops intake and waits — bounded by ctx — for every queued and
+// inflight job to finish (workers drain the channel before exiting).
+func (p *pool) close(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,472 @@
+// Package server is sigrecd's HTTP serving layer: it turns the recovery
+// pipeline (core.RecoverContext) into a network service with bounded
+// admission, singleflight request coalescing, streaming batch recovery,
+// live metrics, and graceful drain.
+//
+// Endpoints:
+//
+//	POST /v1/recover        hex bytecode (raw text or {"bytecode":"0x.."}) -> JSON recovery
+//	POST /v1/recover/batch  NDJSON of bytecodes -> NDJSON of per-contract results, streamed as they complete
+//	GET  /metrics           Prometheus-flavoured exposition (pipeline + per-endpoint series)
+//	GET  /healthz           liveness + pool state; 503 while draining
+//
+// Backpressure: recoveries run on a bounded worker pool behind a bounded
+// admission queue. A single recover that finds the queue full is shed with
+// 429 + Retry-After instead of queueing unboundedly; batch items instead
+// block on the queue (bounded by its depth), which propagates backpressure
+// to the streaming connection. Concurrent requests for the same bytecode
+// coalesce singleflight-style in front of the shared keccak-keyed result
+// cache, so a thundering herd on one contract costs one recovery.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sigrec/internal/core"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultQueueDepth   = 64
+	DefaultCacheEntries = 4096
+	DefaultMaxBodyBytes = 8 << 20
+	DefaultRetryAfter   = time.Second
+)
+
+// Config sizes the serving layer. The zero value selects sane defaults.
+type Config struct {
+	// Workers bounds concurrent recoveries (<= 0 selects GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds recoveries admitted but not yet running; beyond it
+	// single recovers are shed with 429 (<= 0 selects DefaultQueueDepth).
+	QueueDepth int
+	// Timeout is the per-request recovery deadline mapped onto
+	// core.Options/ctx (0 = unbounded). On expiry the request fails with
+	// 504 rather than occupying a worker indefinitely.
+	Timeout time.Duration
+	// StepBudget and MaxPaths bound each TASE exploration (core.Options).
+	StepBudget int
+	MaxPaths   int
+	// Cache is the shared result cache; nil allocates a private cache of
+	// CacheEntries results.
+	Cache *core.Cache
+	// CacheEntries sizes the private cache when Cache is nil (<= 0 selects
+	// DefaultCacheEntries).
+	CacheEntries int
+	// MaxBodyBytes caps a single-recover body and each batch line (<= 0
+	// selects DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// RetryAfter is the client backoff hint sent with 429 responses (<= 0
+	// selects DefaultRetryAfter; rounded up to whole seconds).
+	RetryAfter time.Duration
+}
+
+// Server is the HTTP serving layer. Create with New, expose with Handler,
+// stop with Drain.
+type Server struct {
+	cfg      Config
+	cache    *core.Cache
+	pool     *pool
+	mux      *http.ServeMux
+	draining atomic.Bool
+	// recoverFn is the pipeline entry point; tests stub it to control
+	// timing deterministically.
+	recoverFn func(ctx context.Context, code []byte, opts core.Options) (core.Result, error)
+}
+
+// New builds a Server from cfg, applying defaults to zero fields and
+// starting the worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = core.NewCache(cfg.CacheEntries)
+	}
+	s := &Server{
+		cfg:       cfg,
+		cache:     cfg.Cache,
+		pool:      newPool(cfg.Workers, cfg.QueueDepth),
+		recoverFn: core.RecoverContext,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/recover", s.handleRecover)
+	mux.HandleFunc("POST /v1/recover/batch", s.handleBatch)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain stops admitting new requests: recover endpoints return 503
+// and healthz flips to "draining" so load balancers stop routing here.
+// Inflight requests keep running.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain gracefully stops the serving layer: admission closes, then every
+// queued and inflight recovery finishes (bounded by ctx). Call after the
+// enclosing http.Server has stopped accepting connections.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	return s.pool.close(ctx)
+}
+
+// options maps the server budgets onto the pipeline Options. The shared
+// cache is not set here: caching and coalescing happen one level up in
+// Cache.GetOrCompute.
+func (s *Server) options() core.Options {
+	return core.Options{StepBudget: s.cfg.StepBudget, MaxPaths: s.cfg.MaxPaths}
+}
+
+// recoverItem runs one contract through coalescing, admission, and the
+// worker pool. blocking selects batch semantics (backpressure) over
+// single-recover semantics (shed with errQueueFull).
+func (s *Server) recoverItem(ctx context.Context, code []byte, blocking bool) (core.Result, error) {
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	var res core.Result
+	var err error
+	// A waiter coalesced onto a flight whose winner's context died inherits
+	// that context error; when our own context is still live, retry once —
+	// the dead flight is gone, so the retry computes (or coalesces onto a
+	// live flight).
+	for attempt := 0; attempt < 2; attempt++ {
+		res, err = s.cache.GetOrCompute(code, func() (core.Result, error) {
+			return s.runPooled(ctx, code, blocking)
+		})
+		if isCtxErr(err) && ctx.Err() == nil {
+			continue
+		}
+		break
+	}
+	return res, err
+}
+
+// runPooled executes one recovery on the worker pool; it is the compute
+// half of GetOrCompute, so it runs once per coalesced herd.
+func (s *Server) runPooled(ctx context.Context, code []byte, blocking bool) (core.Result, error) {
+	var (
+		res  core.Result
+		rerr error
+	)
+	j := &job{done: make(chan struct{})}
+	j.run = func() {
+		// The requester may have gone away while the job sat in the queue;
+		// don't burn a worker on a result nobody reads.
+		if err := ctx.Err(); err != nil {
+			rerr = err
+			return
+		}
+		res, rerr = s.recoverFn(ctx, code, s.options())
+	}
+	var err error
+	if blocking {
+		err = s.pool.submit(ctx, j)
+	} else {
+		err = s.pool.trySubmit(j)
+	}
+	if err != nil {
+		return core.Result{}, err
+	}
+	select {
+	case <-j.done:
+		return res, rerr
+	case <-ctx.Done():
+		// The worker still runs (and skips) the job; the flight resolves to
+		// the context error for every coalesced waiter.
+		return core.Result{}, ctx.Err()
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// --- POST /v1/recover ---
+
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	mRecover.requests.Inc()
+	mRecover.inflight.Add(1)
+	defer mRecover.inflight.Add(-1)
+	defer func() { mRecover.latency.ObserveDuration(time.Since(start)) }()
+
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	code, err := readBytecode(w, r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		mRecover.badInput.Inc()
+		writeError(w, inputStatus(err), err.Error())
+		return
+	}
+	res, err := s.recoverItem(r.Context(), code, false)
+	switch {
+	case errors.Is(err, errQueueFull):
+		mRecover.shed.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, "admission queue full; retry later")
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	case isCtxErr(err):
+		writeError(w, http.StatusGatewayTimeout, "recovery deadline exceeded")
+	case err != nil && !errors.Is(err, core.ErrNoFunctions):
+		mRecover.errors.Inc()
+		writeError(w, http.StatusInternalServerError, err.Error())
+	default:
+		// ErrNoFunctions is a legitimate outcome for the service: bytecode
+		// with no recoverable dispatcher yields an empty function list.
+		writeJSON(w, http.StatusOK, ResponseFromResult(res, nil))
+	}
+}
+
+// --- POST /v1/recover/batch ---
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	mBatch.requests.Inc()
+	mBatch.inflight.Add(1)
+	defer mBatch.inflight.Add(-1)
+	defer func() { mBatch.latency.ObserveDuration(time.Since(start)) }()
+
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	ctx := r.Context()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	// HTTP/1 is half-duplex by default: the first response write closes
+	// the request body. Batch streams results while still reading input,
+	// so opt in to full duplex (HTTP/2 ignores this; it always is).
+	_ = rc.EnableFullDuplex()
+
+	// Reader side: parse lines and fan them out to the pool, at most
+	// Workers items in flight per batch; writer side (below) streams each
+	// result the moment it completes. close(out) after the last item is
+	// what ends the response.
+	out := make(chan BatchResult, s.cfg.Workers)
+	go func() {
+		defer close(out)
+		var wg sync.WaitGroup
+		defer wg.Wait()
+		sem := make(chan struct{}, s.cfg.Workers)
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 64<<10), int(s.cfg.MaxBodyBytes))
+		idx := 0
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			i := idx
+			idx++
+			mBatchContracts.Inc()
+			code, perr := parseBytecode(line)
+			if perr != nil {
+				mBatch.badInput.Inc()
+				out <- BatchResult{Index: i, Error: perr.Error()}
+				continue
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				out <- BatchResult{Index: i, Error: ctx.Err().Error()}
+				continue
+			}
+			wg.Add(1)
+			go func(i int, code []byte) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res, err := s.recoverItem(ctx, code, true)
+				out <- batchResult(i, res, err)
+			}(i, code)
+		}
+		if err := sc.Err(); err != nil {
+			mBatch.badInput.Inc()
+			out <- BatchResult{Index: idx, Error: "read body: " + err.Error()}
+		}
+	}()
+
+	enc := json.NewEncoder(w)
+	clientGone := false
+	for br := range out {
+		if clientGone {
+			continue // keep draining so the fan-out goroutines can finish
+		}
+		if err := enc.Encode(br); err != nil {
+			clientGone = true
+			continue
+		}
+		_ = rc.Flush()
+	}
+}
+
+// batchResult folds one item's outcome into a wire line and meters
+// runtime failures (parse failures were already counted as bad input).
+func batchResult(i int, res core.Result, err error) BatchResult {
+	switch {
+	case err == nil || errors.Is(err, core.ErrNoFunctions):
+		resp := ResponseFromResult(res, nil)
+		return BatchResult{Index: i, Functions: resp.Functions, Truncated: resp.Truncated}
+	default:
+		mBatch.errors.Inc()
+		return BatchResult{Index: i, Error: err.Error()}
+	}
+}
+
+// --- GET /metrics ---
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	mMetricsEP.requests.Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := reg.Snapshot().WriteTo(w); err != nil {
+		mMetricsEP.errors.Inc()
+	}
+}
+
+// --- GET /healthz ---
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status        string `json:"status"`
+	Workers       int    `json:"workers"`
+	QueueDepth    int    `json:"queueDepth"`
+	QueueCapacity int    `json:"queueCapacity"`
+	CacheEntries  int    `json:"cacheEntries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	mHealthz.requests.Inc()
+	h := healthResponse{
+		Status:        "ok",
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.pool.queued(),
+		QueueCapacity: s.cfg.QueueDepth,
+		CacheEntries:  s.cache.Len(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// --- request/response plumbing ---
+
+var errEmptyBody = errors.New("server: empty request body")
+
+// readBytecode reads and decodes the request body, which is either a bare
+// hex string (optionally 0x-prefixed) or JSON: {"bytecode":"0x.."} or a
+// JSON string.
+func readBytecode(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err != nil {
+		return nil, fmt.Errorf("server: read body: %w", err)
+	}
+	return parseBytecode(body)
+}
+
+// parseBytecode decodes one contract's bytecode from a request body or
+// batch line. Malformed hex yields the typed *core.HexInputError.
+func parseBytecode(b []byte) ([]byte, error) {
+	t := bytes.TrimSpace(b)
+	if len(t) == 0 {
+		return nil, errEmptyBody
+	}
+	hexStr := string(t)
+	if t[0] == '{' || t[0] == '"' {
+		hexStr = ""
+		if t[0] == '"' {
+			if err := json.Unmarshal(t, &hexStr); err != nil {
+				return nil, fmt.Errorf("server: malformed JSON string: %w", err)
+			}
+		} else {
+			var req struct {
+				Bytecode string `json:"bytecode"`
+			}
+			if err := json.Unmarshal(t, &req); err != nil {
+				return nil, fmt.Errorf("server: malformed JSON body: %w", err)
+			}
+			hexStr = req.Bytecode
+		}
+		if strings.TrimSpace(hexStr) == "" {
+			return nil, errors.New(`server: JSON body missing "bytecode"`)
+		}
+	}
+	code, err := core.DecodeHex(hexStr)
+	if err != nil {
+		return nil, err
+	}
+	if len(code) == 0 {
+		return nil, errEmptyBody
+	}
+	return code, nil
+}
+
+// inputStatus maps an input-parsing error to its HTTP status: an
+// oversized body is 413, everything else (typed hex errors, empty or
+// malformed bodies) is 400.
+func inputStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// errorResponse is the JSON error body every non-2xx response carries.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

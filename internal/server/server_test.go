@@ -1,0 +1,416 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/core"
+	"sigrec/internal/solc"
+)
+
+// compileSig builds a one-function contract for the signature string.
+func compileSig(t testing.TB, sigStr string) ([]byte, abi.Signature) {
+	t.Helper()
+	sig, err := abi.ParseSignature(sigStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := solc.Compile(solc.Contract{Functions: []solc.Function{
+		{Sig: sig, Mode: solc.External},
+	}}, solc.Config{Version: solc.DefaultVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, sig
+}
+
+// newTestServer wires a Server into an httptest.Server.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, data, err := postQuiet(url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// postQuiet is post without t.Fatal, safe to call from spawned goroutines.
+func postQuiet(url, body string) (*http.Response, []byte, error) {
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, data, err
+}
+
+func TestRecoverEndpoint(t *testing.T) {
+	code, sig := compileSig(t, "transfer(address,uint256)")
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	hexBody := fmt.Sprintf("0x%x", code)
+	for name, body := range map[string]string{
+		"raw hex":     hexBody,
+		"json object": fmt.Sprintf(`{"bytecode":%q}`, hexBody),
+		"json string": fmt.Sprintf("%q", hexBody),
+	} {
+		resp, data := post(t, ts.URL+"/v1/recover", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, data)
+		}
+		var got RecoverResponse
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got.Functions) != 1 || got.Functions[0].Selector != sig.Selector().Hex() ||
+			got.Functions[0].Types != "(address,uint256)" {
+			t.Fatalf("%s: unexpected response %s", name, data)
+		}
+	}
+
+	// The HTTP body is byte-for-byte the wire schema the CLI's -json mode
+	// emits (ResponseFromResult), so the two outputs are diffable.
+	res, err := core.Recover(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(ResponseFromResult(res, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, data := post(t, ts.URL+"/v1/recover", hexBody)
+	if string(bytes.TrimSpace(data)) != string(want) {
+		t.Fatalf("server body %s != wire schema %s", data, want)
+	}
+}
+
+func TestRecoverBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for name, tc := range map[string]struct {
+		body   string
+		status int
+	}{
+		"odd length":   {"0x608", http.StatusBadRequest},
+		"non hex":      {"0xzz60", http.StatusBadRequest},
+		"empty":        {"", http.StatusBadRequest},
+		"json no code": {`{"other":1}`, http.StatusBadRequest},
+	} {
+		resp, data := post(t, ts.URL+"/v1/recover", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", name, resp.StatusCode, tc.status, data)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(data, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q not a JSON error", name, data)
+		}
+	}
+
+	// Method discipline: the recover endpoints are POST-only.
+	resp, err := http.Get(ts.URL + "/v1/recover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/recover: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRecoverNoFunctionsIsEmptyList(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// STOP-only bytecode has no dispatcher; the service answers with an
+	// empty function list, not an error.
+	resp, data := post(t, ts.URL+"/v1/recover", "0x00")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var got RecoverResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Functions) != 0 {
+		t.Fatalf("functions = %v, want none", got.Functions)
+	}
+}
+
+func TestBatchStreaming(t *testing.T) {
+	codeA, sigA := compileSig(t, "transfer(address,uint256)")
+	codeB, sigB := compileSig(t, "approve(address,uint256)")
+	_, ts := newTestServer(t, Config{Workers: 4})
+
+	body := fmt.Sprintf("0x%x\nnot-hex!!\n\n0x%x\n", codeA, codeB)
+	resp, err := http.Post(ts.URL+"/v1/recover/batch", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type %q", ct)
+	}
+
+	got := map[int]BatchResult{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var br BatchResult
+		if err := json.Unmarshal(sc.Bytes(), &br); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		got[br.Index] = br
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d result lines, want 3 (blank lines are skipped): %v", len(got), got)
+	}
+	if got[1].Error == "" {
+		t.Errorf("index 1 (malformed hex) should carry an error, got %+v", got[1])
+	}
+	for idx, sel := range map[int]abi.Selector{0: sigA.Selector(), 2: sigB.Selector()} {
+		br := got[idx]
+		if br.Error != "" || len(br.Functions) != 1 || br.Functions[0].Selector != sel.Hex() {
+			t.Errorf("index %d: %+v, want selector %s", idx, br, sel.Hex())
+		}
+	}
+}
+
+// blockingStub replaces the pipeline with a controllable recovery: each
+// compute signals entered and blocks until release closes.
+type blockingStub struct {
+	entered  chan struct{}
+	release  chan struct{}
+	computes atomic.Int32
+}
+
+func newBlockingStub() *blockingStub {
+	return &blockingStub{entered: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (b *blockingStub) recover(ctx context.Context, code []byte, opts core.Options) (core.Result, error) {
+	b.computes.Add(1)
+	b.entered <- struct{}{}
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return core.Result{}, ctx.Err()
+	}
+	return core.Result{Functions: []core.RecoveredFunction{{}}}, nil
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShed429 saturates a workers=1, queue=1 server and proves the third
+// distinct request is shed with 429 + Retry-After instead of queueing.
+func TestShed429(t *testing.T) {
+	stub := newBlockingStub()
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	s.recoverFn = stub.recover
+
+	var wg sync.WaitGroup
+	status := make([]int, 2)
+	launch := func(i int, body string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if resp, _, err := postQuiet(ts.URL+"/v1/recover", body); err == nil {
+				status[i] = resp.StatusCode
+			}
+		}()
+	}
+
+	launch(0, "0xaa") // occupies the single worker
+	<-stub.entered
+	launch(1, "0xbb") // sits in the queue
+	waitFor(t, "second request queued", func() bool { return s.pool.queued() == 1 })
+
+	resp, _ := post(t, ts.URL+"/v1/recover", "0xcc") // queue full: shed
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After")
+	}
+
+	close(stub.release)
+	wg.Wait()
+	for i, st := range status {
+		if st != http.StatusOK {
+			t.Errorf("admitted request %d: status %d, want 200", i, st)
+		}
+	}
+}
+
+// TestCoalescing fires N concurrent identical requests at a blocked
+// pipeline and proves exactly one underlying recovery runs — the
+// singleflight guarantee in front of the shared cache.
+func TestCoalescing(t *testing.T) {
+	stub := newBlockingStub()
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 16})
+	s.recoverFn = stub.recover
+
+	const n = 8
+	var wg sync.WaitGroup
+	status := make([]int, n)
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if resp, data, err := postQuiet(ts.URL+"/v1/recover", "0xdeadbeef"); err == nil {
+				status[i], bodies[i] = resp.StatusCode, data
+			}
+		}(i)
+	}
+
+	<-stub.entered // the winner is computing
+	// Wait until every request is inside the handler (the inflight gauge
+	// counts handler entries), so all n are either computing or coalesced.
+	waitFor(t, "all requests inflight", func() bool { return mRecover.inflight.Load() == n })
+	close(stub.release)
+	wg.Wait()
+
+	if got := stub.computes.Load(); got != 1 {
+		t.Fatalf("underlying recoveries = %d, want exactly 1 for %d identical requests", got, n)
+	}
+	for i := 0; i < n; i++ {
+		if status[i] != http.StatusOK {
+			t.Errorf("request %d: status %d (%s)", i, status[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d: body %s differs from %s", i, bodies[i], bodies[0])
+		}
+	}
+}
+
+// TestGracefulDrain: draining rejects new work with 503, finishes inflight
+// requests, and Drain returns once the pool is empty.
+func TestGracefulDrain(t *testing.T) {
+	stub := newBlockingStub()
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	s.recoverFn = stub.recover
+
+	var wg sync.WaitGroup
+	var inflightStatus int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if resp, _, err := postQuiet(ts.URL+"/v1/recover", "0x01"); err == nil {
+			inflightStatus = resp.StatusCode
+		}
+	}()
+	<-stub.entered
+
+	s.BeginDrain()
+	if resp, _ := post(t, ts.URL+"/v1/recover", "0x02"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdata, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(hdata, []byte("draining")) {
+		t.Fatalf("healthz while draining: status %d body %s", hresp.StatusCode, hdata)
+	}
+
+	close(stub.release)
+	wg.Wait()
+	if inflightStatus != http.StatusOK {
+		t.Fatalf("inflight request finished with %d, want 200", inflightStatus)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3, QueueDepth: 7})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 3 || h.QueueCapacity != 7 {
+		t.Fatalf("healthz %+v", h)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	code, _ := compileSig(t, "mint(address)")
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if resp, data := post(t, ts.URL+"/v1/recover", fmt.Sprintf("0x%x", code)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover: %d %s", resp.StatusCode, data)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	exposition := string(data)
+	for _, series := range []string{
+		// Per-endpoint serving series...
+		"sigrecd_recover_requests_total",
+		"sigrecd_recover_duration_microseconds_bucket",
+		"sigrecd_recover_inflight",
+		"sigrecd_batch_requests_total",
+		"sigrecd_queue_depth",
+		"sigrecd_workers_busy",
+		// ...alongside the existing pipeline series in one exposition.
+		"sigrec_recoveries_total",
+		"sigrec_cache_coalesced_total",
+	} {
+		if !strings.Contains(exposition, series) {
+			t.Errorf("exposition missing %s", series)
+		}
+	}
+}

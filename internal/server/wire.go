@@ -1,0 +1,86 @@
+package server
+
+import (
+	"strings"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/core"
+)
+
+// FunctionResult is one recovered function in the wire schema. The CLI's
+// -json mode and the HTTP endpoints emit the same shape, so outputs are
+// diffable in tests and downstream tooling parses one format.
+type FunctionResult struct {
+	Selector  string   `json:"selector"`
+	Types     string   `json:"types"`
+	Language  string   `json:"language"`
+	Rules     []string `json:"rules,omitempty"`
+	Known     string   `json:"knownSignature,omitempty"`
+	Truncated bool     `json:"truncated,omitempty"`
+}
+
+// RecoverResponse is the recovery output for one contract.
+type RecoverResponse struct {
+	Functions []FunctionResult `json:"functions"`
+	Truncated bool             `json:"truncated,omitempty"`
+}
+
+// BatchResult is one NDJSON line of POST /v1/recover/batch: the input line
+// index plus either the recovery or a per-contract error. Lines stream in
+// completion order; Index ties them back to the request.
+type BatchResult struct {
+	Index     int              `json:"index"`
+	Functions []FunctionResult `json:"functions,omitempty"`
+	Truncated bool             `json:"truncated,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+// Annotate resolves a selector to a known human-readable signature (the
+// CLI's -db lookup); nil disables annotation. The name is attached only
+// when the database's parameter types agree with the recovery, so a stale
+// database cannot overwrite a correct result.
+type Annotate func(abi.Selector) (known string, ok bool)
+
+// ResponseFromResult converts a recovery into the wire schema.
+func ResponseFromResult(res core.Result, annotate Annotate) RecoverResponse {
+	out := RecoverResponse{
+		Functions: make([]FunctionResult, 0, len(res.Functions)),
+		Truncated: res.Truncated,
+	}
+	for _, f := range res.Functions {
+		out.Functions = append(out.Functions, functionResult(f, annotate))
+	}
+	return out
+}
+
+func functionResult(f core.RecoveredFunction, annotate Annotate) FunctionResult {
+	jf := FunctionResult{
+		Selector:  f.Selector.Hex(),
+		Types:     f.TypeList(),
+		Language:  f.Language.String(),
+		Truncated: f.Truncated,
+	}
+	seen := map[string]bool{}
+	for _, trail := range f.ParamRules {
+		for _, r := range trail {
+			if !seen[r.String()] {
+				seen[r.String()] = true
+				jf.Rules = append(jf.Rules, r.String())
+			}
+		}
+	}
+	if annotate != nil {
+		if known, ok := annotate(f.Selector); ok && knownTypeList(known) == f.TypeList() {
+			jf.Known = known
+		}
+	}
+	return jf
+}
+
+// knownTypeList strips the name from a canonical "name(types)" signature.
+func knownTypeList(canonical string) string {
+	if i := strings.IndexByte(canonical, '('); i >= 0 {
+		return canonical[i:]
+	}
+	return "()"
+}

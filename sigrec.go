@@ -20,10 +20,8 @@ package sigrec
 
 import (
 	"context"
-	"encoding/hex"
 	"fmt"
 	"io"
-	"strings"
 
 	"sigrec/internal/abi"
 	"sigrec/internal/core"
@@ -99,10 +97,22 @@ func WriteMetrics(w io.Writer) error {
 	return err
 }
 
+// HexInputError is the typed error DecodeHex (and so RecoverHex and the
+// sigrecd serving layer) returns for malformed hex bytecode: odd-length
+// input or a non-hex character. Match it with errors.As to distinguish
+// bad input from recovery failures.
+type HexInputError = core.HexInputError
+
+// DecodeHex decodes contract bytecode from hex, tolerating an optional
+// 0x/0X prefix and surrounding whitespace. Malformed input yields a
+// *HexInputError rather than a generic error.
+func DecodeHex(s string) ([]byte, error) {
+	return core.DecodeHex(s)
+}
+
 // RecoverHex runs SigRec on 0x-prefixed or bare hex bytecode.
 func RecoverHex(hexCode string) (Result, error) {
-	s := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(hexCode), "0x"))
-	code, err := hex.DecodeString(s)
+	code, err := DecodeHex(hexCode)
 	if err != nil {
 		return Result{}, fmt.Errorf("sigrec: decode hex: %w", err)
 	}
