@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race serve serve-e2e fuzz-smoke bench-smoke bench bench-gate
+.PHONY: check fmt vet build test race serve serve-e2e obs-e2e fuzz-smoke bench-smoke bench bench-gate
 
 # BENCH is the tracked benchmark artifact for this PR in the BENCH_<n>.json
 # trajectory; bump the number when a PR re-records performance.
-BENCH ?= BENCH_3.json
+BENCH ?= BENCH_4.json
 
 check: fmt vet build test race
 
@@ -39,6 +39,15 @@ serve:
 serve-e2e:
 	$(GO) test -race -count=1 ./internal/server
 
+# Observability end-to-end suite under the race detector: span-tree
+# recording and flight-recorder retention (internal/obs), plus the served
+# surfaces — request-ID echo into logs and traces, /debug/slowest span
+# trees for truncated recoveries, strict /metrics text-format conformance,
+# and the pprof debug handler (CI job "smoke").
+obs-e2e:
+	$(GO) test -race -count=1 ./internal/obs
+	$(GO) test -race -count=1 -run 'TestObs' ./internal/server
+
 # Smoke-run every fuzz target and the E1/E3 experiment benchmarks so the
 # harnesses cannot silently rot (CI job "smoke").
 fuzz-smoke:
@@ -51,22 +60,27 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'E1|E3' -benchtime 1x .
 
-# Record the E1/E3 experiment benchmarks plus the serving-layer
-# throughput (req/s) as machine-readable JSON so the perf trajectory is
-# tracked across PRs.
+# Record the E1/E3 experiment benchmarks, the serving-layer throughput
+# (req/s), and the tracing-overhead A/B pair as machine-readable JSON so
+# the perf trajectory is tracked across PRs.
 bench:
-	( $(GO) test -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$' \
+	( $(GO) test -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing' \
 		-benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkServerThroughput$$' \
 		-benchmem ./internal/server ) | $(GO) run ./cmd/benchjson -out $(BENCH)
 
-# Gate: fail when E3 allocs/op regresses >10% against the committed
-# baseline. Allocation counts are deterministic enough for shared CI
-# runners; ns/op is recorded but not gated.
+# Gates: (1) fail when E3 allocs/op regresses >10% against the committed
+# baseline — allocation counts are deterministic enough for shared CI
+# runners, ns/op is recorded but not gated across machines; (2) fail when
+# tracing-on ns/op exceeds tracing-off by >5% — an A/B within one run on
+# one machine, so wall time is comparable.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkE3TimeDistribution$$' -benchmem . \
-		| $(GO) run ./cmd/benchjson -out bench_current.json
+	$(GO) test -run '^$$' -bench 'BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing' \
+		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -out bench_current.json
 	$(GO) run ./cmd/benchjson -check -baseline bench_baseline.json \
 		-current bench_current.json -bench E3TimeDistribution \
 		-metric allocs_per_op -tolerance 0.10
+	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
+		-current bench_current.json -basebench E3TracingOff \
+		-bench E3TracingOn -metric ns_per_op -tolerance 0.05
 	@rm -f bench_current.json

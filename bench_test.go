@@ -16,6 +16,7 @@ import (
 	"sigrec/internal/evm"
 	"sigrec/internal/experiments"
 	"sigrec/internal/obfuscate"
+	"sigrec/internal/obs"
 	"sigrec/internal/solc"
 )
 
@@ -162,6 +163,33 @@ func BenchmarkRecoverInterningOff(b *testing.B) {
 		}
 	}
 }
+
+// benchE3Tracing runs the E3-shaped workload (recover a corpus of
+// contracts end to end) through core.RecoverContext with and without a
+// tracer armed. The pair is the tracing-overhead A/B that `make
+// bench-gate` holds within 5% ns/op: Off exercises the nil-tracer fast
+// path, On records a full span tree per recovery into a flight recorder.
+func benchE3Tracing(b *testing.B, tracer *obs.Tracer) {
+	c, err := corpus.Generate(corpus.Config{Seed: 7, Solidity: 32, Vyper: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range c.Entries {
+			ctx, rec := tracer.StartRecovery(context.Background(), "bench")
+			res, err := core.RecoverContext(ctx, e.Code, core.Options{})
+			rec.Finish(res.Truncated, err)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkE3TracingOff(b *testing.B) { benchE3Tracing(b, nil) }
+func BenchmarkE3TracingOn(b *testing.B)  { benchE3Tracing(b, obs.New(obs.Config{})) }
 
 // BenchmarkRecoverBounded measures the overhead of running a recovery
 // with an (unreached) deadline and step budget armed — the bounds checks

@@ -25,6 +25,7 @@ import (
 
 	"sigrec"
 	"sigrec/internal/efsd"
+	"sigrec/internal/obs"
 	"sigrec/internal/server"
 )
 
@@ -46,8 +47,15 @@ func run() error {
 		timeout  = flag.Duration("timeout", 0, "per-contract wall-clock deadline (e.g. 100ms; 0 = unbounded); on expiry a partial result is printed, flagged truncated")
 		budget   = flag.Int("budget", 0, "TASE step budget per exploration (0 = built-in default)")
 		stats    = flag.Bool("stats", false, "print the telemetry exposition (timings, path counts, rule hits) after the run")
+		trace    = flag.Bool("trace", false, "print the recovery's span tree (phase timings, per-selector exploration counters) to stderr")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString())
+		return nil
+	}
 
 	var db *efsd.DB
 	if *dbPath != "" {
@@ -84,11 +92,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	var rec *obs.Recovery
+	if *trace {
+		ctx, rec = obs.New(obs.Config{}).StartRecovery(ctx, "cli")
+	}
 	var res sigrec.Result
 	if *deployed {
-		res, err = sigrec.RecoverDeploymentContext(context.Background(), code, opts)
+		res, err = sigrec.RecoverDeploymentContext(ctx, code, opts)
 	} else {
-		res, err = sigrec.RecoverContext(context.Background(), code, opts)
+		res, err = sigrec.RecoverContext(ctx, code, opts)
+	}
+	if rec != nil {
+		rec.Finish(res.Truncated, err)
+		rec.WriteText(os.Stderr)
 	}
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@
 //	POST /v1/recover/batch  NDJSON in -> NDJSON out, streamed
 //	GET  /metrics           Prometheus-flavoured exposition
 //	GET  /healthz           liveness + pool state
+//	GET  /debug/slowest     flight recorder: span trees of slow/truncated recoveries
 //
 // Recoveries run on a bounded worker pool behind a bounded admission
 // queue: when the queue is full, single recovers are shed with 429 +
@@ -17,6 +18,12 @@
 // bytecodes are coalesced into one recovery in front of the shared result
 // cache. SIGTERM/SIGINT triggers graceful drain: stop accepting, finish
 // inflight work, flush a final metrics snapshot to stderr, exit.
+//
+// Logs are structured (log/slog); every request line carries the
+// request_id echoed on the response's X-Request-Id header, which also tags
+// the recovery's span tree in the flight recorder. -debug-addr starts a
+// second listener with net/http/pprof and /debug/slowest, kept off the
+// service port.
 package main
 
 import (
@@ -24,14 +31,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sigrec"
+	"sigrec/internal/obs"
 	"sigrec/internal/server"
 )
 
@@ -44,17 +53,36 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8409", "listen address")
-		workers = flag.Int("workers", 0, "concurrent recoveries (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", server.DefaultQueueDepth, "admission queue depth; beyond it requests are shed with 429")
-		timeout = flag.Duration("timeout", 2*time.Second, "per-request recovery deadline (0 = unbounded)")
-		budget  = flag.Int("budget", 0, "TASE step budget per exploration (0 = built-in default)")
-		paths   = flag.Int("maxpaths", 0, "explored-path cap per exploration (0 = built-in default)")
-		cache   = flag.Int("cache", server.DefaultCacheEntries, "result-cache entries (keccak-keyed LRU)")
-		maxBody = flag.Int64("maxbody", server.DefaultMaxBodyBytes, "max request-body bytes (and max batch line)")
-		drain   = flag.Duration("drain", 15*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+		addr      = flag.String("addr", ":8409", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent recoveries (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", server.DefaultQueueDepth, "admission queue depth; beyond it requests are shed with 429")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-request recovery deadline (0 = unbounded)")
+		budget    = flag.Int("budget", 0, "TASE step budget per exploration (0 = built-in default)")
+		paths     = flag.Int("maxpaths", 0, "explored-path cap per exploration (0 = built-in default)")
+		cache     = flag.Int("cache", server.DefaultCacheEntries, "result-cache entries (keccak-keyed LRU)")
+		maxBody   = flag.Int64("maxbody", server.DefaultMaxBodyBytes, "max request-body bytes (and max batch line)")
+		drain     = flag.Duration("drain", 15*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		debugAddr = flag.String("debug-addr", "", "listen address for pprof + /debug/slowest (empty = disabled)")
+		slowest   = flag.Int("trace-slowest", obs.DefaultSlowest, "recoveries retained in the flight recorder (0 = tracing off)")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionString())
+		return nil
+	}
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	var tracer *obs.Tracer
+	if *slowest > 0 {
+		tracer = obs.New(obs.Config{Slowest: *slowest})
+	}
 
 	srv := server.New(server.Config{
 		Workers:      *workers,
@@ -64,6 +92,8 @@ func run() error {
 		MaxPaths:     *paths,
 		CacheEntries: *cache,
 		MaxBodyBytes: *maxBody,
+		Logger:       logger,
+		Tracer:       tracer,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -76,7 +106,37 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("sigrecd listening on %s", *addr)
+
+	var dbg *http.Server
+	if *debugAddr != "" {
+		dbg = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           server.DebugHandler(tracer),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
+
+	rc := srv.ResolvedConfig()
+	ver, goVer := obs.Version()
+	logger.Info("sigrecd listening",
+		"addr", *addr,
+		"debug_addr", *debugAddr,
+		"workers", rc.Workers,
+		"queue", rc.QueueDepth,
+		"timeout", rc.Timeout.String(),
+		"step_budget", rc.StepBudget,
+		"max_paths", rc.MaxPaths,
+		"cache_entries", *cache,
+		"max_body", rc.MaxBodyBytes,
+		"tracing", tracer != nil,
+		"version", ver,
+		"go_version", goVer,
+	)
 
 	select {
 	case err := <-errc:
@@ -85,7 +145,7 @@ func run() error {
 	}
 	stop() // a second signal kills immediately
 
-	log.Printf("sigrecd draining (deadline %s)", *drain)
+	logger.Info("sigrecd draining", "deadline", (*drain).String())
 	srv.BeginDrain()
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -93,8 +153,38 @@ func run() error {
 	// pool (queued jobs finish) and emit the final telemetry snapshot.
 	serr := hs.Shutdown(sctx)
 	derr := srv.Drain(sctx)
+	if dbg != nil {
+		_ = dbg.Shutdown(sctx)
+	}
 	if err := sigrec.WriteMetrics(os.Stderr); err == nil {
-		log.Printf("sigrecd drained")
+		logger.Info("sigrecd drained")
 	}
 	return errors.Join(serr, derr)
+}
+
+// buildLogger maps the -log-format/-log-level flags onto a slog.Logger
+// writing to stderr.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
 }

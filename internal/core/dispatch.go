@@ -2,6 +2,7 @@ package core
 
 import (
 	"sigrec/internal/evm"
+	"sigrec/internal/obs"
 )
 
 // ExtractSelectors recovers the function ids a contract dispatches on by
@@ -17,8 +18,15 @@ func ExtractSelectors(program *Program) [][4]byte {
 // and additionally reports whether the exploration was truncated (the
 // selector list may then be incomplete).
 func extractSelectors(program *Program, lim limits) ([][4]byte, bool) {
+	return extractSelectorsSpan(program, lim, nil)
+}
+
+// extractSelectorsSpan is extractSelectors with the exploration's counters
+// attached to sp when tracing is on.
+func extractSelectorsSpan(program *Program, lim limits, sp *obs.Span) ([][4]byte, bool) {
 	t := newTASE(program, nil, lim) // selWord nil: the selector stays symbolic
 	events := t.run()
+	annotateTASE(sp, t, "")
 	finishTASE(t)
 	var out [][4]byte
 	seen := make(map[[4]byte]bool)

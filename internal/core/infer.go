@@ -45,10 +45,12 @@ type inference struct {
 	cur []RuleID
 }
 
-// hit records a rule application against both the global stats and the
+// hit records a rule application against the global stats, the pipeline's
+// per-rule fired counters (sigrec_rule_fired_total{rule=...}), and the
 // current parameter's explanation.
 func (inf *inference) hit(r RuleID) {
 	inf.stats.hit(r)
+	mRuleFired[r].Inc()
 	inf.cur = append(inf.cur, r)
 }
 

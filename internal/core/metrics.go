@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sigrec/internal/obs"
 	"sigrec/internal/telemetry"
 )
 
@@ -8,6 +9,16 @@ import (
 // (Recover, RecoverContext, RecoverFunction, RecoverAll) reports into it;
 // Metrics exposes it to the facade and CLI.
 var tel = telemetry.NewRegistry()
+
+func init() {
+	// Every exposition of the pipeline registry (CLI -stats, sigrecd
+	// /metrics) carries the binary's identity.
+	obs.RegisterBuildInfo(tel)
+	tel.SetHelp("sigrec_rule_fired_total", "Inference-rule applications by rule (R1-R31, the paper's Fig. 19 live)")
+	tel.SetHelp("sigrec_truncations_total", "Budget-truncated TASE explorations by cause")
+	tel.SetHelp("sigrec_build_info", "Build identity; constant 1")
+	tel.SetHelp("sigrec_recover_duration_microseconds", "Whole-contract recovery latency (E3 buckets)")
+}
 
 // Pre-resolved instruments so the hot path never touches the registry map.
 var (
@@ -36,7 +47,24 @@ var (
 	mCloneBytes    = tel.Counter("sigrec_state_clone_bytes_total")
 	mStateGets     = tel.Counter("sigrec_state_pool_gets_total")
 	mStateAllocs   = tel.Counter("sigrec_state_pool_allocs_total")
+
+	// mTruncCause breaks truncations down by which budget was hit.
+	mTruncCause = tel.CounterVec("sigrec_truncations_total", "cause")
 )
+
+// mRuleFired holds one pre-resolved counter per inference rule, indexed by
+// RuleID, so inference.hit pays a single atomic add — no map lookup — to
+// keep the live R1-R31 distribution on the exposition. Index 0 is unused.
+var mRuleFired = func() [NumRules + 1]*telemetry.Counter {
+	vec := tel.CounterVec("sigrec_rule_fired_total", "rule")
+	var arr [NumRules + 1]*telemetry.Counter
+	for r := 1; r <= NumRules; r++ {
+		// Pre-registering every rule makes all 31 series visible on the
+		// exposition from startup, zeros included.
+		arr[r] = vec.With(RuleID(r).String())
+	}
+	return arr
+}()
 
 // Metrics returns the pipeline's telemetry registry. Counters are
 // cumulative for the process lifetime; use Snapshot deltas to meter a
@@ -54,6 +82,9 @@ func finishTASE(t *tase) {
 	mEvents.Add(uint64(len(t.events)))
 	mStateGets.Add(t.stateGets)
 	mCloneBytes.Add(t.cloneBytes)
+	if t.trunc {
+		mTruncCause.With(t.truncationCause()).Inc()
+	}
 	if t.it != nil {
 		mInternHits.Add(t.it.hits)
 		mInternMisses.Add(t.it.misses)

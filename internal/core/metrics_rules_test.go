@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sigrec/internal/solc"
+	"sigrec/internal/telemetry"
+)
+
+// ruleCounts reads the live sigrec_rule_fired_total family as a RuleID-
+// indexed array.
+func ruleCounts(t *testing.T) [NumRules + 1]uint64 {
+	t.Helper()
+	lc, ok := tel.Snapshot().LabeledCounters["sigrec_rule_fired_total"]
+	if !ok {
+		t.Fatal("sigrec_rule_fired_total not registered")
+	}
+	if lc.Label != "rule" {
+		t.Fatalf("label = %q, want rule", lc.Label)
+	}
+	var out [NumRules + 1]uint64
+	for r := 1; r <= NumRules; r++ {
+		v, ok := lc.Values[RuleID(r).String()]
+		if !ok {
+			t.Fatalf("series for %s missing (all rules must be pre-registered)", RuleID(r))
+		}
+		out[r] = v
+	}
+	return out
+}
+
+// TestRuleFiredCounters ties the labeled counter family to ground truth
+// twice over: the per-recovery deltas must equal the recovery's own
+// RuleStats, and a corpus with a-priori-known rule trails (the same
+// expectations rules_paths_test.go asserts per parameter) must move
+// exactly those series. Core tests run sequentially, so process-global
+// counter deltas are race-free here.
+func TestRuleFiredCounters(t *testing.T) {
+	corpus := []struct {
+		sig   string
+		mode  solc.Mode
+		rules []RuleID // must fire at least once
+	}{
+		{"f(address)", solc.External, []RuleID{R4, R16}},
+		{"f(uint8)", solc.External, []RuleID{R4, R11}},
+		{"f(uint256[])", solc.External, []RuleID{R1, R2}},
+		{"f(bytes)", solc.Public, []RuleID{R1, R5, R8, R17}},
+	}
+	before := ruleCounts(t)
+	var want RuleStats
+	for _, c := range corpus {
+		code := compileSol(t, c.sig, c.mode, solc.Config{Version: solc.DefaultVersion()})
+		res, err := Recover(code)
+		if err != nil {
+			t.Fatalf("Recover(%s): %v", c.sig, err)
+		}
+		want.Add(res.Rules)
+		for _, r := range c.rules {
+			if res.Rules[r] == 0 {
+				t.Errorf("%s: expected rule %s on the trail", c.sig, r)
+			}
+		}
+	}
+	after := ruleCounts(t)
+	for r := 1; r <= NumRules; r++ {
+		if got := after[r] - before[r]; got != uint64(want[r]) {
+			t.Errorf("counter delta for %s = %d, want %d (RuleStats)", RuleID(r), got, want[r])
+		}
+	}
+}
+
+// TestRuleSeriesOnExposition checks the /metrics view: all 31 rule series
+// are present (zeros included) and the full exposition passes the strict
+// text-format linter.
+func TestRuleSeriesOnExposition(t *testing.T) {
+	out := Metrics().Snapshot().String()
+	for r := 1; r <= NumRules; r++ {
+		series := `sigrec_rule_fired_total{rule="` + RuleID(r).String() + `"}`
+		if !strings.Contains(out, series) {
+			t.Errorf("exposition missing %s", series)
+		}
+	}
+	if errs := telemetry.Lint(out); len(errs) != 0 {
+		t.Errorf("core exposition fails lint: %v", errs)
+	}
+}

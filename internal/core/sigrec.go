@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"strconv"
 	"time"
 
 	"sigrec/internal/abi"
 	"sigrec/internal/evm"
+	"sigrec/internal/obs"
 )
 
 // ErrNoFunctions reports bytecode with no recoverable dispatcher.
@@ -106,6 +108,7 @@ func RecoverContext(ctx context.Context, code []byte, opts Options) (Result, err
 	start := time.Now()
 	if opts.Cache != nil {
 		if res, err, ok := opts.Cache.lookup(code); ok {
+			obs.FromContext(ctx).SetStr("cache", "hit")
 			mRecoveries.Inc()
 			mRecoverUS.ObserveDuration(time.Since(start))
 			return res, err
@@ -127,20 +130,73 @@ func RecoverContext(ctx context.Context, code []byte, opts Options) (Result, err
 	return res, err
 }
 
+// hexSelector renders a selector as 0x-prefixed hex in one allocation
+// (abi.Selector.Hex costs two); it runs once per traced selector.
+func hexSelector(sel [4]byte) string {
+	var b [10]byte
+	b[0], b[1] = '0', 'x'
+	hex.Encode(b[2:], sel[:])
+	return string(b[:])
+}
+
 func recoverUncached(ctx context.Context, code []byte, opts Options) (Result, error) {
 	if len(code) == 0 {
 		return Result{}, errors.New("core: empty bytecode")
 	}
+	// rec is nil when the caller didn't arm tracing; every span call below
+	// is nil-safe, so the untraced path pays one context lookup.
+	rec := obs.FromContext(ctx)
 	lim := opts.limits(ctx)
+
+	// Each phase boundary shares one clock read (NowUS) between the ending
+	// span and the starting one, halving the tracer's clock cost.
+	dsp := rec.Span("disassemble")
 	program := evm.Disassemble(code)
-	selectors, dispTrunc := extractSelectors(program, lim)
+	var now int64
+	if dsp != nil {
+		dsp.SetAttrs(
+			obs.Attr{Key: "code_bytes", Num: int64(len(code))},
+			obs.Attr{Key: "instructions", Num: int64(len(program.Instructions))},
+		)
+		now = rec.NowUS()
+		dsp.EndAt(now)
+	}
+
+	ssp := rec.SpanAt("dispatch", now)
+	selectors, dispTrunc := extractSelectorsSpan(program, lim, ssp)
+	if ssp != nil {
+		ssp.SetInt("selectors", int64(len(selectors)))
+		now = rec.NowUS()
+		ssp.EndAt(now)
+	}
 	if len(selectors) == 0 {
 		return Result{Truncated: dispTrunc}, ErrNoFunctions
 	}
 	res := Result{Truncated: dispTrunc}
 	for _, sel := range selectors {
-		tr := traceFunction(program, sel, lim)
+		// Explore and infer are sibling spans per selector, tied together
+		// by the selector attribute (one hex string shared by both).
+		var selHex string
+		if rec != nil {
+			selHex = hexSelector(sel)
+		}
+		esp := rec.SpanAt("explore", now)
+		tr := traceFunctionSpan(program, sel, lim, esp, selHex)
+		if esp != nil {
+			now = rec.NowUS()
+			esp.EndAt(now)
+		}
+		isp := rec.SpanAt("infer", now)
 		d := Infer(tr)
+		if isp != nil {
+			isp.SetAttrs(
+				obs.Attr{Key: "selector", Str: selHex},
+				obs.Attr{Key: "params", Num: int64(len(d.Types))},
+				obs.Attr{Key: "rule_hits", Num: int64(d.Stats.Total())},
+			)
+			now = rec.NowUS()
+			isp.EndAt(now)
+		}
 		res.Rules.Add(d.Stats)
 		res.Functions = append(res.Functions, RecoveredFunction{
 			Selector:   abi.Selector(sel),

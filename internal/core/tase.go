@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sigrec/internal/evm"
+	"sigrec/internal/obs"
 )
 
 // Exploration budgets. TASE only needs the parameter-handling prefix of each
@@ -198,6 +199,53 @@ type eventID struct {
 	pc         uint64
 	dst        uint64
 	a0, a1, a2 uint32
+}
+
+// truncationCause names the budget that cut the exploration short, for
+// span attributes and the sigrec_truncations_total{cause=...} counter.
+// Empty when the exploration completed.
+func (t *tase) truncationCause() string {
+	switch {
+	case !t.trunc:
+		return ""
+	case t.expired:
+		return "deadline"
+	case t.totSteps >= t.lim.maxSteps:
+		return "steps"
+	case t.paths >= t.lim.maxPaths:
+		return "paths"
+	default:
+		return "path-steps"
+	}
+}
+
+// annotateTASE copies one exploration's counters onto its span in a single
+// batched SetAttrs (one attribute slice per span). selHex, when non-empty,
+// leads the attributes so per-selector explorations are greppable; the
+// dispatcher walk passes "". The guard keeps attribute formatting entirely
+// off the untraced path.
+func annotateTASE(sp *obs.Span, t *tase, selHex string) {
+	if sp == nil {
+		return
+	}
+	attrs := make([]obs.Attr, 0, 6)
+	if selHex != "" {
+		attrs = append(attrs, obs.Attr{Key: "selector", Str: selHex})
+	}
+	attrs = append(attrs,
+		obs.Attr{Key: "paths", Num: int64(t.paths)},
+		obs.Attr{Key: "steps", Num: int64(t.totSteps)},
+		obs.Attr{Key: "pruned", Num: int64(t.pruned)},
+	)
+	if t.it != nil {
+		if total := t.it.hits + t.it.misses; total > 0 {
+			attrs = append(attrs, obs.Attr{Key: "intern_hit_permille", Num: int64(t.it.hits * 1000 / total)})
+		}
+	}
+	if cause := t.truncationCause(); cause != "" {
+		attrs = append(attrs, obs.Attr{Key: "truncated", Str: cause})
+	}
+	sp.SetAttrs(attrs...)
 }
 
 // pollCancel checks the cancellation channel and the wall-clock deadline.
@@ -791,11 +839,19 @@ func TraceFunction(program *Program, selector [4]byte) Trace {
 // reports exploration counters into the pipeline telemetry and recycles
 // the engine's interner.
 func traceFunction(program *Program, selector [4]byte, lim limits) Trace {
+	return traceFunctionSpan(program, selector, lim, nil, "")
+}
+
+// traceFunctionSpan is traceFunction with the exploration's counters
+// (selector, paths, steps, intern hit rate, truncation cause) attached to
+// sp when tracing is on; sp nil is the zero-cost untraced path.
+func traceFunctionSpan(program *Program, selector [4]byte, lim limits, sp *obs.Span, selHex string) Trace {
 	var b [32]byte
 	copy(b[:], selector[:])
 	selWord := evm.WordFromBytes(b[:])
 	t := newTASE(program, &selWord, lim)
 	events := t.run()
+	annotateTASE(sp, t, selHex)
 	finishTASE(t)
 	return Trace{Selector: selector, Events: events, Truncated: t.trunc}
 }

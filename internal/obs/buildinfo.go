@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+
+	"sigrec/internal/telemetry"
+)
+
+// Version returns the module version baked into the binary by the Go
+// toolchain ("(devel)" for plain `go build` of the work tree) and the Go
+// runtime version.
+func Version() (version, goVersion string) {
+	version = "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return version, runtime.Version()
+}
+
+// VersionString renders Version for -version flags: "sigrec <v> (<go>)".
+func VersionString() string {
+	v, gv := Version()
+	return "sigrec " + v + " (" + gv + ")"
+}
+
+// RegisterBuildInfo publishes the sigrec_build_info gauge (constant 1,
+// labeled with the module and Go versions) on the registry, the standard
+// Prometheus idiom for joining metrics to the binary that produced them.
+func RegisterBuildInfo(r *telemetry.Registry) {
+	v, gv := Version()
+	r.SetInfo("sigrec_build_info", map[string]string{
+		"version":    v,
+		"go_version": gv,
+	})
+}

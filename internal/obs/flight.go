@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Record is one retained recovery in the flight recorder: identity, timing,
+// outcome, and the full span tree. Records are immutable once added (the
+// recovery is finished before it is offered), so snapshots share pointers.
+type Record struct {
+	RequestID string    `json:"request_id,omitempty"`
+	Start     time.Time `json:"start"`
+	DurUS     int64     `json:"dur_us"`
+	Truncated bool      `json:"truncated,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Root      *Span     `json:"trace"`
+}
+
+// FlightRecorder retains the N slowest recoveries plus a ring of the most
+// recent budget-truncated ones, each with its full span tree. It answers
+// "why was that request slow/partial" after the fact, without a debugger
+// attached: sigrecd serves its snapshot at GET /debug/slowest.
+type FlightRecorder struct {
+	mu sync.Mutex
+	// slowest is kept sorted by DurUS descending, capped at maxSlow.
+	maxSlow int
+	slowest []*Record
+	// trunc is a ring of the maxTrunc most recent truncated recoveries;
+	// truncNext is the next write position once the ring has wrapped.
+	maxTrunc  int
+	trunc     []*Record
+	truncNext int
+	// seen/seenTrunc count every offered recovery, so the snapshot reports
+	// how much traffic the retained records were selected from.
+	seen      uint64
+	seenTrunc uint64
+}
+
+func newFlightRecorder(maxSlow, maxTrunc int) *FlightRecorder {
+	return &FlightRecorder{maxSlow: maxSlow, maxTrunc: maxTrunc}
+}
+
+// add offers one finished recovery. Truncated recoveries always enter the
+// ring; any recovery slow enough displaces the fastest retained record.
+func (fr *FlightRecorder) add(r *Record) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.seen++
+	if r.Truncated {
+		fr.seenTrunc++
+		if len(fr.trunc) < fr.maxTrunc {
+			fr.trunc = append(fr.trunc, r)
+		} else {
+			fr.trunc[fr.truncNext] = r
+			fr.truncNext = (fr.truncNext + 1) % fr.maxTrunc
+		}
+	}
+	if len(fr.slowest) == fr.maxSlow && r.DurUS <= fr.slowest[len(fr.slowest)-1].DurUS {
+		return
+	}
+	// Insert in descending order; the slice is tiny (maxSlow records).
+	i := len(fr.slowest)
+	for i > 0 && fr.slowest[i-1].DurUS < r.DurUS {
+		i--
+	}
+	fr.slowest = append(fr.slowest, nil)
+	copy(fr.slowest[i+1:], fr.slowest[i:])
+	fr.slowest[i] = r
+	if len(fr.slowest) > fr.maxSlow {
+		fr.slowest = fr.slowest[:fr.maxSlow]
+	}
+}
+
+// Snapshot is a point-in-time copy of the flight recorder, JSON-ready for
+// GET /debug/slowest. Truncated is ordered most recent first.
+type Snapshot struct {
+	// Recoveries and TruncatedSeen count every recovery offered since
+	// startup, retained or not.
+	Recoveries    uint64    `json:"recoveries"`
+	TruncatedSeen uint64    `json:"truncated_seen"`
+	Slowest       []*Record `json:"slowest"`
+	Truncated     []*Record `json:"truncated"`
+}
+
+// Snapshot copies the retained record sets. Nil-safe (returns the zero
+// snapshot), so callers can expose a disabled recorder uniformly.
+func (fr *FlightRecorder) Snapshot() Snapshot {
+	if fr == nil {
+		return Snapshot{}
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	s := Snapshot{
+		Recoveries:    fr.seen,
+		TruncatedSeen: fr.seenTrunc,
+		Slowest:       append([]*Record(nil), fr.slowest...),
+		Truncated:     make([]*Record, 0, len(fr.trunc)),
+	}
+	// Unroll the ring newest-first: positions truncNext-1 down to truncNext.
+	for i := 0; i < len(fr.trunc); i++ {
+		idx := (fr.truncNext - 1 - i + len(fr.trunc)) % len(fr.trunc)
+		s.Truncated = append(s.Truncated, fr.trunc[idx])
+	}
+	return s
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety drives the whole span API through nil receivers — the
+// tracing-off path the pipeline takes unconditionally. Any panic fails.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, rec := tr.StartRecovery(context.Background(), "id")
+	if rec != nil {
+		t.Fatalf("nil tracer produced a recovery")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatalf("nil tracer armed the context")
+	}
+	rec.SetInt("k", 1)
+	rec.SetStr("k", "v")
+	rec.Finish(true, errors.New("x"))
+	rec.WriteText(&strings.Builder{})
+	if got := rec.RequestID(); got != "" {
+		t.Fatalf("RequestID on nil recovery = %q", got)
+	}
+	sp := rec.Span("phase")
+	if sp != nil {
+		t.Fatalf("nil recovery produced a span")
+	}
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	sp.End()
+	if c := sp.Span("child"); c != nil {
+		t.Fatalf("nil span produced a child")
+	}
+	if tr.Recorder().Snapshot().Recoveries != 0 {
+		t.Fatalf("nil recorder snapshot not zero")
+	}
+}
+
+// TestSpanTree checks the recorded tree shape, attributes, and that the
+// tree round-trips through JSON with the expected field names.
+func TestSpanTree(t *testing.T) {
+	tr := New(Config{})
+	_, rec := tr.StartRecovery(context.Background(), "req-1")
+	if rec.RequestID() != "req-1" {
+		t.Fatalf("RequestID = %q", rec.RequestID())
+	}
+	d := rec.Span("disassemble")
+	d.SetInt("code_bytes", 42)
+	d.End()
+	sel := rec.Span("selector")
+	sel.SetStr("selector", "0xa9059cbb")
+	e := sel.Span("explore")
+	e.SetInt("paths", 3)
+	e.End()
+	sel.End()
+	rec.Finish(false, nil)
+
+	root := &rec.Root
+	if root.Name != "recovery" || len(root.Children) != 2 {
+		t.Fatalf("root = %q with %d children", root.Name, len(root.Children))
+	}
+	if root.Children[0].Name != "disassemble" || root.Children[1].Name != "selector" {
+		t.Fatalf("children = %q, %q", root.Children[0].Name, root.Children[1].Name)
+	}
+	ex := root.Children[1].Children
+	if len(ex) != 1 || ex[0].Name != "explore" {
+		t.Fatalf("selector children = %+v", ex)
+	}
+	if got := ex[0].Attrs[0]; got.Key != "paths" || got.Num != 3 {
+		t.Fatalf("explore attr = %+v", got)
+	}
+
+	data, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"recovery"`, `"selector"`, `"k":"paths"`, `"n":3`, `"s":"0xa9059cbb"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON missing %s in %s", want, data)
+		}
+	}
+}
+
+// TestFinishFreezesTree models the coalescing race: a pooled worker keeps
+// appending spans after the requester finished the recovery. Everything
+// after Finish must be a no-op so the recorded tree is immutable.
+func TestFinishFreezesTree(t *testing.T) {
+	tr := New(Config{})
+	_, rec := tr.StartRecovery(context.Background(), "req")
+	sp := rec.Span("explore")
+	rec.Finish(false, nil)
+
+	before := len(rec.Root.Children)
+	sp.SetInt("late", 1)
+	sp.End()
+	if c := sp.Span("late-child"); c != nil {
+		t.Fatalf("span created after Finish")
+	}
+	if rec.Span("late-root") != nil {
+		t.Fatalf("root span created after Finish")
+	}
+	if len(rec.Root.Children) != before {
+		t.Fatalf("children grew after Finish")
+	}
+	if len(sp.Attrs) != 0 {
+		t.Fatalf("attrs grew after Finish: %+v", sp.Attrs)
+	}
+	// A second Finish must not re-offer the record.
+	rec.Finish(true, errors.New("late"))
+	snap := tr.Recorder().Snapshot()
+	if snap.Recoveries != 1 || snap.TruncatedSeen != 0 {
+		t.Fatalf("double Finish changed the recorder: %+v", snap)
+	}
+}
+
+// TestFlightRecorderRetention exercises both retention policies: the
+// slowest list keeps the N largest durations sorted descending, and the
+// truncated ring keeps the most recent M, newest first in the snapshot.
+func TestFlightRecorderRetention(t *testing.T) {
+	fr := newFlightRecorder(3, 2)
+	for i, dur := range []int64{50, 10, 90, 30, 70} {
+		fr.add(&Record{RequestID: string(rune('a' + i)), DurUS: dur})
+	}
+	snap := fr.Snapshot()
+	if snap.Recoveries != 5 {
+		t.Fatalf("Recoveries = %d", snap.Recoveries)
+	}
+	var got []int64
+	for _, r := range snap.Slowest {
+		got = append(got, r.DurUS)
+	}
+	want := []int64{90, 70, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slowest = %v, want %v", got, want)
+		}
+	}
+
+	for i := 0; i < 5; i++ {
+		fr.add(&Record{DurUS: int64(i), Truncated: true, Error: string(rune('0' + i))})
+	}
+	snap = fr.Snapshot()
+	if snap.TruncatedSeen != 5 {
+		t.Fatalf("TruncatedSeen = %d", snap.TruncatedSeen)
+	}
+	if len(snap.Truncated) != 2 {
+		t.Fatalf("truncated ring kept %d", len(snap.Truncated))
+	}
+	// Newest first: records 4 then 3.
+	if snap.Truncated[0].Error != "4" || snap.Truncated[1].Error != "3" {
+		t.Fatalf("truncated order = %q, %q", snap.Truncated[0].Error, snap.Truncated[1].Error)
+	}
+}
+
+// TestConcurrentRecoveries hammers one tracer from many goroutines; run
+// under -race this is the lock-discipline check for Recovery and the
+// flight recorder.
+func TestConcurrentRecoveries(t *testing.T) {
+	tr := New(Config{Slowest: 4, Truncated: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, rec := tr.StartRecovery(context.Background(), "r")
+				sp := rec.Span("explore")
+				sp.SetInt("i", int64(i))
+				sp.End()
+				rec.Finish(i%2 == 0, nil)
+			}
+		}(g)
+	}
+	// Concurrent snapshots while recoveries finish.
+	for i := 0; i < 20; i++ {
+		_ = tr.Recorder().Snapshot()
+	}
+	wg.Wait()
+	snap := tr.Recorder().Snapshot()
+	if snap.Recoveries != 400 {
+		t.Fatalf("Recoveries = %d, want 400", snap.Recoveries)
+	}
+	if len(snap.Slowest) != 4 || len(snap.Truncated) != 4 {
+		t.Fatalf("retained %d slowest, %d truncated", len(snap.Slowest), len(snap.Truncated))
+	}
+}
+
+// TestWriteText checks the indented text rendering `sigrec -trace` prints.
+func TestWriteText(t *testing.T) {
+	tr := New(Config{})
+	_, rec := tr.StartRecovery(context.Background(), "req")
+	sp := rec.Span("selector")
+	sp.SetStr("selector", "0xdeadbeef")
+	c := sp.Span("explore")
+	c.SetInt("paths", 7)
+	c.End()
+	sp.End()
+	rec.Finish(false, nil)
+
+	var b strings.Builder
+	rec.WriteText(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "recovery ") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  selector ") || !strings.Contains(lines[1], "selector=0xdeadbeef") {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    explore ") || !strings.Contains(lines[2], "paths=7") {
+		t.Fatalf("line 2 = %q", lines[2])
+	}
+}
+
+// TestVersion sanity-checks the build-info accessors.
+func TestVersion(t *testing.T) {
+	ver, goVer := Version()
+	if ver == "" || goVer == "" {
+		t.Fatalf("Version() = %q, %q", ver, goVer)
+	}
+	if s := VersionString(); !strings.Contains(s, "sigrec") {
+		t.Fatalf("VersionString() = %q", s)
+	}
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"sigrec/internal/obs"
+)
+
+// maxRequestIDLen caps client-supplied X-Request-Id values so a hostile
+// header cannot bloat logs or flight-recorder entries.
+const maxRequestIDLen = 128
+
+// ensureRequestID resolves the request's ID — the client's X-Request-Id
+// when present (sanitized), a fresh random one otherwise — and echoes it
+// on the response so callers can join logs, traces, and flight-recorder
+// entries on one value.
+func ensureRequestID(w http.ResponseWriter, r *http.Request) string {
+	id := sanitizeRequestID(r.Header.Get("X-Request-Id"))
+	if id == "" {
+		id = newRequestID()
+	}
+	w.Header().Set("X-Request-Id", id)
+	return id
+}
+
+// sanitizeRequestID keeps printable ASCII and truncates; anything else
+// (header injection, control bytes) is dropped so the ID is safe to log.
+func sanitizeRequestID(id string) string {
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x20 || id[i] > 0x7e {
+			return ""
+		}
+	}
+	return id
+}
+
+// newRequestID returns 16 random hex characters.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; degrade to a
+		// constant rather than panic in the serving path.
+		return "00000000ffffffff"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// logRequest emits one structured access-log line carrying the request ID
+// that also appears on the response header, in the span tree, and in the
+// flight recorder. No-op when the server has no logger.
+func (s *Server) logRequest(r *http.Request, requestID string, status int, start time.Time, attrs ...slog.Attr) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	base := []slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Int64("duration_us", time.Since(start).Microseconds()),
+		slog.String("request_id", requestID),
+	}
+	level := slog.LevelInfo
+	if status >= 500 {
+		level = slog.LevelError
+	}
+	s.cfg.Logger.LogAttrs(r.Context(), level, "request", append(base, attrs...)...)
+}
+
+// --- GET /debug/slowest ---
+
+// handleSlowest serves the flight recorder: the span trees of the slowest
+// and the budget-truncated recoveries, JSON-encoded.
+func (s *Server) handleSlowest(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Tracer == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled (start the server with a Tracer)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Tracer.Recorder().Snapshot())
+}
+
+// DebugHandler returns the diagnostics mux sigrecd serves on -debug-addr:
+// the net/http/pprof endpoints plus the flight recorder. It is separate
+// from the main handler so profiling can stay off the service port.
+func DebugHandler(tracer *obs.Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/slowest", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, tracer.Recorder().Snapshot())
+	})
+	return mux
+}

@@ -1,0 +1,280 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"sigrec/internal/obs"
+	"sigrec/internal/telemetry"
+)
+
+// lockedBuffer makes a bytes.Buffer safe to share between the server's
+// logging goroutine and the test's assertions.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestObsRequestIDEcho checks the request-ID contract end to end: a
+// client-supplied X-Request-Id is echoed on the response, appears in the
+// structured access log, and tags the recovery's flight-recorder entry —
+// one join key across all three observability surfaces.
+func TestObsRequestIDEcho(t *testing.T) {
+	var logBuf lockedBuffer
+	tracer := obs.New(obs.Config{})
+	_, ts := newTestServer(t, Config{
+		Logger: slog.New(slog.NewJSONHandler(&logBuf, nil)),
+		Tracer: tracer,
+	})
+	code, _ := compileSig(t, "f(address)")
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/recover", strings.NewReader(fmt.Sprintf("%x", code)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "test-req-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "test-req-42" {
+		t.Fatalf("echoed X-Request-Id = %q", got)
+	}
+
+	// The access log line is written in a deferred func after the response
+	// body; poll briefly rather than racing it.
+	waitFor(t, "access log line", func() bool {
+		return strings.Contains(logBuf.String(), `"request_id":"test-req-42"`)
+	})
+	var line map[string]any
+	if err := json.Unmarshal([]byte(logBuf.String()), &line); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, logBuf.String())
+	}
+	if line["path"] != "/v1/recover" || line["status"] != float64(200) {
+		t.Fatalf("log line = %v", line)
+	}
+
+	snap := tracer.Recorder().Snapshot()
+	if snap.Recoveries != 1 {
+		t.Fatalf("recoveries = %d", snap.Recoveries)
+	}
+	if len(snap.Slowest) != 1 || snap.Slowest[0].RequestID != "test-req-42" {
+		t.Fatalf("flight-recorder entry = %+v", snap.Slowest)
+	}
+}
+
+// TestObsRequestIDGenerated checks that a missing X-Request-Id is replaced
+// by a generated 16-hex-character one, an overlong one is truncated, and
+// hostile values (which a conforming client cannot even send) are rejected
+// by the sanitizer.
+func TestObsRequestIDGenerated(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, _ := compileSig(t, "f(address)")
+	hexID := regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+	resp, _ := post(t, ts.URL+"/v1/recover", fmt.Sprintf("%x", code))
+	if got := resp.Header.Get("X-Request-Id"); !hexID.MatchString(got) {
+		t.Fatalf("missing header: echoed ID %q, want generated 16-hex", got)
+	}
+
+	long := strings.Repeat("a", 200)
+	req, err := http.NewRequest("POST", ts.URL+"/v1/recover", strings.NewReader(fmt.Sprintf("%x", code)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", long)
+	lresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, lresp.Body)
+	lresp.Body.Close()
+	if got := lresp.Header.Get("X-Request-Id"); got != long[:maxRequestIDLen] {
+		t.Fatalf("overlong header echoed as %q (len %d)", got, len(got))
+	}
+
+	for _, hostile := range []string{"evil\r\ninjected: header", "ctrl\x01byte", "utf8-\xc3\xa9"} {
+		if got := sanitizeRequestID(hostile); got != "" {
+			t.Fatalf("sanitizeRequestID(%q) = %q, want rejection", hostile, got)
+		}
+	}
+}
+
+// TestObsSlowestEndpoint truncates a recovery on purpose (tiny step
+// budget) and checks GET /debug/slowest serves its full span tree: the
+// recovery root with the queue/disassemble/dispatch phases underneath.
+func TestObsSlowestEndpoint(t *testing.T) {
+	tracer := obs.New(obs.Config{})
+	_, ts := newTestServer(t, Config{Tracer: tracer, StepBudget: 40})
+	code, _ := compileSig(t, "f(uint256[],address)")
+	resp, _ := post(t, ts.URL+"/v1/recover", fmt.Sprintf("%x", code))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover status = %d", resp.StatusCode)
+	}
+
+	sresp, err := http.Get(ts.URL + "/debug/slowest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("slowest status = %d", sresp.StatusCode)
+	}
+	var snap struct {
+		Recoveries    uint64 `json:"recoveries"`
+		TruncatedSeen uint64 `json:"truncated_seen"`
+		Truncated     []struct {
+			Truncated bool      `json:"truncated"`
+			Trace     *obs.Span `json:"trace"`
+		} `json:"truncated"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Recoveries != 1 || snap.TruncatedSeen != 1 || len(snap.Truncated) != 1 {
+		t.Fatalf("snapshot counts = %+v", snap)
+	}
+	rec := snap.Truncated[0]
+	if !rec.Truncated || rec.Trace == nil || rec.Trace.Name != "recovery" {
+		t.Fatalf("truncated record = %+v", rec)
+	}
+	phases := map[string]bool{}
+	for _, c := range rec.Trace.Children {
+		phases[c.Name] = true
+	}
+	for _, want := range []string{"queue", "disassemble", "dispatch"} {
+		if !phases[want] {
+			t.Fatalf("span tree missing %q phase: have %v", want, phases)
+		}
+	}
+}
+
+// TestObsSlowestDisabled: without a tracer the endpoint 404s instead of
+// serving an empty recorder, so probes can tell "off" from "quiet".
+func TestObsSlowestDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/debug/slowest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestObsMetricsConformance runs the strict Prometheus text-format linter
+// over the complete served /metrics output — every family the pipeline
+// and the serving layer register, including the labeled rule counters and
+// the build-info gauge.
+func TestObsMetricsConformance(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, _ := compileSig(t, "f(address)")
+	post(t, ts.URL+"/v1/recover", fmt.Sprintf("%x", code))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`sigrec_rule_fired_total{rule="R4"}`,
+		`sigrec_rule_fired_total{rule="R16"}`,
+		"sigrec_build_info{",
+		"# HELP sigrec_rule_fired_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if errs := telemetry.Lint(out); len(errs) != 0 {
+		t.Errorf("/metrics fails the text-format linter:\n  %s", strings.Join(errs, "\n  "))
+	}
+}
+
+// TestObsDebugHandler exercises the -debug-addr mux: pprof answers and
+// /debug/slowest serves the shared tracer's recorder.
+func TestObsDebugHandler(t *testing.T) {
+	tracer := obs.New(obs.Config{})
+	ts := httptest.NewServer(DebugHandler(tracer))
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/slowest"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestObsBatchSharedRequestID checks that every item of a batch recovery
+// lands in the flight recorder under the batch request's ID.
+func TestObsBatchSharedRequestID(t *testing.T) {
+	tracer := obs.New(obs.Config{})
+	_, ts := newTestServer(t, Config{Tracer: tracer})
+	a, _ := compileSig(t, "f(address)")
+	b, _ := compileSig(t, "f(uint8)")
+
+	body := fmt.Sprintf("%x\n%x\n", a, b)
+	req, err := http.NewRequest("POST", ts.URL+"/v1/recover/batch", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "batch-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "batch-7" {
+		t.Fatalf("echoed X-Request-Id = %q", got)
+	}
+
+	snap := tracer.Recorder().Snapshot()
+	if snap.Recoveries != 2 {
+		t.Fatalf("recoveries = %d, want 2", snap.Recoveries)
+	}
+	for _, r := range snap.Slowest {
+		if r.RequestID != "batch-7" {
+			t.Fatalf("item request ID = %q, want batch-7", r.RequestID)
+		}
+	}
+}

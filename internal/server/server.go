@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"sigrec/internal/core"
+	"sigrec/internal/obs"
 )
 
 // Defaults applied by New for zero Config fields.
@@ -72,6 +74,13 @@ type Config struct {
 	// RetryAfter is the client backoff hint sent with 429 responses (<= 0
 	// selects DefaultRetryAfter; rounded up to whole seconds).
 	RetryAfter time.Duration
+	// Logger, when non-nil, receives one structured access-log record per
+	// request, carrying the request ID echoed on the response.
+	Logger *slog.Logger
+	// Tracer, when non-nil, arms per-recovery span collection: every
+	// recovery gets a span tree and the slowest/truncated ones are retained
+	// in the tracer's flight recorder, served at GET /debug/slowest.
+	Tracer *obs.Tracer
 }
 
 // Server is the HTTP serving layer. Create with New, expose with Handler,
@@ -119,12 +128,17 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/recover/batch", s.handleBatch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/slowest", s.handleSlowest)
 	s.mux = mux
 	return s
 }
 
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// ResolvedConfig returns the Config after New applied defaults, so callers
+// can report the effective serving parameters.
+func (s *Server) ResolvedConfig() Config { return s.cfg }
 
 // BeginDrain stops admitting new requests: recover endpoints return 503
 // and healthz flips to "draining" so load balancers stop routing here.
@@ -180,15 +194,29 @@ func (s *Server) runPooled(ctx context.Context, code []byte, blocking bool) (cor
 		res  core.Result
 		rerr error
 	)
+	// The queue span measures admission wait: started before submit, ended
+	// when a worker picks the job up (or submission fails). Nil-safe when
+	// the request is untraced.
+	qsp := obs.FromContext(ctx).Span("queue")
 	j := &job{done: make(chan struct{})}
 	j.run = func() {
+		qsp.End()
+		// The worker owns the recovery from here: it appends every pipeline
+		// span and finishes the trace (obs recoveries are single-writer).
+		// Requests that never reach a worker — shed, coalesced onto another
+		// flight, cache hits — leave their recovery unfinished and unrecorded,
+		// which is right: the flight recorder retains recoveries, not requests.
+		rec := obs.FromContext(ctx)
 		// The requester may have gone away while the job sat in the queue;
-		// don't burn a worker on a result nobody reads.
+		// don't burn a worker on a result nobody reads. Finishing with the
+		// context error keeps died-in-queue waits visible in /debug/slowest.
 		if err := ctx.Err(); err != nil {
 			rerr = err
+			rec.Finish(false, err)
 			return
 		}
 		res, rerr = s.recoverFn(ctx, code, s.options())
+		rec.Finish(res.Truncated, rerr)
 	}
 	var err error
 	if blocking {
@@ -197,6 +225,7 @@ func (s *Server) runPooled(ctx context.Context, code []byte, blocking bool) (cor
 		err = s.pool.trySubmit(j)
 	}
 	if err != nil {
+		qsp.End()
 		return core.Result{}, err
 	}
 	select {
@@ -222,29 +251,42 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	defer mRecover.inflight.Add(-1)
 	defer func() { mRecover.latency.ObserveDuration(time.Since(start)) }()
 
+	requestID := ensureRequestID(w, r)
+	status := http.StatusOK
+	defer func() { s.logRequest(r, requestID, status, start) }()
+
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		status = http.StatusServiceUnavailable
+		writeError(w, status, "server is draining")
 		return
 	}
 	code, err := readBytecode(w, r, s.cfg.MaxBodyBytes)
 	if err != nil {
 		mRecover.badInput.Inc()
-		writeError(w, inputStatus(err), err.Error())
+		status = inputStatus(err)
+		writeError(w, status, err.Error())
 		return
 	}
-	res, err := s.recoverItem(r.Context(), code, false)
+	// The worker that runs the recovery also finishes the trace (see
+	// runPooled); the handler only arms the context.
+	ctx, _ := s.cfg.Tracer.StartRecovery(r.Context(), requestID)
+	res, err := s.recoverItem(ctx, code, false)
 	switch {
 	case errors.Is(err, errQueueFull):
 		mRecover.shed.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
-		writeError(w, http.StatusTooManyRequests, "admission queue full; retry later")
+		status = http.StatusTooManyRequests
+		writeError(w, status, "admission queue full; retry later")
 	case errors.Is(err, errDraining):
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		status = http.StatusServiceUnavailable
+		writeError(w, status, "server is draining")
 	case isCtxErr(err):
-		writeError(w, http.StatusGatewayTimeout, "recovery deadline exceeded")
+		status = http.StatusGatewayTimeout
+		writeError(w, status, "recovery deadline exceeded")
 	case err != nil && !errors.Is(err, core.ErrNoFunctions):
 		mRecover.errors.Inc()
-		writeError(w, http.StatusInternalServerError, err.Error())
+		status = http.StatusInternalServerError
+		writeError(w, status, err.Error())
 	default:
 		// ErrNoFunctions is a legitimate outcome for the service: bytecode
 		// with no recoverable dispatcher yields an empty function list.
@@ -261,8 +303,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer mBatch.inflight.Add(-1)
 	defer func() { mBatch.latency.ObserveDuration(time.Since(start)) }()
 
+	requestID := ensureRequestID(w, r)
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		s.logRequest(r, requestID, http.StatusServiceUnavailable, start)
 		return
 	}
 	ctx := r.Context()
@@ -310,7 +354,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			go func(i int, code []byte) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				res, err := s.recoverItem(ctx, code, true)
+				// Each batch item is its own recovery, finished by the
+				// worker that runs it; all share the request's ID so the
+				// flight recorder groups them.
+				ictx, _ := s.cfg.Tracer.StartRecovery(ctx, requestID)
+				res, err := s.recoverItem(ictx, code, true)
 				out <- batchResult(i, res, err)
 			}(i, code)
 		}
@@ -322,7 +370,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	enc := json.NewEncoder(w)
 	clientGone := false
+	items := 0
 	for br := range out {
+		items++
 		if clientGone {
 			continue // keep draining so the fan-out goroutines can finish
 		}
@@ -332,6 +382,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		_ = rc.Flush()
 	}
+	s.logRequest(r, requestID, http.StatusOK, start, slog.Int("items", items))
 }
 
 // batchResult folds one item's outcome into a wire line and meters

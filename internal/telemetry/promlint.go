@@ -1,0 +1,367 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint checks an exposition against a strict subset of the Prometheus text
+// format and returns one message per violation (empty means conformant).
+// It exists so the served /metrics output — including labeled series like
+// sigrec_rule_fired_total{rule="R11"} — cannot silently drift into a shape
+// scrapers reject. Enforced rules:
+//
+//   - every line is "# HELP <name> <text>", "# TYPE <name> <type>", or a
+//     sample "<name>{<label>="<escaped>",...} <value>"; nothing else
+//   - each metric family is contiguous: optional HELP, then exactly one
+//     TYPE, then its samples; HELP/TYPE never trail or repeat
+//   - histogram sample names are the family name + _bucket/_sum/_count;
+//     buckets carry le labels, counts are cumulative, the +Inf bucket is
+//     last and equals _count
+//   - no duplicate series; counter/gauge family series sorted by label set
+//   - label names match [a-zA-Z_][a-zA-Z0-9_]* and label values use only
+//     the \\, \", and \n escapes
+//   - sample values parse as numbers (counters and buckets non-negative)
+func Lint(exposition string) []string {
+	l := &linter{}
+	lines := strings.Split(exposition, "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1] // trailing newline
+	}
+	for i, line := range lines {
+		l.line(i+1, line)
+	}
+	l.endFamily()
+	return l.errs
+}
+
+type linter struct {
+	errs []string
+
+	// Current family state.
+	family     string
+	familyType string
+	sawHelp    bool
+	sawType    bool
+	samples    int
+	series     []string // label blocks seen, in order, for sort/dup checks
+	bucketPrev uint64
+	bucketInf  float64
+	bucketSum  bool // saw the +Inf bucket
+	countVal   float64
+	sawCount   bool
+
+	closed map[string]bool // families already ended; re-opening is interleave
+}
+
+func (l *linter) errf(n int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Sprintf("line %d: %s", n, fmt.Sprintf(format, args...)))
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+func (l *linter) line(n int, line string) {
+	switch {
+	case line == "":
+		l.errf(n, "blank line")
+	case strings.HasPrefix(line, "# HELP "):
+		name, rest, ok := splitNameRest(line[len("# HELP "):])
+		if !ok {
+			l.errf(n, "malformed HELP line %q", line)
+			return
+		}
+		l.openFamily(n, name)
+		if l.sawHelp || l.sawType || l.samples > 0 {
+			l.errf(n, "HELP for %s must come first in its family, exactly once", name)
+		}
+		l.sawHelp = true
+		if rest == "" {
+			l.errf(n, "HELP for %s has empty text", name)
+		}
+	case strings.HasPrefix(line, "# TYPE "):
+		name, typ, ok := splitNameRest(line[len("# TYPE "):])
+		if !ok || !validTypes[typ] {
+			l.errf(n, "malformed TYPE line %q", line)
+			return
+		}
+		l.openFamily(n, name)
+		if l.sawType {
+			l.errf(n, "duplicate TYPE for %s", name)
+		}
+		if l.samples > 0 {
+			l.errf(n, "TYPE for %s after its samples", name)
+		}
+		l.sawType = true
+		l.familyType = typ
+	case strings.HasPrefix(line, "#"):
+		l.errf(n, "unexpected comment %q (strict mode allows only HELP and TYPE)", line)
+	default:
+		l.sample(n, line)
+	}
+}
+
+// splitNameRest splits "name rest..." and validates the metric name.
+func splitNameRest(s string) (name, rest string, ok bool) {
+	name, rest, _ = strings.Cut(s, " ")
+	return name, rest, validName(name)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// openFamily switches linter state to the named family, closing the
+// previous one; reopening a closed family means interleaved output.
+func (l *linter) openFamily(n int, name string) {
+	if l.family == name {
+		return
+	}
+	l.endFamily()
+	if l.closed[name] {
+		l.errf(n, "family %s interleaved (appears in more than one block)", name)
+	}
+	l.family = name
+	l.familyType = ""
+	l.sawHelp, l.sawType = false, false
+	l.samples = 0
+	l.series = l.series[:0]
+	l.bucketPrev, l.bucketInf, l.bucketSum = 0, 0, false
+	l.countVal, l.sawCount = 0, false
+}
+
+// endFamily finishes per-family checks: series ordering/uniqueness for
+// flat families, bucket/count consistency for histograms.
+func (l *linter) endFamily() {
+	if l.family == "" {
+		return
+	}
+	if l.closed == nil {
+		l.closed = make(map[string]bool)
+	}
+	l.closed[l.family] = true
+	if !l.sawType {
+		l.errs = append(l.errs, fmt.Sprintf("family %s: no TYPE line", l.family))
+	}
+	if l.samples == 0 {
+		l.errs = append(l.errs, fmt.Sprintf("family %s: no samples", l.family))
+	}
+	switch l.familyType {
+	case "counter", "gauge":
+		if !sort.StringsAreSorted(l.series) {
+			l.errs = append(l.errs, fmt.Sprintf("family %s: series not sorted by label set", l.family))
+		}
+		for i := 1; i < len(l.series); i++ {
+			if l.series[i] == l.series[i-1] {
+				l.errs = append(l.errs, fmt.Sprintf("family %s: duplicate series %s", l.family, l.series[i]))
+			}
+		}
+	case "histogram":
+		if !l.bucketSum {
+			l.errs = append(l.errs, fmt.Sprintf("family %s: missing le=\"+Inf\" bucket", l.family))
+		} else if l.sawCount && l.bucketInf != l.countVal {
+			l.errs = append(l.errs, fmt.Sprintf("family %s: +Inf bucket %v != _count %v",
+				l.family, l.bucketInf, l.countVal))
+		}
+		if !l.sawCount {
+			l.errs = append(l.errs, fmt.Sprintf("family %s: missing _count", l.family))
+		}
+	}
+	l.family = ""
+}
+
+func (l *linter) sample(n int, line string) {
+	name, labels, value, ok := parseSample(line)
+	if !ok {
+		l.errf(n, "malformed sample %q", line)
+		return
+	}
+	base := name
+	isBucket, isSum, isCount := false, false, false
+	if l.familyType == "histogram" && strings.HasPrefix(name, l.family+"_") {
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base, isBucket = strings.TrimSuffix(name, "_bucket"), true
+		case strings.HasSuffix(name, "_sum"):
+			base, isSum = strings.TrimSuffix(name, "_sum"), true
+		case strings.HasSuffix(name, "_count"):
+			base, isCount = strings.TrimSuffix(name, "_count"), true
+		}
+	}
+	if base != l.family {
+		// A sample with no preceding TYPE opens an implicit family, which
+		// strict mode rejects (endFamily reports the missing TYPE).
+		l.openFamily(n, base)
+	}
+	l.samples++
+	v, err := strconv.ParseFloat(value, 64)
+	if err != nil && !(isBucket && value == "+Inf") {
+		l.errf(n, "sample value %q does not parse", value)
+		return
+	}
+	if (l.familyType == "counter" || isBucket || isCount) && v < 0 {
+		l.errf(n, "counter-style sample %s has negative value %s", name, value)
+	}
+	switch {
+	case isBucket:
+		le, ok := labelValue(labels, "le")
+		if !ok {
+			l.errf(n, "histogram bucket %s missing le label", name)
+			return
+		}
+		if le == "+Inf" {
+			l.bucketInf, l.bucketSum = v, true
+		} else {
+			if l.bucketSum {
+				l.errf(n, "bucket after le=\"+Inf\" in %s", l.family)
+			}
+			if uint64(v) < l.bucketPrev {
+				l.errf(n, "histogram %s buckets not cumulative", l.family)
+			}
+			l.bucketPrev = uint64(v)
+		}
+	case isCount:
+		l.countVal, l.sawCount = v, true
+	case isSum:
+		// no structural constraint beyond parsing
+	default:
+		l.series = append(l.series, labels)
+	}
+}
+
+// parseSample splits a sample line into name, raw label block (may be
+// empty), and value, validating label grammar and escapes.
+func parseSample(line string) (name, labels, value string, ok bool) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", "", "", false
+	}
+	name = rest[:i]
+	if !validName(name) {
+		return "", "", "", false
+	}
+	if rest[i] == '{' {
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", "", "", false
+		}
+		labels = rest[i : end+1]
+		if !validLabels(labels) {
+			return "", "", "", false
+		}
+		rest = rest[end+1:]
+		if !strings.HasPrefix(rest, " ") {
+			return "", "", "", false
+		}
+		value = rest[1:]
+	} else {
+		value = rest[i+1:]
+	}
+	if value == "" || strings.ContainsRune(value, ' ') {
+		return "", "", "", false
+	}
+	return name, labels, value, true
+}
+
+// validLabels checks a `{name="value",...}` block: label-name grammar and
+// strictly legal escapes inside values.
+func validLabels(block string) bool {
+	s := block[1 : len(block)-1] // inner, braces validated by caller
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || !validLabelName(s[:eq]) {
+			return false
+		}
+		s = s[eq+1:]
+		if len(s) < 2 || s[0] != '"' {
+			return false
+		}
+		s = s[1:]
+		// Scan the escaped value to its closing quote.
+		closed := false
+		for i := 0; i < len(s); i++ {
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return false
+				}
+				if c := s[i+1]; c != '\\' && c != '"' && c != 'n' {
+					return false
+				}
+				i++
+			case '"':
+				s = s[i+1:]
+				closed = true
+			}
+			if closed {
+				break
+			}
+		}
+		if !closed {
+			return false
+		}
+		if s == "" {
+			return true
+		}
+		if s[0] != ',' {
+			return false
+		}
+		s = s[1:]
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelValue extracts one label's (unescaped-as-written) value from a raw
+// label block.
+func labelValue(block, name string) (string, bool) {
+	if block == "" {
+		return "", false
+	}
+	prefix := name + "=\""
+	s := block[1 : len(block)-1]
+	for s != "" {
+		if strings.HasPrefix(s, prefix) {
+			rest := s[len(prefix):]
+			if end := strings.IndexByte(rest, '"'); end >= 0 {
+				return rest[:end], true
+			}
+			return "", false
+		}
+		next := strings.IndexByte(s, ',')
+		if next < 0 {
+			break
+		}
+		s = s[next+1:]
+	}
+	return "", false
+}

@@ -53,6 +53,33 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
+// CounterVec is a family of counters distinguished by one label (e.g.
+// sigrec_rule_fired_total{rule="R11"}). With resolves a label value to its
+// counter; hot paths should resolve once and cache the *Counter, after
+// which increments are single atomic adds exactly like a plain Counter.
+type CounterVec struct {
+	label string
+	mu    sync.RWMutex
+	m     map[string]*Counter
+}
+
+// With returns the counter for the label value, creating it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c, ok := v.m[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.m[value]; !ok {
+		c = &Counter{}
+		v.m[value] = c
+	}
+	return c
+}
+
 // Histogram is a fixed-bucket histogram of microsecond observations. The
 // per-bucket counts are stored non-cumulatively and cumulated at snapshot
 // time, which keeps Observe to a single atomic add per call.
@@ -103,30 +130,50 @@ type HistogramSnapshot struct {
 	Count uint64
 }
 
+// LabeledCounterSnapshot is the point-in-time state of a CounterVec: the
+// label name plus one value per observed label value.
+type LabeledCounterSnapshot struct {
+	Label  string
+	Values map[string]uint64
+}
+
 // Snapshot is a consistent-enough point-in-time copy of a registry. (Each
 // metric is read atomically; cross-metric skew under concurrent writers is
 // bounded by the snapshot walk, which carries no locks on the write path.)
 type Snapshot struct {
-	Counters   map[string]uint64
-	Gauges     map[string]int64
-	Histograms map[string]HistogramSnapshot
+	Counters        map[string]uint64
+	Gauges          map[string]int64
+	Histograms      map[string]HistogramSnapshot
+	LabeledCounters map[string]LabeledCounterSnapshot
+	// Infos maps info-metric names to their pre-rendered, escaped label
+	// block (`{k="v",...}`); each exposes as a gauge with constant value 1.
+	Infos map[string]string
+	// Help maps metric names to their HELP text.
+	Help map[string]string
 }
 
-// Registry holds named metrics. The zero value is not usable; call
-// NewRegistry.
+// Registry holds named metrics. Names must be unique across metric kinds
+// (a counter and a gauge cannot share a name). The zero value is not
+// usable; call NewRegistry.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	histograms  map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	infos       map[string]string
+	help        map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		histograms:  make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		infos:       make(map[string]string),
+		help:        make(map[string]string),
 	}
 }
 
@@ -186,14 +233,96 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 	return h
 }
 
+// CounterVec returns the named one-label counter family, creating it with
+// the given label name on first use (the label passed on later calls for
+// the same name is ignored).
+func (r *Registry) CounterVec(name, label string) *CounterVec {
+	r.mu.RLock()
+	v, ok := r.counterVecs[name]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok = r.counterVecs[name]; !ok {
+		v = &CounterVec{label: label, m: make(map[string]*Counter)}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// SetInfo publishes an info metric: a gauge with constant value 1 whose
+// labels carry build/configuration identity (the sigrec_build_info idiom).
+// Later calls for the same name replace the labels.
+func (r *Registry) SetInfo(name string, labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabel(labels[k]))
+	}
+	b.WriteByte('}')
+	r.mu.Lock()
+	r.infos[name] = b.String()
+	r.mu.Unlock()
+}
+
+// SetHelp attaches HELP text to a metric name, emitted before the TYPE
+// line in the exposition.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	return labelEscaper.Replace(v)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeHelp escapes HELP text: backslash and newline.
+var escapeHelp = strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace
+
 // Snapshot copies the current state of every metric.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
-		Counters:   make(map[string]uint64, len(r.counters)),
-		Gauges:     make(map[string]int64, len(r.gauges)),
-		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+		Counters:        make(map[string]uint64, len(r.counters)),
+		Gauges:          make(map[string]int64, len(r.gauges)),
+		Histograms:      make(map[string]HistogramSnapshot, len(r.histograms)),
+		LabeledCounters: make(map[string]LabeledCounterSnapshot, len(r.counterVecs)),
+		Infos:           make(map[string]string, len(r.infos)),
+		Help:            make(map[string]string, len(r.help)),
+	}
+	for name, v := range r.counterVecs {
+		v.mu.RLock()
+		ls := LabeledCounterSnapshot{Label: v.label, Values: make(map[string]uint64, len(v.m))}
+		for value, c := range v.m {
+			ls.Values[value] = c.Load()
+		}
+		v.mu.RUnlock()
+		s.LabeledCounters[name] = ls
+	}
+	for name, rendered := range r.infos {
+		s.Infos[name] = rendered
+	}
+	for name, h := range r.help {
+		s.Help[name] = h
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Load()
@@ -224,11 +353,15 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 }
 
 // WriteTo writes the snapshot in a Prometheus-flavoured text format:
-// sorted by metric name, one "# TYPE" line per metric, histograms as
-// cumulative le="..." buckets plus _sum and _count.
+// sorted by metric name, an optional "# HELP" then one "# TYPE" line per
+// metric, histograms as cumulative le="..." buckets plus _sum and _count,
+// labeled counter families as one series per label value sorted by value,
+// info metrics as constant-1 gauges. Label values are escaped per the text
+// format, so the output passes the strict Lint grammar.
 func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
-	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	names := make([]string, 0,
+		len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.LabeledCounters)+len(s.Infos))
 	for n := range s.Counters {
 		names = append(names, n)
 	}
@@ -238,13 +371,40 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	for n := range s.Histograms {
 		names = append(names, n)
 	}
+	for n := range s.LabeledCounters {
+		names = append(names, n)
+	}
+	for n := range s.Infos {
+		names = append(names, n)
+	}
 	sort.Strings(names)
 	for _, n := range names {
+		// A labeled family with no series yet would emit a TYPE line with no
+		// samples — malformed under the strict grammar — so skip it entirely.
+		if lc, ok := s.LabeledCounters[n]; ok && len(lc.Values) == 0 {
+			continue
+		}
+		if help, ok := s.Help[n]; ok && help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, escapeHelp(help))
+		}
 		switch {
 		case hasKey(s.Counters, n):
 			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[n])
 		case hasKey(s.Gauges, n):
 			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[n])
+		case hasKey(s.LabeledCounters, n):
+			lc := s.LabeledCounters[n]
+			fmt.Fprintf(&b, "# TYPE %s counter\n", n)
+			values := make([]string, 0, len(lc.Values))
+			for v := range lc.Values {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", n, lc.Label, escapeLabel(v), lc.Values[v])
+			}
+		case hasKey(s.Infos, n):
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s%s 1\n", n, n, s.Infos[n])
 		default:
 			h := s.Histograms[n]
 			fmt.Fprintf(&b, "# TYPE %s histogram\n", n)

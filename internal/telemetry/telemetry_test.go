@@ -79,6 +79,70 @@ func TestExposition(t *testing.T) {
 	}
 }
 
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("rules_total", "rule")
+	v.With("R4").Add(3)
+	v.With("R16").Inc()
+	if r.CounterVec("rules_total", "rule") != v {
+		t.Error("re-registration returned a different vec")
+	}
+	if v.With("R4") != v.With("R4") {
+		t.Error("With not stable for the same value")
+	}
+	s := r.Snapshot().LabeledCounters["rules_total"]
+	if s.Label != "rule" {
+		t.Errorf("label = %q", s.Label)
+	}
+	if s.Values["R4"] != 3 || s.Values["R16"] != 1 {
+		t.Errorf("values = %v", s.Values)
+	}
+}
+
+func TestLabeledExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("rules_total", "rule")
+	v.With("R2").Add(2)
+	v.With("R11").Add(11)
+	out := r.Snapshot().String()
+	// Series sorted lexicographically by label value within the family.
+	want := "# TYPE rules_total counter\nrules_total{rule=\"R11\"} 11\nrules_total{rule=\"R2\"} 2\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q in:\n%s", want, out)
+	}
+}
+
+func TestInfoAndHelp(t *testing.T) {
+	r := NewRegistry()
+	r.SetInfo("build_info", map[string]string{"version": "v1.2.3", "go_version": "go1.24"})
+	r.SetHelp("build_info", "Build identity.")
+	out := r.Snapshot().String()
+	want := "# HELP build_info Build identity.\n# TYPE build_info gauge\nbuild_info{go_version=\"go1.24\",version=\"v1.2.3\"} 1\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q in:\n%s", want, out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("odd_total", "v").With("a\\b\"c\nd").Inc()
+	r.SetInfo("odd_info", map[string]string{"v": "x\"y"})
+	r.SetHelp("odd_total", "line one\nline two \\ slash")
+	out := r.Snapshot().String()
+	for _, want := range []string{
+		`odd_total{v="a\\b\"c\nd"} 1`,
+		`odd_info{v="x\"y"} 1`,
+		`# HELP odd_total line one\nline two \\ slash`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if errs := Lint(out); len(errs) != 0 {
+		t.Errorf("escaped exposition fails lint: %v", errs)
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup
