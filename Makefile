@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race serve serve-e2e obs-e2e fuzz-smoke bench-smoke bench bench-gate
+.PHONY: check fmt vet build test race serve serve-e2e obs-e2e analytics-e2e fuzz-smoke bench-smoke bench bench-gate
 
 # BENCH is the tracked benchmark artifact for this PR in the BENCH_<n>.json
 # trajectory; bump the number when a PR re-records performance.
-BENCH ?= BENCH_4.json
+BENCH ?= BENCH_5.json
 
 check: fmt vet build test race
 
@@ -48,6 +48,15 @@ obs-e2e:
 	$(GO) test -race -count=1 ./internal/obs
 	$(GO) test -race -count=1 -run 'TestObs' ./internal/server
 
+# Offline-analytics exactness gate under the race detector: sigrecd's
+# serving path writes wide events under real batch load with rotation
+# forced, the log is replayed the way cmd/sigrec-analyze does, and the
+# replay's recovery/error/truncation/function/rule-fire totals must equal
+# the /metrics counter deltas exactly (CI job "smoke").
+analytics-e2e:
+	$(GO) test -race -count=1 -run 'TestAnalyticsE2E' ./internal/server
+	$(GO) test -race -count=1 ./internal/eventlog
+
 # Smoke-run every fuzz target and the E1/E3 experiment benchmarks so the
 # harnesses cannot silently rot (CI job "smoke").
 fuzz-smoke:
@@ -61,10 +70,10 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'E1|E3' -benchtime 1x .
 
 # Record the E1/E3 experiment benchmarks, the serving-layer throughput
-# (req/s), and the tracing-overhead A/B pair as machine-readable JSON so
-# the perf trajectory is tracked across PRs.
+# (req/s), and the tracing- and event-log-overhead A/B pairs as
+# machine-readable JSON so the perf trajectory is tracked across PRs.
 bench:
-	( $(GO) test -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing' \
+	( $(GO) test -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events' \
 		-benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkServerThroughput$$' \
 		-benchmem ./internal/server ) | $(GO) run ./cmd/benchjson -out $(BENCH)
@@ -72,10 +81,11 @@ bench:
 # Gates: (1) fail when E3 allocs/op regresses >10% against the committed
 # baseline — allocation counts are deterministic enough for shared CI
 # runners, ns/op is recorded but not gated across machines; (2) fail when
-# tracing-on ns/op exceeds tracing-off by >5% — an A/B within one run on
-# one machine, so wall time is comparable.
+# tracing-on ns/op exceeds tracing-off by >5%; (3) fail when wide-event
+# emission exceeds events-off by >3% — both A/Bs run within one
+# invocation on one machine, so wall time is comparable.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events' \
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -out bench_current.json
 	$(GO) run ./cmd/benchjson -check -baseline bench_baseline.json \
 		-current bench_current.json -bench E3TimeDistribution \
@@ -83,4 +93,7 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
 		-current bench_current.json -basebench E3TracingOff \
 		-bench E3TracingOn -metric ns_per_op -tolerance 0.05
+	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
+		-current bench_current.json -basebench E3EventsOff \
+		-bench E3EventsOn -metric ns_per_op -tolerance 0.03
 	@rm -f bench_current.json

@@ -7,12 +7,14 @@ package sigrec
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"sigrec/internal/abi"
 	"sigrec/internal/core"
 	"sigrec/internal/corpus"
+	"sigrec/internal/eventlog"
 	"sigrec/internal/evm"
 	"sigrec/internal/experiments"
 	"sigrec/internal/obfuscate"
@@ -190,6 +192,43 @@ func benchE3Tracing(b *testing.B, tracer *obs.Tracer) {
 
 func BenchmarkE3TracingOff(b *testing.B) { benchE3Tracing(b, nil) }
 func BenchmarkE3TracingOn(b *testing.B)  { benchE3Tracing(b, obs.New(obs.Config{})) }
+
+// benchE3Events is the event-log counterpart of benchE3Tracing: the same
+// E3-shaped workload with and without a wide-event writer armed. `make
+// bench-gate` holds On within 3% ns/op of Off — the per-recovery cost of
+// building one Event and handing it to the async writer must stay in the
+// noise (phase clocks run on both sides, so only the event allocation and
+// channel send differ).
+func benchE3Events(b *testing.B, log *eventlog.Writer) {
+	c, err := corpus.Generate(corpus.Config{Seed: 7, Solidity: 32, Vyper: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{EventLog: log}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range c.Entries {
+			ctx, _ := eventlog.NewContext(context.Background(), "bench")
+			res, err := core.RecoverContext(ctx, e.Code, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res
+		}
+	}
+}
+
+func BenchmarkE3EventsOff(b *testing.B) { benchE3Events(b, nil) }
+
+func BenchmarkE3EventsOn(b *testing.B) {
+	w, err := eventlog.New(eventlog.Config{Path: filepath.Join(b.TempDir(), "events.ndjson")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	benchE3Events(b, w)
+}
 
 // BenchmarkRecoverBounded measures the overhead of running a recovery
 // with an (unreached) deadline and step budget armed — the bounds checks

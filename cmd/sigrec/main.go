@@ -25,6 +25,7 @@ import (
 
 	"sigrec"
 	"sigrec/internal/efsd"
+	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
 	"sigrec/internal/server"
 )
@@ -48,6 +49,7 @@ func run() error {
 		budget   = flag.Int("budget", 0, "TASE step budget per exploration (0 = built-in default)")
 		stats    = flag.Bool("stats", false, "print the telemetry exposition (timings, path counts, rule hits) after the run")
 		trace    = flag.Bool("trace", false, "print the recovery's span tree (phase timings, per-selector exploration counters) to stderr")
+		eventLog = flag.String("event-log", "", "append the recovery's wide event (NDJSON) to this file, replayable with sigrec-analyze")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -93,6 +95,15 @@ func run() error {
 		return err
 	}
 	ctx := context.Background()
+	if *eventLog != "" {
+		w, werr := eventlog.New(eventlog.Config{Path: *eventLog})
+		if werr != nil {
+			return werr
+		}
+		defer w.Close() // drains, flushes, fsyncs the one event
+		opts.EventLog = w
+		ctx, _ = eventlog.NewContext(ctx, "cli")
+	}
 	var rec *obs.Recovery
 	if *trace {
 		ctx, rec = obs.New(obs.Config{}).StartRecovery(ctx, "cli")
@@ -104,6 +115,8 @@ func run() error {
 		res, err = sigrec.RecoverContext(ctx, code, opts)
 	}
 	if rec != nil {
+		// The trace header carries request_id (and event_seq when -event-log
+		// is set), the join keys into logs and the wide-event file.
 		rec.Finish(res.Truncated, err)
 		rec.WriteText(os.Stderr)
 	}

@@ -11,6 +11,7 @@
 //	GET  /metrics           Prometheus-flavoured exposition
 //	GET  /healthz           liveness + pool state
 //	GET  /debug/slowest     flight recorder: span trees of slow/truncated recoveries
+//	GET  /debug/events      tail of the wide-event log (requires -event-log)
 //
 // Recoveries run on a bounded worker pool behind a bounded admission
 // queue: when the queue is full, single recovers are shed with 429 +
@@ -21,13 +22,19 @@
 //
 // Logs are structured (log/slog); every request line carries the
 // request_id echoed on the response's X-Request-Id header, which also tags
-// the recovery's span tree in the flight recorder. -debug-addr starts a
-// second listener with net/http/pprof and /debug/slowest, kept off the
-// service port.
+// the recovery's span tree in the flight recorder and its wide event in
+// the event log. -event-log makes every recovery durable: one NDJSON
+// record per recovery (tail-sampled by -sample-rate; errors, truncations,
+// and the slow tail always kept), rotated past -event-log-max-mb, replayed
+// offline with sigrec-analyze. On drain the retained flight-recorder
+// traces are dumped into the log before it is fsynced closed. -debug-addr
+// starts a second listener with net/http/pprof, /debug/slowest, and
+// /debug/events, kept off the service port.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,6 +47,8 @@ import (
 	"time"
 
 	"sigrec"
+	"sigrec/internal/core"
+	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
 	"sigrec/internal/server"
 )
@@ -66,6 +75,9 @@ func run() error {
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 		debugAddr = flag.String("debug-addr", "", "listen address for pprof + /debug/slowest (empty = disabled)")
 		slowest   = flag.Int("trace-slowest", obs.DefaultSlowest, "recoveries retained in the flight recorder (0 = tracing off)")
+		eventLog  = flag.String("event-log", "", "path for the durable wide-event log, one NDJSON record per recovery (empty = disabled)")
+		eventMB   = flag.Int("event-log-max-mb", 64, "rotate the event log past this many MB per segment")
+		sampleR   = flag.Float64("sample-rate", 1, "keep probability for fast, successful recoveries in the event log; errors, truncations, and the slow tail are always kept")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -83,6 +95,18 @@ func run() error {
 	if *slowest > 0 {
 		tracer = obs.New(obs.Config{Slowest: *slowest})
 	}
+	var events *eventlog.Writer
+	if *eventLog != "" {
+		events, err = eventlog.New(eventlog.Config{
+			Path:       *eventLog,
+			MaxBytes:   int64(*eventMB) << 20,
+			SampleRate: *sampleR,
+			Registry:   core.Metrics(),
+		})
+		if err != nil {
+			return err
+		}
+	}
 
 	srv := server.New(server.Config{
 		Workers:      *workers,
@@ -94,6 +118,7 @@ func run() error {
 		MaxBodyBytes: *maxBody,
 		Logger:       logger,
 		Tracer:       tracer,
+		EventLog:     events,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -111,7 +136,7 @@ func run() error {
 	if *debugAddr != "" {
 		dbg = &http.Server{
 			Addr:              *debugAddr,
-			Handler:           server.DebugHandler(tracer),
+			Handler:           server.DebugHandler(tracer, events),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
@@ -134,6 +159,9 @@ func run() error {
 		"cache_entries", *cache,
 		"max_body", rc.MaxBodyBytes,
 		"tracing", tracer != nil,
+		"event_log", *eventLog,
+		"event_log_max_mb", *eventMB,
+		"sample_rate", *sampleR,
 		"version", ver,
 		"go_version", goVer,
 	)
@@ -155,6 +183,30 @@ func run() error {
 	derr := srv.Drain(sctx)
 	if dbg != nil {
 		_ = dbg.Shutdown(sctx)
+	}
+	// The flight recorder's retained span trees would die with the process;
+	// dump them into the durable event log as an auxiliary record (or to
+	// stderr when no log is configured) so the last slow/truncated traces
+	// survive the restart. Then close the log: drain, flush, fsync.
+	if tracer != nil {
+		snap := tracer.Recorder().Snapshot()
+		if len(snap.Slowest) > 0 || len(snap.Truncated) > 0 {
+			if events != nil {
+				if seq := events.EmitAux("flight_recorder", snap); seq == 0 {
+					logger.Warn("flight-recorder dump dropped (event log closed or queue full)")
+				}
+			} else {
+				enc := json.NewEncoder(os.Stderr)
+				if err := enc.Encode(map[string]any{"kind": "flight_recorder", "data": snap}); err != nil {
+					logger.Warn("flight-recorder dump failed", "err", err)
+				}
+			}
+		}
+	}
+	if events != nil {
+		if err := events.Close(); err != nil {
+			logger.Error("event log close failed", "err", err)
+		}
 	}
 	if err := sigrec.WriteMetrics(os.Stderr); err == nil {
 		logger.Info("sigrecd drained")

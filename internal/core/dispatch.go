@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sigrec/internal/eventlog"
 	"sigrec/internal/evm"
 	"sigrec/internal/obs"
 )
@@ -18,16 +19,17 @@ func ExtractSelectors(program *Program) [][4]byte {
 // and additionally reports whether the exploration was truncated (the
 // selector list may then be incomplete).
 func extractSelectors(program *Program, lim limits) ([][4]byte, bool) {
-	return extractSelectorsSpan(program, lim, nil)
+	return extractSelectorsSpan(program, lim, nil, nil)
 }
 
 // extractSelectorsSpan is extractSelectors with the exploration's counters
-// attached to sp when tracing is on.
-func extractSelectorsSpan(program *Program, lim limits, sp *obs.Span) ([][4]byte, bool) {
+// attached to sp when tracing is on and folded into the recovery's wide
+// event when ev is non-nil.
+func extractSelectorsSpan(program *Program, lim limits, sp *obs.Span, ev *eventlog.Event) ([][4]byte, bool) {
 	t := newTASE(program, nil, lim) // selWord nil: the selector stays symbolic
 	events := t.run()
 	annotateTASE(sp, t, "")
-	finishTASE(t)
+	finishTASE(t, ev)
 	var out [][4]byte
 	seen := make(map[[4]byte]bool)
 	for _, ev := range events {

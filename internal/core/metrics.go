@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
 	"sigrec/internal/telemetry"
 )
@@ -12,12 +13,19 @@ var tel = telemetry.NewRegistry()
 
 func init() {
 	// Every exposition of the pipeline registry (CLI -stats, sigrecd
-	// /metrics) carries the binary's identity.
+	// /metrics) carries the binary's identity, and runtime self-metrics
+	// (goroutines, heap, GC-pause/sched-latency p99) refreshed per scrape.
 	obs.RegisterBuildInfo(tel)
+	obs.RegisterRuntimeMetrics(tel)
 	tel.SetHelp("sigrec_rule_fired_total", "Inference-rule applications by rule (R1-R31, the paper's Fig. 19 live)")
 	tel.SetHelp("sigrec_truncations_total", "Budget-truncated TASE explorations by cause")
 	tel.SetHelp("sigrec_build_info", "Build identity; constant 1")
 	tel.SetHelp("sigrec_recover_duration_microseconds", "Whole-contract recovery latency (E3 buckets)")
+	tel.SetHelp("sigrec_recover_latency_microseconds", "Whole-contract recovery latency (streaming CKMS quantiles)")
+	tel.SetHelp("sigrec_phase_disasm_microseconds", "Disassembly phase latency per recovery")
+	tel.SetHelp("sigrec_phase_dispatch_microseconds", "Dispatcher selector-extraction latency per recovery")
+	tel.SetHelp("sigrec_phase_explore_microseconds", "TASE exploration latency per recovery, summed over selectors")
+	tel.SetHelp("sigrec_phase_infer_microseconds", "Type-inference latency per recovery, summed over selectors")
 }
 
 // Pre-resolved instruments so the hot path never touches the registry map.
@@ -50,6 +58,16 @@ var (
 
 	// mTruncCause breaks truncations down by which budget was hit.
 	mTruncCause = tel.CounterVec("sigrec_truncations_total", "cause")
+
+	// Streaming-quantile summaries: true p50/p95/p99 on the exposition
+	// without pre-chosen bucket bounds. sRecoverUS complements the E3
+	// histogram (kept for bucket-compatible dashboards); the phase
+	// summaries attribute where recovery time goes.
+	sRecoverUS  = tel.Summary("sigrec_recover_latency_microseconds", nil)
+	sDisasmUS   = tel.Summary("sigrec_phase_disasm_microseconds", nil)
+	sDispatchUS = tel.Summary("sigrec_phase_dispatch_microseconds", nil)
+	sExploreUS  = tel.Summary("sigrec_phase_explore_microseconds", nil)
+	sInferUS    = tel.Summary("sigrec_phase_infer_microseconds", nil)
 )
 
 // mRuleFired holds one pre-resolved counter per inference rule, indexed by
@@ -71,11 +89,23 @@ var mRuleFired = func() [NumRules + 1]*telemetry.Counter {
 // single run.
 func Metrics() *telemetry.Registry { return tel }
 
-// finishTASE folds one finished exploration into the aggregate counters
-// and retires the engine's interner. Per-trace counts are accumulated
+// finishTASE folds one finished exploration into the aggregate counters —
+// and, when a wide event is being built for the recovery, into the event —
+// then retires the engine's interner. Per-trace counts are accumulated
 // locally during exploration and flushed here in one shot, so the hot loop
-// never touches an atomic.
-func finishTASE(t *tase) {
+// never touches an atomic. ev nil is the events-off path.
+func finishTASE(t *tase, ev *eventlog.Event) {
+	if ev != nil {
+		ev.Paths += int64(t.paths)
+		ev.Steps += int64(t.totSteps)
+		ev.Pruned += int64(t.pruned)
+		if t.it != nil {
+			ev.AddIntern(t.it.hits, t.it.misses)
+		}
+		if t.trunc && ev.TruncCause == "" {
+			ev.TruncCause = t.truncationCause()
+		}
+	}
 	mPathsExplored.Add(uint64(t.paths))
 	mPathsPruned.Add(uint64(t.pruned))
 	mTASESteps.Add(uint64(t.totSteps))

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sigrec/internal/abi"
+	"sigrec/internal/eventlog"
 	"sigrec/internal/evm"
 	"sigrec/internal/obs"
 )
@@ -40,6 +41,11 @@ type Options struct {
 	// test enforces it); this exists as an operational escape hatch and
 	// for A/B benchmarking.
 	DisableInterning bool
+	// EventLog, when non-nil, receives one wide event per recovery —
+	// including cache hits, which are marked Cache:"hit" — so the durable
+	// log's totals line up 1:1 with the recovery counters on /metrics.
+	// Emission is asynchronous and never blocks the recovery.
+	EventLog *eventlog.Writer
 }
 
 // limits translates caller options into exploration bounds. The deadline
@@ -106,15 +112,49 @@ func Recover(code []byte) (Result, error) {
 // telemetry (see Metrics).
 func RecoverContext(ctx context.Context, code []byte, opts Options) (Result, error) {
 	start := time.Now()
+	sc := eventlog.ScopeFromContext(ctx)
+	var requestID string
+	if sc != nil {
+		requestID = sc.RequestID
+	}
 	if opts.Cache != nil {
 		if res, err, ok := opts.Cache.lookup(code); ok {
-			obs.FromContext(ctx).SetStr("cache", "hit")
+			rec := obs.FromContext(ctx)
+			rec.SetStr("cache", "hit")
 			mRecoveries.Inc()
-			mRecoverUS.ObserveDuration(time.Since(start))
+			us := uint64(time.Since(start).Microseconds())
+			mRecoverUS.ObserveExemplar(us, requestID)
+			sRecoverUS.Observe(us)
+			if opts.EventLog != nil {
+				ev := &eventlog.Event{
+					RequestID: requestID,
+					DurUS:     int64(us),
+					CodeBytes: len(code),
+					Functions: len(res.Functions),
+					Truncated: res.Truncated,
+					Cache:     "hit",
+				}
+				if sc != nil {
+					ev.QueueUS = sc.QueueUS
+				}
+				if err != nil {
+					ev.Error = err.Error()
+				}
+				if seq := opts.EventLog.Emit(ev); seq != 0 {
+					rec.SetEventSeq(seq)
+				}
+			}
 			return res, err
 		}
 	}
-	res, err := recoverUncached(ctx, code, opts)
+	var ev *eventlog.Event
+	if opts.EventLog != nil {
+		ev = &eventlog.Event{RequestID: requestID, CodeBytes: len(code)}
+		if sc != nil {
+			ev.QueueUS = sc.QueueUS
+		}
+	}
+	res, err := recoverUncached(ctx, code, opts, ev)
 	if opts.Cache != nil && cacheable(res, err) {
 		opts.Cache.store(code, res, err)
 	}
@@ -126,7 +166,28 @@ func RecoverContext(ctx context.Context, code []byte, opts Options) (Result, err
 		mTruncated.Inc()
 	}
 	mFunctions.Add(uint64(len(res.Functions)))
-	mRecoverUS.ObserveDuration(time.Since(start))
+	us := uint64(time.Since(start).Microseconds())
+	mRecoverUS.ObserveExemplar(us, requestID)
+	sRecoverUS.Observe(us)
+	if ev != nil {
+		ev.DurUS = int64(us)
+		ev.Functions = len(res.Functions)
+		ev.Truncated = res.Truncated
+		if err != nil {
+			ev.Error = err.Error()
+		}
+		for r := 1; r <= NumRules; r++ {
+			if n := res.Rules[r]; n > 0 {
+				if ev.RuleFires == nil {
+					ev.RuleFires = make(map[string]uint64, 4)
+				}
+				ev.RuleFires[RuleID(r).String()] = n
+			}
+		}
+		if seq := opts.EventLog.Emit(ev); seq != 0 {
+			obs.FromContext(ctx).SetEventSeq(seq)
+		}
+	}
 	return res, err
 }
 
@@ -139,7 +200,7 @@ func hexSelector(sel [4]byte) string {
 	return string(b[:])
 }
 
-func recoverUncached(ctx context.Context, code []byte, opts Options) (Result, error) {
+func recoverUncached(ctx context.Context, code []byte, opts Options, ev *eventlog.Event) (Result, error) {
 	if len(code) == 0 {
 		return Result{}, errors.New("core: empty bytecode")
 	}
@@ -148,10 +209,16 @@ func recoverUncached(ctx context.Context, code []byte, opts Options) (Result, er
 	rec := obs.FromContext(ctx)
 	lim := opts.limits(ctx)
 
+	// Phase boundaries are clocked unconditionally (a handful of monotonic
+	// reads against ms-scale phases): the per-phase quantile summaries and
+	// the wide event need them whether or not tracing is armed.
+	t0 := time.Now()
+
 	// Each phase boundary shares one clock read (NowUS) between the ending
 	// span and the starting one, halving the tracer's clock cost.
 	dsp := rec.Span("disassemble")
 	program := evm.Disassemble(code)
+	t1 := time.Now()
 	var now int64
 	if dsp != nil {
 		dsp.SetAttrs(
@@ -163,13 +230,30 @@ func recoverUncached(ctx context.Context, code []byte, opts Options) (Result, er
 	}
 
 	ssp := rec.SpanAt("dispatch", now)
-	selectors, dispTrunc := extractSelectorsSpan(program, lim, ssp)
+	selectors, dispTrunc := extractSelectorsSpan(program, lim, ssp, ev)
+	t2 := time.Now()
 	if ssp != nil {
 		ssp.SetInt("selectors", int64(len(selectors)))
 		now = rec.NowUS()
 		ssp.EndAt(now)
 	}
+	disasmD, dispatchD := t1.Sub(t0), t2.Sub(t1)
+	var exploreD, inferD time.Duration
+	recordPhases := func() {
+		sDisasmUS.Observe(uint64(disasmD.Microseconds()))
+		sDispatchUS.Observe(uint64(dispatchD.Microseconds()))
+		sExploreUS.Observe(uint64(exploreD.Microseconds()))
+		sInferUS.Observe(uint64(inferD.Microseconds()))
+		if ev != nil {
+			ev.DisasmUS = disasmD.Microseconds()
+			ev.DispatchUS = dispatchD.Microseconds()
+			ev.ExploreUS = exploreD.Microseconds()
+			ev.InferUS = inferD.Microseconds()
+			ev.Selectors = len(selectors)
+		}
+	}
 	if len(selectors) == 0 {
+		recordPhases()
 		return Result{Truncated: dispTrunc}, ErrNoFunctions
 	}
 	res := Result{Truncated: dispTrunc}
@@ -180,14 +264,17 @@ func recoverUncached(ctx context.Context, code []byte, opts Options) (Result, er
 		if rec != nil {
 			selHex = hexSelector(sel)
 		}
+		p0 := time.Now()
 		esp := rec.SpanAt("explore", now)
-		tr := traceFunctionSpan(program, sel, lim, esp, selHex)
+		tr := traceFunctionSpan(program, sel, lim, esp, selHex, ev)
+		p1 := time.Now()
 		if esp != nil {
 			now = rec.NowUS()
 			esp.EndAt(now)
 		}
 		isp := rec.SpanAt("infer", now)
 		d := Infer(tr)
+		p2 := time.Now()
 		if isp != nil {
 			isp.SetAttrs(
 				obs.Attr{Key: "selector", Str: selHex},
@@ -197,6 +284,8 @@ func recoverUncached(ctx context.Context, code []byte, opts Options) (Result, er
 			now = rec.NowUS()
 			isp.EndAt(now)
 		}
+		exploreD += p1.Sub(p0)
+		inferD += p2.Sub(p1)
 		res.Rules.Add(d.Stats)
 		res.Functions = append(res.Functions, RecoveredFunction{
 			Selector:   abi.Selector(sel),
@@ -207,6 +296,7 @@ func recoverUncached(ctx context.Context, code []byte, opts Options) (Result, er
 		})
 		res.Truncated = res.Truncated || tr.Truncated
 	}
+	recordPhases()
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"sigrec/internal/eventlog"
 	"sigrec/internal/evm"
 	"sigrec/internal/obs"
 )
@@ -839,19 +840,20 @@ func TraceFunction(program *Program, selector [4]byte) Trace {
 // reports exploration counters into the pipeline telemetry and recycles
 // the engine's interner.
 func traceFunction(program *Program, selector [4]byte, lim limits) Trace {
-	return traceFunctionSpan(program, selector, lim, nil, "")
+	return traceFunctionSpan(program, selector, lim, nil, "", nil)
 }
 
 // traceFunctionSpan is traceFunction with the exploration's counters
 // (selector, paths, steps, intern hit rate, truncation cause) attached to
-// sp when tracing is on; sp nil is the zero-cost untraced path.
-func traceFunctionSpan(program *Program, selector [4]byte, lim limits, sp *obs.Span, selHex string) Trace {
+// sp when tracing is on and folded into the recovery's wide event when ev
+// is non-nil; sp/ev nil is the zero-cost untraced path.
+func traceFunctionSpan(program *Program, selector [4]byte, lim limits, sp *obs.Span, selHex string, ev *eventlog.Event) Trace {
 	var b [32]byte
 	copy(b[:], selector[:])
 	selWord := evm.WordFromBytes(b[:])
 	t := newTASE(program, &selWord, lim)
 	events := t.run()
 	annotateTASE(sp, t, selHex)
-	finishTASE(t)
+	finishTASE(t, ev)
 	return Trace{Selector: selector, Events: events, Truncated: t.trunc}
 }

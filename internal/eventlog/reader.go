@@ -1,0 +1,104 @@
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segments returns the on-disk segments for an event log base path,
+// oldest first: path.N ... path.2, path.1, then the active path itself.
+// Missing segments (including a missing active file when only rotations
+// remain) are skipped; an empty slice means no log exists at all.
+func Segments(path string) []string {
+	type seg struct {
+		n int // 0 = active file, higher = older
+		p string
+	}
+	var segs []seg
+	if _, err := os.Stat(path); err == nil {
+		segs = append(segs, seg{0, path})
+	}
+	dir := path + "."
+	for i := 1; ; i++ {
+		p := dir + strconv.Itoa(i)
+		if _, err := os.Stat(p); err != nil {
+			break
+		}
+		segs = append(segs, seg{i, p})
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].n > segs[b].n })
+	out := make([]string, len(segs))
+	for i, s := range segs {
+		out[i] = s.p
+	}
+	return out
+}
+
+// ReadFile decodes recovery events from one NDJSON segment. Auxiliary
+// records (Kind != "") and malformed lines are skipped — a torn final
+// line from a crashed writer must not poison the rest of the analysis.
+// skipped reports how many non-empty lines were not decodable.
+func ReadFile(path string) (events []Event, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("eventlog: %w", err)
+	}
+	defer f.Close()
+	ev, sk, err := readAll(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("eventlog: %s: %w", path, err)
+	}
+	return ev, sk, nil
+}
+
+func readAll(r io.Reader) (events []Event, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev Event
+		if json.Unmarshal([]byte(line), &ev) != nil {
+			skipped++
+			continue
+		}
+		if ev.Kind != "" {
+			continue
+		}
+		events = append(events, ev)
+	}
+	return events, skipped, sc.Err()
+}
+
+// ReadLog reads every segment of an event log (rotated plus active),
+// oldest first, concatenating their recovery events. paths may name the
+// active file or any single segment; rotation siblings of each named base
+// are expanded automatically, and explicit ".N" segment paths are read
+// as-is.
+func ReadLog(path string) (events []Event, skipped int, err error) {
+	segs := Segments(path)
+	if len(segs) == 0 {
+		// Maybe the caller named a rotated segment directly.
+		if _, serr := os.Stat(path); serr != nil {
+			return nil, 0, fmt.Errorf("eventlog: no segments at %s", path)
+		}
+		segs = []string{path}
+	}
+	for _, p := range segs {
+		ev, sk, rerr := ReadFile(p)
+		if rerr != nil {
+			return events, skipped, rerr
+		}
+		events = append(events, ev...)
+		skipped += sk
+	}
+	return events, skipped, nil
+}

@@ -1,0 +1,94 @@
+package eventlog
+
+import (
+	"sync/atomic"
+)
+
+// sampler implements tail-based sampling: the keep/drop decision is made
+// after the recovery finished, with its outcome in hand (Dapper-style
+// tail sampling, decided per event rather than per trace tree).
+//
+// Policy, in order:
+//
+//  1. Errors and truncations are always kept — the rare events an
+//     incident review needs are never sampled away, and their log totals
+//     stay exact.
+//  2. The slow tail is always kept: any event at or above a decaying
+//     duration threshold. The threshold self-tunes — it rises toward the
+//     duration of each slow event it admits and decays on each fast one —
+//     so it tracks (approximately) the slowest percentile of the recent
+//     stream regardless of the workload's absolute speed.
+//  3. The fast bulk is sampled probabilistically at the configured rate
+//     (rate >= 1 keeps everything, making the log lossless).
+type sampler struct {
+	// rate is the keep probability for the fast bulk.
+	rate float64
+	// thresholdUS is the decaying slow threshold. Events at or above it
+	// are kept unconditionally.
+	thresholdUS atomic.Int64
+	// rng is a splitmix-style counter-based generator: cheap, lock-free,
+	// and deterministic enough for sampling (not cryptographic).
+	rng atomic.Uint64
+}
+
+// Threshold rise/decay shift factors. A slow event pulls the threshold
+// 1/8 of the way up toward its duration; a fast event decays it by
+// 1/1024. At equilibrium roughly decayShift-riseShift ≈ 7 bits of the
+// stream (~1/128 of events) land above the threshold — the "slowest
+// percentile" retained besides the probabilistic bulk.
+const (
+	riseShift  = 3
+	decayShift = 10
+)
+
+func newSampler(rate float64, seed uint64) *sampler {
+	s := &sampler{rate: rate}
+	s.rng.Store(seed)
+	return s
+}
+
+// keep decides whether the finished event enters the log, and returns the
+// class that kept it ("outcome", "slow", "bulk") or "" when sampled out.
+func (s *sampler) keep(e *Event) (bool, string) {
+	if e.Error != "" || e.Truncated {
+		return true, "outcome"
+	}
+	th := s.thresholdUS.Load()
+	if e.DurUS >= th {
+		// Slow tail: admit and pull the threshold up toward this duration.
+		// A racing update loses at most one adjustment step; precision is
+		// not required here.
+		s.thresholdUS.Store(th + (e.DurUS-th)>>riseShift + 1)
+		return true, "slow"
+	}
+	// Fast bulk: decay the threshold so it keeps tracking the stream,
+	// then sample at the configured rate.
+	if dec := th >> decayShift; dec > 0 {
+		s.thresholdUS.Store(th - dec)
+	}
+	if s.rate >= 1 {
+		return true, "bulk"
+	}
+	if s.rate <= 0 {
+		return false, ""
+	}
+	if s.randFloat() < s.rate {
+		return true, "bulk"
+	}
+	return false, ""
+}
+
+// randFloat returns a uniform float64 in [0,1) from a splitmix64 step.
+func (s *sampler) randFloat() float64 {
+	x := s.rng.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// thresholdNow reports the current slow threshold, for tests and the
+// writer's metrics gauge.
+func (s *sampler) thresholdNow() int64 { return s.thresholdUS.Load() }

@@ -9,7 +9,11 @@ import (
 // outcome, and the full span tree. Records are immutable once added (the
 // recovery is finished before it is offered), so snapshots share pointers.
 type Record struct {
-	RequestID string    `json:"request_id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	// EventSeq is the wide-event log sequence number of this recovery's
+	// event (0 when no event log was configured) — the offset to pull the
+	// full denormalized record back out of the log.
+	EventSeq  uint64    `json:"event_seq,omitempty"`
 	Start     time.Time `json:"start"`
 	DurUS     int64     `json:"dur_us"`
 	Truncated bool      `json:"truncated,omitempty"`

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFlightRecorderConcurrentEviction hammers the recorder from many
+// writer goroutines with durations chosen to force constant displacement
+// in the slowest table and constant wrap in the truncated ring, while
+// readers snapshot concurrently. Run under -race this pins down the
+// retention invariants during eviction: the slowest table stays sorted,
+// capped, and duplicate-free; the ring caps at its size; counts equal
+// offered traffic; and snapshots never observe a half-updated structure.
+func TestFlightRecorderConcurrentEviction(t *testing.T) {
+	const (
+		maxSlow  = 8
+		maxTrunc = 8
+		writers  = 8
+		perW     = 500
+	)
+	tr := New(Config{Slowest: maxSlow, Truncated: maxTrunc})
+	fr := tr.Recorder()
+
+	var writersWG, readersWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers: every snapshot must be internally consistent.
+	for r := 0; r < 2; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := fr.Snapshot()
+				if len(s.Slowest) > maxSlow || len(s.Truncated) > maxTrunc {
+					panic(fmt.Sprintf("snapshot overflow: %d slowest, %d truncated",
+						len(s.Slowest), len(s.Truncated)))
+				}
+				for i := 1; i < len(s.Slowest); i++ {
+					if s.Slowest[i-1].DurUS < s.Slowest[i].DurUS {
+						panic("slowest not sorted during eviction")
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perW; i++ {
+				_, rec := tr.StartRecovery(context.Background(), fmt.Sprintf("w%d-%d", w, i))
+				// Alternate truncated recoveries so the ring wraps constantly;
+				// varying real durations mean later recoveries keep displacing
+				// retained ones from the slowest table.
+				rec.Finish(i%2 == 0, nil)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+
+	s := fr.Snapshot()
+	if s.Recoveries != writers*perW {
+		t.Fatalf("seen %d recoveries, want %d", s.Recoveries, writers*perW)
+	}
+	if s.TruncatedSeen != writers*perW/2 {
+		t.Fatalf("seen %d truncated, want %d", s.TruncatedSeen, writers*perW/2)
+	}
+	if len(s.Slowest) != maxSlow || len(s.Truncated) != maxTrunc {
+		t.Fatalf("retained %d slowest / %d truncated, want %d/%d",
+			len(s.Slowest), len(s.Truncated), maxSlow, maxTrunc)
+	}
+	seen := map[*Record]bool{}
+	for i, r := range s.Slowest {
+		if seen[r] {
+			t.Fatalf("slowest[%d] duplicated after concurrent eviction", i)
+		}
+		seen[r] = true
+		if i > 0 && s.Slowest[i-1].DurUS < r.DurUS {
+			t.Fatalf("slowest not sorted: [%d]=%d after %d", i, r.DurUS, s.Slowest[i-1].DurUS)
+		}
+	}
+	for i, r := range s.Truncated {
+		if !r.Truncated {
+			t.Fatalf("truncated ring entry %d is not truncated", i)
+		}
+	}
+}

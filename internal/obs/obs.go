@@ -128,6 +128,10 @@ type Recovery struct {
 	tracer    *Tracer
 	requestID string
 	start     time.Time
+	// eventSeq is the wide-event log sequence number of this recovery's
+	// event, when an event log is configured — the join key from a span
+	// tree back to the durable log. Set by the pipeline before Finish.
+	eventSeq uint64
 
 	finished atomic.Bool
 	Root     Span
@@ -208,6 +212,16 @@ func (r *Recovery) SetStr(key, v string) {
 	r.Root.SetStr(key, v)
 }
 
+// SetEventSeq records the recovery's wide-event log sequence number, so
+// the flight-recorder record and the trace text carry the offset needed
+// to pull the full event line back out of the log. Nil-safe.
+func (r *Recovery) SetEventSeq(seq uint64) {
+	if r == nil || r.finished.Load() {
+		return
+	}
+	r.eventSeq = seq
+}
+
 // Finish closes the recovery: the root span's duration is fixed, further
 // span operations become no-ops, and the tree is offered to the tracer's
 // flight recorder (kept when truncated or among the slowest). err of nil
@@ -220,6 +234,7 @@ func (r *Recovery) Finish(truncated bool, err error) {
 	r.Root.DurUS = r.sinceUS()
 	rec := &Record{
 		RequestID: r.requestID,
+		EventSeq:  r.eventSeq,
 		Start:     r.start,
 		DurUS:     r.Root.DurUS,
 		Truncated: truncated,
@@ -232,10 +247,27 @@ func (r *Recovery) Finish(truncated bool, err error) {
 }
 
 // WriteText renders the recovery's span tree as indented text, one span
-// per line with its duration and attributes. Nil-safe.
+// per line with its duration and attributes, headed by the request id and
+// (when an event log is configured) the wide-event sequence number that
+// locates this recovery's full record in the log. Nil-safe.
 func (r *Recovery) WriteText(w io.Writer) {
 	if r == nil {
 		return
+	}
+	if r.requestID != "" || r.eventSeq != 0 {
+		var b strings.Builder
+		if r.requestID != "" {
+			b.WriteString("request_id=")
+			b.WriteString(r.requestID)
+		}
+		if r.eventSeq != 0 {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "event_seq=%d", r.eventSeq)
+		}
+		b.WriteByte('\n')
+		io.WriteString(w, b.String())
 	}
 	writeSpanText(w, &r.Root, 0)
 }

@@ -207,17 +207,20 @@ func TestWriteText(t *testing.T) {
 	rec.WriteText(&b)
 	out := b.String()
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) != 3 {
+	if len(lines) != 4 {
 		t.Fatalf("got %d lines:\n%s", len(lines), out)
 	}
-	if !strings.HasPrefix(lines[0], "recovery ") {
-		t.Fatalf("line 0 = %q", lines[0])
+	if lines[0] != "request_id=req" {
+		t.Fatalf("line 0 = %q, want request_id header", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "  selector ") || !strings.Contains(lines[1], "selector=0xdeadbeef") {
+	if !strings.HasPrefix(lines[1], "recovery ") {
 		t.Fatalf("line 1 = %q", lines[1])
 	}
-	if !strings.HasPrefix(lines[2], "    explore ") || !strings.Contains(lines[2], "paths=7") {
+	if !strings.HasPrefix(lines[2], "  selector ") || !strings.Contains(lines[2], "selector=0xdeadbeef") {
 		t.Fatalf("line 2 = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "    explore ") || !strings.Contains(lines[3], "paths=7") {
+		t.Fatalf("line 3 = %q", lines[3])
 	}
 }
 

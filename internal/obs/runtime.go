@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"runtime/metrics"
+
+	"sigrec/internal/telemetry"
+)
+
+// RegisterRuntimeMetrics exposes Go runtime self-metrics on the registry:
+// goroutine count, live heap bytes, and the p99 of the runtime's GC-pause
+// and scheduler-latency distributions. Values are refreshed at snapshot
+// (scrape) time via an OnSnapshot hook — no background poller — so each
+// scrape sees the runtime as of that scrape. The percentiles read the
+// runtime's cumulative-since-start histograms.
+func RegisterRuntimeMetrics(reg *telemetry.Registry) {
+	reg.SetHelp("go_goroutines", "Live goroutines")
+	reg.SetHelp("go_heap_alloc_bytes", "Bytes of live heap objects")
+	reg.SetHelp("go_gc_pause_p99_microseconds", "p99 stop-the-world GC pause since process start")
+	reg.SetHelp("go_sched_latency_p99_microseconds", "p99 goroutine scheduling latency since process start")
+	var (
+		gGoroutines = reg.Gauge("go_goroutines")
+		gHeap       = reg.Gauge("go_heap_alloc_bytes")
+		gGCPause    = reg.Gauge("go_gc_pause_p99_microseconds")
+		gSchedLat   = reg.Gauge("go_sched_latency_p99_microseconds")
+	)
+	samples := []metrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/pauses:seconds"},
+		{Name: "/sched/latencies:seconds"},
+	}
+	reg.OnSnapshot(func() {
+		metrics.Read(samples)
+		if v := samples[0].Value; v.Kind() == metrics.KindUint64 {
+			gGoroutines.Set(int64(v.Uint64()))
+		}
+		if v := samples[1].Value; v.Kind() == metrics.KindUint64 {
+			gHeap.Set(int64(v.Uint64()))
+		}
+		if v := samples[2].Value; v.Kind() == metrics.KindFloat64Histogram {
+			gGCPause.Set(histP99Microseconds(v.Float64Histogram()))
+		}
+		if v := samples[3].Value; v.Kind() == metrics.KindFloat64Histogram {
+			gSchedLat.Set(histP99Microseconds(v.Float64Histogram()))
+		}
+	})
+}
+
+// histP99Microseconds extracts the 99th percentile from a runtime
+// seconds-valued histogram, reported in microseconds (upper bucket bound,
+// so the estimate never understates).
+func histP99Microseconds(h *metrics.Float64Histogram) int64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(float64(total)*0.99 + 0.5)
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans [Buckets[i], Buckets[i+1]); report the upper
+			// bound. The final bucket's bound can be +Inf — fall back to its
+			// lower bound then.
+			ub := h.Buckets[i+1]
+			if ub > 1e12 || ub != ub { // +Inf or NaN guard
+				ub = h.Buckets[i]
+			}
+			return int64(ub * 1e6)
+		}
+	}
+	return 0
+}

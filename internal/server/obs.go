@@ -6,8 +6,10 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
+	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
 )
 
@@ -86,10 +88,44 @@ func (s *Server) handleSlowest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cfg.Tracer.Recorder().Snapshot())
 }
 
+// --- GET /debug/events ---
+
+// defaultEventTail is how many recent wide events /debug/events returns
+// when the request carries no n parameter.
+const defaultEventTail = 50
+
+// handleEvents tails the wide-event log: the most recent NDJSON lines,
+// newest last, straight from the writer's in-memory ring (no disk read).
+// ?n= bounds the line count.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	serveEventTail(w, r, s.cfg.EventLog)
+}
+
+func serveEventTail(w http.ResponseWriter, r *http.Request, log *eventlog.Writer) {
+	if log == nil {
+		writeError(w, http.StatusNotFound, "event log disabled (start the server with -event-log)")
+		return
+	}
+	n := defaultEventTail
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, line := range log.Tail(n) {
+		_, _ = w.Write(line)
+	}
+}
+
 // DebugHandler returns the diagnostics mux sigrecd serves on -debug-addr:
-// the net/http/pprof endpoints plus the flight recorder. It is separate
-// from the main handler so profiling can stay off the service port.
-func DebugHandler(tracer *obs.Tracer) http.Handler {
+// the net/http/pprof endpoints, the flight recorder, and the wide-event
+// tail. It is separate from the main handler so profiling can stay off
+// the service port. events may be nil (the endpoint then answers 404).
+func DebugHandler(tracer *obs.Tracer, events *eventlog.Writer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -98,6 +134,9 @@ func DebugHandler(tracer *obs.Tracer) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/slowest", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, tracer.Recorder().Snapshot())
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEventTail(w, r, events)
 	})
 	return mux
 }

@@ -8,11 +8,13 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 
+	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
 	"sigrec/internal/telemetry"
 )
@@ -224,11 +226,12 @@ func TestObsMetricsConformance(t *testing.T) {
 	}
 }
 
-// TestObsDebugHandler exercises the -debug-addr mux: pprof answers and
-// /debug/slowest serves the shared tracer's recorder.
+// TestObsDebugHandler exercises the -debug-addr mux: pprof answers,
+// /debug/slowest serves the shared tracer's recorder, and /debug/events
+// answers 404 without an event log but tails it when configured.
 func TestObsDebugHandler(t *testing.T) {
 	tracer := obs.New(obs.Config{})
-	ts := httptest.NewServer(DebugHandler(tracer))
+	ts := httptest.NewServer(DebugHandler(tracer, nil))
 	defer ts.Close()
 
 	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/slowest"} {
@@ -241,6 +244,35 @@ func TestObsDebugHandler(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET %s = %d", path, resp.StatusCode)
 		}
+	}
+	resp, err := http.Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/events without a log = %d, want 404", resp.StatusCode)
+	}
+
+	w, err := eventlog.New(eventlog.Config{Path: filepath.Join(t.TempDir(), "ev.ndjson")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Emit(&eventlog.Event{RequestID: "tail-me", DurUS: 7})
+	if err := w.Close(); err != nil { // flushes the tail ring too
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(DebugHandler(tracer, w))
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/debug/events?n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "tail-me") {
+		t.Fatalf("GET /debug/events = %d body %q", resp.StatusCode, body)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"sigrec/internal/core"
+	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
 )
 
@@ -81,6 +82,11 @@ type Config struct {
 	// recovery gets a span tree and the slowest/truncated ones are retained
 	// in the tracer's flight recorder, served at GET /debug/slowest.
 	Tracer *obs.Tracer
+	// EventLog, when non-nil, receives one wide event per recovery run by
+	// the pipeline (server-level cache hits and coalesced waiters emit
+	// nothing — they run no recovery). The most recent events are also
+	// served at GET /debug/events.
+	EventLog *eventlog.Writer
 }
 
 // Server is the HTTP serving layer. Create with New, expose with Handler,
@@ -129,6 +135,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/slowest", s.handleSlowest)
+	mux.HandleFunc("GET /debug/events", s.handleEvents)
 	s.mux = mux
 	return s
 }
@@ -157,7 +164,7 @@ func (s *Server) Drain(ctx context.Context) error {
 // cache is not set here: caching and coalescing happen one level up in
 // Cache.GetOrCompute.
 func (s *Server) options() core.Options {
-	return core.Options{StepBudget: s.cfg.StepBudget, MaxPaths: s.cfg.MaxPaths}
+	return core.Options{StepBudget: s.cfg.StepBudget, MaxPaths: s.cfg.MaxPaths, EventLog: s.cfg.EventLog}
 }
 
 // recoverItem runs one contract through coalescing, admission, and the
@@ -196,11 +203,17 @@ func (s *Server) runPooled(ctx context.Context, code []byte, blocking bool) (cor
 	)
 	// The queue span measures admission wait: started before submit, ended
 	// when a worker picks the job up (or submission fails). Nil-safe when
-	// the request is untraced.
+	// the request is untraced. The same wait goes into the wide-event scope
+	// (the worker sets it before the recovery runs, on its own goroutine,
+	// so no synchronization is needed).
+	qStart := time.Now()
 	qsp := obs.FromContext(ctx).Span("queue")
 	j := &job{done: make(chan struct{})}
 	j.run = func() {
 		qsp.End()
+		if sc := eventlog.ScopeFromContext(ctx); sc != nil {
+			sc.QueueUS = time.Since(qStart).Microseconds()
+		}
 		// The worker owns the recovery from here: it appends every pipeline
 		// span and finishes the trace (obs recoveries are single-writer).
 		// Requests that never reach a worker — shed, coalesced onto another
@@ -268,8 +281,10 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The worker that runs the recovery also finishes the trace (see
-	// runPooled); the handler only arms the context.
-	ctx, _ := s.cfg.Tracer.StartRecovery(r.Context(), requestID)
+	// runPooled); the handler only arms the context — the tracer's span
+	// tree and the wide-event scope both ride it.
+	ctx, _ := eventlog.NewContext(r.Context(), requestID)
+	ctx, _ = s.cfg.Tracer.StartRecovery(ctx, requestID)
 	res, err := s.recoverItem(ctx, code, false)
 	switch {
 	case errors.Is(err, errQueueFull):
@@ -354,10 +369,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			go func(i int, code []byte) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				// Each batch item is its own recovery, finished by the
-				// worker that runs it; all share the request's ID so the
-				// flight recorder groups them.
-				ictx, _ := s.cfg.Tracer.StartRecovery(ctx, requestID)
+				// Each batch item is its own recovery — its own span tree
+				// and wide-event scope, finished by the worker that runs
+				// it; all share the request's ID so the flight recorder
+				// and event log group them.
+				ictx, _ := eventlog.NewContext(ctx, requestID)
+				ictx, _ = s.cfg.Tracer.StartRecovery(ictx, requestID)
 				res, err := s.recoverItem(ictx, code, true)
 				out <- batchResult(i, res, err)
 			}(i, code)

@@ -20,6 +20,11 @@ import (
 //   - histogram sample names are the family name + _bucket/_sum/_count;
 //     buckets carry le labels, counts are cumulative, the +Inf bucket is
 //     last and equals _count
+//   - summary samples carry a quantile label in [0,1] (plus _sum/_count);
+//     quantile series appear in ascending order
+//   - an OpenMetrics-style exemplar (` # {label="v",...} <value>`) is
+//     accepted on histogram _bucket samples only, with the same label
+//     grammar and a numeric value
 //   - no duplicate series; counter/gauge family series sorted by label set
 //   - label names match [a-zA-Z_][a-zA-Z0-9_]* and label values use only
 //     the \\, \", and \n escapes
@@ -180,12 +185,25 @@ func (l *linter) endFamily() {
 		if !l.sawCount {
 			l.errs = append(l.errs, fmt.Sprintf("family %s: missing _count", l.family))
 		}
+	case "summary":
+		if !l.sawCount {
+			l.errs = append(l.errs, fmt.Sprintf("family %s: missing _count", l.family))
+		}
+		if !sort.StringsAreSorted(l.series) {
+			l.errs = append(l.errs, fmt.Sprintf("family %s: quantile series not ascending", l.family))
+		}
+		for i := 1; i < len(l.series); i++ {
+			if l.series[i] == l.series[i-1] {
+				l.errs = append(l.errs, fmt.Sprintf("family %s: duplicate series %s", l.family, l.series[i]))
+			}
+		}
 	}
 	l.family = ""
 }
 
 func (l *linter) sample(n int, line string) {
-	name, labels, value, ok := parseSample(line)
+	main, exemplar, hasExemplar := strings.Cut(line, " # ")
+	name, labels, value, ok := parseSample(main)
 	if !ok {
 		l.errf(n, "malformed sample %q", line)
 		return
@@ -200,6 +218,29 @@ func (l *linter) sample(n int, line string) {
 			base, isSum = strings.TrimSuffix(name, "_sum"), true
 		case strings.HasSuffix(name, "_count"):
 			base, isCount = strings.TrimSuffix(name, "_count"), true
+		}
+	}
+	if l.familyType == "summary" && strings.HasPrefix(name, l.family+"_") {
+		switch {
+		case strings.HasSuffix(name, "_sum"):
+			base, isSum = strings.TrimSuffix(name, "_sum"), true
+		case strings.HasSuffix(name, "_count"):
+			base, isCount = strings.TrimSuffix(name, "_count"), true
+		}
+	}
+	if l.familyType == "summary" && base == l.family && !isSum && !isCount {
+		q, ok := labelValue(labels, "quantile")
+		if !ok {
+			l.errf(n, "summary sample %s missing quantile label", name)
+		} else if f, err := strconv.ParseFloat(q, 64); err != nil || f < 0 || f > 1 {
+			l.errf(n, "summary sample %s has quantile %q outside [0,1]", name, q)
+		}
+	}
+	if hasExemplar {
+		if !isBucket {
+			l.errf(n, "exemplar on non-bucket sample %s", name)
+		} else if !validExemplar(exemplar) {
+			l.errf(n, "malformed exemplar %q on %s", exemplar, name)
 		}
 	}
 	if base != l.family {
@@ -241,6 +282,33 @@ func (l *linter) sample(n int, line string) {
 	default:
 		l.series = append(l.series, labels)
 	}
+}
+
+// validExemplar checks the portion after a bucket sample's " # "
+// separator: `{label="value",...} <value>` with an optional trailing
+// timestamp, per the OpenMetrics exemplar grammar.
+func validExemplar(s string) bool {
+	if s == "" || s[0] != '{' {
+		return false
+	}
+	end := strings.LastIndexByte(s, '}')
+	if end < 0 || !validLabels(s[:end+1]) {
+		return false
+	}
+	rest := s[end+1:]
+	if !strings.HasPrefix(rest, " ") {
+		return false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return false
+	}
+	for _, f := range fields {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // parseSample splits a sample line into name, raw label block (may be

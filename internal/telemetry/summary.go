@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Quantile pairs a target quantile with its permitted rank error. A
+// Summary tracking {0.99, 0.001} answers Query(0.99) with a value whose
+// true rank is within ±0.1% of the 99th percentile.
+type Quantile struct {
+	Q   float64
+	Err float64
+}
+
+// DefaultObjectives are the targeted quantiles a Summary tracks unless the
+// caller overrides them: the p50/p90/p95/p99 operators actually read, with
+// tighter error toward the tail where it matters.
+var DefaultObjectives = []Quantile{
+	{Q: 0.5, Err: 0.05},
+	{Q: 0.9, Err: 0.01},
+	{Q: 0.95, Err: 0.005},
+	{Q: 0.99, Err: 0.001},
+}
+
+// Summary is a streaming quantile sketch over microsecond observations:
+// the CKMS targeted-quantile algorithm (Cormode, Korn, Muthukrishnan,
+// Srivastava, "Effective Computation of Biased Quantiles over Data
+// Streams"), which keeps a compressed sample list whose size depends on
+// the error targets, not on the stream length. Observations are buffered
+// and folded into the sketch in batches, so the common-case Observe is an
+// append under a mutex; /metrics exports the tracked quantiles as a
+// Prometheus summary family.
+type Summary struct {
+	mu         sync.Mutex
+	objectives []Quantile
+	samples    []ckmsSample // sorted by value
+	buf        []float64
+	n          int // observations already merged into samples
+	sum        float64
+	count      uint64
+}
+
+// ckmsSample is one compressed sample: value, the count of observations it
+// absorbs (g), and the rank uncertainty it carries (delta).
+type ckmsSample struct {
+	v     float64
+	g     int
+	delta int
+}
+
+// summaryBufCap is the batch size at which buffered observations are
+// merged into the sketch; larger batches amortize the merge sort.
+const summaryBufCap = 500
+
+// NewSummary returns a Summary tracking the given quantile objectives
+// (nil selects DefaultObjectives).
+func NewSummary(objectives []Quantile) *Summary {
+	if len(objectives) == 0 {
+		objectives = DefaultObjectives
+	}
+	obj := append([]Quantile(nil), objectives...)
+	sort.Slice(obj, func(i, j int) bool { return obj[i].Q < obj[j].Q })
+	return &Summary{objectives: obj}
+}
+
+// Observe records one microsecond value.
+func (s *Summary) Observe(us uint64) {
+	v := float64(us)
+	s.mu.Lock()
+	s.sum += v
+	s.count++
+	s.buf = append(s.buf, v)
+	if len(s.buf) >= summaryBufCap {
+		s.flushLocked()
+	}
+	s.mu.Unlock()
+}
+
+// invariant is the CKMS targeted-quantile error function: the permitted
+// rank slack at rank r in a stream of n, minimized over the objectives.
+func (s *Summary) invariant(r, n float64) float64 {
+	m := math.MaxFloat64
+	for _, q := range s.objectives {
+		var f float64
+		if r <= q.Q*n {
+			f = 2 * q.Err * (n - r) / (1 - q.Q)
+		} else {
+			f = 2 * q.Err * r / q.Q
+		}
+		if f < m {
+			m = f
+		}
+	}
+	return m
+}
+
+// flushLocked merges the buffered observations into the sample list and
+// compresses it. Caller holds s.mu.
+func (s *Summary) flushLocked() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Float64s(s.buf)
+	merged := make([]ckmsSample, 0, len(s.samples)+len(s.buf))
+	var r float64 // rank before the insertion point
+	i := 0
+	for _, v := range s.buf {
+		for i < len(s.samples) && s.samples[i].v <= v {
+			r += float64(s.samples[i].g)
+			merged = append(merged, s.samples[i])
+			i++
+		}
+		delta := 0
+		if i > 0 && i < len(s.samples) {
+			// Inserting between existing samples: the new sample inherits
+			// the local rank uncertainty.
+			delta = int(math.Floor(s.invariant(r, float64(s.n)))) - 1
+			if delta < 0 {
+				delta = 0
+			}
+		}
+		merged = append(merged, ckmsSample{v: v, g: 1, delta: delta})
+		s.n++
+	}
+	merged = append(merged, s.samples[i:]...)
+	s.samples = merged
+	s.buf = s.buf[:0]
+	s.compressLocked()
+}
+
+// compressLocked merges adjacent samples whose combined width stays within
+// the invariant, bounding the sketch size. Caller holds s.mu.
+func (s *Summary) compressLocked() {
+	if len(s.samples) < 3 {
+		return
+	}
+	out := s.samples[:0]
+	// Walk from the smallest value, accumulating rank; a sample may be
+	// absorbed into its successor when their merged error fits.
+	r := 0.0
+	n := float64(s.n)
+	for i := 0; i < len(s.samples)-1; i++ {
+		cur, next := s.samples[i], s.samples[i+1]
+		if float64(cur.g+next.g+next.delta) <= s.invariant(r, n) {
+			// Absorb cur into next.
+			s.samples[i+1].g += cur.g
+		} else {
+			out = append(out, cur)
+		}
+		r += float64(cur.g)
+	}
+	out = append(out, s.samples[len(s.samples)-1])
+	s.samples = out
+}
+
+// Query returns the tracked estimate for quantile q (which should be one
+// of the objectives). It returns 0 when nothing has been observed.
+func (s *Summary) Query(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	n := float64(s.n)
+	t := q*n + s.invariant(q*n, n)/2
+	r := 0.0
+	for i := 0; i < len(s.samples)-1; i++ {
+		r += float64(s.samples[i].g)
+		if r+float64(s.samples[i+1].g+s.samples[i+1].delta) > t {
+			return s.samples[i].v
+		}
+	}
+	return s.samples[len(s.samples)-1].v
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// QuantileValue is one exported quantile of a summary snapshot.
+type QuantileValue struct {
+	Q float64
+	V float64
+}
+
+// SummarySnapshot is the point-in-time state of a Summary: the tracked
+// quantile estimates plus the running sum and count.
+type SummarySnapshot struct {
+	Quantiles []QuantileValue
+	// Sum is the total of all observed values, microseconds.
+	Sum float64
+	// Count is the number of observations.
+	Count uint64
+}
+
+// snapshot exports the tracked quantiles.
+func (s *Summary) snapshot() SummarySnapshot {
+	s.mu.Lock()
+	s.flushLocked()
+	objectives := s.objectives
+	n := float64(s.n)
+	samples := s.samples
+	snap := SummarySnapshot{Sum: s.sum, Count: s.count}
+	// Query inline (the lock is already held): same walk as Query.
+	for _, o := range objectives {
+		var v float64
+		if len(samples) > 0 {
+			t := o.Q*n + s.invariant(o.Q*n, n)/2
+			r := 0.0
+			v = samples[len(samples)-1].v
+			for i := 0; i < len(samples)-1; i++ {
+				r += float64(samples[i].g)
+				if r+float64(samples[i+1].g+samples[i+1].delta) > t {
+					v = samples[i].v
+					break
+				}
+			}
+		}
+		snap.Quantiles = append(snap.Quantiles, QuantileValue{Q: o.Q, V: v})
+	}
+	s.mu.Unlock()
+	return snap
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestSummaryExactSmall checks quantile queries over a tiny stream, where
+// the sketch holds every sample and answers exactly.
+func TestSummaryExactSmall(t *testing.T) {
+	s := NewSummary(nil)
+	for _, v := range []uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		s.Observe(v)
+	}
+	if got := s.Count(); got != 10 {
+		t.Fatalf("Count = %d, want 10", got)
+	}
+	if q := s.Query(0.5); q < 40 || q > 60 {
+		t.Errorf("p50 = %v, want ~50", q)
+	}
+	if q := s.Query(0.99); q < 90 {
+		t.Errorf("p99 = %v, want >= 90", q)
+	}
+}
+
+// TestSummaryErrorBounds streams 50k random values and checks every
+// tracked quantile against the exact order statistic, within the
+// objective's rank error (with slack for the batch boundary).
+func TestSummaryErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 50_000
+	s := NewSummary(nil)
+	vals := make([]float64, n)
+	for i := range vals {
+		v := uint64(rng.Intn(1_000_000))
+		vals[i] = float64(v)
+		s.Observe(v)
+	}
+	sort.Float64s(vals)
+	for _, obj := range DefaultObjectives {
+		got := s.Query(obj.Q)
+		// Convert the returned value back to a rank range and require it
+		// within ±(err*n + buffer slack) of the target rank.
+		lo := sort.SearchFloat64s(vals, got)
+		hi := sort.Search(len(vals), func(i int) bool { return vals[i] > got })
+		target := obj.Q * n
+		slack := 2*obj.Err*n + summaryBufCap
+		if float64(hi) < target-slack || float64(lo) > target+slack {
+			t.Errorf("q=%v: value %v has rank [%d,%d], want within %v of %v",
+				obj.Q, got, lo, hi, slack, target)
+		}
+	}
+	// The sketch must stay far smaller than the stream.
+	s.mu.Lock()
+	size := len(s.samples)
+	s.mu.Unlock()
+	if size > n/10 {
+		t.Errorf("sketch holds %d samples for a %d-value stream; compression is not working", size, n)
+	}
+}
+
+// TestSummaryExposition checks the summary family renders with quantile
+// series, _sum, and _count — and passes the strict linter.
+func TestSummaryExposition(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("req_latency_microseconds", nil)
+	for i := uint64(1); i <= 100; i++ {
+		s.Observe(i * 10)
+	}
+	out := r.Snapshot().String()
+	for _, want := range []string{
+		"# TYPE req_latency_microseconds summary",
+		`req_latency_microseconds{quantile="0.5"}`,
+		`req_latency_microseconds{quantile="0.99"}`,
+		"req_latency_microseconds_sum 50500",
+		"req_latency_microseconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := Lint(out); len(errs) != 0 {
+		t.Errorf("lint rejects summary exposition: %v", errs)
+	}
+}
+
+// TestSummaryEmptySkipped checks an unobserved summary emits no family at
+// all (a TYPE line without samples is malformed).
+func TestSummaryEmptySkipped(t *testing.T) {
+	r := NewRegistry()
+	r.Summary("never_observed", nil)
+	out := r.Snapshot().String()
+	if strings.Contains(out, "never_observed") {
+		t.Errorf("empty summary should be skipped:\n%s", out)
+	}
+}
+
+// TestHistogramExemplar checks ObserveExemplar retains the most recent
+// request id per bucket and the exposition carries it in OpenMetrics
+// style, accepted by the linter.
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []uint64{1000, 10000})
+	h.ObserveExemplar(500, "req-a")
+	h.ObserveExemplar(700, "req-b") // displaces req-a in the first bucket
+	h.ObserveExemplar(5000, "req-c")
+	h.Observe(200) // no id: count moves, exemplar untouched
+	snap := r.Snapshot().Histograms["lat"]
+	if snap.Exemplars[0] == nil || snap.Exemplars[0].ID != "req-b" {
+		t.Fatalf("bucket 0 exemplar = %+v, want req-b", snap.Exemplars[0])
+	}
+	if snap.Exemplars[1] == nil || snap.Exemplars[1].ID != "req-c" {
+		t.Fatalf("bucket 1 exemplar = %+v, want req-c", snap.Exemplars[1])
+	}
+	if snap.Exemplars[2] != nil {
+		t.Fatalf("+Inf bucket exemplar = %+v, want none", snap.Exemplars[2])
+	}
+	out := r.Snapshot().String()
+	if !strings.Contains(out, `lat_bucket{le="1000"} 3 # {request_id="req-b"} 700`) {
+		t.Errorf("exposition missing exemplar suffix:\n%s", out)
+	}
+	if errs := Lint(out); len(errs) != 0 {
+		t.Errorf("lint rejects exemplar exposition: %v", errs)
+	}
+}
+
+// TestLintSummaryViolations checks the linter rejects malformed summary
+// and exemplar shapes.
+func TestLintSummaryViolations(t *testing.T) {
+	cases := map[string]string{
+		"missing quantile label": "# TYPE s summary\ns 5\ns_sum 5\ns_count 1\n",
+		"quantile out of range":  "# TYPE s summary\ns{quantile=\"1.5\"} 5\ns_sum 5\ns_count 1\n",
+		"missing count":          "# TYPE s summary\ns{quantile=\"0.5\"} 5\ns_sum 5\n",
+		"exemplar on counter":    "# TYPE c counter\nc 5 # {request_id=\"x\"} 5\n",
+		"malformed exemplar": "# TYPE h histogram\nh_bucket{le=\"1\"} 1 # nope\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"exemplar bad value": "# TYPE h histogram\nh_bucket{le=\"1\"} 1 # {request_id=\"x\"} zz\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, exp := range cases {
+		if errs := Lint(exp); len(errs) == 0 {
+			t.Errorf("%s: lint accepted malformed exposition:\n%s", name, exp)
+		}
+	}
+	good := "# TYPE h histogram\nh_bucket{le=\"1\"} 1 # {request_id=\"x\"} 0.5\n" +
+		"h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n"
+	if errs := Lint(good); len(errs) != 0 {
+		t.Errorf("lint rejected well-formed exemplar: %v", errs)
+	}
+}
+
+// TestOnSnapshot checks snapshot hooks run before metric reads, so
+// scrape-time gauges are fresh in the same snapshot.
+func TestOnSnapshot(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("refreshed")
+	calls := 0
+	r.OnSnapshot(func() { calls++; g.Set(int64(calls)) })
+	if v := r.Snapshot().Gauges["refreshed"]; v != 1 {
+		t.Fatalf("first snapshot gauge = %d, want 1", v)
+	}
+	if v := r.Snapshot().Gauges["refreshed"]; v != 2 {
+		t.Fatalf("second snapshot gauge = %d, want 2", v)
+	}
+}

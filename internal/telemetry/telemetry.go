@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -80,6 +81,21 @@ func (v *CounterVec) With(value string) *Counter {
 	return c
 }
 
+// ExemplarLabel is the label name exemplars are exposed under: a request
+// id linking a histogram bucket back to its trace in the flight recorder.
+const ExemplarLabel = "request_id"
+
+// Exemplar ties one recent observation to the request that produced it,
+// attached to the histogram bucket the observation fell into. Exposed in
+// OpenMetrics style (`... # {request_id="..."} <value>`) so a latency
+// spike on /metrics links directly to a span tree at /debug/slowest.
+type Exemplar struct {
+	// ID is the request id of the exemplified observation.
+	ID string
+	// Value is the observed value, microseconds.
+	Value uint64
+}
+
 // Histogram is a fixed-bucket histogram of microsecond observations. The
 // per-bucket counts are stored non-cumulatively and cumulated at snapshot
 // time, which keeps Observe to a single atomic add per call.
@@ -88,12 +104,19 @@ type Histogram struct {
 	counts []atomic.Uint64
 	sum    atomic.Uint64
 	count  atomic.Uint64
+	// exemplars holds the most recent identified observation per bucket
+	// (pointer swap on write, nil when the bucket never saw one).
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 func newHistogram(bounds []uint64) *Histogram {
 	b := append([]uint64(nil), bounds...)
 	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one microsecond value.
@@ -102,6 +125,19 @@ func (h *Histogram) Observe(us uint64) {
 	h.counts[i].Add(1)
 	h.sum.Add(us)
 	h.count.Add(1)
+}
+
+// ObserveExemplar is Observe plus an exemplar: the request id is retained
+// as the bucket's most recent exemplar (one pointer store; empty ids
+// degrade to a plain Observe).
+func (h *Histogram) ObserveExemplar(us uint64, requestID string) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return us <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(us)
+	h.count.Add(1)
+	if requestID != "" {
+		h.exemplars[i].Store(&Exemplar{ID: requestID, Value: us})
+	}
 }
 
 // ObserveDuration records a duration, clamped at zero.
@@ -128,6 +164,9 @@ type HistogramSnapshot struct {
 	Sum uint64
 	// Count is the number of observations.
 	Count uint64
+	// Exemplars holds the most recent identified observation per bucket
+	// (parallel to Cumulative; nil entries mean no exemplar yet).
+	Exemplars []*Exemplar
 }
 
 // LabeledCounterSnapshot is the point-in-time state of a CounterVec: the
@@ -144,6 +183,7 @@ type Snapshot struct {
 	Counters        map[string]uint64
 	Gauges          map[string]int64
 	Histograms      map[string]HistogramSnapshot
+	Summaries       map[string]SummarySnapshot
 	LabeledCounters map[string]LabeledCounterSnapshot
 	// Infos maps info-metric names to their pre-rendered, escaped label
 	// block (`{k="v",...}`); each exposes as a gauge with constant value 1.
@@ -160,9 +200,14 @@ type Registry struct {
 	counters    map[string]*Counter
 	gauges      map[string]*Gauge
 	histograms  map[string]*Histogram
+	summaries   map[string]*Summary
 	counterVecs map[string]*CounterVec
 	infos       map[string]string
 	help        map[string]string
+	// hooks run (outside the lock) at the start of every Snapshot; used to
+	// refresh pull-style gauges such as the Go runtime self-metrics.
+	hooksMu sync.Mutex
+	hooks   []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -171,10 +216,21 @@ func NewRegistry() *Registry {
 		counters:    make(map[string]*Counter),
 		gauges:      make(map[string]*Gauge),
 		histograms:  make(map[string]*Histogram),
+		summaries:   make(map[string]*Summary),
 		counterVecs: make(map[string]*CounterVec),
 		infos:       make(map[string]string),
 		help:        make(map[string]string),
 	}
+}
+
+// OnSnapshot registers a hook invoked at the start of every Snapshot (and
+// therefore every exposition), before any metric is read. Hooks refresh
+// scrape-time gauges — runtime self-metrics, derived rates — without a
+// background poller.
+func (r *Registry) OnSnapshot(f func()) {
+	r.hooksMu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.hooksMu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -231,6 +287,25 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// Summary returns the named streaming-quantile summary, creating it with
+// the given objectives on first use (nil selects DefaultObjectives;
+// objectives passed on later calls for the same name are ignored).
+func (r *Registry) Summary(name string, objectives []Quantile) *Summary {
+	r.mu.RLock()
+	s, ok := r.summaries[name]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.summaries[name]; !ok {
+		s = NewSummary(objectives)
+		r.summaries[name] = s
+	}
+	return s
 }
 
 // CounterVec returns the named one-label counter family, creating it with
@@ -299,15 +374,25 @@ var escapeHelp = strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace
 
 // Snapshot copies the current state of every metric.
 func (r *Registry) Snapshot() Snapshot {
+	r.hooksMu.Lock()
+	hooks := r.hooks
+	r.hooksMu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
 		Counters:        make(map[string]uint64, len(r.counters)),
 		Gauges:          make(map[string]int64, len(r.gauges)),
 		Histograms:      make(map[string]HistogramSnapshot, len(r.histograms)),
+		Summaries:       make(map[string]SummarySnapshot, len(r.summaries)),
 		LabeledCounters: make(map[string]LabeledCounterSnapshot, len(r.counterVecs)),
 		Infos:           make(map[string]string, len(r.infos)),
 		Help:            make(map[string]string, len(r.help)),
+	}
+	for name, sum := range r.summaries {
+		s.Summaries[name] = sum.snapshot()
 	}
 	for name, v := range r.counterVecs {
 		v.mu.RLock()
@@ -336,11 +421,13 @@ func (r *Registry) Snapshot() Snapshot {
 			Cumulative: make([]uint64, len(h.counts)),
 			Sum:        h.sum.Load(),
 			Count:      h.count.Load(),
+			Exemplars:  make([]*Exemplar, len(h.counts)),
 		}
 		var cum uint64
 		for i := range h.counts {
 			cum += h.counts[i].Load()
 			hs.Cumulative[i] = cum
+			hs.Exemplars[i] = h.exemplars[i].Load()
 		}
 		s.Histograms[name] = hs
 	}
@@ -354,14 +441,18 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 
 // WriteTo writes the snapshot in a Prometheus-flavoured text format:
 // sorted by metric name, an optional "# HELP" then one "# TYPE" line per
-// metric, histograms as cumulative le="..." buckets plus _sum and _count,
-// labeled counter families as one series per label value sorted by value,
-// info metrics as constant-1 gauges. Label values are escaped per the text
-// format, so the output passes the strict Lint grammar.
+// metric, histograms as cumulative le="..." buckets plus _sum and _count
+// (buckets carry an OpenMetrics-style `# {request_id="..."} v` exemplar
+// when one was recorded), summaries as one quantile="..." series per
+// objective plus _sum and _count, labeled counter families as one series
+// per label value sorted by value, info metrics as constant-1 gauges.
+// Label values are escaped per the text format, so the output passes the
+// strict Lint grammar.
 func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
 	names := make([]string, 0,
-		len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.LabeledCounters)+len(s.Infos))
+		len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Summaries)+
+			len(s.LabeledCounters)+len(s.Infos))
 	for n := range s.Counters {
 		names = append(names, n)
 	}
@@ -369,6 +460,9 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		names = append(names, n)
 	}
 	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	for n := range s.Summaries {
 		names = append(names, n)
 	}
 	for n := range s.LabeledCounters {
@@ -382,6 +476,11 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		// A labeled family with no series yet would emit a TYPE line with no
 		// samples — malformed under the strict grammar — so skip it entirely.
 		if lc, ok := s.LabeledCounters[n]; ok && len(lc.Values) == 0 {
+			continue
+		}
+		// Likewise an unobserved summary: its quantile values would be
+		// meaningless, so the family appears once data exists.
+		if su, ok := s.Summaries[n]; ok && su.Count == 0 {
 			continue
 		}
 		if help, ok := s.Help[n]; ok && help != "" {
@@ -405,13 +504,27 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 			}
 		case hasKey(s.Infos, n):
 			fmt.Fprintf(&b, "# TYPE %s gauge\n%s%s 1\n", n, n, s.Infos[n])
+		case hasKey(s.Summaries, n):
+			su := s.Summaries[n]
+			fmt.Fprintf(&b, "# TYPE %s summary\n", n)
+			for _, q := range su.Quantiles {
+				fmt.Fprintf(&b, "%s{quantile=\"%s\"} %s\n", n,
+					strconv.FormatFloat(q.Q, 'g', -1, 64),
+					strconv.FormatFloat(q.V, 'f', -1, 64))
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", n, strconv.FormatFloat(su.Sum, 'f', -1, 64))
+			fmt.Fprintf(&b, "%s_count %d\n", n, su.Count)
 		default:
 			h := s.Histograms[n]
 			fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
 			for i, bound := range h.Bounds {
-				fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", n, bound, h.Cumulative[i])
+				fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d", n, bound, h.Cumulative[i])
+				writeExemplar(&b, h.Exemplars, i)
+				b.WriteByte('\n')
 			}
-			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d", n, h.Count)
+			writeExemplar(&b, h.Exemplars, len(h.Bounds))
+			b.WriteByte('\n')
 			fmt.Fprintf(&b, "%s_sum %d\n", n, h.Sum)
 			fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
 		}
@@ -425,6 +538,16 @@ func (s Snapshot) String() string {
 	var b strings.Builder
 	s.WriteTo(&b)
 	return b.String()
+}
+
+// writeExemplar appends the OpenMetrics-style exemplar suffix for bucket
+// i, when one exists: ` # {request_id="<id>"} <value>`.
+func writeExemplar(b *strings.Builder, exemplars []*Exemplar, i int) {
+	if i >= len(exemplars) || exemplars[i] == nil {
+		return
+	}
+	e := exemplars[i]
+	fmt.Fprintf(b, " # {%s=\"%s\"} %d", ExemplarLabel, escapeLabel(e.ID), e.Value)
 }
 
 func hasKey[V any](m map[string]V, k string) bool {
