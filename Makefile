@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race serve serve-e2e obs-e2e analytics-e2e fuzz-smoke bench-smoke bench bench-gate
+.PHONY: check fmt vet build test race serve serve-e2e obs-e2e analytics-e2e cluster-e2e fuzz-smoke bench-smoke bench bench-gate
 
 # BENCH is the tracked benchmark artifact for this PR in the BENCH_<n>.json
 # trajectory; bump the number when a PR re-records performance.
-BENCH ?= BENCH_5.json
+BENCH ?= BENCH_6.json
 
 check: fmt vet build test race
 
@@ -57,6 +57,17 @@ analytics-e2e:
 	$(GO) test -race -count=1 -run 'TestAnalyticsE2E' ./internal/server
 	$(GO) test -race -count=1 ./internal/eventlog
 
+# Multi-node cluster gate under the race detector: build real sigrecd and
+# sigrec-router binaries, run a 3-shard cluster behind the router, SIGKILL
+# a shard mid-load and restart it, then reconcile every client-observed
+# success against the union of the shards' event logs — no recovery lost,
+# no attempt id duplicated, cache hit rate restored after the restart, a
+# peer cache fill observed, and hedges firing on a hedging router (CI job
+# "cluster"). Set CLUSTER_E2E_ARTIFACTS to keep shard/router logs.
+cluster-e2e:
+	CLUSTER_E2E=1 $(GO) test -race -count=1 -run 'TestClusterE2E' \
+		-timeout 10m -v ./internal/cluster/e2etest
+
 # Smoke-run every fuzz target and the E1/E3 experiment benchmarks so the
 # harnesses cannot silently rot (CI job "smoke").
 fuzz-smoke:
@@ -76,14 +87,22 @@ bench:
 	( $(GO) test -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events' \
 		-benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkServerThroughput$$' \
-		-benchmem ./internal/server ) | $(GO) run ./cmd/benchjson -out $(BENCH)
+		-benchmem ./internal/server ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRouterOverhead' \
+		-benchmem -benchtime 200x -count=5 ./internal/cluster ) \
+		| $(GO) run ./cmd/benchjson -out $(BENCH)
 
 # Gates: (1) fail when E3 allocs/op regresses >10% against the committed
 # baseline — allocation counts are deterministic enough for shared CI
 # runners, ns/op is recorded but not gated across machines; (2) fail when
 # tracing-on ns/op exceeds tracing-off by >5%; (3) fail when wide-event
 # emission exceeds events-off by >3% — both A/Bs run within one
-# invocation on one machine, so wall time is comparable.
+# invocation on one machine, so wall time is comparable; (4) fail when
+# routing through sigrec-router adds >10% latency over hitting the shard
+# directly. The router A/B crosses an HTTP hop, so it gates the
+# mean-over-count rather than the fastest run — machine drift during the
+# invocation hits both sides alike and cancels in the mean ratio, while
+# min-of-N is a lottery over which side caught the quietest window.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events' \
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -out bench_current.json
@@ -96,4 +115,10 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
 		-current bench_current.json -basebench E3EventsOff \
 		-bench E3EventsOn -metric ns_per_op -tolerance 0.03
-	@rm -f bench_current.json
+	$(GO) test -run '^$$' -bench 'BenchmarkRouterOverhead' \
+		-benchmem -benchtime 200x -count=5 ./internal/cluster \
+		| $(GO) run ./cmd/benchjson -out bench_router.json
+	$(GO) run ./cmd/benchjson -check -baseline bench_router.json \
+		-current bench_router.json -basebench RouterOverheadDirect \
+		-bench RouterOverheadProxied -metric mean_ns_per_op -tolerance 0.10
+	@rm -f bench_current.json bench_router.json

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// splitComma splits a comma-separated flag value, trimming blanks.
+func splitComma(spec string) []string {
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// cutEq splits one "id=url" entry, normalizing a trailing slash.
+func cutEq(part string) (id, url string, ok bool) {
+	id, url, ok = strings.Cut(part, "=")
+	if !ok || id == "" || url == "" {
+		return "", "", false
+	}
+	return id, strings.TrimSuffix(url, "/"), true
+}
+
+// buildLogger maps the -log-format/-log-level flags onto a slog.Logger
+// writing to stderr (same flag surface as sigrecd).
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}

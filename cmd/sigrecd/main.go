@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"sigrec"
+	"sigrec/internal/cluster"
 	"sigrec/internal/core"
 	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
@@ -78,6 +79,9 @@ func run() error {
 		eventLog  = flag.String("event-log", "", "path for the durable wide-event log, one NDJSON record per recovery (empty = disabled)")
 		eventMB   = flag.Int("event-log-max-mb", 64, "rotate the event log past this many MB per segment")
 		sampleR   = flag.Float64("sample-rate", 1, "keep probability for fast, successful recoveries in the event log; errors, truncations, and the slow tail are always kept")
+		shardID   = flag.String("shard-id", "", "this shard's id on the cluster hash ring (enables peer cache fill when -peers is set)")
+		peerSpec  = flag.String("peers", "", "comma-separated peer shards as id=url; on a local cache miss whose ring owner is a peer, its cache is consulted before computing")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per shard on the cluster hash ring (0 = default; must match the router)")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -85,6 +89,20 @@ func run() error {
 	if *version {
 		fmt.Println(obs.VersionString())
 		return nil
+	}
+
+	if err := validateFlags(*workers, *queue, *maxBody); err != nil {
+		return usageError(err)
+	}
+	peers, err := parsePeers(*peerSpec)
+	if err != nil {
+		return usageError(err)
+	}
+	if len(peers) > 0 && *shardID == "" {
+		return usageError(errors.New("-peers requires -shard-id"))
+	}
+	if _, self := peers[*shardID]; self {
+		return usageError(fmt.Errorf("-peers must not include this shard's own id %q", *shardID))
 	}
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -108,6 +126,20 @@ func run() error {
 		}
 	}
 
+	// Cluster mode: with a shard id and peers, misses whose ring owner is
+	// another shard first try that owner's cache (peer fill) before
+	// computing locally, and this shard serves its own cache to peers.
+	var fill core.FillFunc
+	var ring *cluster.Ring
+	if len(peers) > 0 {
+		ring = cluster.NewRing(*vnodes)
+		ring.Add(*shardID)
+		for id := range peers {
+			ring.Add(id)
+		}
+		fill = cluster.PeerFill(ring, *shardID, peers, nil, 0)
+	}
+
 	srv := server.New(server.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
@@ -119,7 +151,11 @@ func run() error {
 		Logger:       logger,
 		Tracer:       tracer,
 		EventLog:     events,
+		CacheFill:    fill,
 	})
+	if len(peers) > 0 {
+		srv.Mount("POST "+cluster.FillPath, cluster.FillHandler(srv.Cache(), *maxBody))
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -162,6 +198,8 @@ func run() error {
 		"event_log", *eventLog,
 		"event_log_max_mb", *eventMB,
 		"sample_rate", *sampleR,
+		"shard_id", *shardID,
+		"peers", len(peers),
 		"version", ver,
 		"go_version", goVer,
 	)
@@ -212,6 +250,50 @@ func run() error {
 		logger.Info("sigrecd drained")
 	}
 	return errors.Join(serr, derr)
+}
+
+// validateFlags rejects flag values that would otherwise fail obscurely
+// deep in the serving layer (a negative worker count silently selecting
+// GOMAXPROCS, a zero queue shedding everything, a zero body cap rejecting
+// every request).
+func validateFlags(workers, queue int, maxBody int64) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
+	}
+	if queue <= 0 {
+		return fmt.Errorf("-queue must be positive, got %d", queue)
+	}
+	if maxBody <= 0 {
+		return fmt.Errorf("-maxbody must be positive, got %d", maxBody)
+	}
+	return nil
+}
+
+// parsePeers parses the -peers flag: "id1=http://host:port,id2=...".
+func parsePeers(spec string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers entry %q is not id=url", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("-peers lists shard %q twice", id)
+		}
+		peers[id] = strings.TrimSuffix(url, "/")
+	}
+	return peers, nil
+}
+
+// usageError prints the flag summary after the error so a misconfigured
+// service fails with actionable output rather than a bare message.
+func usageError(err error) error {
+	flag.Usage()
+	return err
 }
 
 // buildLogger maps the -log-format/-log-level flags onto a slog.Logger

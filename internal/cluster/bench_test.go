@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sigrec/internal/corpus"
+	"sigrec/internal/server"
+)
+
+// benchCode returns a unique full-recovery input per iteration: the base
+// contract with an unreachable suffix appended, so every request misses
+// the cache and runs the whole pipeline while the recovery cost itself
+// stays constant.
+func benchCode(base []byte, i int) string {
+	code := make([]byte, len(base), len(base)+4)
+	copy(code, base)
+	code = append(code, 0xfe, byte(i>>16), byte(i>>8), byte(i))
+	return fmt.Sprintf("0x%x", code)
+}
+
+func benchEntry(b *testing.B) []byte {
+	b.Helper()
+	// The largest 10-function synthesized contract in the corpus: the
+	// recovery is a realistic multi-millisecond unit of work, so the
+	// measured delta between direct and proxied isolates the router hop
+	// as a fraction of real serving latency rather than of HTTP noise.
+	entries, err := corpus.GenerateSynthesized(17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	code := entries[0].Code
+	for _, e := range entries {
+		if len(e.Code) > len(code) {
+			code = e.Code
+		}
+	}
+	return code
+}
+
+func benchShard(b *testing.B) *httptest.Server {
+	b.Helper()
+	srv := server.New(server.Config{Workers: 4, QueueDepth: 256, CacheEntries: 1 << 16})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func runRecoverBench(b *testing.B, url string, base []byte) {
+	b.Helper()
+	client := &http.Client{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(url+"/v1/recover", "text/plain", strings.NewReader(benchCode(base, i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkRouterOverheadDirect is the A side of the router-overhead A/B:
+// full recoveries straight against one sigrecd serving layer.
+func BenchmarkRouterOverheadDirect(b *testing.B) {
+	runRecoverBench(b, benchShard(b).URL, benchEntry(b))
+}
+
+// BenchmarkRouterOverheadProxied is the B side: the same recoveries with
+// sigrec-router in front of the single shard. The bench-gate holds the
+// proxied ns/op within 10% of direct — the router hop must stay noise
+// next to a real recovery.
+func BenchmarkRouterOverheadProxied(b *testing.B) {
+	shard := benchShard(b)
+	rt, err := NewRouter(Config{Shards: []ShardAddr{{ID: "s1", URL: shard.URL}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	b.Cleanup(front.Close)
+	runRecoverBench(b, front.URL, benchEntry(b))
+}

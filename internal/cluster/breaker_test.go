@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := NewBreaker(3, time.Second)
+	b.now = func() time.Time { return clock }
+
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %d, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+
+	clock = clock.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker denied the half-open probe after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %d, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent half-open probe admitted")
+	}
+
+	// Probe fails: back to open for another full cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+
+	// Probe succeeds after the next cooldown: closed, streak reset.
+	clock = clock.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe denied after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %d, want closed", b.State())
+	}
+	// A success mid-streak resets the failure count.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("failure streak not reset by success")
+	}
+}
+
+// An abandoned half-open probe (the router cancelled the attempt, so the
+// shard got no verdict) must release the probe slot — otherwise the
+// breaker wedges half-open and the shard is never retried.
+func TestBreakerAbandonReleasesProbe(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := NewBreaker(1, time.Second)
+	b.now = func() time.Time { return clock }
+
+	b.Allow()
+	b.Failure()
+	clock = clock.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe denied after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	b.Abandon()
+	if !b.Allow() {
+		t.Fatal("probe slot not released by Abandon")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %d, want half-open", b.State())
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("probe success did not close the breaker")
+	}
+
+	// Abandon in the closed state is a no-op.
+	b.Abandon()
+	if !b.Allow() {
+		t.Fatal("closed breaker denied after Abandon")
+	}
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sigrec/internal/abi"
+	"sigrec/internal/core"
+	"sigrec/internal/keccak"
+	"sigrec/internal/server"
+)
+
+// FillPath is the intra-cluster cache-peek endpoint each shard serves.
+// It is deliberately under /internal/: not part of the public API, and a
+// fill can only ever read a peer's cache — never trigger a recovery — so
+// a storm of fills adds no compute load to a struggling owner and cannot
+// recurse (the owner answering a fill consults only its own cache).
+const FillPath = "/internal/v1/fill"
+
+// fillFunction is one recovered function on the fill wire. Unlike the
+// public wire schema it keeps the per-parameter rule trails intact, so a
+// filled result is byte-identical to a locally computed one.
+type fillFunction struct {
+	Selector  string     `json:"selector"`
+	Types     string     `json:"types"`
+	Rules     [][]string `json:"rules"`
+	Language  string     `json:"language"`
+	Truncated bool       `json:"truncated,omitempty"`
+}
+
+// fillPayload is a lossless encoding of a cacheable recovery outcome
+// (cacheable means: not truncated, error nil or ErrNoFunctions — exactly
+// what Cache.Peek can return).
+type fillPayload struct {
+	Functions   []fillFunction `json:"functions"`
+	RuleStats   []uint64       `json:"ruleStats,omitempty"`
+	NoFunctions bool           `json:"noFunctions,omitempty"`
+}
+
+func encodeFill(res core.Result, err error) fillPayload {
+	p := fillPayload{NoFunctions: err != nil}
+	for _, f := range res.Functions {
+		ff := fillFunction{
+			Selector:  f.Selector.Hex(),
+			Types:     f.TypeList(),
+			Language:  f.Language.String(),
+			Truncated: f.Truncated,
+			Rules:     make([][]string, len(f.ParamRules)),
+		}
+		for i, trail := range f.ParamRules {
+			ff.Rules[i] = make([]string, len(trail))
+			for j, r := range trail {
+				ff.Rules[i][j] = r.String()
+			}
+		}
+		p.Functions = append(p.Functions, ff)
+	}
+	for _, n := range res.Rules {
+		if n != 0 {
+			p.RuleStats = res.Rules[:]
+			break
+		}
+	}
+	return p
+}
+
+func decodeFill(p fillPayload) (core.Result, error, error) {
+	var res core.Result
+	for _, ff := range p.Functions {
+		f := core.RecoveredFunction{Truncated: ff.Truncated}
+		sel, err := hex.DecodeString(strings.TrimPrefix(ff.Selector, "0x"))
+		if err != nil || len(sel) != 4 {
+			return core.Result{}, nil, fmt.Errorf("cluster: bad fill selector %q", ff.Selector)
+		}
+		copy(f.Selector[:], sel)
+		// TypeList renders "(t1,t2)"; ParseSignature wants a name in front.
+		sig, err := abi.ParseSignature("f" + ff.Types)
+		if err != nil {
+			return core.Result{}, nil, fmt.Errorf("cluster: bad fill types %q: %w", ff.Types, err)
+		}
+		f.Inputs = sig.Inputs
+		if ff.Language == core.LangVyper.String() {
+			f.Language = core.LangVyper
+		} else {
+			f.Language = core.LangSolidity
+		}
+		f.ParamRules = make([][]core.RuleID, len(ff.Rules))
+		for i, trail := range ff.Rules {
+			f.ParamRules[i] = make([]core.RuleID, len(trail))
+			for j, s := range trail {
+				n, err := strconv.Atoi(strings.TrimPrefix(s, "R"))
+				if err != nil || n < 1 || n > core.NumRules {
+					return core.Result{}, nil, fmt.Errorf("cluster: bad fill rule %q", s)
+				}
+				f.ParamRules[i][j] = core.RuleID(n)
+			}
+		}
+		res.Functions = append(res.Functions, f)
+	}
+	if len(p.RuleStats) == len(res.Rules) {
+		copy(res.Rules[:], p.RuleStats)
+	}
+	var outcome error
+	if p.NoFunctions {
+		outcome = core.ErrNoFunctions
+	}
+	return res, outcome, nil
+}
+
+// FillHandler serves FillPath on a shard: POST hex bytecode, answer 200 +
+// fillPayload when this shard's cache holds the outcome, 404 when it does
+// not. It never computes — see FillPath.
+func FillHandler(cache *core.Cache, maxBody int64) http.Handler {
+	if maxBody <= 0 {
+		maxBody = server.DefaultMaxBodyBytes
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, "read body: "+err.Error())
+			return
+		}
+		code, err := server.ParseBytecode(raw)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		res, rerr, ok := cache.Peek(code)
+		if !ok {
+			writeJSONError(w, http.StatusNotFound, "not cached")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(encodeFill(res, rerr))
+	})
+}
+
+// PeerFill returns the shard-side core.FillFunc: on a local cache miss,
+// if the ring says another shard owns this bytecode, ask that owner's
+// cache (FillPath) and adopt the answer. Owner-is-self, owner-miss, and
+// every failure report !ok, which makes the caller compute locally — the
+// hook is an optimization with no failure mode of its own.
+//
+// self is this shard's ring id; peers maps shard id -> base URL.
+func PeerFill(ring *Ring, self string, peers map[string]string, client *http.Client, timeout time.Duration) core.FillFunc {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return func(code []byte) (core.Result, error, bool) {
+		owner, ok := ring.Owner(keccak.Sum256(code))
+		if !ok || owner == self {
+			return core.Result{}, nil, false
+		}
+		base, ok := peers[owner]
+		if !ok {
+			return core.Result{}, nil, false
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		body := fmt.Sprintf("0x%x", code)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+FillPath, bytes.NewBufferString(body))
+		if err != nil {
+			return core.Result{}, nil, false
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		resp, err := client.Do(req)
+		if err != nil {
+			return core.Result{}, nil, false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return core.Result{}, nil, false
+		}
+		var p fillPayload
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&p); err != nil {
+			return core.Result{}, nil, false
+		}
+		res, outcome, derr := decodeFill(p)
+		if derr != nil {
+			return core.Result{}, nil, false
+		}
+		return res, outcome, true
+	}
+}

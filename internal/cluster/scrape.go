@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseExposition parses a Prometheus text-format exposition into a flat
+// map keyed by the full series name including its label block, e.g.
+//
+//	sigrec_recover_latency_microseconds{quantile="0.95"} -> 1234
+//	sigrec_cache_hits_total                              -> 87
+//
+// Comment lines and OpenMetrics exemplar suffixes are dropped. The router
+// uses it to scrape each shard's CKMS p95 for the hedge delay; the e2e
+// harness uses it to reconcile counter deltas across the cluster.
+func ParseExposition(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Exemplar suffix: `name{...} value # {request_id="..."} ev`.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
+		}
+		// The series name may contain spaces only inside label values;
+		// split on the last space so quoted values survive.
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+		if err != nil {
+			continue // timestamps or malformed tails: skip, not fatal
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

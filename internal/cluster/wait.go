@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// WaitReady polls url (expected to be a /healthz-style endpoint) until it
+// answers 200 or ctx expires — the readiness loop every cluster harness
+// needs when real processes come up in their own time. The poll interval
+// backs off from 10ms to 250ms so a fast boot is caught fast and a slow
+// one does not get hammered.
+func WaitReady(ctx context.Context, client *http.Client, url string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	interval := 10 * time.Millisecond
+	var lastErr error
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("cluster: %s answered %d", url, resp.StatusCode)
+		} else {
+			lastErr = err
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: waiting for %s: %w (last: %v)", url, ctx.Err(), lastErr)
+		case <-time.After(interval):
+		}
+		if interval < 250*time.Millisecond {
+			interval *= 2
+		}
+	}
+}
+
+// WaitPoolHealthy polls a router's /healthz until it reports at least
+// want healthy shards or ctx expires. WaitReady only proves the router
+// answers; its health poller discovers the pool asynchronously, so a
+// harness that starts load right after WaitReady can race the first poll
+// round and see traffic diverted away from a shard that is actually up.
+func WaitPoolHealthy(ctx context.Context, client *http.Client, url string, want int) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	interval := 10 * time.Millisecond
+	var lastErr error
+	for {
+		healthy, err := poolHealthy(ctx, client, url)
+		if err == nil && healthy >= want {
+			return nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("cluster: %s reports %d healthy shards, want %d", url, healthy, want)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: waiting for pool health at %s: %w (last: %v)", url, ctx.Err(), lastErr)
+		case <-time.After(interval):
+		}
+		if interval < 250*time.Millisecond {
+			interval *= 2
+		}
+	}
+}
+
+func poolHealthy(ctx context.Context, client *http.Client, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Shards []struct {
+			Healthy bool `json:"healthy"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, fmt.Errorf("cluster: decoding %s: %w", url, err)
+	}
+	n := 0
+	for _, sh := range body.Shards {
+		if sh.Healthy {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Retry runs fn up to attempts times, sleeping delay between failures,
+// and returns the first success or the last error. It is the bounded
+// retry loop for cluster operations that may race a restarting process.
+func Retry(ctx context.Context, attempts int, delay time.Duration, fn func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: retry aborted: %w (last: %v)", ctx.Err(), err)
+		case <-time.After(delay):
+		}
+	}
+	return err
+}

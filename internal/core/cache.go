@@ -76,6 +76,31 @@ func (c *Cache) lookup(code []byte) (Result, error, bool) {
 	return ent.res, ent.err, true
 }
 
+// Peek returns the cached outcome for the bytecode without counting a hit
+// or a miss. It exists for the cluster peer-fill endpoint, which serves
+// another shard's lookup out of the local cache: metering those as local
+// hits would distort the shard's own hit rate. A peeked entry is still
+// promoted in the LRU — serving it to a peer is a use.
+func (c *Cache) Peek(code []byte) (Result, error, bool) {
+	key := keccak.Sum256(code)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return Result{}, nil, false
+	}
+	c.ll.MoveToFront(el)
+	ent := el.Value.(*cacheEntry)
+	return ent.res, ent.err, true
+}
+
+// FillFunc is a cache-fill hook consulted on a miss before compute runs:
+// in cluster mode it fetches the result from the shard that owns the
+// bytecode's keccak slice, so a hot contract computed once is served
+// everywhere without recomputation. ok=false means the fill had nothing
+// (not the owner, owner cold, peer unreachable) and compute proceeds.
+type FillFunc func(code []byte) (Result, error, bool)
+
 // GetOrCompute returns the cached outcome for the bytecode or runs compute
 // once, coalescing concurrent callers for the same bytecode singleflight-
 // style: while one caller computes, the others wait and share its outcome
@@ -83,6 +108,15 @@ func (c *Cache) lookup(code []byte) (Result, error, bool) {
 // outcomes are stored; truncated ones are returned to every waiter but not
 // cached, matching RecoverContext's store policy.
 func (c *Cache) GetOrCompute(code []byte, compute func() (Result, error)) (Result, error) {
+	return c.GetOrComputeFill(code, nil, compute)
+}
+
+// GetOrComputeFill is GetOrCompute with a fill stage: on a miss the
+// coalescing winner first consults fill (nil skips straight to compute).
+// A filled outcome is stored under the same cacheability policy as a
+// computed one and shared with every coalesced waiter; fill returning
+// ok=false, or a truncated filled result, falls through to compute.
+func (c *Cache) GetOrComputeFill(code []byte, fill FillFunc, compute func() (Result, error)) (Result, error) {
 	key := keccak.Sum256(code)
 	c.mu.Lock()
 	if el, ok := c.m[key]; ok {
@@ -111,6 +145,17 @@ func (c *Cache) GetOrCompute(code []byte, compute func() (Result, error)) (Resul
 			c.retireFlight(key, f)
 		}
 	}()
+	if fill != nil {
+		if res, err, ok := fill(code); ok && cacheable(res, err) {
+			mCacheFillHits.Inc()
+			f.res, f.err = res, err
+			completed = true
+			c.storeKey(key, res, err)
+			c.retireFlight(key, f)
+			return res, err
+		}
+		mCacheFillMisses.Inc()
+	}
 	f.res, f.err = compute()
 	completed = true
 	if cacheable(f.res, f.err) {

@@ -43,8 +43,13 @@ var (
 	mCacheCoalesced = tel.Counter("sigrec_cache_coalesced_total")
 	mCacheEvicted   = tel.Counter("sigrec_cache_evictions_total")
 	mCacheEntries   = tel.Gauge("sigrec_cache_entries")
-	mBatches        = tel.Counter("sigrec_batches_total")
-	mRecoverUS      = tel.Histogram("sigrec_recover_duration_microseconds", nil)
+	// Peer cache-fill (cluster mode): a fill hit is a result copied from
+	// the owning shard instead of recomputed; a fill miss fell through to
+	// local compute.
+	mCacheFillHits   = tel.Counter("sigrec_cache_fill_hits_total")
+	mCacheFillMisses = tel.Counter("sigrec_cache_fill_misses_total")
+	mBatches         = tel.Counter("sigrec_batches_total")
+	mRecoverUS       = tel.Histogram("sigrec_recover_duration_microseconds", nil)
 
 	// Interner and copy-on-write state instruments. Hit rate is exposed as a
 	// permille gauge so it reads directly off the exposition endpoint; pool

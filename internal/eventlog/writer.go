@@ -298,6 +298,17 @@ func (w *Writer) loop(f *os.File, size int64) {
 			f, size = nf, nsize
 			bw.Reset(f)
 		}
+		// Idle flush: when the queue has drained, push the buffer to the
+		// kernel before blocking on the next event. Under load the flush
+		// amortizes over whole bursts; when quiet it bounds what a crash
+		// (SIGKILL, OOM) can lose to the events still in the channel —
+		// which is what lets a cluster reconcile a killed shard's log
+		// against router request ids instead of guessing at a lost tail.
+		if len(w.ch) == 0 {
+			if err := bw.Flush(); err != nil {
+				fail(err)
+			}
+		}
 	}
 	if err := bw.Flush(); err != nil {
 		fail(err)

@@ -30,6 +30,18 @@ func ensureRequestID(w http.ResponseWriter, r *http.Request) string {
 	return id
 }
 
+// EnsureRequestIDString applies the same request-id policy as the serving
+// path to a bare header value: sanitize the client's id, or mint a fresh
+// random one when it is empty or unsafe. Exported for the cluster router,
+// so router-assigned base ids obey identical rules to shard-assigned ones.
+func EnsureRequestIDString(id string) string {
+	id = sanitizeRequestID(id)
+	if id == "" {
+		id = newRequestID()
+	}
+	return id
+}
+
 // sanitizeRequestID keeps printable ASCII and truncates; anything else
 // (header injection, control bytes) is dropped so the ID is safe to log.
 func sanitizeRequestID(id string) string {

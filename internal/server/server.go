@@ -87,6 +87,12 @@ type Config struct {
 	// nothing — they run no recovery). The most recent events are also
 	// served at GET /debug/events.
 	EventLog *eventlog.Writer
+	// CacheFill, when non-nil, is consulted on every local cache miss
+	// before computing — the cluster peer-fill hook: when the hash ring
+	// says another shard owns this bytecode, fetch its cached result
+	// instead of recomputing. A miss (or error) falls through to the local
+	// pipeline, so the hook can only save work, never fail a request.
+	CacheFill core.FillFunc
 }
 
 // Server is the HTTP serving layer. Create with New, expose with Handler,
@@ -143,6 +149,15 @@ func New(cfg Config) *Server {
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Mount attaches an extra handler to the server's mux, e.g. the cluster
+// peer-fill endpoint. pattern follows http.ServeMux syntax ("POST /x").
+// Call before Handler is serving traffic.
+func (s *Server) Mount(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// Cache returns the server's shared result cache, so composing layers
+// (the cluster fill endpoint) can serve peeks from it.
+func (s *Server) Cache() *core.Cache { return s.cache }
+
 // ResolvedConfig returns the Config after New applied defaults, so callers
 // can report the effective serving parameters.
 func (s *Server) ResolvedConfig() Config { return s.cfg }
@@ -183,7 +198,7 @@ func (s *Server) recoverItem(ctx context.Context, code []byte, blocking bool) (c
 	// the dead flight is gone, so the retry computes (or coalesces onto a
 	// live flight).
 	for attempt := 0; attempt < 2; attempt++ {
-		res, err = s.cache.GetOrCompute(code, func() (core.Result, error) {
+		res, err = s.cache.GetOrComputeFill(code, s.cfg.CacheFill, func() (core.Result, error) {
 			return s.runPooled(ctx, code, blocking)
 		})
 		if isCtxErr(err) && ctx.Err() == nil {
@@ -467,6 +482,13 @@ func readBytecode(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]byt
 	}
 	return parseBytecode(body)
 }
+
+// ParseBytecode decodes one contract's bytecode from a request body or
+// batch line — a bare hex string (optionally 0x-prefixed) or JSON
+// ({"bytecode":"0x.."} or a JSON string). Exported so the cluster router
+// can validate and canonicalize input with exactly the shard's rules
+// before hashing it onto the ring.
+func ParseBytecode(b []byte) ([]byte, error) { return parseBytecode(b) }
 
 // parseBytecode decodes one contract's bytecode from a request body or
 // batch line. Malformed hex yields the typed *core.HexInputError.

@@ -81,6 +81,33 @@ func (v *CounterVec) With(value string) *Counter {
 	return c
 }
 
+// GaugeVec is a family of gauges distinguished by one label (e.g.
+// cluster_shard_healthy{shard="s1"}). With resolves a label value to its
+// gauge; hot paths should resolve once and cache the *Gauge, after which
+// mutations are single atomic stores exactly like a plain Gauge.
+type GaugeVec struct {
+	label string
+	mu    sync.RWMutex
+	m     map[string]*Gauge
+}
+
+// With returns the gauge for the label value, creating it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.RLock()
+	g, ok := v.m[value]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.m[value]; !ok {
+		g = &Gauge{}
+		v.m[value] = g
+	}
+	return g
+}
+
 // ExemplarLabel is the label name exemplars are exposed under: a request
 // id linking a histogram bucket back to its trace in the flight recorder.
 const ExemplarLabel = "request_id"
@@ -176,6 +203,12 @@ type LabeledCounterSnapshot struct {
 	Values map[string]uint64
 }
 
+// LabeledGaugeSnapshot is the point-in-time state of a GaugeVec.
+type LabeledGaugeSnapshot struct {
+	Label  string
+	Values map[string]int64
+}
+
 // Snapshot is a consistent-enough point-in-time copy of a registry. (Each
 // metric is read atomically; cross-metric skew under concurrent writers is
 // bounded by the snapshot walk, which carries no locks on the write path.)
@@ -185,6 +218,7 @@ type Snapshot struct {
 	Histograms      map[string]HistogramSnapshot
 	Summaries       map[string]SummarySnapshot
 	LabeledCounters map[string]LabeledCounterSnapshot
+	LabeledGauges   map[string]LabeledGaugeSnapshot
 	// Infos maps info-metric names to their pre-rendered, escaped label
 	// block (`{k="v",...}`); each exposes as a gauge with constant value 1.
 	Infos map[string]string
@@ -202,6 +236,7 @@ type Registry struct {
 	histograms  map[string]*Histogram
 	summaries   map[string]*Summary
 	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
 	infos       map[string]string
 	help        map[string]string
 	// hooks run (outside the lock) at the start of every Snapshot; used to
@@ -218,6 +253,7 @@ func NewRegistry() *Registry {
 		histograms:  make(map[string]*Histogram),
 		summaries:   make(map[string]*Summary),
 		counterVecs: make(map[string]*CounterVec),
+		gaugeVecs:   make(map[string]*GaugeVec),
 		infos:       make(map[string]string),
 		help:        make(map[string]string),
 	}
@@ -327,6 +363,25 @@ func (r *Registry) CounterVec(name, label string) *CounterVec {
 	return v
 }
 
+// GaugeVec returns the named one-label gauge family, creating it with the
+// given label name on first use (the label passed on later calls for the
+// same name is ignored).
+func (r *Registry) GaugeVec(name, label string) *GaugeVec {
+	r.mu.RLock()
+	v, ok := r.gaugeVecs[name]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok = r.gaugeVecs[name]; !ok {
+		v = &GaugeVec{label: label, m: make(map[string]*Gauge)}
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
 // SetInfo publishes an info metric: a gauge with constant value 1 whose
 // labels carry build/configuration identity (the sigrec_build_info idiom).
 // Later calls for the same name replace the labels.
@@ -388,6 +443,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Histograms:      make(map[string]HistogramSnapshot, len(r.histograms)),
 		Summaries:       make(map[string]SummarySnapshot, len(r.summaries)),
 		LabeledCounters: make(map[string]LabeledCounterSnapshot, len(r.counterVecs)),
+		LabeledGauges:   make(map[string]LabeledGaugeSnapshot, len(r.gaugeVecs)),
 		Infos:           make(map[string]string, len(r.infos)),
 		Help:            make(map[string]string, len(r.help)),
 	}
@@ -402,6 +458,15 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		v.mu.RUnlock()
 		s.LabeledCounters[name] = ls
+	}
+	for name, v := range r.gaugeVecs {
+		v.mu.RLock()
+		ls := LabeledGaugeSnapshot{Label: v.label, Values: make(map[string]int64, len(v.m))}
+		for value, g := range v.m {
+			ls.Values[value] = g.Load()
+		}
+		v.mu.RUnlock()
+		s.LabeledGauges[name] = ls
 	}
 	for name, rendered := range r.infos {
 		s.Infos[name] = rendered
@@ -452,7 +517,7 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
 	names := make([]string, 0,
 		len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Summaries)+
-			len(s.LabeledCounters)+len(s.Infos))
+			len(s.LabeledCounters)+len(s.LabeledGauges)+len(s.Infos))
 	for n := range s.Counters {
 		names = append(names, n)
 	}
@@ -468,6 +533,9 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	for n := range s.LabeledCounters {
 		names = append(names, n)
 	}
+	for n := range s.LabeledGauges {
+		names = append(names, n)
+	}
 	for n := range s.Infos {
 		names = append(names, n)
 	}
@@ -476,6 +544,9 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		// A labeled family with no series yet would emit a TYPE line with no
 		// samples — malformed under the strict grammar — so skip it entirely.
 		if lc, ok := s.LabeledCounters[n]; ok && len(lc.Values) == 0 {
+			continue
+		}
+		if lg, ok := s.LabeledGauges[n]; ok && len(lg.Values) == 0 {
 			continue
 		}
 		// Likewise an unobserved summary: its quantile values would be
@@ -501,6 +572,17 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 			sort.Strings(values)
 			for _, v := range values {
 				fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", n, lc.Label, escapeLabel(v), lc.Values[v])
+			}
+		case hasKey(s.LabeledGauges, n):
+			lg := s.LabeledGauges[n]
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", n)
+			values := make([]string, 0, len(lg.Values))
+			for v := range lg.Values {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", n, lg.Label, escapeLabel(v), lg.Values[v])
 			}
 		case hasKey(s.Infos, n):
 			fmt.Fprintf(&b, "# TYPE %s gauge\n%s%s 1\n", n, n, s.Infos[n])

@@ -166,3 +166,37 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("lost updates: %+v", s)
 	}
 }
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("shard_healthy", "shard")
+	v.With("s1").Set(1)
+	v.With("s2").Set(-3)
+	if r.GaugeVec("shard_healthy", "shard") != v {
+		t.Error("re-registration returned a different vec")
+	}
+	if v.With("s1") != v.With("s1") {
+		t.Error("With not stable for the same value")
+	}
+	s := r.Snapshot().LabeledGauges["shard_healthy"]
+	if s.Label != "shard" {
+		t.Errorf("label = %q", s.Label)
+	}
+	if s.Values["s1"] != 1 || s.Values["s2"] != -3 {
+		t.Errorf("values = %v", s.Values)
+	}
+	out := r.Snapshot().String()
+	want := "# TYPE shard_healthy gauge\nshard_healthy{shard=\"s1\"} 1\nshard_healthy{shard=\"s2\"} -3\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q in:\n%s", want, out)
+	}
+	// An empty family must not emit a bare TYPE line (strict grammar).
+	r2 := NewRegistry()
+	r2.GaugeVec("never_set", "shard")
+	if strings.Contains(r2.Snapshot().String(), "never_set") {
+		t.Error("empty gauge family leaked into the exposition")
+	}
+	if err := Lint(out); err != nil {
+		t.Fatalf("labeled-gauge exposition fails lint: %v", err)
+	}
+}
