@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race serve serve-e2e obs-e2e analytics-e2e cluster-e2e fuzz-smoke bench-smoke bench bench-gate
+.PHONY: check fmt vet build test race serve serve-e2e obs-e2e analytics-e2e cluster-e2e fuzz-smoke bench-smoke bench bench-gate pgo
 
 # BENCH is the tracked benchmark artifact for this PR in the BENCH_<n>.json
 # trajectory; bump the number when a PR re-records performance.
-BENCH ?= BENCH_6.json
+BENCH ?= BENCH_7.json
 
 check: fmt vet build test race
 
@@ -76,6 +76,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeNested$$' -fuzztime 10s ./internal/abi
 	$(GO) test -run '^$$' -fuzz '^FuzzRecover$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzInferMutatedContract$$' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzStoreCorruption$$' -fuzztime 10s ./internal/store
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'E1|E3' -benchtime 1x .
@@ -83,10 +84,14 @@ bench-smoke:
 # Record the E1/E3 experiment benchmarks, the serving-layer throughput
 # (req/s), and the tracing- and event-log-overhead A/B pairs as
 # machine-readable JSON so the perf trajectory is tracked across PRs.
+# PGOFLAG opts a run into profile-guided builds once `make pgo` has
+# recorded default.pgo, e.g. `make bench PGOFLAG=-pgo=default.pgo`.
+PGOFLAG ?=
+
 bench:
-	( $(GO) test -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events' \
+	( $(GO) test $(PGOFLAG) -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events|BenchmarkE3Parallel|BenchmarkTieredCacheWarmLookup$$' \
 		-benchmem . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkServerThroughput$$' \
+	  $(GO) test $(PGOFLAG) -run '^$$' -bench 'BenchmarkServerThroughput$$' \
 		-benchmem ./internal/server ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkRouterOverhead' \
 		-benchmem -benchtime 200x -count=5 ./internal/cluster ) \
@@ -95,30 +100,68 @@ bench:
 # Gates: (1) fail when E3 allocs/op regresses >10% against the committed
 # baseline — allocation counts are deterministic enough for shared CI
 # runners, ns/op is recorded but not gated across machines; (2) fail when
-# tracing-on ns/op exceeds tracing-off by >5%; (3) fail when wide-event
-# emission exceeds events-off by >3% — both A/Bs run within one
-# invocation on one machine, so wall time is comparable; (4) fail when
+# span tracing or wide-event emission gets expensive. PR 7 halved the
+# base recovery time, which made the old 5%/3% wall-time A/Bs a noise
+# lottery (the absolute budget they encoded, ~250-400us per E3 op, is
+# now within shared-runner scatter for either the fastest-of-5 or the
+# mean-of-5 statistic), so each A/B now gates two things: the On/Off
+# allocs/op ratio within 10% — allocation counts are deterministic, and
+# any structural regression (a new per-span or per-event allocation)
+# moves them immediately — and the mean-of-5 ns/op ratio within 25% as
+# a gross-slowdown backstop (observed pure-noise scatter on the shared
+# box reaches ~17%; a real blowup like the +80% tracing bug this gate
+# once caught still trips instantly); (4) fail when
 # routing through sigrec-router adds >10% latency over hitting the shard
 # directly. The router A/B crosses an HTTP hop, so it gates the
 # mean-over-count rather than the fastest run — machine drift during the
 # invocation hits both sides alike and cancels in the mean ratio, while
 # min-of-N is a lottery over which side caught the quietest window.
+# (5) fail when the warm disk lookup (TieredCache restart path) exceeds
+# 50us/op — an absolute ceiling: the whole point of the store is that a
+# warm hit costs microseconds, not a recovery. (6) on machines with >=4
+# cores, fail unless parallel selector exploration is at least 2x faster
+# than sequential over the multi-selector corpus (negative tolerance =
+# demanded improvement); skipped below 4 cores, where the pool cannot
+# express itself.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events|BenchmarkTieredCacheWarmLookup$$' \
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -out bench_current.json
 	$(GO) run ./cmd/benchjson -check -baseline bench_baseline.json \
 		-current bench_current.json -bench E3TimeDistribution \
 		-metric allocs_per_op -tolerance 0.10
+	$(GO) run ./cmd/benchjson -check -current bench_current.json \
+		-bench TieredCacheWarmLookup -metric ns_per_op -max 50000
 	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
 		-current bench_current.json -basebench E3TracingOff \
-		-bench E3TracingOn -metric ns_per_op -tolerance 0.05
+		-bench E3TracingOn -metric allocs_per_op -tolerance 0.10
+	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
+		-current bench_current.json -basebench E3TracingOff \
+		-bench E3TracingOn -metric mean_ns_per_op -tolerance 0.25
 	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
 		-current bench_current.json -basebench E3EventsOff \
-		-bench E3EventsOn -metric ns_per_op -tolerance 0.03
+		-bench E3EventsOn -metric allocs_per_op -tolerance 0.10
+	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
+		-current bench_current.json -basebench E3EventsOff \
+		-bench E3EventsOn -metric mean_ns_per_op -tolerance 0.25
 	$(GO) test -run '^$$' -bench 'BenchmarkRouterOverhead' \
 		-benchmem -benchtime 200x -count=5 ./internal/cluster \
 		| $(GO) run ./cmd/benchjson -out bench_router.json
 	$(GO) run ./cmd/benchjson -check -baseline bench_router.json \
 		-current bench_router.json -basebench RouterOverheadDirect \
 		-bench RouterOverheadProxied -metric mean_ns_per_op -tolerance 0.10
-	@rm -f bench_current.json bench_router.json
+	@if [ "$$(nproc)" -ge 4 ]; then \
+		$(GO) test -run '^$$' -bench 'BenchmarkE3Parallel' \
+			-benchmem -count=5 . | $(GO) run ./cmd/benchjson -out bench_par.json && \
+		$(GO) run ./cmd/benchjson -check -baseline bench_par.json \
+			-current bench_par.json -basebench E3ParallelOff \
+			-bench E3ParallelOn -metric mean_ns_per_op -tolerance -0.5; \
+	else \
+		echo "bench-gate: skipping E3Parallel speedup gate ($$(nproc) cores < 4)"; \
+	fi
+	@rm -f bench_current.json bench_router.json bench_par.json
+
+# Capture a CPU profile of sigrecd serving the corpus recovery workload
+# through its pprof endpoint and install it as default.pgo (committed);
+# see scripts/pgo.sh. Rebuild or re-bench with PGOFLAG=-pgo=default.pgo.
+pgo:
+	sh scripts/pgo.sh

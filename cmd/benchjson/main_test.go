@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCaptureDedupesEnvironmentHeader pipes two `go test` invocations'
+// output through one capture — the way `make bench` does — and checks the
+// environment header lines are recorded once, not once per invocation.
+func TestCaptureDedupesEnvironmentHeader(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"BenchmarkE3TimeDistribution \t 100 \t 5000000 ns/op \t 5000000 B/op \t 16000 allocs/op",
+		"PASS",
+		// Second invocation re-prints the header.
+		"goos: linux",
+		"goarch: amd64",
+		"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"BenchmarkServerThroughput-1 \t 30000 \t 36000 ns/op",
+		"PASS",
+	}, "\n")
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := capture(strings.NewReader(in), out); err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"goos: linux", "goarch: amd64", "cpu: "} {
+		if got := strings.Count(f.Go, frag); got != 1 {
+			t.Errorf("go field records %q %d times, want 1: %q", frag, got, f.Go)
+		}
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Errorf("captured %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	if f.Benchmarks["ServerThroughput"].ReqPerSec == 0 {
+		t.Error("throughput benchmark missing derived req_per_sec")
+	}
+}
+
+func writeBenchFile(t *testing.T, benchmarks map[string]Result) string {
+	t.Helper()
+	data, err := json.Marshal(File{Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGate(t *testing.T) {
+	path := writeBenchFile(t, map[string]Result{
+		"Warm":        {NsPerOp: 9000},
+		"ParallelOff": {NsPerOp: 100, MeanNsPerOp: 100},
+		"ParallelOn":  {NsPerOp: 40, MeanNsPerOp: 40},
+		"Slow":        {NsPerOp: 80, MeanNsPerOp: 80},
+	})
+	tests := []struct {
+		name            string
+		basebench, benc string
+		metric          string
+		tolerance, max  float64
+		wantErr         bool
+	}{
+		{"absolute ceiling pass", "", "Warm", "ns_per_op", 0, 50000, false},
+		{"absolute ceiling fail", "", "Warm", "ns_per_op", 0, 5000, true},
+		{"speedup demand met", "ParallelOff", "ParallelOn", "mean_ns_per_op", -0.5, 0, false},
+		{"speedup demand missed", "ParallelOff", "Slow", "mean_ns_per_op", -0.5, 0, true},
+		{"regression within tolerance", "ParallelOn", "Slow", "ns_per_op", 1.5, 0, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := gate(path, path, tc.basebench, tc.benc, tc.metric, tc.tolerance, tc.max)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("gate err = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}

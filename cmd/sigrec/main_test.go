@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		selWorkers int
+		wantErr    bool
+	}{
+		{"auto", 0, false},
+		{"sequential", 1, false},
+		{"explicit", 8, false},
+		{"negative", -1, true},
+		{"very negative", -100, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.selWorkers)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("validateFlags(%d) = %v, wantErr %v", tc.selWorkers, err, tc.wantErr)
+			}
+		})
+	}
+}

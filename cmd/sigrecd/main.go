@@ -42,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -49,9 +50,11 @@ import (
 	"sigrec"
 	"sigrec/internal/cluster"
 	"sigrec/internal/core"
+	"sigrec/internal/efsd"
 	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
 	"sigrec/internal/server"
+	"sigrec/internal/store"
 )
 
 func main() {
@@ -70,6 +73,8 @@ func run() error {
 		budget    = flag.Int("budget", 0, "TASE step budget per exploration (0 = built-in default)")
 		paths     = flag.Int("maxpaths", 0, "explored-path cap per exploration (0 = built-in default)")
 		cache     = flag.Int("cache", server.DefaultCacheEntries, "result-cache entries (keccak-keyed LRU)")
+		storeDir  = flag.String("store-dir", "", "directory for the persistent result store layered under the cache; warm results survive restarts (empty = memory-only)")
+		selWork   = flag.Int("selector-workers", 1, "parallel selector explorations per contract (1 = sequential, 0 = auto up to GOMAXPROCS)")
 		maxBody   = flag.Int64("maxbody", server.DefaultMaxBodyBytes, "max request-body bytes (and max batch line)")
 		drain     = flag.Duration("drain", 15*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
@@ -91,7 +96,7 @@ func run() error {
 		return nil
 	}
 
-	if err := validateFlags(*workers, *queue, *maxBody); err != nil {
+	if err := validateFlags(*workers, *queue, *maxBody, *selWork); err != nil {
 		return usageError(err)
 	}
 	peers, err := parsePeers(*peerSpec)
@@ -126,6 +131,19 @@ func run() error {
 		}
 	}
 
+	// Persistent tier: with -store-dir the result cache is tiered — memory
+	// LRU over an append-only disk store — so a restarted shard serves its
+	// working set warm immediately, before any recompute or peer fill.
+	var resultStore *store.Store
+	var tiered *core.Cache
+	if *storeDir != "" {
+		resultStore, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		tiered = core.NewTieredCache(*cache, resultStore).Cache
+	}
+
 	// Cluster mode: with a shard id and peers, misses whose ring owner is
 	// another shard first try that owner's cache (peer fill) before
 	// computing locally, and this shard serves its own cache to peers.
@@ -140,18 +158,26 @@ func run() error {
 		fill = cluster.PeerFill(ring, *shardID, peers, nil, 0)
 	}
 
+	// Flag 0 = auto is server config -1 (server reads 0 as its sequential
+	// default).
+	selectorWorkers := *selWork
+	if selectorWorkers == 0 {
+		selectorWorkers = -1
+	}
 	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		Timeout:      *timeout,
-		StepBudget:   *budget,
-		MaxPaths:     *paths,
-		CacheEntries: *cache,
-		MaxBodyBytes: *maxBody,
-		Logger:       logger,
-		Tracer:       tracer,
-		EventLog:     events,
-		CacheFill:    fill,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		Timeout:         *timeout,
+		StepBudget:      *budget,
+		MaxPaths:        *paths,
+		SelectorWorkers: selectorWorkers,
+		Cache:           tiered,
+		CacheEntries:    *cache,
+		MaxBodyBytes:    *maxBody,
+		Logger:          logger,
+		Tracer:          tracer,
+		EventLog:        events,
+		CacheFill:       fill,
 	})
 	if len(peers) > 0 {
 		srv.Mount("POST "+cluster.FillPath, cluster.FillHandler(srv.Cache(), *maxBody))
@@ -193,6 +219,8 @@ func run() error {
 		"step_budget", rc.StepBudget,
 		"max_paths", rc.MaxPaths,
 		"cache_entries", *cache,
+		"store_dir", *storeDir,
+		"selector_workers", *selWork,
 		"max_body", rc.MaxBodyBytes,
 		"tracing", tracer != nil,
 		"event_log", *eventLog,
@@ -246,17 +274,62 @@ func run() error {
 			logger.Error("event log close failed", "err", err)
 		}
 	}
+	if resultStore != nil {
+		// Export the store's recovered signatures as an EFSD-format JSON
+		// next to the segments (selector -> placeholder-named signature,
+		// loadable with efsd.LoadTrusted), then sync and close the store.
+		if err := exportEFSD(resultStore, filepath.Join(*storeDir, "efsd.json")); err != nil {
+			logger.Error("efsd export failed", "err", err)
+		}
+		if err := resultStore.Close(); err != nil {
+			logger.Error("result store close failed", "err", err)
+		} else {
+			st := resultStore.Stats()
+			logger.Info("result store closed", "records", st.Records, "segments", st.Segments)
+		}
+	}
 	if err := sigrec.WriteMetrics(os.Stderr); err == nil {
 		logger.Info("sigrecd drained")
 	}
 	return errors.Join(serr, derr)
 }
 
+// exportEFSD walks every stored result and writes the recovered functions
+// as a signature database: the durable artifact other tools (sigrec -db,
+// the baselines) can consume without replaying recoveries.
+func exportEFSD(s *store.Store, path string) error {
+	db := efsd.New()
+	s.Keys(func(key [32]byte) bool {
+		res, _, ok := s.Load(key)
+		if !ok {
+			return true
+		}
+		for _, fn := range res.Functions {
+			db.AddRecovered(fn.Selector, fn.TypeList())
+		}
+		return true
+	})
+	f, err := os.CreateTemp(filepath.Dir(path), ".efsd-*")
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
 // validateFlags rejects flag values that would otherwise fail obscurely
 // deep in the serving layer (a negative worker count silently selecting
 // GOMAXPROCS, a zero queue shedding everything, a zero body cap rejecting
 // every request).
-func validateFlags(workers, queue int, maxBody int64) error {
+func validateFlags(workers, queue int, maxBody int64, selectorWorkers int) error {
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", workers)
 	}
@@ -265,6 +338,9 @@ func validateFlags(workers, queue int, maxBody int64) error {
 	}
 	if maxBody <= 0 {
 		return fmt.Errorf("-maxbody must be positive, got %d", maxBody)
+	}
+	if selectorWorkers < 0 {
+		return fmt.Errorf("-selector-workers must be >= 0 (0 = auto, 1 = sequential), got %d", selectorWorkers)
 	}
 	return nil
 }

@@ -4,7 +4,10 @@
 // router while SIGKILLing and restarting a shard mid-load, and then
 // reconciles the shards' durable event logs against the client's record
 // — zero lost recoveries, zero duplicated attempts, and the cache hit
-// rate recovered after the restart.
+// rate warm immediately after the restart: each shard runs with a
+// persistent result store (-store-dir), so the restarted shard's first
+// replay must be served from its own disk (>= 0.9 hit rate, zero
+// recomputation, zero peer refill).
 //
 // The suite is opt-in (CLUSTER_E2E=1, set by `make cluster-e2e`) because
 // it builds race-instrumented binaries and runs for tens of seconds.
@@ -253,6 +256,10 @@ func TestClusterE2E(t *testing.T) {
 			"-shard-id", id,
 			"-peers", peersOf(id),
 			"-event-log", eventLog(logName),
+			// The persistent result store is keyed by shard id, not by
+			// incarnation: a restarted shard reopens its predecessor's
+			// segments and must serve its working set warm from disk.
+			"-store-dir", filepath.Join(artifacts, id+".store"),
 			"-log-format", "json",
 			"-drain", "10s",
 		)
@@ -455,17 +462,44 @@ func TestClusterE2E(t *testing.T) {
 		t.Fatalf("phase A completed %d/%d recoveries", len(results), phaseATotal)
 	}
 
-	// --- phase B': the hit rate must recover after the restart ---
+	// --- phase B': warm start straight from the disk store ---
 
-	replayWarm("phb3") // re-warm: s2-owned keys recompute on the fresh shard
+	// The restarted s2 reopened its predecessor's -store-dir, so the VERY
+	// FIRST replay of the warm set after the restart must already be served
+	// warm: hit rate >= 0.9 with zero recomputation (no TASE paths
+	// explored) and zero peer refill — s2's own disk answers before the
+	// fill hook is ever consulted.
+	fills0w := scrapeSum(t, client, "sigrec_cache_fill_hits_total", shardMetricURLs...)
+	fillMiss0w := scrapeSum(t, client, "sigrec_cache_fill_misses_total", shardMetricURLs...)
+	paths0w := scrapeSum(t, client, "sigrec_tase_paths_explored_total", shardMetricURLs...)
+	store0w := scrapeSum(t, client, "sigrec_store_hits_total", urls["s2"])
 	h2 := scrapeSum(t, client, "sigrec_cache_hits_total", shardMetricURLs...)
-	replayWarm("phb4")
+	replayWarm("phb3")
 	h3 := scrapeSum(t, client, "sigrec_cache_hits_total", shardMetricURLs...)
 	postHitRate := (h3 - h2) / 60
 	if postHitRate < 0.9 {
-		t.Fatalf("post-restart warm hit rate = %.2f, want >= 0.9 (pre-kill %.2f)", postHitRate, preKillHitRate)
+		t.Fatalf("first-replay warm hit rate after restart = %.2f, want >= 0.9 (pre-kill %.2f)", postHitRate, preKillHitRate)
 	}
-	t.Logf("post-restart warm hit rate: %.2f", postHitRate)
+	t.Logf("first-replay warm hit rate after restart: %.2f", postHitRate)
+	if d := scrapeSum(t, client, "sigrec_tase_paths_explored_total", shardMetricURLs...) - paths0w; d != 0 {
+		t.Errorf("warm replay after restart recomputed (%.0f TASE paths explored)", d)
+	}
+	if d := scrapeSum(t, client, "sigrec_cache_fill_hits_total", shardMetricURLs...) - fills0w; d != 0 {
+		t.Errorf("warm replay after restart refilled from peers (%.0f fill hits); the disk store must answer first", d)
+	}
+	if d := scrapeSum(t, client, "sigrec_cache_fill_misses_total", shardMetricURLs...) - fillMiss0w; d != 0 {
+		t.Errorf("warm replay after restart consulted the peer-fill hook %.0f times; the disk store must answer first", d)
+	}
+	if d := scrapeSum(t, client, "sigrec_store_hits_total", urls["s2"]) - store0w; d < 1 {
+		t.Errorf("restarted s2 served %.0f results from its disk store, want >= 1", d)
+	}
+	// Second replay: the disk hits were promoted, so the set stays warm
+	// from memory.
+	replayWarm("phb4")
+	h4 := scrapeSum(t, client, "sigrec_cache_hits_total", shardMetricURLs...)
+	if rate := (h4 - h3) / 60; rate < 0.9 {
+		t.Fatalf("promoted warm hit rate = %.2f, want >= 0.9", rate)
+	}
 	if got := scrapeSum(t, client, "sigrec_recoveries_total", urls["s2"]); got == 0 {
 		t.Error("restarted s2 never ran a recovery — not rejoined the pool")
 	}

@@ -24,6 +24,10 @@ type Cache struct {
 	ll      *list.List // front = most recently used
 	m       map[[32]byte]*list.Element
 	flights map[[32]byte]*flight
+	// disk, when non-nil, is the persistent tier under the LRU (see
+	// TieredCache): consulted on a memory miss before fill/compute,
+	// written through on every cacheable store.
+	disk ResultStore
 }
 
 type cacheEntry struct {
@@ -60,20 +64,28 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
-// lookup returns the cached outcome for the bytecode, if present.
+// lookup returns the cached outcome for the bytecode, if present in
+// either tier. A disk hit is promoted into the memory LRU and metered as
+// a cache hit: a warm store keeps the hit rate high straight through a
+// process restart.
 func (c *Cache) lookup(code []byte) (Result, error, bool) {
 	key := keccak.Sum256(code)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.m[key]
-	if !ok {
-		mCacheMisses.Inc()
-		return Result{}, nil, false
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		mCacheHits.Inc()
+		ent := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		return ent.res, ent.err, true
 	}
-	c.ll.MoveToFront(el)
-	mCacheHits.Inc()
-	ent := el.Value.(*cacheEntry)
-	return ent.res, ent.err, true
+	c.mu.Unlock()
+	if res, rerr, ok := c.diskLoad(key); ok {
+		mCacheHits.Inc()
+		c.storeKey(key, res, rerr)
+		return res, rerr, true
+	}
+	mCacheMisses.Inc()
+	return Result{}, nil, false
 }
 
 // Peek returns the cached outcome for the bytecode without counting a hit
@@ -135,7 +147,6 @@ func (c *Cache) GetOrComputeFill(code []byte, fill FillFunc, compute func() (Res
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
 	c.mu.Unlock()
-	mCacheMisses.Inc()
 
 	completed := false
 	defer func() {
@@ -145,12 +156,24 @@ func (c *Cache) GetOrComputeFill(code []byte, fill FillFunc, compute func() (Res
 			c.retireFlight(key, f)
 		}
 	}()
+	// The disk tier comes before the peer fill: after a restart the local
+	// store answers warm traffic without a network hop or a recompute.
+	if res, rerr, ok := c.diskLoad(key); ok {
+		mCacheHits.Inc()
+		f.res, f.err = res, rerr
+		completed = true
+		c.storeKey(key, res, rerr)
+		c.retireFlight(key, f)
+		return res, rerr
+	}
+	mCacheMisses.Inc()
 	if fill != nil {
 		if res, err, ok := fill(code); ok && cacheable(res, err) {
 			mCacheFillHits.Inc()
 			f.res, f.err = res, err
 			completed = true
 			c.storeKey(key, res, err)
+			c.diskSave(key, res, err)
 			c.retireFlight(key, f)
 			return res, err
 		}
@@ -160,6 +183,7 @@ func (c *Cache) GetOrComputeFill(code []byte, fill FillFunc, compute func() (Res
 	completed = true
 	if cacheable(f.res, f.err) {
 		c.storeKey(key, f.res, f.err)
+		c.diskSave(key, f.res, f.err)
 	}
 	c.retireFlight(key, f)
 	return f.res, f.err
@@ -181,10 +205,12 @@ func cacheable(res Result, err error) bool {
 	return !res.Truncated && (err == nil || errors.Is(err, ErrNoFunctions))
 }
 
-// store inserts an outcome, evicting the least recently used entry when
-// over capacity.
+// store inserts an outcome into both tiers, evicting the least recently
+// used memory entry when over capacity.
 func (c *Cache) store(code []byte, res Result, err error) {
-	c.storeKey(keccak.Sum256(code), res, err)
+	key := keccak.Sum256(code)
+	c.storeKey(key, res, err)
+	c.diskSave(key, res, err)
 }
 
 func (c *Cache) storeKey(key [32]byte, res Result, err error) {

@@ -80,21 +80,26 @@ func NewEnv(label string, seq int) *Expr {
 // argument has one.
 func NewApp(op evm.Op, args ...*Expr) *Expr {
 	e := &Expr{Kind: KindApp, Op: op, Args: args}
-	var words [3]evm.Word // pure EVM opcodes pop at most three operands
-	allConc := len(args) <= len(words)
+	if w, ok := foldArgs(op, args); ok {
+		e.Conc = &w
+	}
+	return e
+}
+
+// foldArgs evaluates op concretely when every argument carries a concrete
+// value (pure EVM opcodes pop at most three operands).
+func foldArgs(op evm.Op, args []*Expr) (evm.Word, bool) {
+	var words [3]evm.Word
+	if len(args) > len(words) {
+		return evm.Word{}, false
+	}
 	for i, a := range args {
-		if !allConc || a.Conc == nil {
-			allConc = false
-			break
+		if a.Conc == nil {
+			return evm.Word{}, false
 		}
 		words[i] = *a.Conc
 	}
-	if allConc {
-		if w, ok := foldOp(op, words[:len(args)]); ok {
-			e.Conc = &w
-		}
-	}
-	return e
+	return foldOp(op, words[:len(args)])
 }
 
 // foldOp evaluates a pure opcode on concrete operands.
@@ -269,22 +274,71 @@ type LinearTerm struct {
 
 // Linearize decomposes an expression over ADD/SUB/MUL-by-constant.
 func Linearize(e *Expr) Linear {
-	acc := &linAcc{terms: make(map[string]*LinearTerm)}
+	var acc linAcc
+	acc.terms = acc.buf[:0]
 	acc.add(e, evm.OneWord)
 	out := Linear{Const: acc.c}
-	for _, t := range acc.order {
-		lt := acc.terms[t]
-		if !lt.Coeff.IsZero() {
-			out.Terms = append(out.Terms, *lt)
+	// Drop cancelled terms; copy out so the result never aliases the
+	// accumulator's stack buffer.
+	n := 0
+	for i := range acc.terms {
+		if !acc.terms[i].Coeff.IsZero() {
+			n++
+		}
+	}
+	if n > 0 {
+		out.Terms = make([]LinearTerm, 0, n)
+		for _, t := range acc.terms {
+			if !t.Coeff.IsZero() {
+				out.Terms = append(out.Terms, t)
+			}
 		}
 	}
 	return out
 }
 
+// linearConst returns just the constant component of the linearization —
+// exactly Linearize(e).Const, without materializing any terms. Hot paths
+// that only attribute an address to a base offset (mload) use it to avoid
+// the term slice entirely.
+func linearConst(e *Expr) evm.Word {
+	var c evm.Word
+	addLinearConst(&c, e, evm.OneWord)
+	return c
+}
+
+func addLinearConst(c *evm.Word, e *Expr, coeff evm.Word) {
+	if e.Conc != nil {
+		*c = c.Add(e.Conc.Mul(coeff))
+		return
+	}
+	if e.Kind == KindApp {
+		switch e.Op {
+		case evm.ADD:
+			addLinearConst(c, e.Args[0], coeff)
+			addLinearConst(c, e.Args[1], coeff)
+		case evm.SUB:
+			addLinearConst(c, e.Args[0], coeff)
+			addLinearConst(c, e.Args[1], coeff.Neg())
+		case evm.MUL:
+			if e.Args[0].Conc != nil {
+				addLinearConst(c, e.Args[1], coeff.Mul(*e.Args[0].Conc))
+			} else if e.Args[1].Conc != nil {
+				addLinearConst(c, e.Args[0], coeff.Mul(*e.Args[1].Conc))
+			}
+		}
+	}
+}
+
+// linAcc accumulates terms in first-seen order. Linearizations are small
+// (a handful of atoms), so merging is a linear scan over a slice — no map,
+// no per-term heap nodes. Interned atoms merge by pointer; the rendered
+// string (cached on the node) is the fallback so the noIntern differential
+// mode merges structurally identical duplicates exactly as before.
 type linAcc struct {
 	c     evm.Word
-	terms map[string]*LinearTerm
-	order []string
+	terms []LinearTerm
+	buf   [8]LinearTerm
 }
 
 func (a *linAcc) add(e *Expr, coeff evm.Word) {
@@ -313,13 +367,14 @@ func (a *linAcc) add(e *Expr, coeff evm.Word) {
 			}
 		}
 	}
-	key := e.String()
-	if t, ok := a.terms[key]; ok {
-		t.Coeff = t.Coeff.Add(coeff)
-		return
+	for i := range a.terms {
+		t := &a.terms[i]
+		if t.Atom == e || t.Atom.String() == e.String() {
+			t.Coeff = t.Coeff.Add(coeff)
+			return
+		}
 	}
-	a.terms[key] = &LinearTerm{Atom: e, Coeff: coeff}
-	a.order = append(a.order, key)
+	a.terms = append(a.terms, LinearTerm{Atom: e, Coeff: coeff})
 }
 
 // TermFor returns the coefficient of the atom with the given canonical

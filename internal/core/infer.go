@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"sigrec/internal/abi"
 	"sigrec/internal/evm"
@@ -43,6 +44,11 @@ type inference struct {
 	// cur accumulates the rules applied while classifying the current
 	// parameter (the per-parameter explanation).
 	cur []RuleID
+
+	// descMemo caches descOf by node: every parameter's classification
+	// re-describes the same copy/load addresses, and descriptors are
+	// immutable once built.
+	descMemo map[*Expr]memoDesc
 }
 
 // hit records a rule application against the global stats, the pipeline's
@@ -74,19 +80,44 @@ type bodyDesc struct {
 	terms map[string]uint64 // atom key -> coefficient
 }
 
-func descOf(e *Expr) (bodyDesc, bool) {
+func (inf *inference) descOf(e *Expr) (bodyDesc, bool) {
+	// Nodes are interned per trace, so the pointer is a sound memo key;
+	// classifiers re-describe the same addresses for every parameter, and
+	// descriptors are immutable once built, so sharing them is safe. (In
+	// the noIntern differential mode duplicate nodes just miss the memo.)
+	if m, ok := inf.descMemo[e]; ok {
+		return m.d, m.ok
+	}
+	d, ok := descOfUncached(e)
+	if inf.descMemo == nil {
+		inf.descMemo = make(map[*Expr]memoDesc)
+	}
+	inf.descMemo[e] = memoDesc{d: d, ok: ok}
+	return d, ok
+}
+
+// memoDesc is a cached descOf outcome (negative results are cached too).
+type memoDesc struct {
+	d  bodyDesc
+	ok bool
+}
+
+func descOfUncached(e *Expr) (bodyDesc, bool) {
 	lin := Linearize(e)
 	c, ok := lin.Const.Uint64()
 	if !ok {
 		return bodyDesc{}, false
 	}
-	d := bodyDesc{c: c, terms: make(map[string]uint64, len(lin.Terms))}
-	for _, t := range lin.Terms {
-		coeff, ok := t.Coeff.Uint64()
-		if !ok {
-			return bodyDesc{}, false
+	d := bodyDesc{c: c}
+	if len(lin.Terms) > 0 {
+		d.terms = make(map[string]uint64, len(lin.Terms))
+		for _, t := range lin.Terms {
+			coeff, ok := t.Coeff.Uint64()
+			if !ok {
+				return bodyDesc{}, false
+			}
+			d.terms[t.Atom.String()] += coeff
 		}
-		d.terms[t.Atom.String()] += coeff
 	}
 	return d, true
 }
@@ -112,15 +143,30 @@ func extraTerms(a, b bodyDesc) []string {
 			out = append(out, k)
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
 // headAtomKey is the canonical key for the value loaded from a constant
-// head offset.
+// head offset. The classifier asks for the same small set of offsets
+// (4 + 32k) for every parameter of every function, so the common keys are
+// rendered once at init into a read-only table.
 func headAtomKey(off uint64) string {
+	if off >= 4 && (off-4)%32 == 0 {
+		if slot := (off - 4) / 32; slot < uint64(len(headAtomKeys)) {
+			return headAtomKeys[slot]
+		}
+	}
 	return NewCData(NewConstUint(off)).String()
 }
+
+var headAtomKeys = func() [64]string {
+	var keys [64]string
+	for i := range keys {
+		keys[i] = NewCData(NewConstUint(4 + 32*uint64(i))).String()
+	}
+	return keys
+}()
 
 // Inferred is the full inference output for one function.
 type Inferred struct {
@@ -190,7 +236,7 @@ func (inf *inference) detectLanguage() {
 	}
 	// Bounded byte-array copies are the other Vyper-only signature.
 	for _, ev := range inf.cdcs {
-		if d, ok := descOf(ev.Src); ok && d.c == 4 && len(d.terms) == 1 {
+		if d, ok := inf.descOf(ev.Src); ok && d.c == 4 && len(d.terms) == 1 {
 			if _, isConst := ev.Len.ConstUint(); isConst {
 				inf.lang = LangVyper
 				inf.hit(R20)
@@ -244,7 +290,7 @@ func (inf *inference) classify() ([]abi.Type, [][]RuleID) {
 		addClaim(cl)
 	}
 
-	sort.Slice(claims, func(i, j int) bool { return claims[i].off < claims[j].off })
+	slices.SortFunc(claims, func(a, b claim) int { return cmp.Compare(a.off, b.off) })
 	types := make([]abi.Type, 0, len(claims))
 	rules := make([][]RuleID, 0, len(claims))
 	for _, cl := range claims {
@@ -259,7 +305,7 @@ func (inf *inference) classify() ([]abi.Type, [][]RuleID) {
 func (inf *inference) derefedHeadSlots() []uint64 {
 	uses := make(map[string]bool)
 	note := func(e *Expr) {
-		if d, ok := descOf(e); ok {
+		if d, ok := inf.descOf(e); ok {
 			for k := range d.terms {
 				uses[k] = true
 			}
@@ -285,7 +331,7 @@ func (inf *inference) derefedHeadSlots() []uint64 {
 			out = append(out, off)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -365,7 +411,7 @@ func (inf *inference) staticPublicArrays(claimed map[uint64]bool) []claim {
 			g.ev = ev
 		}
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	slices.Sort(order)
 	var out []claim
 	for _, pc := range order {
 		g := groups[pc]
@@ -389,7 +435,7 @@ func (inf *inference) staticPublicArrays(claimed map[uint64]bool) []claim {
 			inf.hit(R9)
 		}
 		elem := inf.refineBasic(inf.profileFor(func(a *Expr) bool {
-			d, ok2 := descOf(a.Args[0])
+			d, ok2 := inf.descOf(a.Args[0])
 			return ok2 && len(d.terms) == 0 && d.c >= g.minSrc && d.c < g.minSrc+total
 		}))
 		out = append(out, claim{off: g.minSrc, size: total, typ: buildStaticArray(dims, elem), rules: inf.takeRules()})
@@ -420,7 +466,7 @@ func (inf *inference) staticExternalArrays(claimed map[uint64]bool) []claim {
 		}
 		g.offs = append(g.offs, off)
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	slices.Sort(order)
 	var out []claim
 	for _, pc := range order {
 		g := groups[pc]
@@ -429,7 +475,7 @@ func (inf *inference) staticExternalArrays(claimed map[uint64]bool) []claim {
 			// A single unguarded load is a basic value, not an array.
 			continue
 		}
-		sort.Slice(g.offs, func(i, j int) bool { return g.offs[i] < g.offs[j] })
+		slices.Sort(g.offs)
 		base := g.offs[0]
 		if claimed[base] {
 			continue
@@ -449,7 +495,7 @@ func (inf *inference) staticExternalArrays(claimed map[uint64]bool) []claim {
 			inf.hit(R3)
 		}
 		elem := inf.refineBasic(inf.profileFor(func(a *Expr) bool {
-			d, ok2 := descOf(a.Args[0])
+			d, ok2 := inf.descOf(a.Args[0])
 			return ok2 && len(d.terms) == 0 && d.c >= base && d.c < base+total
 		}))
 		out = append(out, claim{off: base, size: total, typ: buildStaticArray(dims, elem), rules: inf.takeRules()})
@@ -479,7 +525,7 @@ func (inf *inference) basicClaims(claimed map[uint64]bool) []claim {
 		// arithmetic (e.g. base + 32*0) name the same slot.
 		slot := off
 		typ := inf.refineBasic(inf.profileFor(func(a *Expr) bool {
-			d, ok2 := descOf(a.Args[0])
+			d, ok2 := inf.descOf(a.Args[0])
 			return ok2 && len(d.terms) == 0 && d.c == slot
 		}))
 		out = append(out, claim{off: off, size: 32, typ: typ, rules: inf.takeRules()})

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"sigrec/internal/abi"
 	"sigrec/internal/evm"
@@ -74,7 +75,7 @@ func (inf *inference) viewBody(body bodyDesc) *bodyView {
 	valIndex := inf.valIndex
 	seenChild := make(map[string]bool)
 	for _, ev := range inf.cdls {
-		d, ok := descOf(ev.Off)
+		d, ok := inf.descOf(ev.Off)
 		if !ok || !coversTerms(d, body) || d.c < body.c {
 			continue
 		}
@@ -100,7 +101,7 @@ func (inf *inference) viewBody(body bodyDesc) *bodyView {
 			if !found {
 				continue
 			}
-			od, ok2 := descOf(origin.Off)
+			od, ok2 := inf.descOf(origin.Off)
 			if !ok2 || !sameTerms(od, body) || od.c < body.c {
 				continue
 			}
@@ -113,8 +114,8 @@ func (inf *inference) viewBody(body bodyDesc) *bodyView {
 			})
 		}
 	}
-	sort.Slice(v.children, func(i, j int) bool {
-		return v.children[i].slotDelta < v.children[j].slotDelta
+	slices.SortFunc(v.children, func(a, b childRef) int {
+		return cmp.Compare(a.slotDelta, b.slotDelta)
 	})
 	return v
 }
@@ -203,12 +204,12 @@ func (inf *inference) classifyBody(body bodyDesc, depth int) abi.Type {
 func (inf *inference) classifyCopied(v *bodyView) (abi.Type, bool) {
 	contentProfile := func() profile {
 		return inf.profileFor(func(a *Expr) bool {
-			d, ok := descOf(a.Args[0])
+			d, ok := inf.descOf(a.Args[0])
 			return ok && sameTerms(d, v.body) && d.c >= v.body.c+32
 		})
 	}
 	for _, ev := range inf.cdcs {
-		d, ok := descOf(ev.Src)
+		d, ok := inf.descOf(ev.Src)
 		if !ok || !sameTerms(d, v.body) || d.c < v.body.c {
 			continue
 		}
@@ -293,7 +294,7 @@ func (inf *inference) classifySequence(v *bodyView, depth int) abi.Type {
 			}
 		}
 		if len(past) > 0 {
-			sort.Slice(past, func(i, j int) bool { return past[i] < past[j] })
+			slices.Sort(past)
 			groups = append(groups, pcGroup{pc: pc, deltas: past})
 		}
 	}
@@ -302,14 +303,14 @@ func (inf *inference) classifySequence(v *bodyView, depth int) abi.Type {
 		// paper's tie-break for an opaque length-prefixed value is string.
 		return abi.String_()
 	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i].deltas[0] < groups[j].deltas[0] })
+	slices.SortFunc(groups, func(a, b pcGroup) int { return cmp.Compare(a.deltas[0], b.deltas[0]) })
 	g := groups[0]
 	stride := uint64(0)
 	if len(g.deltas) >= 2 {
 		stride = g.deltas[1] - g.deltas[0]
 	}
 	contentProfile := inf.profileFor(func(a *Expr) bool {
-		d, ok := descOf(a.Args[0])
+		d, ok := inf.descOf(a.Args[0])
 		return ok && sameTerms(d, v.body) && d.c >= v.body.c+32
 	})
 	if stride >= 1 && stride < 32 {
@@ -418,7 +419,7 @@ func (inf *inference) classifyStruct(v *bodyView, byPC map[uint64][]childRef, de
 	if len(fields) == 0 {
 		return abi.String_()
 	}
-	sort.Slice(fields, func(i, j int) bool { return fields[i].delta < fields[j].delta })
+	slices.SortFunc(fields, func(a, b fieldSlot) int { return cmp.Compare(a.delta, b.delta) })
 	out := make([]abi.Type, len(fields))
 	for i, f := range fields {
 		out[i] = f.typ

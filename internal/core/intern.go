@@ -13,69 +13,159 @@ import (
 // downstream (event dedup, common-subexpression reuse).
 //
 // An interner is confined to a single goroutine and lives for one trace.
-// The node table is deliberately NOT pooled: clearing a map with ~100-byte
-// keys costs a full-table memclr that small traces would pay at the
-// previous trace's high-water size, and generation-stamping retains stale
-// trees that bloat the GC-scanned heap. A fresh small table that grows to
-// the trace's own size measures faster than both.
+// The node tables are deliberately NOT pooled: clearing a map costs a
+// full-table memclr that small traces would pay at the previous trace's
+// high-water size, and generation-stamping retains stale trees that bloat
+// the GC-scanned heap. A fresh small table that grows to the trace's own
+// size measures faster than both.
+//
+// Nodes are split across three tables by kind so every key is compact —
+// applications hash 32 bytes (three child pointers plus a packed tag)
+// instead of one wide struct carrying a Word and a string for all kinds.
 type interner struct {
-	nodes  map[internKey]*Expr
+	// apps holds KindApp, KindCData, and KindCSize nodes; the tag packs
+	// kind, opcode, and arity.
+	apps map[appInternKey]*Expr
+	// consts holds constant nodes too large for the smallConst cache.
+	consts map[evm.Word]*Expr
+	// envs holds environment nodes keyed by (label, seq).
+	envs map[envInternKey]*Expr
+
 	nextID uint32
 	// hits/misses meter the hash-consing effectiveness; finishTASE folds
 	// them into the pipeline telemetry.
 	hits, misses uint64
+
+	// Slabs back the canonical nodes: every install carves its Expr, its
+	// concrete Word, and its Args array out of chunked arrays instead of
+	// individual heap objects. Nodes are immutable and share the trace's
+	// lifetime (nothing outlives the recovery holding an *Expr), so whole
+	// chunks die together and the per-node allocation disappears.
+	exprSlab []Expr
+	wordSlab []evm.Word
+	argSlab  []*Expr
+
+	// smallConst caches the canonical nodes for constants 0..255 in front
+	// of the consts table — stack offsets, head offsets, and mask widths
+	// dominate constE traffic, and a direct index avoids hashing on every
+	// hit. The table stays authoritative (every install still goes through
+	// it), so canonical() converges foreign trees with constW-built nodes.
+	smallConst [256]*Expr
 }
 
-// internKey is the shallow structural identity of a node. Child pointers
-// are canonical, so pointer equality on a0..a2 is structural equality of
-// the subtrees. Pure EVM opcodes pop at most three operands (ADDMOD and
-// MULMOD), which bounds the arity of every interned application.
-type internKey struct {
-	kind       ExprKind
-	op         evm.Op
-	seq        int
-	nargs      int8
-	hasConc    bool
-	conc       evm.Word
-	env        string
+// appInternKey is the shallow structural identity of an application-shaped
+// node. Child pointers are canonical, so pointer equality on a0..a2 is
+// structural equality of the subtrees. Pure EVM opcodes pop at most three
+// operands (ADDMOD and MULMOD), which bounds the arity.
+type appInternKey struct {
 	a0, a1, a2 *Expr
+	tag        uint32
+}
+
+// appTag packs the discriminating scalars of an application-shaped node.
+func appTag(kind ExprKind, op evm.Op, nargs int) uint32 {
+	return uint32(kind)<<16 | uint32(op)<<8 | uint32(nargs)
+}
+
+// envInternKey identifies an environment node.
+type envInternKey struct {
+	env string
+	seq int
+}
+
+const internSlabLen = 128
+
+// newExpr carves one zeroed node from the slab.
+func (it *interner) newExpr() *Expr {
+	if len(it.exprSlab) == 0 {
+		it.exprSlab = make([]Expr, internSlabLen)
+	}
+	e := &it.exprSlab[0]
+	it.exprSlab = it.exprSlab[1:]
+	return e
+}
+
+// newWord stores w in the word slab and returns its address.
+func (it *interner) newWord(w evm.Word) *evm.Word {
+	if len(it.wordSlab) == 0 {
+		it.wordSlab = make([]evm.Word, internSlabLen)
+	}
+	p := &it.wordSlab[0]
+	it.wordSlab = it.wordSlab[1:]
+	*p = w
+	return p
+}
+
+// ownArgs copies the operands into slab-backed storage (callers pass
+// scratch arrays that must not be aliased by the canonical node).
+func (it *interner) ownArgs(args []*Expr) []*Expr {
+	n := len(args)
+	if n == 0 {
+		return nil
+	}
+	if len(it.argSlab) < n {
+		it.argSlab = make([]*Expr, internSlabLen)
+	}
+	owned := it.argSlab[:n:n]
+	it.argSlab = it.argSlab[n:]
+	copy(owned, args)
+	return owned
 }
 
 func newInterner() *interner {
-	return &interner{nodes: make(map[internKey]*Expr, 64)}
+	// No size hints: most traces are small, and empty tables are cheap.
+	return &interner{
+		apps:   make(map[appInternKey]*Expr),
+		consts: make(map[evm.Word]*Expr),
+		envs:   make(map[envInternKey]*Expr),
+	}
 }
 
-// release drops the lookup structure. The canonical nodes themselves live
+// release drops the lookup structures. The canonical nodes themselves live
 // on in the recorded events.
 func (it *interner) release() {
-	it.nodes = nil
+	it.apps, it.consts, it.envs = nil, nil, nil
 }
 
-// lookup returns the canonical node for k, if installed.
-func (it *interner) lookup(k internKey) (*Expr, bool) {
-	e, ok := it.nodes[k]
-	if ok {
-		it.hits++
-	}
-	return e, ok
+// tableLen reports the total number of installed nodes (test hook).
+func (it *interner) tableLen() int {
+	return len(it.apps) + len(it.consts) + len(it.envs)
 }
 
-// install assigns e the next id and records it as the canonical node for k.
-func (it *interner) install(k internKey, e *Expr) *Expr {
+// assignID gives e the next id and counts the install.
+func (it *interner) assignID(e *Expr) *Expr {
 	it.misses++
 	it.nextID++
 	e.id = it.nextID
-	it.nodes[k] = e
 	return e
 }
 
 // constW returns the canonical constant node for w.
 func (it *interner) constW(w evm.Word) *Expr {
-	k := internKey{kind: KindConst, hasConc: true, conc: w}
-	if e, ok := it.lookup(k); ok {
+	v, small := w.Uint64()
+	small = small && v < uint64(len(it.smallConst))
+	if small {
+		if e := it.smallConst[v]; e != nil {
+			it.hits++
+			return e
+		}
+	}
+	if e, ok := it.consts[w]; ok {
+		it.hits++
+		if small {
+			it.smallConst[v] = e
+		}
 		return e
 	}
-	return it.install(k, NewConst(w))
+	e := it.newExpr()
+	e.Kind = KindConst
+	e.Conc = it.newWord(w)
+	it.assignID(e)
+	it.consts[w] = e
+	if small {
+		it.smallConst[v] = e
+	}
+	return e
 }
 
 // constUint is constW for small values.
@@ -83,36 +173,54 @@ func (it *interner) constUint(v uint64) *Expr { return it.constW(evm.WordFromUin
 
 // cdata returns the canonical CALLDATALOAD(off) node; off must be canonical.
 func (it *interner) cdata(off *Expr) *Expr {
-	k := internKey{kind: KindCData, nargs: 1, a0: off}
-	if e, ok := it.lookup(k); ok {
+	k := appInternKey{tag: appTag(KindCData, 0, 1), a0: off}
+	if e, ok := it.apps[k]; ok {
+		it.hits++
 		return e
 	}
-	return it.install(k, NewCData(off))
+	e := it.newExpr()
+	e.Kind = KindCData
+	e.Args = it.ownArgs([]*Expr{off})
+	it.assignID(e)
+	it.apps[k] = e
+	return e
 }
 
 // csize returns the canonical CALLDATASIZE node.
 func (it *interner) csize() *Expr {
-	k := internKey{kind: KindCSize}
-	if e, ok := it.lookup(k); ok {
+	k := appInternKey{tag: appTag(KindCSize, 0, 0)}
+	if e, ok := it.apps[k]; ok {
+		it.hits++
 		return e
 	}
-	return it.install(k, &Expr{Kind: KindCSize})
+	e := it.newExpr()
+	e.Kind = KindCSize
+	it.assignID(e)
+	it.apps[k] = e
+	return e
 }
 
 // env returns the environment node for (label, seq). Sequence numbers are
 // unique per trace, so this always installs; interning it anyway gives the
 // node an id for integer event keys.
 func (it *interner) env(label string, seq int) *Expr {
-	k := internKey{kind: KindEnv, env: label, seq: seq}
-	if e, ok := it.lookup(k); ok {
+	k := envInternKey{env: label, seq: seq}
+	if e, ok := it.envs[k]; ok {
+		it.hits++
 		return e
 	}
-	return it.install(k, NewEnv(label, seq))
+	e := it.newExpr()
+	e.Kind = KindEnv
+	e.Env = label
+	e.Seq = seq
+	it.assignID(e)
+	it.envs[k] = e
+	return e
 }
 
 // appKey builds the application key over canonical operands.
-func appKey(op evm.Op, args []*Expr) internKey {
-	k := internKey{kind: KindApp, op: op, nargs: int8(len(args))}
+func appKey(op evm.Op, args []*Expr) appInternKey {
+	k := appInternKey{tag: appTag(KindApp, op, len(args))}
 	switch len(args) {
 	case 3:
 		k.a2 = args[2]
@@ -134,16 +242,24 @@ func (it *interner) app(op evm.Op, args ...*Expr) *Expr {
 }
 
 // appN is app without the variadic copy, for callers that already hold a
-// slice (or a sub-slice of a scratch array — a fresh slice is made on miss
+// slice (or a sub-slice of a scratch array — a slab copy is made on miss
 // so the canonical node never aliases caller scratch space).
 func (it *interner) appN(op evm.Op, args []*Expr) *Expr {
 	k := appKey(op, args)
-	if e, ok := it.lookup(k); ok {
+	if e, ok := it.apps[k]; ok {
+		it.hits++
 		return e
 	}
-	owned := make([]*Expr, len(args))
-	copy(owned, args)
-	return it.install(k, NewApp(op, owned...))
+	e := it.newExpr()
+	e.Kind = KindApp
+	e.Op = op
+	e.Args = it.ownArgs(args)
+	if w, ok := foldArgs(op, args); ok {
+		e.Conc = it.newWord(w)
+	}
+	it.assignID(e)
+	it.apps[k] = e
+	return e
 }
 
 // canonical returns the canonical node for an arbitrary expression tree,
@@ -163,14 +279,15 @@ func (it *interner) canonical(e *Expr) *Expr {
 		e.id = it.nextID
 		return e
 	}
-	k := internKey{kind: e.Kind, op: e.Op, seq: e.Seq, env: e.Env, nargs: int8(n)}
 	if e.Kind == KindConst && e.Conc != nil {
-		// Only constants key on their value: an application's Conc is
-		// derived from its operands, and including it here would make the
-		// key shape disagree with the one appN builds.
-		k.hasConc = true
-		k.conc = *e.Conc
+		// Constants key on their value alone; converge with constW
+		// (including its small-value cache).
+		return it.constW(*e.Conc)
 	}
+	if e.Kind == KindEnv {
+		return it.env(e.Env, e.Seq)
+	}
+	k := appInternKey{tag: appTag(e.Kind, e.Op, n)}
 	changed := false
 	var cargs [3]*Expr
 	for i := 0; i < n; i++ {
@@ -178,7 +295,8 @@ func (it *interner) canonical(e *Expr) *Expr {
 		changed = changed || cargs[i] != e.Args[i]
 	}
 	k.a0, k.a1, k.a2 = cargs[0], cargs[1], cargs[2]
-	if c, ok := it.lookup(k); ok {
+	if c, ok := it.apps[k]; ok {
+		it.hits++
 		return c
 	}
 	c := e
@@ -186,7 +304,9 @@ func (it *interner) canonical(e *Expr) *Expr {
 		c = &Expr{Kind: e.Kind, Conc: e.Conc, Op: e.Op, Env: e.Env, Seq: e.Seq,
 			Args: append([]*Expr(nil), cargs[:n]...)}
 	}
-	return it.install(k, c)
+	it.assignID(c)
+	it.apps[k] = c
+	return c
 }
 
 // idOf returns the canonical id of e, interning it if needed.

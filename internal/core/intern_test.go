@@ -89,7 +89,7 @@ func TestInternerCanonicalForeignTree(t *testing.T) {
 func TestInternerReleaseIsolation(t *testing.T) {
 	it := newInterner()
 	first := it.constUint(7)
-	if len(it.nodes) == 0 {
+	if it.tableLen() == 0 {
 		t.Fatalf("expected a populated table")
 	}
 	it.release()

@@ -48,8 +48,15 @@ var (
 	// local compute.
 	mCacheFillHits   = tel.Counter("sigrec_cache_fill_hits_total")
 	mCacheFillMisses = tel.Counter("sigrec_cache_fill_misses_total")
-	mBatches         = tel.Counter("sigrec_batches_total")
-	mRecoverUS       = tel.Histogram("sigrec_recover_duration_microseconds", nil)
+	// Disk-tier (persistent result store) instruments: a store hit is a
+	// result served from disk instead of recomputed (also metered as a
+	// cache hit); write errors are surfaced here because Save failures
+	// never fail the recovery.
+	mStoreHits        = tel.Counter("sigrec_store_hits_total")
+	mStoreMisses      = tel.Counter("sigrec_store_misses_total")
+	mStoreWriteErrors = tel.Counter("sigrec_store_write_errors_total")
+	mBatches          = tel.Counter("sigrec_batches_total")
+	mRecoverUS        = tel.Histogram("sigrec_recover_duration_microseconds", nil)
 
 	// Interner and copy-on-write state instruments. Hit rate is exposed as a
 	// permille gauge so it reads directly off the exposition endpoint; pool

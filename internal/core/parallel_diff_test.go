@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sigrec/internal/corpus"
+	"sigrec/internal/eventlog"
+	"sigrec/internal/obs"
+)
+
+// parallelDiffCorpus builds the differential corpus: the mixed
+// single-function corpus plus a handful of synthesized 10-function
+// contracts so the parallel path actually fans out (the fan-out is
+// per selector, so multi-selector dispatchers are the interesting case).
+func parallelDiffCorpus(t *testing.T) [][]byte {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Config{
+		Seed:           321,
+		Solidity:       30,
+		Vyper:          8,
+		AmbiguityRate:  0.15,
+		ConversionRate: 0.05,
+		AsmReadRate:    0.05,
+		StorageRefRate: 0.05,
+		MaxParams:      4,
+	})
+	if err != nil {
+		t.Fatalf("corpus: %v", err)
+	}
+	var codes [][]byte
+	for _, e := range c.Entries {
+		codes = append(codes, e.Code)
+	}
+	synth, err := corpus.GenerateSynthesized(7)
+	if err != nil {
+		t.Fatalf("synthesized corpus: %v", err)
+	}
+	// Entries repeat each contract's code once per function; keep the
+	// first 6 distinct 10-function contracts.
+	seen := make(map[string]bool)
+	for _, e := range synth {
+		k := string(e.Code)
+		if !seen[k] {
+			seen[k] = true
+			codes = append(codes, e.Code)
+			if len(seen) == 6 {
+				break
+			}
+		}
+	}
+	return codes
+}
+
+// runDiffRecovery runs one traced, event-logged recovery and returns
+// everything externally observable: the rendered result + error, the
+// rule-fire counter deltas, the normalized wide events, and the span-tree
+// structure.
+func runDiffRecovery(t *testing.T, code []byte, workers int, dir string) (render, rules, events, spans string) {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("events-%d.ndjson", workers))
+	w, err := eventlog.New(eventlog.Config{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.New(obs.Config{})
+	ctx, rec := tracer.StartRecovery(context.Background(), fmt.Sprintf("diff-%d", workers))
+	before := ruleFireTotals()
+	res, rerr := RecoverContext(ctx, code, Options{SelectorWorkers: workers, EventLog: w})
+	rec.Finish(res.Truncated, rerr)
+	render = renderResult(res) + fmt.Sprintf("err=%v\n", rerr)
+	rules = diffRuleFires(before, ruleFireTotals())
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, skipped, err := eventlog.ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("%d undecodable event lines", skipped)
+	}
+	var b strings.Builder
+	for _, ev := range evs {
+		// Zero the nondeterministic fields (sequence and wall-clock
+		// timings); every counter field must match exactly.
+		ev.Seq, ev.TS, ev.DurUS, ev.QueueUS = 0, 0, 0, 0
+		ev.DisasmUS, ev.DispatchUS, ev.ExploreUS, ev.InferUS = 0, 0, 0, 0
+		ev.RequestID = ""
+		fmt.Fprintf(&b, "%+v\n", ev)
+	}
+	events = b.String()
+	spans = renderSpanTree(&rec.Root)
+	return render, rules, events, spans
+}
+
+func ruleFireTotals() map[string]uint64 {
+	out := make(map[string]uint64, NumRules)
+	for r := 1; r <= NumRules; r++ {
+		out[RuleID(r).String()] = mRuleFired[r].Load()
+	}
+	return out
+}
+
+func diffRuleFires(before, after map[string]uint64) string {
+	var b strings.Builder
+	for r := 1; r <= NumRules; r++ {
+		name := RuleID(r).String()
+		if d := after[name] - before[name]; d > 0 {
+			fmt.Fprintf(&b, "%s=%d ", name, d)
+		}
+	}
+	return b.String()
+}
+
+// renderSpanTree serializes span names, order, and attributes — everything
+// structural — while ignoring the timestamps, which legitimately differ
+// between runs.
+func renderSpanTree(s *obs.Span, depth ...int) string {
+	d := 0
+	if len(depth) > 0 {
+		d = depth[0]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s%s", d*2, "", s.Name)
+	for _, a := range s.Attrs {
+		if a.Str != "" {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Str)
+		} else {
+			fmt.Fprintf(&b, " %s=%d", a.Key, a.Num)
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		b.WriteString(renderSpanTree(c, d+1))
+	}
+	return b.String()
+}
+
+// TestParallelDifferential proves per-selector parallelism is purely an
+// optimization: with SelectorWorkers 1 vs 4, recovery must produce
+// identical Results, identical rule-fire counter deltas, identical wide
+// events (up to timing), and identical span-tree structure over the whole
+// corpus. Run under -race this also audits the fan-out for data races.
+func TestParallelDifferential(t *testing.T) {
+	codes := parallelDiffCorpus(t)
+	dir := t.TempDir()
+	multi := 0
+	for i, code := range codes {
+		cdir := filepath.Join(dir, fmt.Sprintf("c%d", i))
+		seqRender, seqRules, seqEvents, seqSpans := runDiffRecovery(t, code, 1, t.TempDir())
+		parRender, parRules, parEvents, parSpans := runDiffRecovery(t, code, 4, cdir)
+		if seqRender != parRender {
+			t.Fatalf("contract %d: result diverges\nsequential:\n%s\nparallel:\n%s", i, seqRender, parRender)
+		}
+		if seqRules != parRules {
+			t.Fatalf("contract %d: rule-fire deltas diverge\nsequential: %s\nparallel: %s", i, seqRules, parRules)
+		}
+		if seqEvents != parEvents {
+			t.Fatalf("contract %d: wide events diverge\nsequential:\n%s\nparallel:\n%s", i, seqEvents, parEvents)
+		}
+		if seqSpans != parSpans {
+			t.Fatalf("contract %d: span trees diverge\nsequential:\n%s\nparallel:\n%s", i, seqSpans, parSpans)
+		}
+		if strings.Count(seqSpans, "explore") >= 4 {
+			multi++
+		}
+	}
+	// Guard against the corpus silently degenerating to single-selector
+	// contracts, which would leave the fan-out untested.
+	if multi < 3 {
+		t.Fatalf("only %d contracts had >= 4 selectors; parallel coverage too thin", multi)
+	}
+}
+
+// TestSelectorWorkersResolution pins the worker-count policy: 0 is auto
+// (bounded by GOMAXPROCS and the selector count), negatives degrade to
+// sequential, and explicit counts are clamped to the selector count.
+func TestSelectorWorkersResolution(t *testing.T) {
+	cases := []struct {
+		opt, selectors, want int
+	}{
+		{1, 10, 1},
+		{-3, 10, 1},
+		{4, 10, 4},
+		{4, 2, 2},
+		{8, 1, 1},
+	}
+	for _, c := range cases {
+		if got := (Options{SelectorWorkers: c.opt}).selectorWorkers(c.selectors); got != c.want {
+			t.Errorf("selectorWorkers(opt=%d, n=%d) = %d, want %d", c.opt, c.selectors, got, c.want)
+		}
+	}
+	// Auto mode never exceeds the selector count.
+	if got := (Options{}).selectorWorkers(1); got != 1 {
+		t.Errorf("auto selectorWorkers(1) = %d, want 1", got)
+	}
+	if got := (Options{}).selectorWorkers(1 << 20); got < 1 {
+		t.Errorf("auto selectorWorkers(big) = %d, want >= 1", got)
+	}
+}

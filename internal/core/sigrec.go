@@ -4,7 +4,10 @@ import (
 	"context"
 	"encoding/hex"
 	"errors"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sigrec/internal/abi"
@@ -46,6 +49,32 @@ type Options struct {
 	// log's totals line up 1:1 with the recovery counters on /metrics.
 	// Emission is asynchronous and never blocks the recovery.
 	EventLog *eventlog.Writer
+	// SelectorWorkers bounds intra-contract parallelism: each selector is
+	// an independent TASE exploration over the immutable Program, so up to
+	// SelectorWorkers of them run concurrently. 0 selects
+	// min(GOMAXPROCS, number of selectors); 1 (or any negative value)
+	// keeps the exploration strictly sequential. Results, rule-fire
+	// counter deltas, span trees, and wide-event records are identical to
+	// the sequential run regardless of the setting — explorations are
+	// merged in selector order (the differential test enforces it).
+	SelectorWorkers int
+}
+
+// selectorWorkers resolves the worker count for a contract with n
+// selectors: never more workers than selectors, never more than
+// GOMAXPROCS in auto mode, never less than 1.
+func (o Options) selectorWorkers(n int) int {
+	w := o.SelectorWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // limits translates caller options into exploration bounds. The deadline
@@ -257,6 +286,11 @@ func recoverUncached(ctx context.Context, code []byte, opts Options, ev *eventlo
 		return Result{Truncated: dispTrunc}, ErrNoFunctions
 	}
 	res := Result{Truncated: dispTrunc}
+	if workers := opts.selectorWorkers(len(selectors)); workers > 1 {
+		recoverSelectorsParallel(&res, program, selectors, lim, workers, rec, ev, &exploreD, &inferD)
+		recordPhases()
+		return res, nil
+	}
 	for _, sel := range selectors {
 		// Explore and infer are sibling spans per selector, tied together
 		// by the selector attribute (one hex string shared by both).
@@ -298,6 +332,88 @@ func recoverUncached(ctx context.Context, code []byte, opts Options, ev *eventlo
 	}
 	recordPhases()
 	return res, nil
+}
+
+// selOutcome carries one worker's explore+infer output to the merge loop,
+// including the raw timestamps needed to build the explore/infer span pair
+// post-hoc with real start/end times.
+type selOutcome struct {
+	t              *tase
+	tr             Trace
+	inf            Inferred
+	exploreStartUS int64
+	exploreEndUS   int64
+	inferEndUS     int64
+	exploreD       time.Duration
+	inferD         time.Duration
+}
+
+// recoverSelectorsParallel fans explore+infer out over a bounded worker
+// pool, then merges in selector order. Everything a worker touches is
+// either goroutine-confined (the TASE engine, its interner, the inference
+// pass over its own trace) or already concurrency-safe (telemetry atomics,
+// the sync.Pools, obs.Recovery.NowUS). Everything that is order-sensitive
+// — span construction, finishTASE's wide-event accumulation and its
+// first-wins TruncCause, Functions append, RuleStats totals — happens in
+// the merge loop, so the output is indistinguishable from the sequential
+// path.
+func recoverSelectorsParallel(res *Result, program *Program, selectors [][4]byte, lim limits, workers int, rec *obs.Recovery, ev *eventlog.Event, exploreD, inferD *time.Duration) {
+	outs := make([]selOutcome, len(selectors))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(selectors) {
+					return
+				}
+				o := &outs[i]
+				o.exploreStartUS = rec.NowUS()
+				p0 := time.Now()
+				o.tr, o.t = traceFunctionEngine(program, selectors[i], lim)
+				p1 := time.Now()
+				o.exploreEndUS = rec.NowUS()
+				o.inf = Infer(o.tr)
+				p2 := time.Now()
+				o.inferEndUS = rec.NowUS()
+				o.exploreD = p1.Sub(p0)
+				o.inferD = p2.Sub(p1)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range outs {
+		o := &outs[i]
+		var selHex string
+		if rec != nil {
+			selHex = hexSelector(selectors[i])
+			esp := rec.SpanAt("explore", o.exploreStartUS)
+			annotateTASE(esp, o.t, selHex)
+			esp.EndAt(o.exploreEndUS)
+			isp := rec.SpanAt("infer", o.exploreEndUS)
+			isp.SetAttrs(
+				obs.Attr{Key: "selector", Str: selHex},
+				obs.Attr{Key: "params", Num: int64(len(o.inf.Types))},
+				obs.Attr{Key: "rule_hits", Num: int64(o.inf.Stats.Total())},
+			)
+			isp.EndAt(o.inferEndUS)
+		}
+		finishTASE(o.t, ev)
+		*exploreD += o.exploreD
+		*inferD += o.inferD
+		res.Rules.Add(o.inf.Stats)
+		res.Functions = append(res.Functions, RecoveredFunction{
+			Selector:   abi.Selector(selectors[i]),
+			Inputs:     o.inf.Types,
+			ParamRules: o.inf.ParamRules,
+			Language:   o.inf.Language,
+			Truncated:  o.tr.Truncated,
+		})
+		res.Truncated = res.Truncated || o.tr.Truncated
+	}
 }
 
 // RecoverFunction runs TASE and inference for a single known selector

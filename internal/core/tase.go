@@ -804,8 +804,7 @@ func (t *tase) mload(st *state, addr *Expr) *Expr {
 		return t.constE(evm.ZeroWord) // untouched memory reads zero
 	}
 	// Symbolic address: attribute via the constant component.
-	lin := Linearize(addr)
-	if base, ok := lin.Const.Uint64(); ok {
+	if base, ok := linearConst(addr).Uint64(); ok {
 		if cp, hit := findCopy(st.copies, base); hit {
 			delta := t.appE(evm.SUB, addr, t.constUintE(cp.dst))
 			return t.cdataE(t.appE(evm.ADD, cp.src, delta))
@@ -848,12 +847,24 @@ func traceFunction(program *Program, selector [4]byte, lim limits) Trace {
 // sp when tracing is on and folded into the recovery's wide event when ev
 // is non-nil; sp/ev nil is the zero-cost untraced path.
 func traceFunctionSpan(program *Program, selector [4]byte, lim limits, sp *obs.Span, selHex string, ev *eventlog.Event) Trace {
+	tr, t := traceFunctionEngine(program, selector, lim)
+	annotateTASE(sp, t, selHex)
+	finishTASE(t, ev)
+	return tr
+}
+
+// traceFunctionEngine runs the exploration and returns the finished engine
+// alongside the trace, leaving span annotation and counter folding to the
+// caller. The parallel per-selector path uses this: workers explore
+// concurrently (the engine is goroutine-confined), and the merge loop
+// calls annotateTASE/finishTASE in deterministic selector order so span
+// trees, telemetry, and wide-event accumulation are byte-identical to the
+// sequential run.
+func traceFunctionEngine(program *Program, selector [4]byte, lim limits) (Trace, *tase) {
 	var b [32]byte
 	copy(b[:], selector[:])
 	selWord := evm.WordFromBytes(b[:])
 	t := newTASE(program, &selWord, lim)
 	events := t.run()
-	annotateTASE(sp, t, selHex)
-	finishTASE(t, ev)
-	return Trace{Selector: selector, Events: events, Truncated: t.trunc}
+	return Trace{Selector: selector, Events: events, Truncated: t.trunc}, t
 }

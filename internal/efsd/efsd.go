@@ -43,6 +43,24 @@ func (db *DB) AddCanonical(canonical string) error {
 	return nil
 }
 
+// RecoveredName is the placeholder function name for signatures recovered
+// from bytecode: recovery yields the selector and the parameter types but
+// names are not present in bytecode, so the canonical string cannot be
+// reproduced (or hash-verified) — the selector observed in the dispatcher
+// is the identity.
+const RecoveredName = "recovered"
+
+// AddRecovered registers a recovered signature under its dispatcher
+// selector: typeList is the parenthesized parameter list (the
+// RecoveredFunction.TypeList format, e.g. "(uint256,bytes)"). Unlike Add,
+// the selector is taken as given rather than derived by hashing, because a
+// placeholder-named signature never hashes to the real selector.
+func (db *DB) AddRecovered(sel abi.Selector, typeList string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.entries[sel] = RecoveredName + typeList
+}
+
 // Lookup returns the canonical signature for a selector.
 func (db *DB) Lookup(sel abi.Selector) (string, bool) {
 	db.mu.RLock()

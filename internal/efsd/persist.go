@@ -64,6 +64,34 @@ func Load(r io.Reader) (*DB, error) {
 	return db, nil
 }
 
+// LoadTrusted reads a JSON database, keying every entry by its claimed
+// selector without the hash verification Load performs. This is the load
+// path for databases containing recovered signatures (AddRecovered):
+// their placeholder names make hash verification impossible by
+// construction. Signatures must still parse; only the selector binding is
+// taken on trust, so use this for databases this process (or its own
+// store) wrote, not for crowd-sourced imports.
+func LoadTrusted(r io.Reader) (*DB, error) {
+	var raw fileFormat
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("efsd: decode: %w", err)
+	}
+	db := New()
+	for selHex, canonical := range raw {
+		sel, err := parseHexSelector(selHex)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := abi.ParseSignature(canonical); err != nil {
+			return nil, fmt.Errorf("efsd: entry %s: %w", selHex, err)
+		}
+		db.mu.Lock()
+		db.entries[abi.Selector(sel)] = canonical
+		db.mu.Unlock()
+	}
+	return db, nil
+}
+
 func parseHexSelector(s string) ([4]byte, error) {
 	var sel [4]byte
 	if len(s) != 10 || s[:2] != "0x" {

@@ -46,10 +46,15 @@ func (a *Assembler) Push(v uint64) *Assembler {
 // PushWord appends the shortest PUSH for w (PUSH1 0x00 for zero, to stay
 // compatible with pre-Shanghai dialects that lack PUSH0).
 func (a *Assembler) PushWord(w Word) *Assembler {
-	b := w.Bytes()
-	if len(b) == 0 {
-		b = []byte{0}
+	full := w.Bytes32()
+	i := 0
+	for i < 32 && full[i] == 0 {
+		i++
 	}
+	if i == 32 {
+		i = 31 // zero still emits PUSH1 0x00
+	}
+	b := full[i:]
 	op, err := PushOp(len(b))
 	if err != nil {
 		a.errs = append(a.errs, err)

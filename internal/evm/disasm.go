@@ -35,27 +35,44 @@ type Program struct {
 	Code         []byte
 	Instructions []Instruction
 
-	byPC      map[uint64]int
-	jumpdests map[uint64]bool
+	// byPC maps a program counter to its instruction-slice index, dense
+	// form: byPC[pc] is -1 for PCs inside PUSH immediates. A slice beats
+	// a map here — it is allocated in one shot, indexed without hashing,
+	// and answers IsJumpDest too (a JUMPDEST byte is a jump target exactly
+	// when an instruction starts there).
+	byPC []int32
 }
 
 // Disassemble decodes runtime bytecode with a linear sweep, the same way the
 // Geth disassembler does. It never fails: undefined bytes decode as INVALID
 // one-byte instructions and truncated PUSH immediates are zero-padded.
+// A counting pre-pass sizes the instruction slice exactly, and all PUSH
+// immediates share one arena allocation.
 func Disassemble(code []byte) *Program {
+	nIns, nImm := 0, 0
+	for pc := 0; pc < len(code); {
+		size := 1 + Op(code[pc]).ImmediateSize()
+		nImm += size - 1
+		nIns++
+		pc += size
+	}
 	p := &Program{
 		Code:         code,
-		Instructions: make([]Instruction, 0, len(code)),
-		byPC:         make(map[uint64]int, len(code)),
-		jumpdests:    make(map[uint64]bool),
+		Instructions: make([]Instruction, 0, nIns),
+		byPC:         make([]int32, len(code)),
 	}
+	for i := range p.byPC {
+		p.byPC[i] = -1
+	}
+	arena := make([]byte, nImm)
 	for pc := 0; pc < len(code); {
 		op := Op(code[pc])
 		ins := Instruction{PC: uint64(pc), Op: op}
 		size := 1
 		if imm := op.ImmediateSize(); imm > 0 {
 			end := pc + 1 + imm
-			raw := make([]byte, imm)
+			raw := arena[:imm:imm]
+			arena = arena[imm:]
 			if end > len(code) {
 				copy(raw, code[pc+1:])
 				ins.Truncated = true
@@ -66,10 +83,7 @@ func Disassemble(code []byte) *Program {
 			ins.Arg = WordFromBytes(raw)
 			size += imm
 		}
-		if op == JUMPDEST {
-			p.jumpdests[uint64(pc)] = true
-		}
-		p.byPC[uint64(pc)] = len(p.Instructions)
+		p.byPC[pc] = int32(len(p.Instructions))
 		p.Instructions = append(p.Instructions, ins)
 		pc += size
 	}
@@ -79,7 +93,7 @@ func Disassemble(code []byte) *Program {
 // At returns the instruction at the given program counter, if one starts
 // there (PCs inside PUSH immediates have no instruction).
 func (p *Program) At(pc uint64) (Instruction, bool) {
-	idx, ok := p.byPC[pc]
+	idx, ok := p.IndexOf(pc)
 	if !ok {
 		return Instruction{}, false
 	}
@@ -88,12 +102,19 @@ func (p *Program) At(pc uint64) (Instruction, bool) {
 
 // IndexOf returns the instruction-slice index for a PC.
 func (p *Program) IndexOf(pc uint64) (int, bool) {
-	idx, ok := p.byPC[pc]
-	return idx, ok
+	if pc >= uint64(len(p.byPC)) || p.byPC[pc] < 0 {
+		return 0, false
+	}
+	return int(p.byPC[pc]), true
 }
 
 // IsJumpDest reports whether pc holds a JUMPDEST (the only legal jump target).
-func (p *Program) IsJumpDest(pc uint64) bool { return p.jumpdests[pc] }
+func (p *Program) IsJumpDest(pc uint64) bool {
+	if pc >= uint64(len(p.byPC)) || p.byPC[pc] < 0 {
+		return false
+	}
+	return Op(p.Code[pc]) == JUMPDEST
+}
 
 // String renders the full disassembly listing.
 func (p *Program) String() string {

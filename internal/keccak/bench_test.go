@@ -1,0 +1,11 @@
+package keccak
+
+import "testing"
+
+func BenchmarkSum256_1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

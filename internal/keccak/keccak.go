@@ -37,33 +37,101 @@ var rotc = [5][5]uint{
 // state is the 5x5 lane array of the sponge.
 type state [25]uint64
 
-// permute applies Keccak-f[1600] in place.
+// permute applies Keccak-f[1600] in place. The round body is fully
+// unrolled with constant indices and rotation amounts (generated from the
+// rho offset table), which keeps the lanes in registers and eliminates the
+// bounds checks and modular index arithmetic of the textbook loops.
 func (a *state) permute() {
-	var c, d [5]uint64
 	var b [25]uint64
 	for round := 0; round < rounds; round++ {
 		// theta
-		for x := 0; x < 5; x++ {
-			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
-		}
-		for x := 0; x < 5; x++ {
-			d[x] = c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
-			for y := 0; y < 5; y++ {
-				a[x+5*y] ^= d[x]
-			}
-		}
+		c0 := a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20]
+		c1 := a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21]
+		c2 := a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22]
+		c3 := a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23]
+		c4 := a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24]
+		d0 := c4 ^ bits.RotateLeft64(c1, 1)
+		d1 := c0 ^ bits.RotateLeft64(c2, 1)
+		d2 := c1 ^ bits.RotateLeft64(c3, 1)
+		d3 := c2 ^ bits.RotateLeft64(c4, 1)
+		d4 := c3 ^ bits.RotateLeft64(c0, 1)
+		a[0] ^= d0
+		a[5] ^= d0
+		a[10] ^= d0
+		a[15] ^= d0
+		a[20] ^= d0
+		a[1] ^= d1
+		a[6] ^= d1
+		a[11] ^= d1
+		a[16] ^= d1
+		a[21] ^= d1
+		a[2] ^= d2
+		a[7] ^= d2
+		a[12] ^= d2
+		a[17] ^= d2
+		a[22] ^= d2
+		a[3] ^= d3
+		a[8] ^= d3
+		a[13] ^= d3
+		a[18] ^= d3
+		a[23] ^= d3
+		a[4] ^= d4
+		a[9] ^= d4
+		a[14] ^= d4
+		a[19] ^= d4
+		a[24] ^= d4
 		// rho and pi
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				b[y+5*((2*x+3*y)%5)] = bits.RotateLeft64(a[x+5*y], int(rotc[x][y]))
-			}
-		}
+		b[0] = a[0]
+		b[16] = bits.RotateLeft64(a[5], 36)
+		b[7] = bits.RotateLeft64(a[10], 3)
+		b[23] = bits.RotateLeft64(a[15], 41)
+		b[14] = bits.RotateLeft64(a[20], 18)
+		b[10] = bits.RotateLeft64(a[1], 1)
+		b[1] = bits.RotateLeft64(a[6], 44)
+		b[17] = bits.RotateLeft64(a[11], 10)
+		b[8] = bits.RotateLeft64(a[16], 45)
+		b[24] = bits.RotateLeft64(a[21], 2)
+		b[20] = bits.RotateLeft64(a[2], 62)
+		b[11] = bits.RotateLeft64(a[7], 6)
+		b[2] = bits.RotateLeft64(a[12], 43)
+		b[18] = bits.RotateLeft64(a[17], 15)
+		b[9] = bits.RotateLeft64(a[22], 61)
+		b[5] = bits.RotateLeft64(a[3], 28)
+		b[21] = bits.RotateLeft64(a[8], 55)
+		b[12] = bits.RotateLeft64(a[13], 25)
+		b[3] = bits.RotateLeft64(a[18], 21)
+		b[19] = bits.RotateLeft64(a[23], 56)
+		b[15] = bits.RotateLeft64(a[4], 27)
+		b[6] = bits.RotateLeft64(a[9], 20)
+		b[22] = bits.RotateLeft64(a[14], 39)
+		b[13] = bits.RotateLeft64(a[19], 8)
+		b[4] = bits.RotateLeft64(a[24], 14)
 		// chi
-		for x := 0; x < 5; x++ {
-			for y := 0; y < 5; y++ {
-				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
-			}
-		}
+		a[0] = b[0] ^ (^b[1] & b[2])
+		a[1] = b[1] ^ (^b[2] & b[3])
+		a[2] = b[2] ^ (^b[3] & b[4])
+		a[3] = b[3] ^ (^b[4] & b[0])
+		a[4] = b[4] ^ (^b[0] & b[1])
+		a[5] = b[5] ^ (^b[6] & b[7])
+		a[6] = b[6] ^ (^b[7] & b[8])
+		a[7] = b[7] ^ (^b[8] & b[9])
+		a[8] = b[8] ^ (^b[9] & b[5])
+		a[9] = b[9] ^ (^b[5] & b[6])
+		a[10] = b[10] ^ (^b[11] & b[12])
+		a[11] = b[11] ^ (^b[12] & b[13])
+		a[12] = b[12] ^ (^b[13] & b[14])
+		a[13] = b[13] ^ (^b[14] & b[10])
+		a[14] = b[14] ^ (^b[10] & b[11])
+		a[15] = b[15] ^ (^b[16] & b[17])
+		a[16] = b[16] ^ (^b[17] & b[18])
+		a[17] = b[17] ^ (^b[18] & b[19])
+		a[18] = b[18] ^ (^b[19] & b[15])
+		a[19] = b[19] ^ (^b[15] & b[16])
+		a[20] = b[20] ^ (^b[21] & b[22])
+		a[21] = b[21] ^ (^b[22] & b[23])
+		a[22] = b[22] ^ (^b[23] & b[24])
+		a[23] = b[23] ^ (^b[24] & b[20])
+		a[24] = b[24] ^ (^b[20] & b[21])
 		// iota
 		a[0] ^= roundConstants[round]
 	}

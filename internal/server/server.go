@@ -63,6 +63,14 @@ type Config struct {
 	// StepBudget and MaxPaths bound each TASE exploration (core.Options).
 	StepBudget int
 	MaxPaths   int
+	// SelectorWorkers bounds intra-contract parallelism
+	// (core.Options.SelectorWorkers). 0 selects the serving default,
+	// sequential exploration — a saturated worker pool already uses every
+	// core, and nested fan-out would only add scheduling churn. > 1 fans
+	// each recovery out over that many selector workers; < 0 selects
+	// core's auto mode (up to GOMAXPROCS per recovery) for lightly loaded,
+	// latency-sensitive deployments.
+	SelectorWorkers int
 	// Cache is the shared result cache; nil allocates a private cache of
 	// CacheEntries results.
 	Cache *core.Cache
@@ -179,7 +187,20 @@ func (s *Server) Drain(ctx context.Context) error {
 // cache is not set here: caching and coalescing happen one level up in
 // Cache.GetOrCompute.
 func (s *Server) options() core.Options {
-	return core.Options{StepBudget: s.cfg.StepBudget, MaxPaths: s.cfg.MaxPaths, EventLog: s.cfg.EventLog}
+	// Config 0 = sequential (the serving default), < 0 = core's auto mode;
+	// core itself reads 0 as auto, hence the remap.
+	sw := s.cfg.SelectorWorkers
+	if sw == 0 {
+		sw = 1
+	} else if sw < 0 {
+		sw = 0
+	}
+	return core.Options{
+		StepBudget:      s.cfg.StepBudget,
+		MaxPaths:        s.cfg.MaxPaths,
+		EventLog:        s.cfg.EventLog,
+		SelectorWorkers: sw,
+	}
 }
 
 // recoverItem runs one contract through coalescing, admission, and the

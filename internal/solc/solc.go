@@ -18,6 +18,7 @@ package solc
 
 import (
 	"fmt"
+	"sync"
 
 	"sigrec/internal/abi"
 	"sigrec/internal/evm"
@@ -152,7 +153,12 @@ type Config struct {
 // Versions returns the ladder of representative dialects, oldest first.
 // Each minor release family shares pattern behaviour with its siblings,
 // exactly as the paper observes (accuracy is flat across versions).
-func Versions() []Version {
+// The returned slice is shared and must not be modified.
+func Versions() []Version { return versionsOnce() }
+
+var versionsOnce = sync.OnceValue(buildVersions)
+
+func buildVersions() []Version {
 	var out []Version
 	add := func(name string, shr, guard, v2 bool, patches int) {
 		for p := 0; p < patches; p++ {

@@ -11,6 +11,7 @@ package vyperc
 
 import (
 	"fmt"
+	"sync"
 
 	"sigrec/internal/abi"
 	"sigrec/internal/evm"
@@ -70,7 +71,12 @@ type Version struct {
 
 // Versions returns the ladder of releases the evaluation sweeps (the paper
 // used 17 versions from 0.1.0b4 to 0.2.8).
-func Versions() []Version {
+// The returned slice is shared and must not be modified.
+func Versions() []Version { return versionsOnce() }
+
+var versionsOnce = sync.OnceValue(buildVersions)
+
+func buildVersions() []Version {
 	var out []Version
 	for b := 4; b <= 16; b++ {
 		out = append(out, Version{Name: fmt.Sprintf("0.1.0b%d", b)})

@@ -1,0 +1,78 @@
+#!/bin/sh
+# pgo.sh — capture a CPU profile of sigrecd under the recovery workload
+# and install it as default.pgo for profile-guided builds.
+#
+# The profile is taken the way production would take it: a real sigrecd
+# process serving the corpus through /v1/recover/batch while its pprof
+# debug endpoint records CPU samples. The daemon runs with a deliberately
+# tiny LRU and no disk store so every batch round actually recomputes —
+# the profile weights the TASE/inference hot path, not cache hits.
+#
+#   make pgo                 # capture + rebuild (default 20s window)
+#   PGO_SECONDS=60 make pgo  # longer capture
+#
+# The resulting default.pgo at the repo root is committed; `go build`
+# does not pick it up automatically for cmd/* main packages (auto mode
+# looks in the main package directory), so the Makefile build targets and
+# scripts pass -pgo=default.pgo explicitly where it matters.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PGO_SECONDS=${PGO_SECONDS:-20}
+PGO_OUT=${PGO_OUT:-default.pgo}
+ADDR=${PGO_ADDR:-127.0.0.1:8461}
+DEBUG_ADDR=${PGO_DEBUG_ADDR:-127.0.0.1:8462}
+
+tmp=$(mktemp -d)
+srv=""
+cleanup() {
+    [ -n "$srv" ] && kill "$srv" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "pgo: building sigrecd and generating the replay corpus"
+go build -o "$tmp/sigrecd" ./cmd/sigrecd
+go run ./cmd/corpusgen -solidity 120 -vyper 12 >"$tmp/corpus.json"
+# One hex bytecode per line is exactly the /v1/recover/batch NDJSON body.
+grep -o '"bytecode": "[^"]*"' "$tmp/corpus.json" | cut -d'"' -f4 >"$tmp/replay.ndjson"
+
+"$tmp/sigrecd" -addr "$ADDR" -debug-addr "$DEBUG_ADDR" -cache 8 \
+    -log-level warn >"$tmp/sigrecd.log" 2>&1 &
+srv=$!
+
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && { echo "pgo: sigrecd did not become healthy" >&2; exit 1; }
+    sleep 0.1
+done
+
+echo "pgo: profiling $PGO_SECONDS s of batch recovery load"
+curl -fsS "http://$DEBUG_ADDR/debug/pprof/profile?seconds=$PGO_SECONDS" \
+    -o "$tmp/cpu.prof" &
+prof=$!
+
+end=$(($(date +%s) + PGO_SECONDS))
+rounds=0
+while [ "$(date +%s)" -lt "$end" ]; do
+    curl -fsS -X POST -H 'Content-Type: application/x-ndjson' \
+        --data-binary @"$tmp/replay.ndjson" \
+        "http://$ADDR/v1/recover/batch" >/dev/null
+    rounds=$((rounds + 1))
+done
+wait "$prof"
+echo "pgo: replayed $rounds batch rounds"
+
+kill "$srv" 2>/dev/null || true
+wait "$srv" 2>/dev/null || true
+srv=""
+
+mv "$tmp/cpu.prof" "$PGO_OUT"
+echo "pgo: wrote $PGO_OUT ($(wc -c <"$PGO_OUT") bytes)"
+
+echo "pgo: rebuilding daemons with -pgo=$PGO_OUT"
+go build -pgo="$PGO_OUT" ./cmd/sigrecd ./cmd/sigrec ./cmd/sigrec-router
+rm -f sigrecd sigrec sigrec-router
+echo "pgo: done — commit $PGO_OUT; 'make bench PGOFLAG=-pgo=$PGO_OUT' measures the effect"
