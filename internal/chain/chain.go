@@ -101,12 +101,30 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-// Generate builds a workload over the given signatures.
+// blockSeed derives the RNG seed for one block: a splitmix64-style mix of
+// the workload seed and the block number. Every generator in this package
+// (Generate's transaction stream, the Synthetic block source) seeds per
+// block through this function, never from a shared stream or the
+// package-global math/rand: block b's content depends only on (seed, b),
+// so two generators constructed with the same seed emit identical block
+// streams regardless of how many blocks each produces or in which order
+// blocks are materialized. The continuous scanner's checkpointed resume
+// depends on this: a restarted process re-reads exactly the blocks its
+// predecessor saw.
+func blockSeed(seed int64, block uint64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(block+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Generate builds a workload over the given signatures. Generation is
+// seeded per block (see blockSeed), so the same Config prefix yields the
+// same blocks even when cfg.Blocks differs.
 func Generate(cfg Config, sigs []abi.Signature) (*Workload, error) {
 	if len(sigs) == 0 {
 		return nil, fmt.Errorf("chain: no signatures")
 	}
-	r := rand.New(rand.NewSource(cfg.Seed))
 	w := &Workload{Sigs: sigs}
 	// Identify short-address-attack candidates: an address parameter that
 	// is not the last one (so stolen padding shifts a later argument).
@@ -120,6 +138,7 @@ func Generate(cfg Config, sigs []abi.Signature) (*Workload, error) {
 		}
 	}
 	for b := 0; b < cfg.Blocks; b++ {
+		r := rand.New(rand.NewSource(blockSeed(cfg.Seed, uint64(b))))
 		for k := 0; k < cfg.TxPerBlock; k++ {
 			si := r.Intn(len(sigs))
 			kind := Valid

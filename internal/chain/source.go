@@ -1,0 +1,425 @@
+package chain
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sigrec/internal/corpus"
+	"sigrec/internal/evm"
+)
+
+// DeployKind labels the ground truth of a generated deployment. The
+// scanner never reads it: proxy resolution works from Code alone, and
+// tests use Kind only to check the scanner's conclusions.
+type DeployKind int
+
+// Deployment kinds.
+const (
+	// DeployDirect carries real implementation runtime bytecode.
+	DeployDirect DeployKind = iota + 1
+	// DeployEIP1167 is the canonical 45-byte minimal proxy.
+	DeployEIP1167
+	// DeployEIP1167Vanity is the push-padded variant: the implementation
+	// address has leading zero bytes, so the proxy embeds it with a
+	// shorter PUSH and the runtime shrinks below 45 bytes.
+	DeployEIP1167Vanity
+	// DeployEIP1167Zage is the 0age 44-byte minimal-proxy dialect.
+	DeployEIP1167Zage
+	// DeployEIP1167Push0 is the Solady-style PUSH0 dialect.
+	DeployEIP1167Push0
+	// DeployFacade is a hand-rolled DELEGATECALL forwarder that no byte
+	// pattern matches; resolving it requires executing the bytecode.
+	DeployFacade
+)
+
+// String implements fmt.Stringer.
+func (k DeployKind) String() string {
+	switch k {
+	case DeployDirect:
+		return "direct"
+	case DeployEIP1167:
+		return "eip1167"
+	case DeployEIP1167Vanity:
+		return "eip1167-vanity"
+	case DeployEIP1167Zage:
+		return "eip1167-0age"
+	case DeployEIP1167Push0:
+		return "eip1167-push0"
+	case DeployFacade:
+		return "facade"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// IsProxy reports whether the deployment forwards to an implementation.
+func (k DeployKind) IsProxy() bool { return k != DeployDirect && k != 0 }
+
+// Deployment is one contract-creation transaction in a block.
+type Deployment struct {
+	// Block and Tx locate the deployment on chain.
+	Block uint64
+	Tx    int
+	// Address is the created contract's address (low 20 bytes of the word).
+	Address evm.Word
+	// Code is the deployed runtime bytecode.
+	Code []byte
+
+	// Kind, Implementation, and Template are ground truth for tests and
+	// reconciliation; the scanner must not consult them.
+	Kind DeployKind
+	// Implementation is the forwarding target's address (zero for direct
+	// deployments).
+	Implementation evm.Word
+	// Template indexes the source's template list for direct deployments;
+	// -1 for proxies.
+	Template int
+}
+
+// Block is one chain block's contract-deployment view. Blocks carry only
+// deployments: ordinary value transfers and calls are irrelevant to
+// signature recovery and are elided by every Source.
+type Block struct {
+	Number      uint64
+	Deployments []Deployment
+}
+
+// Source abstracts the chain a scanner follows. Implementations must be
+// safe for concurrent use.
+type Source interface {
+	// Head returns the newest block number available.
+	Head(ctx context.Context) (uint64, error)
+	// BlockAt returns block n. It is an error to ask beyond Head.
+	BlockAt(ctx context.Context, n uint64) (*Block, error)
+	// CodeAt returns the runtime bytecode deployed at addr, with ok=false
+	// (and no error) when no contract lives there.
+	CodeAt(ctx context.Context, addr evm.Word) ([]byte, bool, error)
+}
+
+// SourceConfig controls a Synthetic source.
+type SourceConfig struct {
+	Seed int64
+	// Blocks is the chain length; block numbers run [0, Blocks).
+	Blocks uint64
+	// DeploysPerBlock is the number of contract creations per block.
+	DeploysPerBlock int
+	// ProxyRate is the fraction of deployments that forward to an earlier
+	// implementation instead of carrying their own runtime.
+	ProxyRate float64
+	// FacadeShare is the share of proxies that are hand-rolled
+	// DELEGATECALL facades rather than EIP-1167 minimal proxies.
+	FacadeShare float64
+	// Templates are the implementation runtime bytecodes direct
+	// deployments draw from (see SyntheticTemplates).
+	Templates [][]byte
+	// HeadStart is the head block number at construction. With
+	// HeadInterval zero the head stays at Blocks-1 regardless.
+	HeadStart uint64
+	// HeadInterval, when positive, simulates live chain growth: the head
+	// starts at HeadStart and advances one block per interval until it
+	// reaches Blocks-1.
+	HeadInterval time.Duration
+}
+
+// Synthetic is a deterministic in-process Source. Block b's content is a
+// pure function of (Seed, b) — see blockSeed — so any two Synthetics with
+// the same config agree byte-for-byte on every block, which is what lets
+// a killed scanner's successor re-read exactly the chain its predecessor
+// saw. Deployment addresses encode their (block, tx) coordinates, so
+// CodeAt regenerates only the one block it needs.
+type Synthetic struct {
+	cfg   SourceConfig
+	start time.Time
+
+	mu     sync.Mutex
+	blocks map[uint64]*Block
+}
+
+// NewSynthetic validates cfg and builds the source.
+func NewSynthetic(cfg SourceConfig) (*Synthetic, error) {
+	if cfg.Blocks == 0 {
+		return nil, fmt.Errorf("chain: source needs at least one block")
+	}
+	if cfg.DeploysPerBlock <= 0 {
+		return nil, fmt.Errorf("chain: DeploysPerBlock must be positive")
+	}
+	if len(cfg.Templates) == 0 {
+		return nil, fmt.Errorf("chain: source needs implementation templates")
+	}
+	if cfg.ProxyRate < 0 || cfg.ProxyRate > 1 || cfg.FacadeShare < 0 || cfg.FacadeShare > 1 {
+		return nil, fmt.Errorf("chain: rates must be in [0,1]")
+	}
+	if cfg.HeadStart >= cfg.Blocks {
+		cfg.HeadStart = cfg.Blocks - 1
+	}
+	return &Synthetic{
+		cfg:    cfg,
+		start:  time.Now(),
+		blocks: make(map[uint64]*Block),
+	}, nil
+}
+
+// SyntheticTemplates generates n implementation contracts for a Synthetic
+// source. Both the scanner binary and its tests call this with the same
+// seed so they agree on the chain's ground-truth function sets.
+func SyntheticTemplates(seed int64, n int) ([]corpus.DeployedContract, error) {
+	return corpus.GenerateDeployed(corpus.DeployedConfig{
+		Seed:      seed,
+		Contracts: n,
+		MinFuncs:  2,
+		MaxFuncs:  5,
+		MaxParams: 3,
+	})
+}
+
+// TemplateCodes projects the runtime bytecodes out of generated templates.
+func TemplateCodes(tmpls []corpus.DeployedContract) [][]byte {
+	out := make([][]byte, len(tmpls))
+	for i := range tmpls {
+		out[i] = tmpls[i].Code
+	}
+	return out
+}
+
+// Head implements Source.
+func (s *Synthetic) Head(ctx context.Context) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	last := s.cfg.Blocks - 1
+	if s.cfg.HeadInterval <= 0 {
+		return last, nil
+	}
+	grown := uint64(time.Since(s.start) / s.cfg.HeadInterval)
+	h := s.cfg.HeadStart + grown
+	if h > last {
+		h = last
+	}
+	return h, nil
+}
+
+// BlockAt implements Source.
+func (s *Synthetic) BlockAt(ctx context.Context, n uint64) (*Block, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	head, err := s.Head(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if n > head {
+		return nil, fmt.Errorf("chain: block %d beyond head %d", n, head)
+	}
+	return s.block(n), nil
+}
+
+func (s *Synthetic) block(n uint64) *Block {
+	s.mu.Lock()
+	if b, ok := s.blocks[n]; ok {
+		s.mu.Unlock()
+		return b
+	}
+	s.mu.Unlock()
+	b := s.build(n)
+	s.mu.Lock()
+	if len(s.blocks) >= 1024 { // bound memory during long backfills
+		for k := range s.blocks {
+			delete(s.blocks, k)
+			break
+		}
+	}
+	s.blocks[n] = b
+	s.mu.Unlock()
+	return b
+}
+
+// CodeAt implements Source. Addresses minted by this source are
+// invertible — they encode (block, tx) — so resolution regenerates just
+// the target deployment's block.
+func (s *Synthetic) CodeAt(ctx context.Context, addr evm.Word) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	block, tx, ok := decodeAddr(addr)
+	if !ok || block >= s.cfg.Blocks || tx >= s.cfg.DeploysPerBlock {
+		return nil, false, nil
+	}
+	b := s.block(block)
+	if addr != b.Deployments[tx].Address {
+		return nil, false, nil
+	}
+	return b.Deployments[tx].Code, true, nil
+}
+
+// build materializes block n from scratch; it is deterministic in
+// (cfg.Seed, n).
+func (s *Synthetic) build(n uint64) *Block {
+	r := rand.New(rand.NewSource(blockSeed(s.cfg.Seed, n)))
+	b := &Block{Number: n}
+	for t := 0; t < s.cfg.DeploysPerBlock; t++ {
+		d := Deployment{
+			Block:    n,
+			Tx:       t,
+			Address:  addrOf(n, t),
+			Template: -1,
+		}
+		// Tx 0 of every block is always a direct deployment, so proxies —
+		// which always target (earlier block, tx 0) — resolve without
+		// chasing proxy chains.
+		if t == 0 || n == 0 || r.Float64() >= s.cfg.ProxyRate {
+			d.Kind = DeployDirect
+			d.Template = r.Intn(len(s.cfg.Templates))
+			d.Code = s.cfg.Templates[d.Template]
+		} else {
+			target := uint64(r.Int63n(int64(n)))
+			d.Implementation = addrOf(target, 0)
+			impl := addrBytes(d.Implementation)
+			if r.Float64() < s.cfg.FacadeShare {
+				d.Kind = DeployFacade
+				d.Code = buildFacade(d.Implementation)
+			} else {
+				switch r.Intn(3) {
+				case 0:
+					d.Code = BuildMinimalProxy(impl)
+					if len(d.Code) < 45 {
+						d.Kind = DeployEIP1167Vanity
+					} else {
+						d.Kind = DeployEIP1167
+					}
+				case 1:
+					d.Kind = DeployEIP1167Zage
+					d.Code = BuildZageProxy(impl)
+				default:
+					d.Kind = DeployEIP1167Push0
+					d.Code = BuildPush0Proxy(impl)
+				}
+			}
+		}
+		b.Deployments = append(b.Deployments, d)
+	}
+	return b
+}
+
+// Address scheme: deterministic, invertible, and disjoint between the
+// two families. Tx-0 deployments of every third block get a vanity
+// address (eight leading zero bytes) so the chain naturally contains
+// push-padded minimal proxies.
+//
+//	normal: C0 DE 5C A7 | 0 0 0 0 | block (8B BE) | tx (4B BE)
+//	vanity: 0×8 | EC | block (7B BE) | tx (4B BE)
+func addrOf(block uint64, tx int) evm.Word {
+	var a [20]byte
+	if tx == 0 && block%3 == 0 {
+		a[8] = 0xEC
+		var blk [8]byte
+		binary.BigEndian.PutUint64(blk[:], block)
+		copy(a[9:16], blk[1:])
+		binary.BigEndian.PutUint32(a[16:], uint32(tx))
+	} else {
+		a[0], a[1], a[2], a[3] = 0xC0, 0xDE, 0x5C, 0xA7
+		binary.BigEndian.PutUint64(a[8:16], block)
+		binary.BigEndian.PutUint32(a[16:], uint32(tx))
+	}
+	return evm.WordFromBytes(a[:])
+}
+
+// addrBytes returns the low 20 bytes of an address word.
+func addrBytes(w evm.Word) [20]byte {
+	full := w.Bytes32()
+	var a [20]byte
+	copy(a[:], full[12:])
+	return a
+}
+
+// decodeAddr inverts addrOf.
+func decodeAddr(w evm.Word) (block uint64, tx int, ok bool) {
+	full := w.Bytes32()
+	for _, b := range full[:12] { // not an address-sized word
+		if b != 0 {
+			return 0, 0, false
+		}
+	}
+	a := full[12:]
+	switch {
+	case a[0] == 0xC0 && a[1] == 0xDE && a[2] == 0x5C && a[3] == 0xA7:
+		block = binary.BigEndian.Uint64(a[8:16])
+	case a[0] == 0 && a[1] == 0 && a[2] == 0 && a[3] == 0 &&
+		a[4] == 0 && a[5] == 0 && a[6] == 0 && a[7] == 0 && a[8] == 0xEC:
+		var blk [8]byte
+		copy(blk[1:], a[9:16])
+		block = binary.BigEndian.Uint64(blk[:])
+	default:
+		return 0, 0, false
+	}
+	return block, int(binary.BigEndian.Uint32(a[16:20])), true
+}
+
+// BuildMinimalProxy assembles the EIP-1167 minimal-proxy runtime for the
+// given implementation address. Leading zero bytes of the address are
+// push-padded away (the vanity variant): the PUSH shrinks, the total
+// length drops below 45 bytes, and the JUMPDEST offset in the trailing
+// PUSH1 shifts down to match.
+func BuildMinimalProxy(impl [20]byte) []byte {
+	stripped := impl[:]
+	for len(stripped) > 1 && stripped[0] == 0 {
+		stripped = stripped[1:]
+	}
+	n := len(stripped)
+	out := make([]byte, 0, 25+n)
+	out = append(out, 0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d)
+	out = append(out, byte(0x60+n-1)) // PUSHn
+	out = append(out, stripped...)
+	out = append(out, 0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91)
+	out = append(out, 0x60, byte(0x2b-(20-n)), 0x57, 0xfd, 0x5b, 0xf3)
+	return out
+}
+
+// BuildZageProxy assembles the 0age 44-byte minimal-proxy dialect.
+func BuildZageProxy(impl [20]byte) []byte {
+	out := make([]byte, 0, 44)
+	out = append(out, 0x3d, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x3d, 0x37, 0x36, 0x3d, 0x73)
+	out = append(out, impl[:]...)
+	out = append(out, 0x5a, 0xf4, 0x3d, 0x3d, 0x93, 0x80, 0x3e, 0x60, 0x2a, 0x57, 0xfd, 0x5b, 0xf3)
+	return out
+}
+
+// BuildPush0Proxy assembles the Solady-style PUSH0 minimal-proxy dialect.
+func BuildPush0Proxy(impl [20]byte) []byte {
+	out := make([]byte, 0, 45)
+	out = append(out, 0x36, 0x5f, 0x5f, 0x37, 0x5f, 0x5f, 0x36, 0x5f, 0x73)
+	out = append(out, impl[:]...)
+	out = append(out, 0x5a, 0xf4, 0x3d, 0x5f, 0x5f, 0x3e, 0x60, 0x29, 0x57,
+		0x3d, 0x5f, 0xfd, 0x5b, 0x3d, 0x5f, 0xf3)
+	return out
+}
+
+// buildFacade assembles a non-minimal DELEGATECALL forwarder: same
+// observable behavior as a minimal proxy, but laid out by our assembler
+// with labeled jumps, so no byte pattern can recognize it — the scanner
+// has to run it to find the target.
+func buildFacade(impl evm.Word) []byte {
+	a := evm.NewAssembler()
+	ok := a.NewLabel()
+	// calldatacopy(0, 0, calldatasize())
+	a.Op(evm.CALLDATASIZE).Push(0).Push(0).Op(evm.CALLDATACOPY)
+	// delegatecall(gas(), impl, 0, calldatasize(), 0, 0)
+	a.Push(0).Push(0).Op(evm.CALLDATASIZE).Push(0)
+	a.PushWord(impl).Op(evm.GAS).Op(evm.DELEGATECALL)
+	// returndatacopy(0, 0, returndatasize()); branch on success
+	a.Op(evm.RETURNDATASIZE).Push(0).Push(0).Op(evm.RETURNDATACOPY)
+	a.JumpI(ok)
+	a.Op(evm.RETURNDATASIZE).Push(0).Op(evm.REVERT)
+	a.Bind(ok)
+	a.Op(evm.RETURNDATASIZE).Push(0).Op(evm.RETURN)
+	code, err := a.Assemble()
+	if err != nil {
+		// The facade layout is fixed at compile time; assembly cannot fail
+		// on it short of a bug in this file.
+		panic(fmt.Sprintf("chain: facade assembly: %v", err))
+	}
+	return code
+}

@@ -1,0 +1,215 @@
+package chain
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"sigrec/internal/evm"
+)
+
+func testSourceConfig(t *testing.T, seed int64, blocks uint64) SourceConfig {
+	t.Helper()
+	tmpls, err := SyntheticTemplates(seed, 4)
+	if err != nil {
+		t.Fatalf("templates: %v", err)
+	}
+	return SourceConfig{
+		Seed:            seed,
+		Blocks:          blocks,
+		DeploysPerBlock: 6,
+		ProxyRate:       0.5,
+		FacadeShare:     0.3,
+		Templates:       TemplateCodes(tmpls),
+	}
+}
+
+// Two sources with the same seed must emit identical block streams, even
+// when their configured chain lengths differ — the checkpointed-resume
+// guarantee rests on this.
+func TestSyntheticDeterministic(t *testing.T) {
+	ctx := context.Background()
+	a, err := NewSynthetic(testSourceConfig(t, 11, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	longer := testSourceConfig(t, 11, 80)
+	b, err := NewSynthetic(longer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := uint64(0); n < 40; n++ {
+		ba, err := a.BlockAt(ctx, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := b.BlockAt(ctx, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ba.Deployments) != len(bb.Deployments) {
+			t.Fatalf("block %d: deployment count %d vs %d", n, len(ba.Deployments), len(bb.Deployments))
+		}
+		for i := range ba.Deployments {
+			da, db := ba.Deployments[i], bb.Deployments[i]
+			if da.Address != db.Address || da.Kind != db.Kind ||
+				da.Implementation != db.Implementation || !bytes.Equal(da.Code, db.Code) {
+				t.Fatalf("block %d tx %d: deployments differ", n, i)
+			}
+		}
+	}
+}
+
+// Generate is likewise seeded per block: the same seed with a longer
+// Blocks count must reproduce the shorter run as an exact prefix.
+func TestGeneratePerBlockSeeding(t *testing.T) {
+	sigs := testSigs(t)
+	short := DefaultConfig(7)
+	short.Blocks, short.TxPerBlock = 10, 8
+	long := short
+	long.Blocks = 25
+	ws, err := Generate(short, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := Generate(long, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Txs) <= len(ws.Txs) {
+		t.Fatalf("long run not longer: %d vs %d", len(wl.Txs), len(ws.Txs))
+	}
+	for i, tx := range ws.Txs {
+		other := wl.Txs[i]
+		if tx.Block != other.Block || tx.Contract != other.Contract ||
+			tx.Kind != other.Kind || !bytes.Equal(tx.CallData, other.CallData) {
+			t.Fatalf("tx %d differs between runs of different lengths", i)
+		}
+	}
+}
+
+// Every address the source mints must decode back to its coordinates and
+// resolve through CodeAt to the deployment's bytecode.
+func TestSyntheticCodeAtInversion(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewSynthetic(testSourceConfig(t, 3, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawVanity := false
+	for n := uint64(0); n < 30; n++ {
+		b, err := s.BlockAt(ctx, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range b.Deployments {
+			code, ok, err := s.CodeAt(ctx, d.Address)
+			if err != nil || !ok {
+				t.Fatalf("block %d tx %d: CodeAt ok=%v err=%v", n, d.Tx, ok, err)
+			}
+			if !bytes.Equal(code, d.Code) {
+				t.Fatalf("block %d tx %d: CodeAt returned wrong code", n, d.Tx)
+			}
+			full := d.Address.Bytes32()
+			if d.Tx == 0 && n%3 == 0 {
+				for _, bt := range full[12:20] {
+					if bt != 0 {
+						t.Fatalf("block %d: vanity address has nonzero high bytes: %x", n, full[12:])
+					}
+				}
+				sawVanity = true
+			}
+			if d.Kind.IsProxy() {
+				impl, ok, err := s.CodeAt(ctx, d.Implementation)
+				if err != nil || !ok {
+					t.Fatalf("block %d tx %d: implementation unresolvable", n, d.Tx)
+				}
+				if len(impl) == 0 {
+					t.Fatalf("block %d tx %d: empty implementation", n, d.Tx)
+				}
+			} else if d.Template < 0 {
+				t.Fatalf("block %d tx %d: direct deployment without template index", n, d.Tx)
+			}
+		}
+	}
+	if !sawVanity {
+		t.Fatal("no vanity addresses minted in 30 blocks")
+	}
+	// Unknown addresses miss without error.
+	if _, ok, err := s.CodeAt(ctx, evm.WordFromUint64(0xdead)); ok || err != nil {
+		t.Fatalf("unknown address: ok=%v err=%v", ok, err)
+	}
+}
+
+// The proxy mix must actually cover all flavors at the default rates.
+func TestSyntheticProxyMix(t *testing.T) {
+	ctx := context.Background()
+	s, err := NewSynthetic(testSourceConfig(t, 5, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[DeployKind]int{}
+	for n := uint64(0); n < 60; n++ {
+		b, err := s.BlockAt(ctx, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range b.Deployments {
+			seen[d.Kind]++
+			if d.Kind == DeployEIP1167 && len(d.Code) != 45 {
+				t.Fatalf("canonical proxy has %d bytes", len(d.Code))
+			}
+			if d.Kind == DeployEIP1167Vanity && len(d.Code) >= 45 {
+				t.Fatalf("vanity proxy not shorter than canonical: %d bytes", len(d.Code))
+			}
+			if d.Kind == DeployEIP1167Zage && len(d.Code) != 44 {
+				t.Fatalf("0age proxy has %d bytes", len(d.Code))
+			}
+		}
+	}
+	for _, k := range []DeployKind{
+		DeployDirect, DeployEIP1167, DeployEIP1167Vanity,
+		DeployEIP1167Zage, DeployEIP1167Push0, DeployFacade,
+	} {
+		if seen[k] == 0 {
+			t.Fatalf("kind %v never generated (mix: %v)", k, seen)
+		}
+	}
+}
+
+// A live-head source advances over time and never serves beyond its head.
+func TestSyntheticLiveHead(t *testing.T) {
+	ctx := context.Background()
+	cfg := testSourceConfig(t, 9, 50)
+	cfg.HeadStart = 2
+	cfg.HeadInterval = 5 * time.Millisecond
+	s, err := NewSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := s.Head(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 > 10 {
+		t.Fatalf("head started too far ahead: %d", h0)
+	}
+	if _, err := s.BlockAt(ctx, 49); err == nil {
+		t.Fatal("block beyond head served")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		h, err := s.Head(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h > h0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("head never advanced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -75,6 +75,10 @@ type Event struct {
 	// (Kind != ""); the writer splices it under "data". Not serialized by
 	// the struct tags — encodeLine handles aux records by hand.
 	auxData []byte
+	// syncCh marks a barrier pseudo-event (see Writer.Sync): the writer
+	// goroutine flushes + fsyncs and replies on the channel instead of
+	// encoding anything. Not serialized.
+	syncCh chan error
 }
 
 // AddIntern accumulates one exploration's interner counters; the hit rate

@@ -144,7 +144,7 @@ func openSegment(path string) (*os.File, int64, error) {
 			return nil, 0, fmt.Errorf("eventlog: %w", err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, 0, fmt.Errorf("eventlog: %w", err)
 	}
@@ -153,7 +153,28 @@ func openSegment(path string) (*os.File, int64, error) {
 		f.Close()
 		return nil, 0, fmt.Errorf("eventlog: %w", err)
 	}
-	return f, st.Size(), nil
+	size := st.Size()
+	// A SIGKILLed writer can leave a torn final line (a bufio flush landed
+	// mid-record). Appending straight after it would weld the next event
+	// onto the fragment, corrupting a good record too. Terminate the torn
+	// line so the damage stays confined to the fragment — readers skip one
+	// undecodable line instead of two.
+	if size > 0 {
+		tail := make([]byte, 1)
+		if _, err := f.ReadAt(tail, size-1); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("eventlog: %w", err)
+		}
+		if tail[0] != '\n' {
+			n, err := f.Write([]byte{'\n'})
+			if err != nil {
+				f.Close()
+				return nil, 0, fmt.Errorf("eventlog: repair torn tail: %w", err)
+			}
+			size += int64(n)
+		}
+	}
+	return f, size, nil
 }
 
 // Emit offers one finished recovery event to the log. It never blocks:
@@ -222,6 +243,28 @@ func (w *Writer) EmitAux(kind string, v any) uint64 {
 	}
 }
 
+// Sync is a durability barrier: it blocks until every event admitted to
+// the queue before the call is flushed and fsynced to the active segment,
+// then reports the log's error state. Callers persisting a progress
+// cursor (the chain scanner's checkpoint) call Sync first, so the cursor
+// never claims events that a crash could still lose. Unlike Emit, Sync
+// blocks when the queue is full — a barrier that could be dropped would
+// be no barrier at all. Nil-safe; returns the first write error, if any.
+func (w *Writer) Sync() error {
+	if w == nil {
+		return nil
+	}
+	ch := make(chan error, 1)
+	w.mu.RLock()
+	if w.closed {
+		w.mu.RUnlock()
+		return w.Err()
+	}
+	w.ch <- &Event{syncCh: ch}
+	w.mu.RUnlock()
+	return <-ch
+}
+
 // Err reports the first write error, if any. The writer keeps draining
 // after an error (Emit must never block the recovery path), so this is
 // how operators learn the log went bad.
@@ -263,6 +306,15 @@ func (w *Writer) loop(f *os.File, size int64) {
 	}
 	for ev := range w.ch {
 		w.mQueueDepth.Set(int64(len(w.ch)))
+		if ev.syncCh != nil {
+			if err := bw.Flush(); err != nil {
+				fail(err)
+			} else if err := f.Sync(); err != nil {
+				fail(err)
+			}
+			ev.syncCh <- w.Err()
+			continue
+		}
 		line, err := encodeLine(ev)
 		if err != nil {
 			fail(err)
@@ -290,7 +342,11 @@ func (w *Writer) loop(f *os.File, size int64) {
 				// Could not reopen: keep draining so Emit never blocks, but
 				// the log is broken from here.
 				fail(err)
-				for range w.ch {
+				for ev := range w.ch {
+					if ev.syncCh != nil {
+						ev.syncCh <- w.Err()
+						continue
+					}
 					w.mDropped.Inc()
 				}
 				return

@@ -1,0 +1,47 @@
+package evm
+
+// Proxy probing: concrete execution of a suspected forwarder to find the
+// DELEGATECALL target. The standalone interpreter (no World) stubs the
+// CALL family — operands are popped, a success word is pushed, execution
+// continues — so a tracer can watch the stack at the moment DELEGATECALL
+// executes and read the target address without any chain state.
+
+// probeStepLimit bounds a probe run. Forwarders reach their DELEGATECALL
+// within a few dozen instructions; anything that runs longer is not a
+// simple facade and the probe gives up.
+const probeStepLimit = 4096
+
+// probeCallData is a plausible call — 4-byte selector plus one argument
+// word — so CALLDATASIZE-driven forwarders see a nonzero payload.
+var probeCallData = append([]byte{0xde, 0xad, 0xbe, 0xef}, make([]byte, 32)...)
+
+// DelegateTarget executes code concretely and reports the target address
+// of the first DELEGATECALL it performs. ok is false when execution
+// finishes (or exhausts stepLimit, <=0 meaning the default budget)
+// without delegating. The returned word is masked to address width.
+func DelegateTarget(code []byte, stepLimit int) (Word, bool) {
+	if len(code) == 0 {
+		return ZeroWord, false
+	}
+	if stepLimit <= 0 {
+		stepLimit = probeStepLimit
+	}
+	var (
+		target Word
+		found  bool
+	)
+	in := NewInterpreter(code)
+	in.Execute(CallContext{
+		CallData:  probeCallData,
+		StepLimit: stepLimit,
+		Tracer: func(st TraceStep) {
+			// Stack view is top-last: gas on top, target beneath it.
+			if found || st.Op != DELEGATECALL || len(st.Stack) < 6 {
+				return
+			}
+			target = st.Stack[len(st.Stack)-2].And(LowMask(160))
+			found = true
+		},
+	})
+	return target, found
+}

@@ -1,0 +1,80 @@
+package evm
+
+import "testing"
+
+// assembleForwarder builds a labeled-jump DELEGATECALL facade targeting
+// the given word (deliberately not an EIP-1167 byte layout).
+func assembleForwarder(t *testing.T, target Word) []byte {
+	t.Helper()
+	a := NewAssembler()
+	ok := a.NewLabel()
+	a.Op(CALLDATASIZE).Push(0).Push(0).Op(CALLDATACOPY)
+	a.Push(0).Push(0).Op(CALLDATASIZE).Push(0)
+	a.PushWord(target).Op(GAS).Op(DELEGATECALL)
+	a.Op(RETURNDATASIZE).Push(0).Push(0).Op(RETURNDATACOPY)
+	a.JumpI(ok)
+	a.Op(RETURNDATASIZE).Push(0).Op(REVERT)
+	a.Bind(ok)
+	a.Op(RETURNDATASIZE).Push(0).Op(RETURN)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return code
+}
+
+func TestDelegateTargetForwarder(t *testing.T) {
+	addr := make([]byte, 20)
+	for i := range addr {
+		addr[i] = byte(0xa0 + i)
+	}
+	want := WordFromBytes(addr)
+	got, found := DelegateTarget(assembleForwarder(t, want), 0)
+	if !found {
+		t.Fatal("probe missed the DELEGATECALL")
+	}
+	if got != want {
+		t.Fatalf("target %s, want %s", got.Hex(), want.Hex())
+	}
+}
+
+// The probe must mask the pushed word to address width: forwarders that
+// carry dirty high bits in the target slot still resolve to an address.
+func TestDelegateTargetMasksAddress(t *testing.T) {
+	addr := WordFromUint64(0x1234_5678)
+	dirty := addr.Or(OneWord.Shl(WordFromUint64(200)))
+	got, found := DelegateTarget(assembleForwarder(t, dirty), 0)
+	if !found {
+		t.Fatal("probe missed the DELEGATECALL")
+	}
+	if got != addr {
+		t.Fatalf("target %s not masked to address width (want %s)", got.Hex(), addr.Hex())
+	}
+}
+
+func TestDelegateTargetNegative(t *testing.T) {
+	// A contract that returns immediately never delegates.
+	plain := NewAssembler().Push(0).Push(0).Op(RETURN)
+	code, err := plain.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := DelegateTarget(code, 0); found {
+		t.Fatal("probe invented a delegate target")
+	}
+	if _, found := DelegateTarget(nil, 0); found {
+		t.Fatal("probe found a target in empty code")
+	}
+	// An infinite loop must be cut off by the step limit, not hang.
+	a := NewAssembler()
+	top := a.NewLabel()
+	a.Bind(top)
+	a.Jump(top)
+	loop, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := DelegateTarget(loop, 256); found {
+		t.Fatal("probe found a target in a busy loop")
+	}
+}

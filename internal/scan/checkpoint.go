@@ -1,0 +1,181 @@
+package scan
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Cursor is the scanner's durable progress mark: every deployment up to
+// and including (Block, Tx) — in block order, then transaction order —
+// has been recovered, published, and made durable in the event log. A
+// restarted scanner resumes at the next deployment after the cursor.
+// Tx == -1 means block Block is complete with no transaction of it (or a
+// predecessor's tail) outstanding; it is how empty blocks advance the
+// cursor.
+type Cursor struct {
+	Block uint64
+	Tx    int
+}
+
+// Less orders cursors lexicographically by (Block, Tx).
+func (c Cursor) Less(o Cursor) bool {
+	if c.Block != o.Block {
+		return c.Block < o.Block
+	}
+	return c.Tx < o.Tx
+}
+
+// String implements fmt.Stringer.
+func (c Cursor) String() string { return fmt.Sprintf("b%d/t%d", c.Block, c.Tx) }
+
+// Checkpoint file names inside the checkpoint directory. The pair is the
+// crash-safety mechanism: Save writes a fsynced temp file, demotes the
+// current file to .prev, and renames the temp into place, so at every
+// instant at least one of the two holds a complete, checksummed cursor.
+const (
+	checkpointFile = "checkpoint"
+	checkpointPrev = "checkpoint.prev"
+	checkpointTmp  = "checkpoint.tmp"
+)
+
+const checkpointMagic = "sigrec-scan-checkpoint v1"
+
+// Checkpoint persists cursors into a directory with atomic replacement
+// and a previous-generation fallback. Methods are not safe for
+// concurrent use; the scanner checkpoints from a single goroutine.
+type Checkpoint struct {
+	dir string
+}
+
+// OpenCheckpoint prepares dir (creating it if needed) and loads the most
+// recent durable cursor: the current file when intact, else the previous
+// generation, else ok=false for a fresh start. A torn or corrupt current
+// file is not an error — that is exactly the crash window the .prev
+// fallback exists for.
+func OpenCheckpoint(dir string) (*Checkpoint, Cursor, bool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Cursor{}, false, fmt.Errorf("scan: checkpoint dir: %w", err)
+	}
+	cp := &Checkpoint{dir: dir}
+	cur, ok, err := ReadCheckpoint(dir)
+	if err != nil {
+		return nil, Cursor{}, false, err
+	}
+	return cp, cur, ok, nil
+}
+
+// ReadCheckpoint loads the durable cursor from dir without opening it for
+// writing (the e2e harness polls a live scanner's progress this way).
+// Only unreadable-directory conditions are errors; torn, corrupt, or
+// missing files fall back and eventually report ok=false.
+func ReadCheckpoint(dir string) (Cursor, bool, error) {
+	for _, name := range []string{checkpointFile, checkpointPrev} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return Cursor{}, false, fmt.Errorf("scan: checkpoint: %w", err)
+		}
+		if c, err := ParseCursor(data); err == nil {
+			return c, true, nil
+		}
+	}
+	return Cursor{}, false, nil
+}
+
+// Save durably records the cursor: temp write + fsync, demote current to
+// .prev, rename temp into place, fsync the directory. If the process is
+// killed anywhere in that sequence, the next ReadCheckpoint returns
+// either the new cursor or the one before it — never garbage, never
+// nothing (once a first Save has completed).
+func (cp *Checkpoint) Save(c Cursor) error {
+	tmp := filepath.Join(cp.dir, checkpointTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("scan: checkpoint: %w", err)
+	}
+	if _, err := f.Write(FormatCursor(c)); err != nil {
+		f.Close()
+		return fmt.Errorf("scan: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("scan: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("scan: checkpoint: %w", err)
+	}
+	cur := filepath.Join(cp.dir, checkpointFile)
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, filepath.Join(cp.dir, checkpointPrev)); err != nil {
+			return fmt.Errorf("scan: checkpoint: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		return fmt.Errorf("scan: checkpoint: %w", err)
+	}
+	if d, err := os.Open(cp.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// FormatCursor renders the checkpoint file payload:
+//
+//	sigrec-scan-checkpoint v1 <block> <tx> <crc32>\n
+//
+// where the CRC (IEEE, hex) covers everything before it.
+func FormatCursor(c Cursor) []byte {
+	body := fmt.Sprintf("%s %d %d", checkpointMagic, c.Block, c.Tx)
+	crc := crc32.ChecksumIEEE([]byte(body))
+	return []byte(fmt.Sprintf("%s %08x\n", body, crc))
+}
+
+// ParseCursor decodes and verifies a checkpoint file payload. Any
+// deviation — wrong magic, missing fields, trailing data, checksum
+// mismatch — is an error: a checkpoint that does not verify is treated as
+// absent, never guessed at.
+func ParseCursor(data []byte) (Cursor, error) {
+	s := string(data)
+	if !strings.HasSuffix(s, "\n") {
+		return Cursor{}, fmt.Errorf("scan: checkpoint: missing trailing newline")
+	}
+	s = s[:len(s)-1]
+	if strings.ContainsAny(s, "\n\r") {
+		return Cursor{}, fmt.Errorf("scan: checkpoint: multiple lines")
+	}
+	fields := strings.Split(s, " ")
+	if len(fields) != 5 {
+		return Cursor{}, fmt.Errorf("scan: checkpoint: %d fields, want 5", len(fields))
+	}
+	magic := strings.Join(fields[:2], " ")
+	if magic != checkpointMagic {
+		return Cursor{}, fmt.Errorf("scan: checkpoint: bad magic %q", magic)
+	}
+	block, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("scan: checkpoint: block: %w", err)
+	}
+	tx, err := strconv.ParseInt(fields[3], 10, 32)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("scan: checkpoint: tx: %w", err)
+	}
+	if tx < -1 {
+		return Cursor{}, fmt.Errorf("scan: checkpoint: tx %d out of range", tx)
+	}
+	want, err := strconv.ParseUint(fields[4], 16, 32)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("scan: checkpoint: crc: %w", err)
+	}
+	body := strings.Join(fields[:4], " ")
+	if got := crc32.ChecksumIEEE([]byte(body)); got != uint32(want) {
+		return Cursor{}, fmt.Errorf("scan: checkpoint: crc mismatch %08x != %08x", got, want)
+	}
+	return Cursor{Block: block, Tx: int(tx)}, nil
+}

@@ -1,0 +1,182 @@
+package scan
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cp, _, ok, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("fresh directory reported a cursor")
+	}
+	c1 := Cursor{Block: 7, Tx: 3}
+	if err := cp.Save(c1); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadCheckpoint(dir)
+	if err != nil || !ok || got != c1 {
+		t.Fatalf("after first save: %v ok=%v err=%v", got, ok, err)
+	}
+	c2 := Cursor{Block: 9, Tx: -1}
+	if err := cp.Save(c2); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen as a restarted process would.
+	_, got, ok, err = OpenCheckpoint(dir)
+	if err != nil || !ok || got != c2 {
+		t.Fatalf("after reopen: %v ok=%v err=%v", got, ok, err)
+	}
+	// The demoted generation holds the prior cursor.
+	prev, err := os.ReadFile(filepath.Join(dir, checkpointPrev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := ParseCursor(prev)
+	if err != nil || pc != c1 {
+		t.Fatalf("prev generation: %v err=%v", pc, err)
+	}
+}
+
+// A torn or corrupted current file must fall back to the previous durable
+// cursor — the same contract as the store's torn-tail truncation, applied
+// to the cursor pair.
+func TestCheckpointTornFallsBack(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated-half", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"empty", func([]byte) []byte { return nil }},
+		{"no-newline", func(b []byte) []byte { return bytes.TrimSuffix(b, []byte("\n")) }},
+		{"flipped-crc", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-2] ^= 0x01
+			return out
+		}},
+		{"garbage", func([]byte) []byte { return []byte("not a checkpoint at all\n") }},
+		{"tampered-cursor", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(" 9 "), []byte(" 8 "), 1)
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cp, _, _, err := OpenCheckpoint(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c1 := Cursor{Block: 7, Tx: 3}
+			c2 := Cursor{Block: 9, Tx: 0}
+			if err := cp.Save(c1); err != nil {
+				t.Fatal(err)
+			}
+			if err := cp.Save(c2); err != nil {
+				t.Fatal(err)
+			}
+			cur := filepath.Join(dir, checkpointFile)
+			data, err := os.ReadFile(cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(cur, tc.mut(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := ReadCheckpoint(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok || got != c1 {
+				t.Fatalf("fallback returned %v ok=%v, want %v", got, ok, c1)
+			}
+		})
+	}
+}
+
+// Both generations corrupt means no cursor — a fresh start, not an error
+// or a guess.
+func TestCheckpointBothGenerationsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cp, _, _, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Save(Cursor{Block: 1, Tx: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Save(Cursor{Block: 2, Tx: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{checkpointFile, checkpointPrev} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, ok, err := ReadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("corrupt pair still produced a cursor")
+	}
+}
+
+// Simulate the two rename-window crash points Save can be killed in: a
+// completed temp file that was never renamed, and a demoted current with
+// the temp not yet moved into place.
+func TestCheckpointCrashWindows(t *testing.T) {
+	dir := t.TempDir()
+	cp, _, _, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := Cursor{Block: 5, Tx: 2}
+	if err := cp.Save(c1); err != nil {
+		t.Fatal(err)
+	}
+	// Window 1: temp fully written, rename never happened.
+	next := Cursor{Block: 6, Tx: 0}
+	if err := os.WriteFile(filepath.Join(dir, checkpointTmp), FormatCursor(next), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadCheckpoint(dir)
+	if err != nil || !ok || got != c1 {
+		t.Fatalf("window 1: %v ok=%v err=%v, want %v", got, ok, err, c1)
+	}
+	// Window 2: current demoted to prev, temp not renamed yet.
+	if err := os.Rename(filepath.Join(dir, checkpointFile), filepath.Join(dir, checkpointPrev)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = ReadCheckpoint(dir)
+	if err != nil || !ok || got != c1 {
+		t.Fatalf("window 2: %v ok=%v err=%v, want %v", got, ok, err, c1)
+	}
+}
+
+// FuzzCheckpointParse hardens the parser against arbitrary file contents:
+// it must never panic, and whatever it accepts must survive a format
+// round-trip unchanged.
+func FuzzCheckpointParse(f *testing.F) {
+	f.Add([]byte("sigrec-scan-checkpoint v1 7 3 00000000\n"))
+	f.Add(FormatCursor(Cursor{Block: 0, Tx: -1}))
+	f.Add(FormatCursor(Cursor{Block: 1<<63 - 1, Tx: 1 << 20}))
+	f.Add([]byte("sigrec-scan-checkpoint v1 7 3"))
+	f.Add([]byte(""))
+	f.Add([]byte("sigrec-scan-checkpoint v2 7 3 deadbeef\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseCursor(data)
+		if err != nil {
+			return
+		}
+		back, err := ParseCursor(FormatCursor(c))
+		if err != nil || back != c {
+			t.Fatalf("round trip of accepted cursor %v failed: %v (err=%v)", c, back, err)
+		}
+	})
+}

@@ -1,0 +1,153 @@
+// Package scan implements the continuous chain-scan pipeline: it follows
+// a chain.Source, extracts contract deployments, resolves proxies to
+// their implementation bytecode, dedupes against the persistent store,
+// recovers signatures through core.RecoverContext, and publishes results
+// into the EFSD and the wide-event log. Progress is checkpointed so a
+// killed scanner resumes with zero lost and zero duplicated recoveries.
+package scan
+
+import "fmt"
+
+// ProxyKind names the minimal-proxy family a bytecode matched.
+type ProxyKind int
+
+// Minimal-proxy families.
+const (
+	// ProxyNone means the bytecode matched no byte pattern.
+	ProxyNone ProxyKind = iota
+	// ProxyCanonical is the canonical 45-byte EIP-1167 runtime.
+	ProxyCanonical
+	// ProxyVanity is the push-padded variant: an implementation address
+	// with leading zero bytes embedded via a PUSH shorter than PUSH20.
+	ProxyVanity
+	// ProxyZage is the 0age 44-byte dialect.
+	ProxyZage
+	// ProxyPush0 is the Solady-style PUSH0 dialect.
+	ProxyPush0
+	// ProxyProbed marks a forwarder found by concrete execution rather
+	// than byte matching (reported by the resolver, never by
+	// ParseMinimalProxy).
+	ProxyProbed
+)
+
+// String implements fmt.Stringer.
+func (k ProxyKind) String() string {
+	switch k {
+	case ProxyNone:
+		return "none"
+	case ProxyCanonical:
+		return "eip1167"
+	case ProxyVanity:
+		return "eip1167-vanity"
+	case ProxyZage:
+		return "eip1167-0age"
+	case ProxyPush0:
+		return "eip1167-push0"
+	case ProxyProbed:
+		return "probed"
+	default:
+		return fmt.Sprintf("proxykind(%d)", int(k))
+	}
+}
+
+// The three byte layouts, written out in full so a reader can diff them
+// against the EIP text. <n> is the pushed address width (20 for the
+// canonical form, shorter when leading zero bytes are padded away) and
+// <jd> the JUMPDEST offset, 0x2b minus the bytes saved.
+//
+//	canonical/vanity (25+n bytes):
+//	  36 3d 3d 37 3d 3d 3d 36 3d | PUSHn <addr> | 5a f4 3d 82 80 3e 90 3d 91 | 60 <jd> 57 fd 5b f3
+//	0age (44 bytes):
+//	  3d 3d 3d 3d 36 3d 3d 37 36 3d | PUSH20 <addr> | 5a f4 3d 3d 93 80 3e | 60 2a 57 fd 5b f3
+//	push0 (45 bytes):
+//	  36 5f 5f 37 5f 5f 36 5f | PUSH20 <addr> | 5a f4 3d 5f 5f 3e | 60 29 57 3d 5f fd 5b 3d 5f f3
+var (
+	minimalPrefix = []byte{0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d}
+	minimalSuffix = []byte{0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91}
+	minimalTail   = []byte{0x57, 0xfd, 0x5b, 0xf3}
+
+	zagePrefix = []byte{0x3d, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x3d, 0x37, 0x36, 0x3d, 0x73}
+	zageSuffix = []byte{0x5a, 0xf4, 0x3d, 0x3d, 0x93, 0x80, 0x3e, 0x60, 0x2a, 0x57, 0xfd, 0x5b, 0xf3}
+
+	push0Prefix = []byte{0x36, 0x5f, 0x5f, 0x37, 0x5f, 0x5f, 0x36, 0x5f, 0x73}
+	push0Suffix = []byte{0x5a, 0xf4, 0x3d, 0x5f, 0x5f, 0x3e, 0x60, 0x29, 0x57,
+		0x3d, 0x5f, 0xfd, 0x5b, 0x3d, 0x5f, 0xf3}
+)
+
+// ParseMinimalProxy matches code byte-exactly against the known
+// minimal-proxy families and returns the embedded implementation address.
+// Matching is strict: exact length (no trailing bytes), every non-address
+// byte verified, and for the push-padded variant the JUMPDEST offset in
+// the trailing PUSH1 must agree with the shortened address width.
+func ParseMinimalProxy(code []byte) (impl [20]byte, kind ProxyKind, ok bool) {
+	if impl, ok = parseCanonical(code); ok {
+		if len(code) < 45 {
+			return impl, ProxyVanity, true
+		}
+		return impl, ProxyCanonical, true
+	}
+	if impl, ok = matchFixed(code, zagePrefix, zageSuffix); ok {
+		return impl, ProxyZage, true
+	}
+	if impl, ok = matchFixed(code, push0Prefix, push0Suffix); ok {
+		return impl, ProxyPush0, true
+	}
+	return [20]byte{}, ProxyNone, false
+}
+
+// parseCanonical matches the canonical layout for any pushed address
+// width n in [1,20]; n < 20 is the vanity variant.
+func parseCanonical(code []byte) ([20]byte, bool) {
+	var impl [20]byte
+	n := len(code) - 25
+	if n < 1 || n > 20 {
+		return impl, false
+	}
+	if !bytesEq(code[:9], minimalPrefix) {
+		return impl, false
+	}
+	if code[9] != byte(0x60+n-1) { // PUSHn
+		return impl, false
+	}
+	if !bytesEq(code[10+n:19+n], minimalSuffix) {
+		return impl, false
+	}
+	// PUSH1 <jd>: the JUMPDEST offset shifts down with the saved bytes.
+	if code[19+n] != 0x60 || code[20+n] != byte(0x2b-(20-n)) {
+		return impl, false
+	}
+	if !bytesEq(code[21+n:], minimalTail) {
+		return impl, false
+	}
+	copy(impl[20-n:], code[10:10+n])
+	return impl, true
+}
+
+// matchFixed matches a fixed-width layout: prefix, PUSH20 address
+// immediate, suffix, exact total length.
+func matchFixed(code, prefix, suffix []byte) ([20]byte, bool) {
+	var impl [20]byte
+	if len(code) != len(prefix)+20+len(suffix) {
+		return impl, false
+	}
+	if !bytesEq(code[:len(prefix)], prefix) {
+		return impl, false
+	}
+	if !bytesEq(code[len(prefix)+20:], suffix) {
+		return impl, false
+	}
+	copy(impl[:], code[len(prefix):len(prefix)+20])
+	return impl, true
+}
+
+func bytesEq(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

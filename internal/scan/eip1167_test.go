@@ -1,0 +1,167 @@
+package scan
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"sigrec/internal/chain"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// repeatAddr returns a 20-byte address of one repeated byte.
+func repeatAddr(b byte) [20]byte {
+	var a [20]byte
+	for i := range a {
+		a[i] = b
+	}
+	return a
+}
+
+// TestParseMinimalProxyTable is the byte-exact conformance table: the
+// canonical 45-byte runtime, push-padded vanity variants, the 0age and
+// Solady/PUSH0 dialects, and near-misses that must NOT match.
+func TestParseMinimalProxyTable(t *testing.T) {
+	beAddr := repeatAddr(0xbe)
+	vanity := [20]byte{}
+	vanity[8] = 0xec
+	vanity[15] = 0x2a // 0x000000000000000000ec0000000000002a000000... style
+	vanity[19] = 0x07
+	oneByte := [20]byte{19: 0x01} // extreme vanity: single-byte push
+
+	canonical := "363d3d373d3d3d363d73" +
+		"bebebebebebebebebebebebebebebebebebebebe" +
+		"5af43d82803e903d91602b57fd5bf3"
+	zage := "3d3d3d3d363d3d37363d73" +
+		"bebebebebebebebebebebebebebebebebebebebe" +
+		"5af43d3d93803e602a57fd5bf3"
+	push0 := "365f5f375f5f365f73" +
+		"bebebebebebebebebebebebebebebebebebebebe" +
+		"5af43d5f5f3e6029573d5ffd5b3d5ff3"
+	// Vanity with 12 address bytes pushed (8 leading zeros stripped):
+	// PUSH12 = 0x6b, total 37 bytes, JUMPDEST at 0x2b-8 = 0x23.
+	vanity12 := "363d3d373d3d3d363d6b" +
+		"ec0000000000002a00000007" +
+		"5af43d82803e903d91602357fd5bf3"
+
+	match := []struct {
+		name string
+		code []byte
+		impl [20]byte
+		kind ProxyKind
+		size int
+	}{
+		{"canonical-45", mustHex(t, canonical), beAddr, ProxyCanonical, 45},
+		{"0age-44", mustHex(t, zage), beAddr, ProxyZage, 44},
+		{"push0-45", mustHex(t, push0), beAddr, ProxyPush0, 45},
+		{"vanity-push12", mustHex(t, vanity12), vanity, ProxyVanity, 37},
+		{"vanity-push1", chain.BuildMinimalProxy(oneByte), oneByte, ProxyVanity, 26},
+		{"builder-canonical", chain.BuildMinimalProxy(beAddr), beAddr, ProxyCanonical, 45},
+		{"builder-0age", chain.BuildZageProxy(vanity), vanity, ProxyZage, 44},
+		{"builder-push0", chain.BuildPush0Proxy(vanity), vanity, ProxyPush0, 45},
+	}
+	for _, tc := range match {
+		t.Run(tc.name, func(t *testing.T) {
+			if len(tc.code) != tc.size {
+				t.Fatalf("fixture is %d bytes, want %d", len(tc.code), tc.size)
+			}
+			impl, kind, ok := ParseMinimalProxy(tc.code)
+			if !ok {
+				t.Fatalf("did not match")
+			}
+			if kind != tc.kind {
+				t.Fatalf("kind %v, want %v", kind, tc.kind)
+			}
+			if impl != tc.impl {
+				t.Fatalf("impl %x, want %x", impl, tc.impl)
+			}
+		})
+	}
+
+	canonBytes := mustHex(t, canonical)
+	flip := func(i int, v byte) []byte {
+		out := append([]byte(nil), canonBytes...)
+		out[i] = v
+		return out
+	}
+	zageBytes := mustHex(t, zage)
+	push0Bytes := mustHex(t, push0)
+
+	// Vanity near-miss: PUSH19 claimed but JUMPDEST offset left at the
+	// canonical 0x2b instead of 0x2a.
+	badVanity := chain.BuildMinimalProxy(repeatAddr(0x11))
+	badVanity = append([]byte(nil), badVanity...)
+	badVanity[9] = 0x72                                   // PUSH19
+	badVanity = append(badVanity[:10], badVanity[11:]...) // drop one addr byte
+	// jumpdest byte still 0x2b at index 20+19=39? builder emitted canonical
+	// (no leading zeros) so dropping one byte leaves jd unadjusted.
+
+	noMatch := []struct {
+		name string
+		code []byte
+	}{
+		{"empty", nil},
+		{"trailing-byte", append(append([]byte(nil), canonBytes...), 0x00)},
+		{"truncated", canonBytes[:44]},
+		{"prefix-flip", flip(0, 0x37)},
+		{"gas-flipped", flip(30, 0x5b)},    // 5a GAS -> 5b in suffix
+		{"wrong-jumpdest", flip(40, 0x2c)}, // 602b -> 602c
+		{"revert-dropped", flip(42, 0x00)}, // fd -> 00
+		{"push19-stale-jumpdest", badVanity},
+		{"0age-trailing", append(append([]byte(nil), zageBytes...), 0x5b)},
+		{"0age-prefix-flip", func() []byte { b := append([]byte(nil), zageBytes...); b[4] = 0x3d; return b }()},
+		{"push0-wrong-suffix", func() []byte { b := append([]byte(nil), push0Bytes...); b[29] = 0x3d; return b }()},
+		{"push0-truncated", push0Bytes[:40]},
+		{"push-op-mismatch", flip(9, 0x72)}, // PUSH19 but 20 addr bytes follow
+	}
+	for _, tc := range noMatch {
+		t.Run("near-miss/"+tc.name, func(t *testing.T) {
+			if _, kind, ok := ParseMinimalProxy(tc.code); ok {
+				t.Fatalf("matched as %v; must not match", kind)
+			}
+		})
+	}
+}
+
+// Round-trip: every builder output for a spread of addresses must parse
+// back to the same implementation.
+func TestParseMinimalProxyRoundTrip(t *testing.T) {
+	addrs := [][20]byte{
+		repeatAddr(0xff),
+		repeatAddr(0x01),
+		{0: 0x01},           // 19 trailing zeros, no leading zeros
+		{19: 0x01},          // maximal vanity
+		{7: 0x80, 19: 0x3c}, // 7 leading zeros
+	}
+	for _, a := range addrs {
+		for _, build := range []struct {
+			name string
+			fn   func([20]byte) []byte
+		}{
+			{"minimal", chain.BuildMinimalProxy},
+			{"0age", chain.BuildZageProxy},
+			{"push0", chain.BuildPush0Proxy},
+		} {
+			code := build.fn(a)
+			impl, _, ok := ParseMinimalProxy(code)
+			if !ok {
+				t.Fatalf("%s(%x): no match for %s", build.name, a, hex.EncodeToString(code))
+			}
+			if impl != a {
+				t.Fatalf("%s: impl %x, want %x", build.name, impl, a)
+			}
+		}
+	}
+	// Builder outputs for distinct addresses are distinct bytecodes.
+	if bytes.Equal(chain.BuildMinimalProxy(addrs[0]), chain.BuildMinimalProxy(addrs[1])) {
+		t.Fatal("distinct addresses produced identical proxies")
+	}
+}
