@@ -8,7 +8,7 @@ GO ?= go
 
 # BENCH is the tracked benchmark artifact for this PR in the BENCH_<n>.json
 # trajectory; bump the number when a PR re-records performance.
-BENCH ?= BENCH_8.json
+BENCH ?= BENCH_9.json
 
 check: fmt vet build test race
 
@@ -40,12 +40,20 @@ serve-e2e:
 	$(GO) test -race -count=1 ./internal/server
 
 # Observability end-to-end suite under the race detector: span-tree
-# recording and flight-recorder retention (internal/obs), plus the served
-# surfaces — request-ID echo into logs and traces, /debug/slowest span
-# trees for truncated recoveries, strict /metrics text-format conformance,
-# and the pprof debug handler (CI job "smoke").
+# recording and flight-recorder retention (internal/obs), the OTLP
+# exporter and SLO burn-rate engine unit suites, plus the served surfaces
+# — request-ID echo into logs and traces, /debug/slowest span trees for
+# truncated recoveries, strict /metrics text-format conformance, the
+# pprof/SLO debug handler, and the live-export reconciliation: a real
+# sigrecd under load ships spans to an in-process OTLP collector and the
+# exported root-span count must equal the flight recorder's recovery
+# count and the sigrec_recoveries_total delta exactly (CI job "smoke").
+# Set OBS_E2E_ARTIFACTS to a directory to keep the /debug/slo state of a
+# failed reconciliation run.
 obs-e2e:
 	$(GO) test -race -count=1 ./internal/obs
+	$(GO) test -race -count=1 ./internal/otlp
+	$(GO) test -race -count=1 ./internal/slo
 	$(GO) test -race -count=1 -run 'TestObs' ./internal/server
 
 # Offline-analytics exactness gate under the race detector: sigrecd's
@@ -102,7 +110,7 @@ bench-smoke:
 PGOFLAG ?=
 
 bench:
-	( $(GO) test $(PGOFLAG) -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events|BenchmarkE3Parallel|BenchmarkTieredCacheWarmLookup$$' \
+	( $(GO) test $(PGOFLAG) -run '^$$' -bench 'BenchmarkE1Accuracy$$|BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events|BenchmarkE3OTLP|BenchmarkE3Parallel|BenchmarkTieredCacheWarmLookup$$' \
 		-benchmem . ; \
 	  $(GO) test $(PGOFLAG) -run '^$$' -bench 'BenchmarkServerThroughput$$' \
 		-benchmem ./internal/server ; \
@@ -115,7 +123,9 @@ bench:
 # Gates: (1) fail when E3 allocs/op regresses >10% against the committed
 # baseline — allocation counts are deterministic enough for shared CI
 # runners, ns/op is recorded but not gated across machines; (2) fail when
-# span tracing or wide-event emission gets expensive. PR 7 halved the
+# span tracing, wide-event emission, or OTLP export (the E3OTLP pair: the
+# hot path pays only the sink's non-blocking enqueue) gets expensive. PR 7
+# halved the
 # base recovery time, which made the old 5%/3% wall-time A/Bs a noise
 # lottery (the absolute budget they encoded, ~250-400us per E3 op, is
 # now within shared-runner scatter for either the fastest-of-5 or the
@@ -144,7 +154,7 @@ bench:
 # structural regressions (a recompute sneaking into the warm path), not
 # runner scatter.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events|BenchmarkTieredCacheWarmLookup$$' \
+	$(GO) test -run '^$$' -bench 'BenchmarkE3TimeDistribution$$|BenchmarkE3Tracing|BenchmarkE3Events|BenchmarkE3OTLP|BenchmarkTieredCacheWarmLookup$$' \
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -out bench_current.json
 	$(GO) run ./cmd/benchjson -check -baseline bench_baseline.json \
 		-current bench_current.json -bench E3TimeDistribution \
@@ -163,6 +173,12 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
 		-current bench_current.json -basebench E3EventsOff \
 		-bench E3EventsOn -metric mean_ns_per_op -tolerance 0.25
+	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
+		-current bench_current.json -basebench E3OTLPOff \
+		-bench E3OTLPOn -metric allocs_per_op -tolerance 0.10
+	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
+		-current bench_current.json -basebench E3OTLPOff \
+		-bench E3OTLPOn -metric mean_ns_per_op -tolerance 0.25
 	$(GO) test -run '^$$' -bench 'BenchmarkRouterOverhead' \
 		-benchmem -benchtime 200x -count=5 ./internal/cluster \
 		| $(GO) run ./cmd/benchjson -out bench_router.json

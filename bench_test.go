@@ -7,6 +7,9 @@ package sigrec
 
 import (
 	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 	"time"
@@ -19,8 +22,10 @@ import (
 	"sigrec/internal/experiments"
 	"sigrec/internal/obfuscate"
 	"sigrec/internal/obs"
+	"sigrec/internal/otlp"
 	"sigrec/internal/solc"
 	"sigrec/internal/store"
+	"sigrec/internal/telemetry"
 )
 
 // benchParams keeps bench iterations affordable while preserving every
@@ -193,6 +198,74 @@ func benchE3Tracing(b *testing.B, tracer *obs.Tracer) {
 
 func BenchmarkE3TracingOff(b *testing.B) { benchE3Tracing(b, nil) }
 func BenchmarkE3TracingOn(b *testing.B)  { benchE3Tracing(b, obs.New(obs.Config{})) }
+
+// benchE3OTLP is the OTLP-export A/B on the same E3-shaped workload. Off
+// arms a tracer with the flight recorder only; On adds the exporter sink,
+// so every finished recovery is offered for export. The timed section
+// models the stalled-collector worst case — the exporter is not draining,
+// so the sink's non-blocking send fills the bounded queue and then drops
+// — because that is the contract the gate defends: whatever the collector
+// does, the recovery path pays one channel operation, nothing more.
+// Batching, JSON encoding, and HTTP belong on the exporter's goroutine;
+// any of that work leaking into Enqueue (say, a synchronous encode) trips
+// the 10% allocs/op ratio immediately. The full encode-and-POST path
+// still runs — against a live in-process collector — but after
+// StopTimer, as the drain-everything flush that Close performs over the
+// retained records.
+func benchE3OTLP(b *testing.B, otlpOn bool) {
+	c, err := corpus.Generate(corpus.Config{Seed: 7, Solidity: 32, Vyper: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink func(*obs.Record)
+	var flush func()
+	if otlpOn {
+		col := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, _ = io.Copy(io.Discard, r.Body)
+		}))
+		defer col.Close()
+		// A small bounded queue keeps the retained live set constant
+		// (records beyond it drop, as against a stalled collector), so the
+		// timed loop measures the enqueue instruction, not GC pressure
+		// from an ever-growing backlog.
+		exp := otlp.New(otlp.Config{
+			Endpoint:    col.URL,
+			Interval:    time.Hour,
+			QueueSize:   512,
+			ServiceName: "bench",
+			Registry:    telemetry.NewRegistry(),
+		})
+		sink = exp.Sink()
+		flush = func() {
+			exp.Start()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := exp.Close(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	tracer := obs.New(obs.Config{Sink: sink})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range c.Entries {
+			ctx, rec := tracer.StartRecovery(context.Background(), "bench")
+			res, err := core.RecoverContext(ctx, e.Code, core.Options{})
+			rec.Finish(res.Truncated, err)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if flush != nil {
+		flush()
+	}
+}
+
+func BenchmarkE3OTLPOff(b *testing.B) { benchE3OTLP(b, false) }
+func BenchmarkE3OTLPOn(b *testing.B)  { benchE3OTLP(b, true) }
 
 // benchE3Events is the event-log counterpart of benchE3Tracing: the same
 // E3-shaped workload with and without a wide-event writer armed. `make

@@ -48,6 +48,7 @@ import (
 
 	"sigrec/internal/cluster"
 	"sigrec/internal/obs"
+	"sigrec/internal/otlp"
 	"sigrec/internal/server"
 )
 
@@ -74,6 +75,9 @@ func run() error {
 		healthIntv = flag.Duration("health-interval", cluster.DefaultHealthInterval, "shard health/p95 poll period")
 		loadFactor = flag.Float64("load-factor", cluster.DefaultLoadFactor, "bounded-load factor: divert from an owner loaded past this multiple of the mean")
 		batchConc  = flag.Int("batch-concurrency", 0, "max in-flight upstream calls per batch request (0 = 4 per shard)")
+		otlpEP     = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL; router metrics are exported there (empty = export off)")
+		otlpIntv   = flag.Duration("otlp-interval", otlp.DefaultInterval, "OTLP flush cadence: one metrics snapshot per tick")
+		svcName    = flag.String("service-name", "sigrec-router", "service.name resource attribute on every OTLP export")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 		version    = flag.Bool("version", false, "print version and exit")
@@ -115,6 +119,23 @@ func run() error {
 	}
 	defer rt.Close()
 
+	// The router has no span trees (it holds no recovery state), so OTLP
+	// export ships metrics only: the routing counters, per-shard health,
+	// and latency summaries from the router's registry.
+	var exporter *otlp.Exporter
+	if *otlpEP != "" {
+		ver, _ := obs.Version()
+		exporter = otlp.New(otlp.Config{
+			Endpoint:    *otlpEP,
+			Interval:    *otlpIntv,
+			ServiceName: *svcName,
+			Resource:    map[string]string{"service.version": ver},
+			Registry:    rt.Registry(),
+			Logger:      logger,
+		})
+		exporter.Start()
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           rt.Handler(),
@@ -154,6 +175,11 @@ func run() error {
 	defer cancel()
 	serr := hs.Shutdown(sctx)
 	rt.Close()
+	if exporter != nil {
+		if err := exporter.Close(sctx); err != nil {
+			logger.Warn("otlp exporter close timed out", "err", err)
+		}
+	}
 	if errors.Is(serr, context.DeadlineExceeded) {
 		return errors.New("shutdown deadline exceeded")
 	}

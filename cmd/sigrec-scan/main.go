@@ -25,6 +25,14 @@
 //
 // The scan event log is always lossless (no sampling): crash-recovery
 // reconciliation needs every deployment's record.
+//
+// -debug-addr starts the scanner's operator surface — /metrics, /healthz,
+// /debug/slowest, /debug/slo, /debug/events, and pprof — the same mux
+// sigrecd serves, so fleet dashboards scrape every binary identically.
+// -otlp-endpoint exports per-deployment span trees and metrics snapshots
+// to an OTLP/HTTP collector; an SLO burn-rate engine always evaluates
+// scan availability and recovery latency, logging alert transitions as
+// "slo_alert" wide events.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -43,7 +52,10 @@ import (
 	"sigrec/internal/core"
 	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
+	"sigrec/internal/otlp"
 	"sigrec/internal/scan"
+	"sigrec/internal/server"
+	"sigrec/internal/slo"
 	"sigrec/internal/store"
 )
 
@@ -82,6 +94,11 @@ func run() error {
 		selWork = flag.Int("selector-workers", 0, "parallel selector explorations per contract (0 = auto)")
 
 		eventMB   = flag.Int("event-log-max-mb", 64, "rotate the event log past this many MB per segment")
+		debugAddr = flag.String("debug-addr", "", "listen address for the scanner's operator surface: /metrics, /healthz, /debug/slowest, /debug/slo, /debug/events, pprof (empty = disabled)")
+		otlpEP    = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL; deployment span trees and metrics are exported there (empty = export off)")
+		otlpIntv  = flag.Duration("otlp-interval", otlp.DefaultInterval, "OTLP flush cadence: trace batches at least this often, one metrics snapshot per tick")
+		svcName   = flag.String("service-name", "sigrec-scan", "service.name resource attribute on every OTLP export")
+		sloLatUS  = flag.Duration("slo-latency-threshold", 500*time.Millisecond, "latency SLO: the duration 99% of recoveries must complete under (0 = latency objective off)")
 		slowest   = flag.Int("trace-slowest", obs.DefaultSlowest, "recoveries retained in the flight recorder (0 = tracing off)")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -152,10 +169,55 @@ func run() error {
 	if end == 0 || end >= *chainLen {
 		end = *chainLen - 1
 	}
+
+	// OTLP export: per-deployment span trees flow tracer -> exporter sink
+	// -> collector; metrics snapshots ship each interval. -trace-slowest 0
+	// disables span export along with the flight recorder.
+	reg := core.Metrics()
+	var exporter *otlp.Exporter
+	if *otlpEP != "" {
+		ver, _ := obs.Version()
+		exporter = otlp.New(otlp.Config{
+			Endpoint:    *otlpEP,
+			Interval:    *otlpIntv,
+			ServiceName: *svcName,
+			Resource:    map[string]string{"service.version": ver},
+			Registry:    reg,
+			Logger:      logger,
+		})
+	}
 	var tracer *obs.Tracer
 	if *slowest > 0 {
-		tracer = obs.New(obs.Config{Slowest: *slowest})
+		tracer = obs.New(obs.Config{Slowest: *slowest, Sink: exporter.Sink()})
 	}
+
+	// Burn-rate engine over the scanner's own outcome counters (errors are
+	// a subset of completions, so the availability SLI is exact) plus an
+	// optional latency objective on the recovery summary. State serves at
+	// /debug/slo on -debug-addr; transitions land in the event log.
+	objectives := []slo.Objective{{
+		Name:   "availability",
+		Target: 0.999,
+		Source: slo.CounterSource{
+			Total:  reg.Counter("sigrec_scan_recoveries_total"),
+			Errors: reg.Counter("sigrec_scan_recover_errors_total"),
+		},
+	}}
+	if *sloLatUS > 0 {
+		objectives = append(objectives, slo.Objective{
+			Name:   fmt.Sprintf("latency_p99_%s", *sloLatUS),
+			Target: 0.99,
+			Source: slo.LatencySource{
+				Summary:     reg.Summary("sigrec_recover_latency_microseconds", nil),
+				ThresholdUS: float64(sloLatUS.Microseconds()),
+			},
+		})
+	}
+	sloEval := slo.New(slo.Config{
+		Objectives: objectives,
+		Registry:   reg,
+		Events:     events,
+	})
 	cfg := scan.Config{
 		Source:          source,
 		Cache:           core.NewTieredCache(*cacheEnt, resultStore).Cache,
@@ -196,10 +258,57 @@ func run() error {
 	if *live {
 		mode = "live"
 	}
+
+	sloEval.Start()
+	if exporter != nil {
+		exporter.Start()
+	}
+	// The debug listener is the scanner's only HTTP surface, so unlike
+	// sigrecd it also mounts /metrics and /healthz here.
+	var dbg *http.Server
+	if *debugAddr != "" {
+		dbg = &http.Server{
+			Addr: *debugAddr,
+			Handler: server.DebugHandler(server.DebugOptions{
+				Tracer:  tracer,
+				Events:  events,
+				SLO:     sloEval,
+				Metrics: reg,
+				Health: func() any {
+					return struct {
+						Status string `json:"status"`
+						Mode   string `json:"mode"`
+					}{"ok", mode}
+				},
+			}),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
+
 	logger.Info("scan starting", "mode", mode, "data", *dataDir, "seed", *seed,
-		"blocks", *chainLen, "end", end, "workers", cfg.Workers)
+		"blocks", *chainLen, "end", end, "workers", cfg.Workers,
+		"debug_addr", *debugAddr, "otlp_endpoint", *otlpEP)
 
 	serr := scanner.Run(ctx)
+
+	sloEval.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if dbg != nil {
+		_ = dbg.Shutdown(sctx)
+	}
+	// Flush the export queue after the pipeline drains so the collector
+	// sees the final deployments and terminal counter values.
+	if exporter != nil {
+		if err := exporter.Close(sctx); err != nil {
+			logger.Warn("otlp exporter close timed out", "err", err)
+		}
+	}
 
 	// Drain order mirrors sigrecd: finish the pipeline (Run already saved
 	// the final checkpoint), then close the log (flush + fsync), then the

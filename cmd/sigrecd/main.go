@@ -12,6 +12,7 @@
 //	GET  /healthz           liveness + pool state
 //	GET  /debug/slowest     flight recorder: span trees of slow/truncated recoveries
 //	GET  /debug/events      tail of the wide-event log (requires -event-log)
+//	GET  /debug/slo         burn-rate engine state: per-objective SLI, windows, alerts
 //
 // Recoveries run on a bounded worker pool behind a bounded admission
 // queue: when the queue is full, single recovers are shed with 429 +
@@ -28,8 +29,18 @@
 // and the slow tail always kept), rotated past -event-log-max-mb, replayed
 // offline with sigrec-analyze. On drain the retained flight-recorder
 // traces are dumped into the log before it is fsynced closed. -debug-addr
-// starts a second listener with net/http/pprof, /debug/slowest, and
-// /debug/events, kept off the service port.
+// starts a second listener with net/http/pprof, /debug/slowest,
+// /debug/events, and /debug/slo, kept off the service port.
+//
+// -otlp-endpoint turns on OTLP/HTTP export: finished recovery span trees
+// and periodic metrics snapshots are batched to <endpoint>/v1/traces and
+// /v1/metrics with service.name, service.version, and sigrec.shard
+// resource attributes. Export is fire-and-forget — a slow or absent
+// collector costs dropped batches (counted in sigrec_otlp_dropped_total),
+// never recovery latency. An SLO burn-rate engine always runs: request
+// availability at 99.9% plus a 99%-under--slo-latency-threshold latency
+// objective, alerting on the multi-window multi-burn-rate rules; alert
+// transitions land in the event log as "slo_alert" records.
 package main
 
 import (
@@ -53,7 +64,9 @@ import (
 	"sigrec/internal/efsd"
 	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
+	"sigrec/internal/otlp"
 	"sigrec/internal/server"
+	"sigrec/internal/slo"
 	"sigrec/internal/store"
 )
 
@@ -84,6 +97,10 @@ func run() error {
 		eventLog  = flag.String("event-log", "", "path for the durable wide-event log, one NDJSON record per recovery (empty = disabled)")
 		eventMB   = flag.Int("event-log-max-mb", 64, "rotate the event log past this many MB per segment")
 		sampleR   = flag.Float64("sample-rate", 1, "keep probability for fast, successful recoveries in the event log; errors, truncations, and the slow tail are always kept")
+		otlpEP    = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL, e.g. http://127.0.0.1:4318; spans and metrics are exported there (empty = export off)")
+		otlpIntv  = flag.Duration("otlp-interval", otlp.DefaultInterval, "OTLP flush cadence: trace batches at least this often, one metrics snapshot per tick")
+		svcName   = flag.String("service-name", "sigrecd", "service.name resource attribute on every OTLP export")
+		sloLatUS  = flag.Duration("slo-latency-threshold", 100*time.Millisecond, "latency SLO: the duration 99% of recoveries must complete under (0 = latency objective off)")
 		shardID   = flag.String("shard-id", "", "this shard's id on the cluster hash ring (enables peer cache fill when -peers is set)")
 		peerSpec  = flag.String("peers", "", "comma-separated peer shards as id=url; on a local cache miss whose ring owner is a peer, its cache is consulted before computing")
 		vnodes    = flag.Int("vnodes", 0, "virtual nodes per shard on the cluster hash ring (0 = default; must match the router)")
@@ -114,9 +131,30 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// OTLP export: spans flow tracer -> exporter sink -> collector; metrics
+	// are snapshotted from the shared registry each interval. The exporter
+	// is created before the tracer so the tracer's sink can point at it.
+	var exporter *otlp.Exporter
+	if *otlpEP != "" {
+		ver, _ := obs.Version()
+		res := map[string]string{"service.version": ver}
+		if *shardID != "" {
+			res["sigrec.shard"] = *shardID
+		}
+		exporter = otlp.New(otlp.Config{
+			Endpoint:    *otlpEP,
+			Interval:    *otlpIntv,
+			ServiceName: *svcName,
+			Resource:    res,
+			Registry:    core.Metrics(),
+			Logger:      logger,
+		})
+	}
 	var tracer *obs.Tracer
 	if *slowest > 0 {
-		tracer = obs.New(obs.Config{Slowest: *slowest})
+		// Span export rides on tracing: -trace-slowest 0 disables both the
+		// flight recorder and OTLP trace export (metrics still flow).
+		tracer = obs.New(obs.Config{Slowest: *slowest, Sink: exporter.Sink()})
 	}
 	var events *eventlog.Writer
 	if *eventLog != "" {
@@ -130,6 +168,36 @@ func run() error {
 			return err
 		}
 	}
+
+	// Burn-rate engine: availability over the /v1/recover outcome counters
+	// and (optionally) a latency objective over the recovery summary, both
+	// already in the shared registry, evaluated on the SRE-workbook
+	// multi-window rules. Alert transitions land in the event log; state is
+	// served at /debug/slo on both listeners.
+	reg := core.Metrics()
+	objectives := []slo.Objective{{
+		Name:   "availability",
+		Target: 0.999,
+		Source: slo.CounterSource{
+			Total:  reg.Counter("sigrecd_recover_requests_total"),
+			Errors: reg.Counter("sigrecd_recover_errors_total"),
+		},
+	}}
+	if *sloLatUS > 0 {
+		objectives = append(objectives, slo.Objective{
+			Name:   fmt.Sprintf("latency_p99_%s", *sloLatUS),
+			Target: 0.99,
+			Source: slo.LatencySource{
+				Summary:     reg.Summary("sigrec_recover_latency_microseconds", nil),
+				ThresholdUS: float64(sloLatUS.Microseconds()),
+			},
+		})
+	}
+	sloEval := slo.New(slo.Config{
+		Objectives: objectives,
+		Registry:   reg,
+		Events:     events,
+	})
 
 	// Persistent tier: with -store-dir the result cache is tiered — memory
 	// LRU over an append-only disk store — so a restarted shard serves its
@@ -178,6 +246,7 @@ func run() error {
 		Tracer:          tracer,
 		EventLog:        events,
 		CacheFill:       fill,
+		SLO:             sloEval,
 	})
 	if len(peers) > 0 {
 		srv.Mount("POST "+cluster.FillPath, cluster.FillHandler(srv.Cache(), *maxBody))
@@ -193,12 +262,16 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+	sloEval.Start()
+	if exporter != nil {
+		exporter.Start()
+	}
 
 	var dbg *http.Server
 	if *debugAddr != "" {
 		dbg = &http.Server{
 			Addr:              *debugAddr,
-			Handler:           server.DebugHandler(tracer, events),
+			Handler:           server.DebugHandler(server.DebugOptions{Tracer: tracer, Events: events, SLO: sloEval}),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
@@ -228,6 +301,8 @@ func run() error {
 		"sample_rate", *sampleR,
 		"shard_id", *shardID,
 		"peers", len(peers),
+		"otlp_endpoint", *otlpEP,
+		"service_name", *svcName,
 		"version", ver,
 		"go_version", goVer,
 	)
@@ -249,6 +324,14 @@ func run() error {
 	derr := srv.Drain(sctx)
 	if dbg != nil {
 		_ = dbg.Shutdown(sctx)
+	}
+	sloEval.Close()
+	// Flush the export queue after the pool drains so the collector sees
+	// the final recoveries and terminal counter values.
+	if exporter != nil {
+		if err := exporter.Close(sctx); err != nil {
+			logger.Warn("otlp exporter close timed out", "err", err)
+		}
 	}
 	// The flight recorder's retained span trees would die with the process;
 	// dump them into the durable event log as an auxiliary record (or to

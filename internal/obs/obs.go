@@ -244,6 +244,9 @@ func (r *Recovery) Finish(truncated bool, err error) {
 		rec.Error = err.Error()
 	}
 	r.tracer.fr.add(rec)
+	if r.tracer.sink != nil {
+		r.tracer.sink(rec)
+	}
 }
 
 // WriteText renders the recovery's span tree as indented text, one span
@@ -299,6 +302,12 @@ type Config struct {
 	// Truncated is how many recent budget-truncated recoveries the flight
 	// recorder retains (<= 0 selects DefaultTruncated).
 	Truncated int
+	// Sink, when non-nil, receives every finished recovery record (not
+	// just the ones the flight recorder retains) — the OTLP exporter's
+	// intake. It runs on the goroutine calling Finish, so it must be
+	// non-blocking; the record and its span tree are immutable once
+	// delivered.
+	Sink func(*Record)
 }
 
 // Flight-recorder defaults.
@@ -311,7 +320,8 @@ const (
 // nil *Tracer is the off switch: StartRecovery passes the context through
 // untouched and returns a nil Recovery, making the whole span API no-op.
 type Tracer struct {
-	fr *FlightRecorder
+	fr   *FlightRecorder
+	sink func(*Record)
 }
 
 // New returns a Tracer with a flight recorder sized by cfg.
@@ -322,7 +332,7 @@ func New(cfg Config) *Tracer {
 	if cfg.Truncated <= 0 {
 		cfg.Truncated = DefaultTruncated
 	}
-	return &Tracer{fr: newFlightRecorder(cfg.Slowest, cfg.Truncated)}
+	return &Tracer{fr: newFlightRecorder(cfg.Slowest, cfg.Truncated), sink: cfg.Sink}
 }
 
 // StartRecovery opens a recovery span tree and arms the context with it so

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -232,5 +233,29 @@ func TestVersion(t *testing.T) {
 	}
 	if s := VersionString(); !strings.Contains(s, "sigrec") {
 		t.Fatalf("VersionString() = %q", s)
+	}
+}
+
+func TestSinkReceivesEveryFinish(t *testing.T) {
+	var got []*Record
+	tr := New(Config{Slowest: 1, Truncated: 1, Sink: func(r *Record) { got = append(got, r) }})
+	for i := 0; i < 5; i++ {
+		_, rec := tr.StartRecovery(context.Background(), fmt.Sprintf("req-%d", i))
+		s := rec.Span("phase")
+		s.SetInt("i", int64(i))
+		s.End()
+		rec.Finish(false, nil)
+		rec.Finish(false, nil) // second Finish must not re-deliver
+	}
+	if len(got) != 5 {
+		t.Fatalf("sink saw %d records, want 5 (flight recorder retains fewer)", len(got))
+	}
+	for i, r := range got {
+		if want := fmt.Sprintf("req-%d", i); r.RequestID != want {
+			t.Errorf("record %d request id = %q, want %q", i, r.RequestID, want)
+		}
+		if r.Root == nil || len(r.Root.Children) != 1 || r.Root.Children[0].Name != "phase" {
+			t.Errorf("record %d span tree malformed: %+v", i, r.Root)
+		}
 	}
 }

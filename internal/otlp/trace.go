@@ -1,0 +1,135 @@
+package otlp
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"strconv"
+
+	"sigrec/internal/keccak"
+	"sigrec/internal/obs"
+)
+
+// formatInt renders an int64 the way the protobuf JSON mapping requires
+// (decimal string).
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// traceSeed is the string the trace id is derived from. Recoveries that
+// share a request id — every item of one batch request — share a seed and
+// therefore land in one trace; anonymous recoveries fall back to their
+// start timestamp so they stay distinct.
+func traceSeed(rec *obs.Record) string {
+	if rec.RequestID != "" {
+		return rec.RequestID
+	}
+	return "anon:" + strconv.FormatInt(rec.Start.UnixNano(), 10)
+}
+
+// traceIDFor derives the 16-byte OTLP trace id from the seed: the keccak
+// the repo already keys everything by, truncated. Deterministic, so the
+// same request id maps to the same trace across processes — the router's
+// spans and the shard's spans for one request join without coordination.
+func traceIDFor(seed string) string {
+	h := keccak.Sum256([]byte("sigrec/trace:" + seed))
+	return hex.EncodeToString(h[:16])
+}
+
+// spanIDFor derives an 8-byte span id from the recovery's identity (seed
+// + start time distinguishes two recoveries in one trace) and the span's
+// preorder index within its tree. Purely a function of the record, so
+// golden tests are stable and a re-export of the same record produces the
+// same ids.
+func spanIDFor(seed string, startNano int64, index int) string {
+	buf := make([]byte, 0, len(seed)+24)
+	buf = append(buf, "sigrec/span:"...)
+	buf = append(buf, seed...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(startNano))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(index))
+	h := keccak.Sum256(buf)
+	return hex.EncodeToString(h[:8])
+}
+
+// spansFromRecord flattens one finished recovery's span tree into OTLP
+// wire spans. Wall-clock timestamps are reconstructed from the recovery's
+// start plus the spans' monotonic microsecond offsets, so the exported
+// tree preserves exactly the offsets the flight recorder shows.
+func spansFromRecord(rec *obs.Record) []wireSpan {
+	if rec == nil || rec.Root == nil {
+		return nil
+	}
+	seed := traceSeed(rec)
+	tid := traceIDFor(seed)
+	baseNano := rec.Start.UnixNano()
+	c := &spanConv{seed: seed, tid: tid, baseNano: baseNano, startNano: baseNano}
+	root := c.convert(rec.Root, "")
+	// The root span carries the recovery-level identity: request id,
+	// event-log join key, truncation flag, error status.
+	if rec.RequestID != "" {
+		root.Attributes = append(root.Attributes, strAttr("sigrec.request_id", rec.RequestID))
+	}
+	if rec.EventSeq != 0 {
+		root.Attributes = append(root.Attributes, intAttr("sigrec.event_seq", int64(rec.EventSeq)))
+	}
+	if rec.Truncated {
+		root.Attributes = append(root.Attributes, boolAttr("sigrec.truncated", true))
+	}
+	if rec.Error != "" {
+		root.Status = &spanStatus{Code: statusError, Message: rec.Error}
+	}
+	return c.out
+}
+
+// spanConv carries the per-record conversion state: ids are assigned in
+// preorder, and the output slice is preorder too (root first), which the
+// reconciliation e2e counts on — span index 0 of a batch item is its root.
+type spanConv struct {
+	seed      string
+	tid       string
+	baseNano  int64
+	startNano int64
+	index     int
+	out       []wireSpan
+}
+
+func (c *spanConv) convert(s *obs.Span, parentID string) *wireSpan {
+	id := spanIDFor(c.seed, c.startNano, c.index)
+	c.index++
+	start := c.baseNano + s.StartUS*1000
+	ws := wireSpan{
+		TraceID:           c.tid,
+		SpanID:            id,
+		ParentSpanID:      parentID,
+		Name:              s.Name,
+		Kind:              spanKindInternal,
+		StartTimeUnixNano: formatInt(start),
+		EndTimeUnixNano:   formatInt(start + s.DurUS*1000),
+	}
+	for _, a := range s.Attrs {
+		if a.Str != "" {
+			ws.Attributes = append(ws.Attributes, strAttr(a.Key, a.Str))
+		} else {
+			ws.Attributes = append(ws.Attributes, intAttr(a.Key, a.Num))
+		}
+	}
+	c.out = append(c.out, ws)
+	at := len(c.out) - 1
+	for _, child := range s.Children {
+		c.convert(child, id)
+	}
+	return &c.out[at]
+}
+
+// buildTracesRequest wraps the spans of a batch of records in one
+// ResourceSpans envelope under the exporter's resource identity.
+func buildTracesRequest(res resource, sc scope, recs []*obs.Record) (tracesRequest, int) {
+	var spans []wireSpan
+	for _, rec := range recs {
+		spans = append(spans, spansFromRecord(rec)...)
+	}
+	req := tracesRequest{ResourceSpans: []resourceSpans{{
+		Resource:   res,
+		ScopeSpans: []scopeSpans{{Scope: sc, Spans: spans}},
+	}}}
+	return req, len(spans)
+}

@@ -1,0 +1,149 @@
+package otlp
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sigrec/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// checkGolden compares v's indented JSON encoding against the named
+// golden file; -update-golden rewrites it.
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// testRecord is a fixed recovery record: every timestamp is pinned, so
+// the mapping's trace/span ids and nano timestamps are fully determined.
+func testRecord() *obs.Record {
+	start := time.Unix(1700000000, 0).UTC()
+	root := &obs.Span{
+		Name:  "recovery",
+		DurUS: 4200,
+		Children: []*obs.Span{
+			{Name: "disassemble", StartUS: 10, DurUS: 300,
+				Attrs: []obs.Attr{{Key: "code_bytes", Num: 1234}}},
+			{Name: "dispatch", StartUS: 320, DurUS: 80},
+			{Name: "selector", StartUS: 410, DurUS: 3700,
+				Attrs: []obs.Attr{{Key: "selector", Str: "a9059cbb"}},
+				Children: []*obs.Span{
+					{Name: "explore", StartUS: 415, DurUS: 2800},
+					{Name: "infer", StartUS: 3220, DurUS: 880,
+						Attrs: []obs.Attr{{Key: "rules_fired", Num: 7}}},
+				}},
+		},
+	}
+	return &obs.Record{
+		RequestID: "req-golden-1",
+		EventSeq:  42,
+		Start:     start,
+		DurUS:     4200,
+		Truncated: true,
+		Error:     "step budget exhausted",
+		Root:      root,
+	}
+}
+
+func TestSpansGolden(t *testing.T) {
+	res := buildResource("sigrecd", map[string]string{"sigrec.shard": "s1", "service.version": "pr9"})
+	req, n := buildTracesRequest(res, scope{Name: "sigrec/internal/otlp"}, []*obs.Record{testRecord()})
+	if n != 6 {
+		t.Fatalf("span count = %d, want 6", n)
+	}
+	checkGolden(t, "traces.golden.json", req)
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	spans := spansFromRecord(testRecord())
+	if len(spans) != 6 {
+		t.Fatalf("got %d spans, want 6", len(spans))
+	}
+	root := spans[0]
+	if root.ParentSpanID != "" {
+		t.Errorf("root has parent %q", root.ParentSpanID)
+	}
+	if root.Status == nil || root.Status.Code != statusError {
+		t.Errorf("root status = %+v, want error", root.Status)
+	}
+	// Every span shares the trace id; every non-root span's parent id is
+	// the id of a span earlier in the (preorder) list.
+	ids := map[string]bool{root.SpanID: true}
+	for _, s := range spans[1:] {
+		if s.TraceID != root.TraceID {
+			t.Errorf("span %s trace id %q != root %q", s.Name, s.TraceID, root.TraceID)
+		}
+		if !ids[s.ParentSpanID] {
+			t.Errorf("span %s parent %q not seen before it", s.Name, s.ParentSpanID)
+		}
+		ids[s.SpanID] = true
+	}
+	if len(ids) != 6 {
+		t.Errorf("span ids not unique: %d distinct of 6", len(ids))
+	}
+	// Monotonic offsets must be preserved: child start >= parent start,
+	// end = start + dur.
+	base := time.Unix(1700000000, 0).UTC().UnixNano()
+	if root.StartTimeUnixNano != formatInt(base) {
+		t.Errorf("root start = %s, want %d", root.StartTimeUnixNano, base)
+	}
+	if want := formatInt(base + 4200*1000); root.EndTimeUnixNano != want {
+		t.Errorf("root end = %s, want %s", root.EndTimeUnixNano, want)
+	}
+	if want := formatInt(base + 3220*1000); spans[5].Name != "infer" || spans[5].StartTimeUnixNano != want {
+		t.Errorf("infer start = %s (%s), want %s", spans[5].StartTimeUnixNano, spans[5].Name, want)
+	}
+}
+
+func TestTraceIDStability(t *testing.T) {
+	a, b := testRecord(), testRecord()
+	sa, sb := spansFromRecord(a), spansFromRecord(b)
+	for i := range sa {
+		if sa[i].SpanID != sb[i].SpanID || sa[i].TraceID != sb[i].TraceID {
+			t.Fatalf("ids not stable at %d: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+	// Same request id, different start → same trace, different span ids:
+	// two batch items of one request join one trace as sibling roots.
+	b.Start = b.Start.Add(time.Second)
+	sb = spansFromRecord(b)
+	if sb[0].TraceID != sa[0].TraceID {
+		t.Error("same request id must map to the same trace")
+	}
+	if sb[0].SpanID == sa[0].SpanID {
+		t.Error("distinct recoveries must get distinct span ids")
+	}
+	// Anonymous records (no request id) must not collide on one trace.
+	anon := testRecord()
+	anon.RequestID = ""
+	if spansFromRecord(anon)[0].TraceID == sa[0].TraceID {
+		t.Error("anonymous record reused the request-id trace")
+	}
+}

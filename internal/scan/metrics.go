@@ -29,6 +29,9 @@ func init() {
 	tel.SetHelp("sigrec_scan_head_lag_blocks", "Blocks between the source head and the ingest position")
 	tel.SetHelp("sigrec_scan_cursor_block", "Block number of the last durable checkpoint cursor")
 	tel.SetHelp("sigrec_scan_checkpoint_age_seconds", "Seconds since the last durable checkpoint save")
+	tel.SetHelp("sigrec_scan_work_queue_depth", "Deployments waiting in the recovery work queue")
+	tel.SetHelp("sigrec_scan_stage_inflight", "Deployments currently inside each pipeline stage, by stage")
+	tel.SetHelp("sigrec_scan_queue_wait_microseconds", "Time deployments spend queued between ingest and a recovery worker")
 	tel.OnSnapshot(func() {
 		if ts := lastCheckpointUS.Load(); ts > 0 {
 			age := (time.Now().UnixMicro() - ts) / 1e6
@@ -50,6 +53,9 @@ var (
 	mHeadLag         = tel.Gauge("sigrec_scan_head_lag_blocks")
 	mCursorBlock     = tel.Gauge("sigrec_scan_cursor_block")
 	mCheckpointAge   = tel.Gauge("sigrec_scan_checkpoint_age_seconds")
+	mWorkQueueDepth  = tel.Gauge("sigrec_scan_work_queue_depth")
+	mStageInflight   = tel.GaugeVec("sigrec_scan_stage_inflight", "stage")
+	mQueueWait       = tel.Summary("sigrec_scan_queue_wait_microseconds", nil)
 
 	// Pre-resolved vec members for the hot per-deployment path.
 	mDeployDirect     = mDeployments.With("direct")
@@ -58,6 +64,13 @@ var (
 	mDeployUnresolved = mDeployments.With("unresolved")
 	mResolvedPattern  = mProxiesResolved.With("pattern")
 	mResolvedProbe    = mProxiesResolved.With("probe")
+
+	// Pre-resolved per-stage in-flight gauges: workers Add(±1) around
+	// each stage, so /metrics shows where the pipeline's concurrency is
+	// spent at any instant.
+	mInflightResolve = mStageInflight.With("resolve")
+	mInflightRecover = mStageInflight.With("recover")
+	mInflightPublish = mStageInflight.With("publish")
 )
 
 // markCheckpoint records a completed save into the gauges.

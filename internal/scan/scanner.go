@@ -153,6 +153,9 @@ type workItem struct {
 	block uint64
 	tx    int
 	code  []byte
+	// enqueued timestamps the ingest-side send, so the worker can meter
+	// queue wait — the pipeline's backpressure signal.
+	enqueued time.Time
 }
 
 // trackMsg drives the watermark tracker: a manifest announces a block's
@@ -182,6 +185,7 @@ func (s *Scanner) Run(ctx context.Context) error {
 		go func() {
 			defer wg.Done()
 			for it := range work {
+				mWorkQueueDepth.Set(int64(len(work)))
 				if ctx.Err() != nil {
 					continue // drain without completing: resume will redo it
 				}
@@ -238,7 +242,8 @@ func (s *Scanner) ingest(ctx context.Context, work chan<- workItem, track chan<-
 		track <- trackMsg{manifest: true, block: b, total: len(blk.Deployments), tx: first}
 		for _, d := range blk.Deployments[first:] {
 			select {
-			case work <- workItem{block: d.Block, tx: d.Tx, code: d.Code}:
+			case work <- workItem{block: d.Block, tx: d.Tx, code: d.Code, enqueued: time.Now()}:
+				mWorkQueueDepth.Set(int64(len(work)))
 			case <-ctx.Done():
 				return nil
 			}
@@ -392,11 +397,24 @@ func (s *Scanner) process(ctx context.Context, it workItem) {
 	reqID := fmt.Sprintf("scan-b%08d-t%04d", it.block, it.tx)
 	ctx, _ = eventlog.NewContext(ctx, reqID)
 	ctx, rec := s.cfg.Tracer.StartRecovery(ctx, reqID)
+	// The root span carries the deployment's chain coordinates and the
+	// time it sat queued between ingest and this worker — the span-tree
+	// view of pipeline backpressure.
+	rec.SetInt("block", int64(it.block))
+	rec.SetInt("tx", int64(it.tx))
+	if !it.enqueued.IsZero() {
+		waitUS := time.Since(it.enqueued).Microseconds()
+		rec.SetInt("queue_wait_us", waitUS)
+		mQueueWait.Observe(uint64(waitUS))
+	}
 
+	mInflightResolve.Add(1)
 	span := rec.Span("scan.resolve")
 	code, kind := s.resolveCode(ctx, it.code)
 	span.SetStr("kind", kind.String())
+	span.SetInt("code_bytes", int64(len(code)))
 	span.End()
+	mInflightResolve.Add(-1)
 	switch kind {
 	case ProxyNone:
 		mDeployDirect.Inc()
@@ -425,7 +443,9 @@ func (s *Scanner) process(ctx context.Context, it workItem) {
 	// the cache-hit path inside RecoverContext (its wide event still
 	// carries this deployment's request id).
 	s.acquire(key)
+	mInflightRecover.Add(1)
 	res, err := core.RecoverContext(ctx, code, s.cfg.Recover)
+	mInflightRecover.Add(-1)
 	s.release(key)
 
 	mScanRecoveries.Inc()
@@ -435,6 +455,7 @@ func (s *Scanner) process(ctx context.Context, it workItem) {
 			s.cfg.Logger.Warn("scan recovery failed", "request", reqID, "err", err)
 		}
 	}
+	mInflightPublish.Add(1)
 	pub := rec.SpanAt("scan.publish", rec.NowUS())
 	for _, fn := range res.Functions {
 		s.db.AddRecovered(fn.Selector, fn.TypeList())
@@ -442,6 +463,7 @@ func (s *Scanner) process(ctx context.Context, it workItem) {
 	mPublished.Add(uint64(len(res.Functions)))
 	pub.SetInt("functions", int64(len(res.Functions)))
 	pub.End()
+	mInflightPublish.Add(-1)
 	rec.Finish(res.Truncated, err)
 }
 

@@ -11,6 +11,8 @@ import (
 
 	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
+	"sigrec/internal/slo"
+	"sigrec/internal/telemetry"
 )
 
 // maxRequestIDLen caps client-supplied X-Request-Id values so a hostile
@@ -133,11 +135,52 @@ func serveEventTail(w http.ResponseWriter, r *http.Request, log *eventlog.Writer
 	}
 }
 
-// DebugHandler returns the diagnostics mux sigrecd serves on -debug-addr:
-// the net/http/pprof endpoints, the flight recorder, and the wide-event
-// tail. It is separate from the main handler so profiling can stay off
-// the service port. events may be nil (the endpoint then answers 404).
-func DebugHandler(tracer *obs.Tracer, events *eventlog.Writer) http.Handler {
+// --- GET /debug/slo ---
+
+// sloResponse is the /debug/slo body.
+type sloResponse struct {
+	Objectives []slo.ObjectiveState `json:"objectives"`
+}
+
+// handleSLO serves the burn-rate engine's full state: per-objective
+// cumulative SLI position, every window's burn rate against its
+// threshold, and the alert flags.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	serveSLO(w, s.cfg.SLO)
+}
+
+func serveSLO(w http.ResponseWriter, ev *slo.Evaluator) {
+	if ev == nil {
+		writeError(w, http.StatusNotFound, "SLO engine disabled (start the server with objectives)")
+		return
+	}
+	writeJSON(w, http.StatusOK, sloResponse{Objectives: ev.State()})
+}
+
+// DebugOptions selects what a debug mux serves. Every field is optional:
+// an absent subsystem's endpoint answers 404 (pprof is always mounted).
+type DebugOptions struct {
+	// Tracer backs /debug/slowest.
+	Tracer *obs.Tracer
+	// Events backs /debug/events.
+	Events *eventlog.Writer
+	// SLO backs /debug/slo.
+	SLO *slo.Evaluator
+	// Metrics, when non-nil, mounts /metrics — for binaries (sigrec-scan)
+	// whose debug listener is their only HTTP surface. sigrecd leaves it
+	// nil; its service port already serves the exposition.
+	Metrics *telemetry.Registry
+	// Health, when non-nil, mounts /healthz returning its value as JSON
+	// (200 always — a process answering at all is alive).
+	Health func() any
+}
+
+// DebugHandler returns the diagnostics mux served on -debug-addr: the
+// net/http/pprof endpoints plus whichever observability surfaces the
+// options carry. It is separate from the main handler so profiling can
+// stay off the service port, and shared by sigrecd and sigrec-scan so
+// both binaries expose the same operator surface.
+func DebugHandler(opts DebugOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -145,10 +188,28 @@ func DebugHandler(tracer *obs.Tracer, events *eventlog.Writer) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/slowest", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, tracer.Recorder().Snapshot())
+		if opts.Tracer == nil {
+			writeError(w, http.StatusNotFound, "tracing disabled")
+			return
+		}
+		writeJSON(w, http.StatusOK, opts.Tracer.Recorder().Snapshot())
 	})
 	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
-		serveEventTail(w, r, events)
+		serveEventTail(w, r, opts.Events)
 	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		serveSLO(w, opts.SLO)
+	})
+	if opts.Metrics != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_, _ = opts.Metrics.Snapshot().WriteTo(w)
+		})
+	}
+	if opts.Health != nil {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, opts.Health())
+		})
+	}
 	return mux
 }

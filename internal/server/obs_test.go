@@ -16,6 +16,7 @@ import (
 
 	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
+	"sigrec/internal/slo"
 	"sigrec/internal/telemetry"
 )
 
@@ -227,11 +228,12 @@ func TestObsMetricsConformance(t *testing.T) {
 }
 
 // TestObsDebugHandler exercises the -debug-addr mux: pprof answers,
-// /debug/slowest serves the shared tracer's recorder, and /debug/events
-// answers 404 without an event log but tails it when configured.
+// /debug/slowest serves the shared tracer's recorder, absent subsystems
+// (event log, SLO engine, metrics, health) answer 404, and each mounts
+// when its option is set.
 func TestObsDebugHandler(t *testing.T) {
 	tracer := obs.New(obs.Config{})
-	ts := httptest.NewServer(DebugHandler(tracer, nil))
+	ts := httptest.NewServer(DebugHandler(DebugOptions{Tracer: tracer}))
 	defer ts.Close()
 
 	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/slowest"} {
@@ -245,14 +247,16 @@ func TestObsDebugHandler(t *testing.T) {
 			t.Fatalf("GET %s = %d", path, resp.StatusCode)
 		}
 	}
-	resp, err := http.Get(ts.URL + "/debug/events")
-	if err != nil {
-		t.Fatal(err)
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("GET /debug/events without a log = %d, want 404", resp.StatusCode)
+	for _, path := range []string{"/debug/events", "/debug/slo", "/metrics", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s without its subsystem = %d, want 404", path, resp.StatusCode)
+		}
 	}
 
 	w, err := eventlog.New(eventlog.Config{Path: filepath.Join(t.TempDir(), "ev.ndjson")})
@@ -263,9 +267,29 @@ func TestObsDebugHandler(t *testing.T) {
 	if err := w.Close(); err != nil { // flushes the tail ring too
 		t.Fatal(err)
 	}
-	ts2 := httptest.NewServer(DebugHandler(tracer, w))
+	reg := telemetry.NewRegistry()
+	reg.Counter("dbg_requests_total").Inc()
+	sloEval := slo.New(slo.Config{
+		Objectives: []slo.Objective{{
+			Name:   "availability",
+			Target: 0.999,
+			Source: slo.CounterSource{
+				Total:  reg.Counter("dbg_requests_total"),
+				Errors: reg.Counter("dbg_errors_total"),
+			},
+		}},
+		Registry: reg,
+	})
+	ts2 := httptest.NewServer(DebugHandler(DebugOptions{
+		Tracer:  tracer,
+		Events:  w,
+		SLO:     sloEval,
+		Metrics: reg,
+		Health:  func() any { return map[string]string{"status": "ok"} },
+	}))
 	defer ts2.Close()
-	resp, err = http.Get(ts2.URL + "/debug/events?n=10")
+
+	resp, err := http.Get(ts2.URL + "/debug/events?n=10")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,6 +297,40 @@ func TestObsDebugHandler(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "tail-me") {
 		t.Fatalf("GET /debug/events = %d body %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts2.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sloBody sloResponse
+	err = json.NewDecoder(resp.Body).Decode(&sloBody)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/slo = %d err %v", resp.StatusCode, err)
+	}
+	if len(sloBody.Objectives) != 1 || sloBody.Objectives[0].Name != "availability" {
+		t.Fatalf("/debug/slo objectives = %+v", sloBody.Objectives)
+	}
+
+	resp, err = http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "dbg_requests_total 1") {
+		t.Fatalf("GET /metrics = %d body %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("GET /healthz = %d body %q", resp.StatusCode, body)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"sigrec/internal/core"
 	"sigrec/internal/eventlog"
 	"sigrec/internal/obs"
+	"sigrec/internal/slo"
 )
 
 // Defaults applied by New for zero Config fields.
@@ -101,6 +102,9 @@ type Config struct {
 	// instead of recomputing. A miss (or error) falls through to the local
 	// pipeline, so the hook can only save work, never fail a request.
 	CacheFill core.FillFunc
+	// SLO, when non-nil, is the burn-rate evaluator whose state is served
+	// at GET /debug/slo.
+	SLO *slo.Evaluator
 }
 
 // Server is the HTTP serving layer. Create with New, expose with Handler,
@@ -150,6 +154,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/slowest", s.handleSlowest)
 	mux.HandleFunc("GET /debug/events", s.handleEvents)
+	mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	s.mux = mux
 	return s
 }

@@ -199,6 +199,11 @@ type SummarySnapshot struct {
 	Count uint64
 }
 
+// Snapshot exports the tracked quantile estimates with the running sum and
+// count — the read side consumers outside the registry walk (the SLO
+// latency source, the OTLP metrics mapping) use.
+func (s *Summary) Snapshot() SummarySnapshot { return s.snapshot() }
+
 // snapshot exports the tracked quantiles.
 func (s *Summary) snapshot() SummarySnapshot {
 	s.mu.Lock()

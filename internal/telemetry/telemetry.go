@@ -13,6 +13,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -53,6 +54,52 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// FloatGauge is an instantaneous float64 value (bit-cast through an atomic
+// word), for quantities that are genuinely fractional — burn rates, error
+// budgets — where an integer gauge would round away the signal.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. NaN and infinities are clamped to zero so the exposition
+// stays parseable by strict scrapers.
+func (g *FloatGauge) Set(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = 0
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Load returns the current value.
+func (g *FloatGauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// FloatGaugeVec is a family of float gauges distinguished by one label
+// (e.g. sigrec_slo_burn_rate{slo="availability:1h"}). With resolves a
+// label value to its gauge; hot paths should resolve once and cache the
+// *FloatGauge.
+type FloatGaugeVec struct {
+	label string
+	mu    sync.RWMutex
+	m     map[string]*FloatGauge
+}
+
+// With returns the gauge for the label value, creating it on first use.
+func (v *FloatGaugeVec) With(value string) *FloatGauge {
+	v.mu.RLock()
+	g, ok := v.m[value]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.m[value]; !ok {
+		g = &FloatGauge{}
+		v.m[value] = g
+	}
+	return g
+}
 
 // CounterVec is a family of counters distinguished by one label (e.g.
 // sigrec_rule_fired_total{rule="R11"}). With resolves a label value to its
@@ -209,19 +256,30 @@ type LabeledGaugeSnapshot struct {
 	Values map[string]int64
 }
 
+// LabeledFloatGaugeSnapshot is the point-in-time state of a FloatGaugeVec.
+type LabeledFloatGaugeSnapshot struct {
+	Label  string
+	Values map[string]float64
+}
+
 // Snapshot is a consistent-enough point-in-time copy of a registry. (Each
 // metric is read atomically; cross-metric skew under concurrent writers is
 // bounded by the snapshot walk, which carries no locks on the write path.)
 type Snapshot struct {
-	Counters        map[string]uint64
-	Gauges          map[string]int64
-	Histograms      map[string]HistogramSnapshot
-	Summaries       map[string]SummarySnapshot
-	LabeledCounters map[string]LabeledCounterSnapshot
-	LabeledGauges   map[string]LabeledGaugeSnapshot
+	Counters           map[string]uint64
+	Gauges             map[string]int64
+	FloatGauges        map[string]float64
+	Histograms         map[string]HistogramSnapshot
+	Summaries          map[string]SummarySnapshot
+	LabeledCounters    map[string]LabeledCounterSnapshot
+	LabeledGauges      map[string]LabeledGaugeSnapshot
+	LabeledFloatGauges map[string]LabeledFloatGaugeSnapshot
 	// Infos maps info-metric names to their pre-rendered, escaped label
 	// block (`{k="v",...}`); each exposes as a gauge with constant value 1.
 	Infos map[string]string
+	// InfoLabels carries the same info metrics as raw key/value maps, for
+	// exporters (OTLP) that re-encode labels as structured attributes.
+	InfoLabels map[string]map[string]string
 	// Help maps metric names to their HELP text.
 	Help map[string]string
 }
@@ -230,15 +288,18 @@ type Snapshot struct {
 // (a counter and a gauge cannot share a name). The zero value is not
 // usable; call NewRegistry.
 type Registry struct {
-	mu          sync.RWMutex
-	counters    map[string]*Counter
-	gauges      map[string]*Gauge
-	histograms  map[string]*Histogram
-	summaries   map[string]*Summary
-	counterVecs map[string]*CounterVec
-	gaugeVecs   map[string]*GaugeVec
-	infos       map[string]string
-	help        map[string]string
+	mu             sync.RWMutex
+	counters       map[string]*Counter
+	gauges         map[string]*Gauge
+	floatGauges    map[string]*FloatGauge
+	histograms     map[string]*Histogram
+	summaries      map[string]*Summary
+	counterVecs    map[string]*CounterVec
+	gaugeVecs      map[string]*GaugeVec
+	floatGaugeVecs map[string]*FloatGaugeVec
+	infos          map[string]string
+	infoLabels     map[string]map[string]string
+	help           map[string]string
 	// hooks run (outside the lock) at the start of every Snapshot; used to
 	// refresh pull-style gauges such as the Go runtime self-metrics.
 	hooksMu sync.Mutex
@@ -248,14 +309,17 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:    make(map[string]*Counter),
-		gauges:      make(map[string]*Gauge),
-		histograms:  make(map[string]*Histogram),
-		summaries:   make(map[string]*Summary),
-		counterVecs: make(map[string]*CounterVec),
-		gaugeVecs:   make(map[string]*GaugeVec),
-		infos:       make(map[string]string),
-		help:        make(map[string]string),
+		counters:       make(map[string]*Counter),
+		gauges:         make(map[string]*Gauge),
+		floatGauges:    make(map[string]*FloatGauge),
+		histograms:     make(map[string]*Histogram),
+		summaries:      make(map[string]*Summary),
+		counterVecs:    make(map[string]*CounterVec),
+		gaugeVecs:      make(map[string]*GaugeVec),
+		floatGaugeVecs: make(map[string]*FloatGaugeVec),
+		infos:          make(map[string]string),
+		infoLabels:     make(map[string]map[string]string),
+		help:           make(map[string]string),
 	}
 }
 
@@ -299,6 +363,23 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g, ok = r.gauges[name]; !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	r.mu.RLock()
+	g, ok := r.floatGauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.floatGauges[name]; !ok {
+		g = &FloatGauge{}
+		r.floatGauges[name] = g
 	}
 	return g
 }
@@ -382,6 +463,25 @@ func (r *Registry) GaugeVec(name, label string) *GaugeVec {
 	return v
 }
 
+// FloatGaugeVec returns the named one-label float-gauge family, creating
+// it with the given label name on first use (the label passed on later
+// calls for the same name is ignored).
+func (r *Registry) FloatGaugeVec(name, label string) *FloatGaugeVec {
+	r.mu.RLock()
+	v, ok := r.floatGaugeVecs[name]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok = r.floatGaugeVecs[name]; !ok {
+		v = &FloatGaugeVec{label: label, m: make(map[string]*FloatGauge)}
+		r.floatGaugeVecs[name] = v
+	}
+	return v
+}
+
 // SetInfo publishes an info metric: a gauge with constant value 1 whose
 // labels carry build/configuration identity (the sigrec_build_info idiom).
 // Later calls for the same name replace the labels.
@@ -400,8 +500,13 @@ func (r *Registry) SetInfo(name string, labels map[string]string) {
 		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabel(labels[k]))
 	}
 	b.WriteByte('}')
+	raw := make(map[string]string, len(labels))
+	for k, v := range labels {
+		raw[k] = v
+	}
 	r.mu.Lock()
 	r.infos[name] = b.String()
+	r.infoLabels[name] = raw
 	r.mu.Unlock()
 }
 
@@ -438,14 +543,17 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
-		Counters:        make(map[string]uint64, len(r.counters)),
-		Gauges:          make(map[string]int64, len(r.gauges)),
-		Histograms:      make(map[string]HistogramSnapshot, len(r.histograms)),
-		Summaries:       make(map[string]SummarySnapshot, len(r.summaries)),
-		LabeledCounters: make(map[string]LabeledCounterSnapshot, len(r.counterVecs)),
-		LabeledGauges:   make(map[string]LabeledGaugeSnapshot, len(r.gaugeVecs)),
-		Infos:           make(map[string]string, len(r.infos)),
-		Help:            make(map[string]string, len(r.help)),
+		Counters:           make(map[string]uint64, len(r.counters)),
+		Gauges:             make(map[string]int64, len(r.gauges)),
+		FloatGauges:        make(map[string]float64, len(r.floatGauges)),
+		Histograms:         make(map[string]HistogramSnapshot, len(r.histograms)),
+		Summaries:          make(map[string]SummarySnapshot, len(r.summaries)),
+		LabeledCounters:    make(map[string]LabeledCounterSnapshot, len(r.counterVecs)),
+		LabeledGauges:      make(map[string]LabeledGaugeSnapshot, len(r.gaugeVecs)),
+		LabeledFloatGauges: make(map[string]LabeledFloatGaugeSnapshot, len(r.floatGaugeVecs)),
+		Infos:              make(map[string]string, len(r.infos)),
+		InfoLabels:         make(map[string]map[string]string, len(r.infoLabels)),
+		Help:               make(map[string]string, len(r.help)),
 	}
 	for name, sum := range r.summaries {
 		s.Summaries[name] = sum.snapshot()
@@ -468,8 +576,20 @@ func (r *Registry) Snapshot() Snapshot {
 		v.mu.RUnlock()
 		s.LabeledGauges[name] = ls
 	}
+	for name, v := range r.floatGaugeVecs {
+		v.mu.RLock()
+		ls := LabeledFloatGaugeSnapshot{Label: v.label, Values: make(map[string]float64, len(v.m))}
+		for value, g := range v.m {
+			ls.Values[value] = g.Load()
+		}
+		v.mu.RUnlock()
+		s.LabeledFloatGauges[name] = ls
+	}
 	for name, rendered := range r.infos {
 		s.Infos[name] = rendered
+	}
+	for name, labels := range r.infoLabels {
+		s.InfoLabels[name] = labels
 	}
 	for name, h := range r.help {
 		s.Help[name] = h
@@ -479,6 +599,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Load()
+	}
+	for name, g := range r.floatGauges {
+		s.FloatGauges[name] = g.Load()
 	}
 	for name, h := range r.histograms {
 		hs := HistogramSnapshot{
@@ -516,12 +639,19 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
 	names := make([]string, 0,
-		len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Summaries)+
-			len(s.LabeledCounters)+len(s.LabeledGauges)+len(s.Infos))
+		len(s.Counters)+len(s.Gauges)+len(s.FloatGauges)+len(s.Histograms)+
+			len(s.Summaries)+len(s.LabeledCounters)+len(s.LabeledGauges)+
+			len(s.LabeledFloatGauges)+len(s.Infos))
 	for n := range s.Counters {
 		names = append(names, n)
 	}
 	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.FloatGauges {
+		names = append(names, n)
+	}
+	for n := range s.LabeledFloatGauges {
 		names = append(names, n)
 	}
 	for n := range s.Histograms {
@@ -549,6 +679,9 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		if lg, ok := s.LabeledGauges[n]; ok && len(lg.Values) == 0 {
 			continue
 		}
+		if lfg, ok := s.LabeledFloatGauges[n]; ok && len(lfg.Values) == 0 {
+			continue
+		}
 		// Likewise an unobserved summary: its quantile values would be
 		// meaningless, so the family appears once data exists.
 		if su, ok := s.Summaries[n]; ok && su.Count == 0 {
@@ -562,6 +695,8 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[n])
 		case hasKey(s.Gauges, n):
 			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[n])
+		case hasKey(s.FloatGauges, n):
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, formatFloatSample(s.FloatGauges[n]))
 		case hasKey(s.LabeledCounters, n):
 			lc := s.LabeledCounters[n]
 			fmt.Fprintf(&b, "# TYPE %s counter\n", n)
@@ -583,6 +718,18 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 			sort.Strings(values)
 			for _, v := range values {
 				fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", n, lg.Label, escapeLabel(v), lg.Values[v])
+			}
+		case hasKey(s.LabeledFloatGauges, n):
+			lfg := s.LabeledFloatGauges[n]
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", n)
+			values := make([]string, 0, len(lfg.Values))
+			for v := range lfg.Values {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				fmt.Fprintf(&b, "%s{%s=\"%s\"} %s\n", n, lfg.Label, escapeLabel(v),
+					formatFloatSample(lfg.Values[v]))
 			}
 		case hasKey(s.Infos, n):
 			fmt.Fprintf(&b, "# TYPE %s gauge\n%s%s 1\n", n, n, s.Infos[n])
@@ -630,6 +777,12 @@ func writeExemplar(b *strings.Builder, exemplars []*Exemplar, i int) {
 	}
 	e := exemplars[i]
 	fmt.Fprintf(b, " # {%s=\"%s\"} %d", ExemplarLabel, escapeLabel(e.ID), e.Value)
+}
+
+// formatFloatSample renders a float sample value in the plain decimal form
+// the strict lint grammar accepts ('f' never emits an exponent).
+func formatFloatSample(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
 }
 
 func hasKey[V any](m map[string]V, k string) bool {

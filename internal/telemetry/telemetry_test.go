@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -198,5 +199,80 @@ func TestGaugeVec(t *testing.T) {
 	}
 	if err := Lint(out); err != nil {
 		t.Fatalf("labeled-gauge exposition fails lint: %v", err)
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.FloatGauge("burn")
+	g.Set(14.4)
+	if got := g.Load(); got != 14.4 {
+		t.Errorf("Load = %v, want 14.4", got)
+	}
+	if r.FloatGauge("burn") != g {
+		t.Error("re-registration returned a different gauge")
+	}
+	// Non-finite values are clamped to 0 so the text exposition stays
+	// within the strict grammar (no NaN/Inf samples).
+	g.Set(math.NaN())
+	if got := g.Load(); got != 0 {
+		t.Errorf("NaN clamped to %v, want 0", got)
+	}
+	g.Set(math.Inf(1))
+	if got := g.Load(); got != 0 {
+		t.Errorf("+Inf clamped to %v, want 0", got)
+	}
+	g.Set(0.0625)
+	out := r.Snapshot().String()
+	want := "# TYPE burn gauge\nburn 0.0625\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q in:\n%s", want, out)
+	}
+	if err := Lint(out); err != nil {
+		t.Fatalf("float-gauge exposition fails lint: %v", err)
+	}
+}
+
+func TestFloatGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.FloatGaugeVec("sigrec_slo_burn_rate", "slo")
+	v.With("availability:1h").Set(2.5)
+	v.With("availability:5m").Set(0.5)
+	if v.With("availability:1h") != v.With("availability:1h") {
+		t.Error("With not stable for the same value")
+	}
+	s := r.Snapshot().LabeledFloatGauges["sigrec_slo_burn_rate"]
+	if s.Label != "slo" {
+		t.Errorf("label = %q", s.Label)
+	}
+	if s.Values["availability:1h"] != 2.5 || s.Values["availability:5m"] != 0.5 {
+		t.Errorf("values = %v", s.Values)
+	}
+	r.SetHelp("sigrec_slo_burn_rate", "Error-budget burn rate per SLO window.")
+	out := r.Snapshot().String()
+	want := "# TYPE sigrec_slo_burn_rate gauge\n" +
+		"sigrec_slo_burn_rate{slo=\"availability:1h\"} 2.5\n" +
+		"sigrec_slo_burn_rate{slo=\"availability:5m\"} 0.5\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q in:\n%s", want, out)
+	}
+	if err := Lint(out); err != nil {
+		t.Fatalf("float-gauge-vec exposition fails lint: %v", err)
+	}
+	// An empty family must not emit a bare TYPE line (strict grammar).
+	r2 := NewRegistry()
+	r2.FloatGaugeVec("never_set", "slo")
+	if strings.Contains(r2.Snapshot().String(), "never_set") {
+		t.Error("empty float-gauge family leaked into the exposition")
+	}
+}
+
+func TestSnapshotInfoLabels(t *testing.T) {
+	r := NewRegistry()
+	r.SetInfo("build_info", map[string]string{"version": "v9", "shard": "s2"})
+	s := r.Snapshot()
+	got := s.InfoLabels["build_info"]
+	if got["version"] != "v9" || got["shard"] != "s2" {
+		t.Errorf("InfoLabels = %v", got)
 	}
 }
