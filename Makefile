@@ -8,7 +8,7 @@ GO ?= go
 
 # BENCH is the tracked benchmark artifact for this PR in the BENCH_<n>.json
 # trajectory; bump the number when a PR re-records performance.
-BENCH ?= BENCH_9.json
+BENCH ?= BENCH_10.json
 
 check: fmt vet build test race
 
@@ -48,13 +48,19 @@ serve-e2e:
 # sigrecd under load ships spans to an in-process OTLP collector and the
 # exported root-span count must equal the flight recorder's recovery
 # count and the sigrec_recoveries_total delta exactly (CI job "smoke").
+# Distributed tracing rides in the same gate: W3C traceparent
+# adopt/reject policy on the serving layer, the /debug/trace stitching
+# handler (local and fan-out), and the cluster trace e2e — a router plus
+# three traced shards exporting to one in-process collector, reconciled
+# span-by-span including a hedged request's cancelled loser.
 # Set OBS_E2E_ARTIFACTS to a directory to keep the /debug/slo state of a
 # failed reconciliation run.
 obs-e2e:
 	$(GO) test -race -count=1 ./internal/obs
 	$(GO) test -race -count=1 ./internal/otlp
 	$(GO) test -race -count=1 ./internal/slo
-	$(GO) test -race -count=1 -run 'TestObs' ./internal/server
+	$(GO) test -race -count=1 -run 'TestObs|TestTrace' ./internal/server
+	$(GO) test -race -count=1 -run 'TestClusterTraceE2E' ./internal/cluster
 
 # Offline-analytics exactness gate under the race detector: sigrecd's
 # serving path writes wide events under real batch load with rotation
@@ -71,7 +77,11 @@ analytics-e2e:
 # success against the union of the shards' event logs — no recovery lost,
 # no attempt id duplicated, cache hit rate restored after the restart, a
 # peer cache fill observed, and hedges firing on a hedging router (CI job
-# "cluster"). Set CLUSTER_E2E_ARTIFACTS to keep shard/router logs.
+# "cluster"). Traces reconcile too: every winner's trace shows exactly one
+# winning attempt span with the shard's recovery tree under it, hedge
+# losers are present and cancelled, and orphans only appear across the
+# kill window. Set CLUSTER_E2E_ARTIFACTS to keep shard/router logs and
+# the stitched traces of the router's slowest requests.
 cluster-e2e:
 	CLUSTER_E2E=1 $(GO) test -race -count=1 -run 'TestClusterE2E' \
 		-timeout 10m -v ./internal/cluster/e2etest
@@ -114,7 +124,7 @@ bench:
 		-benchmem . ; \
 	  $(GO) test $(PGOFLAG) -run '^$$' -bench 'BenchmarkServerThroughput$$' \
 		-benchmem ./internal/server ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkRouterOverhead' \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRouterOverhead|BenchmarkRouterTracing' \
 		-benchmem -benchtime 200x -count=5 ./internal/cluster ; \
 	  $(GO) test $(PGOFLAG) -run '^$$' -bench 'BenchmarkScanThroughput' \
 		-benchmem ./internal/scan ) \
@@ -141,6 +151,10 @@ bench:
 # mean-over-count rather than the fastest run — machine drift during the
 # invocation hits both sides alike and cancels in the mean ratio, while
 # min-of-N is a lottery over which side caught the quietest window.
+# (4b) the RouterTracing A/B gates the router's span machinery the same
+# way the E3 pairs gate the shard's: allocs/op within 10% (the span tree
+# is a fixed handful of allocations next to a recovery's thousands) and
+# mean ns/op within 25% as the gross-slowdown backstop.
 # (5) fail when the warm disk lookup (TieredCache restart path) exceeds
 # 50us/op — an absolute ceiling: the whole point of the store is that a
 # warm hit costs microseconds, not a recovery. (6) on machines with >=4
@@ -179,12 +193,18 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -check -baseline bench_current.json \
 		-current bench_current.json -basebench E3OTLPOff \
 		-bench E3OTLPOn -metric mean_ns_per_op -tolerance 0.25
-	$(GO) test -run '^$$' -bench 'BenchmarkRouterOverhead' \
+	$(GO) test -run '^$$' -bench 'BenchmarkRouterOverhead|BenchmarkRouterTracing' \
 		-benchmem -benchtime 200x -count=5 ./internal/cluster \
 		| $(GO) run ./cmd/benchjson -out bench_router.json
 	$(GO) run ./cmd/benchjson -check -baseline bench_router.json \
 		-current bench_router.json -basebench RouterOverheadDirect \
 		-bench RouterOverheadProxied -metric mean_ns_per_op -tolerance 0.10
+	$(GO) run ./cmd/benchjson -check -baseline bench_router.json \
+		-current bench_router.json -basebench RouterTracingOff \
+		-bench RouterTracingOn -metric allocs_per_op -tolerance 0.10
+	$(GO) run ./cmd/benchjson -check -baseline bench_router.json \
+		-current bench_router.json -basebench RouterTracingOff \
+		-bench RouterTracingOn -metric mean_ns_per_op -tolerance 0.25
 	$(GO) test -run '^$$' -bench 'BenchmarkScanThroughputWarm$$' \
 		-benchmem -count=3 ./internal/scan \
 		| $(GO) run ./cmd/benchjson -out bench_scan.json

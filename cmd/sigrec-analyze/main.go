@@ -5,6 +5,7 @@
 //	sigrec-analyze events.ndjson            # active file + rotated siblings
 //	sigrec-analyze -json events.ndjson      # machine-readable report
 //	sigrec-analyze -top 25 a.ndjson b.ndjson
+//	sigrec-analyze -trace client-7 s1.ndjson s2.ndjson s3.ndjson
 //
 // Each argument names an event-log base path as written by sigrecd
 // -event-log (or sigrec -event-log); rotated segments (path.1, path.2,
@@ -16,6 +17,13 @@
 // their full records back out of the log. At sample-rate 1 the replay's
 // recovery/error/truncation/rule-fire totals equal the server's counter
 // deltas exactly.
+//
+// -trace switches to the distributed-trace view: pass every shard's log
+// and a client request id (or a raw 32-hex trace id) and the merged
+// events that share its W3C trace id are printed as one timeline —
+// primary, retries, and hedges side by side — with no live process or
+// collector needed. Request ids resolve through the same deterministic
+// keccak derivation the servers use, so the offline join is exact.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"os"
 
 	"sigrec/internal/eventlog"
+	"sigrec/internal/obs"
 )
 
 func main() {
@@ -38,9 +47,10 @@ func run() error {
 	var (
 		jsonOut = flag.Bool("json", false, "emit the report as JSON instead of text")
 		topK    = flag.Int("top", 10, "rows in the slowest-recoveries table")
+		traceID = flag.String("trace", "", "show one distributed trace instead of the aggregate report: a request id or 32-hex trace id, joined across every given log")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: sigrec-analyze [-json] [-top K] <event-log> [more logs...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sigrec-analyze [-json] [-top K] [-trace ID] <event-log> [more logs...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,6 +70,17 @@ func run() error {
 		skipped += sk
 	}
 
+	if *traceID != "" {
+		view := eventlog.TraceView(events, resolveTraceID(*traceID))
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(view)
+		}
+		view.WriteText(os.Stdout)
+		return nil
+	}
+
 	rep := eventlog.Analyze(events, *topK)
 	rep.SkippedLines = skipped
 	if *jsonOut {
@@ -69,4 +90,24 @@ func run() error {
 	}
 	rep.WriteText(os.Stdout)
 	return nil
+}
+
+// resolveTraceID accepts either wire form: a raw 32-hex trace id passes
+// through, anything else is treated as a request id and derived the same
+// way the servers derive roots for untraced requests.
+func resolveTraceID(id string) string {
+	if len(id) == 32 {
+		hex := true
+		for i := 0; i < len(id); i++ {
+			c := id[i]
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				hex = false
+				break
+			}
+		}
+		if hex {
+			return id
+		}
+	}
+	return obs.DeriveTraceID(id)
 }

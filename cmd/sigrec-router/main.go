@@ -12,6 +12,9 @@
 //	POST /v1/recover/batch  NDJSON batch; each line routed independently
 //	GET  /metrics           router + per-shard series
 //	GET  /healthz           pool state; 503 when no shard is healthy
+//	GET  /debug/trace/{id}  stitched cross-process trace: router spans plus
+//	                        every shard's, fanned out and merged
+//	GET  /debug/slowest     the router's own flight recorder
 //
 // Routing policy, in order:
 //
@@ -33,6 +36,13 @@
 // nothing is lost. Every forwarded attempt carries a globally unique
 // X-Request-Id (the client's id plus an attempt counter) so shard event
 // logs join exactly to client requests even across retries and hedges.
+//
+// Tracing: an inbound W3C traceparent is adopted (malformed ones start a
+// fresh root, counted in sigrec_trace_context_total), the route decision
+// and every attempt become spans in the router's flight recorder, and each
+// forwarded attempt carries a traceparent whose parent span id is derived
+// from the attempt's X-Request-Id — so shard recovery trees nest under the
+// exact attempt that caused them, with no id exchange beyond the headers.
 package main
 
 import (
@@ -50,6 +60,7 @@ import (
 	"sigrec/internal/obs"
 	"sigrec/internal/otlp"
 	"sigrec/internal/server"
+	"sigrec/internal/telemetry"
 )
 
 func main() {
@@ -75,7 +86,8 @@ func run() error {
 		healthIntv = flag.Duration("health-interval", cluster.DefaultHealthInterval, "shard health/p95 poll period")
 		loadFactor = flag.Float64("load-factor", cluster.DefaultLoadFactor, "bounded-load factor: divert from an owner loaded past this multiple of the mean")
 		batchConc  = flag.Int("batch-concurrency", 0, "max in-flight upstream calls per batch request (0 = 4 per shard)")
-		otlpEP     = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL; router metrics are exported there (empty = export off)")
+		slowest    = flag.Int("trace-slowest", obs.DefaultSlowest, "routed requests retained in the router's flight recorder (0 = tracing off)")
+		otlpEP     = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL; router metrics and span trees are exported there (empty = export off)")
 		otlpIntv   = flag.Duration("otlp-interval", otlp.DefaultInterval, "OTLP flush cadence: one metrics snapshot per tick")
 		svcName    = flag.String("service-name", "sigrec-router", "service.name resource attribute on every OTLP export")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
@@ -98,6 +110,30 @@ func run() error {
 		return err
 	}
 
+	// OTLP export ships the router's registry (routing counters, per-shard
+	// health, latency summaries) and — through the tracer's sink — the span
+	// tree recorded for every routed request: route decision, per-attempt
+	// client spans, health polls. The exporter is created before the router
+	// so both can share one registry and the tracer can point at its sink.
+	reg := telemetry.NewRegistry()
+	var exporter *otlp.Exporter
+	if *otlpEP != "" {
+		ver, _ := obs.Version()
+		exporter = otlp.New(otlp.Config{
+			Endpoint:    *otlpEP,
+			Interval:    *otlpIntv,
+			ServiceName: *svcName,
+			Resource:    map[string]string{"service.version": ver},
+			Registry:    reg,
+			Logger:      logger,
+		})
+		exporter.Start()
+	}
+	var tracer *obs.Tracer
+	if *slowest > 0 {
+		tracer = obs.New(obs.Config{Slowest: *slowest, Sink: exporter.Sink()})
+	}
+
 	rt, err := cluster.NewRouter(cluster.Config{
 		Shards:           shards,
 		VNodes:           *vnodes,
@@ -112,29 +148,14 @@ func run() error {
 		HealthInterval:   *healthIntv,
 		LoadFactor:       *loadFactor,
 		BatchConcurrency: *batchConc,
+		Registry:         reg,
+		Tracer:           tracer,
 		Logger:           logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
-
-	// The router has no span trees (it holds no recovery state), so OTLP
-	// export ships metrics only: the routing counters, per-shard health,
-	// and latency summaries from the router's registry.
-	var exporter *otlp.Exporter
-	if *otlpEP != "" {
-		ver, _ := obs.Version()
-		exporter = otlp.New(otlp.Config{
-			Endpoint:    *otlpEP,
-			Interval:    *otlpIntv,
-			ServiceName: *svcName,
-			Resource:    map[string]string{"service.version": ver},
-			Registry:    rt.Registry(),
-			Logger:      logger,
-		})
-		exporter.Start()
-	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -160,6 +181,8 @@ func run() error {
 		"breaker_failures", *brkFails,
 		"breaker_cooldown", (*brkCool).String(),
 		"load_factor", *loadFactor,
+		"tracing", tracer != nil,
+		"otlp_endpoint", *otlpEP,
 		"version", ver,
 		"go_version", goVer,
 	)

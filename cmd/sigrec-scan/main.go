@@ -94,7 +94,7 @@ func run() error {
 		selWork = flag.Int("selector-workers", 0, "parallel selector explorations per contract (0 = auto)")
 
 		eventMB   = flag.Int("event-log-max-mb", 64, "rotate the event log past this many MB per segment")
-		debugAddr = flag.String("debug-addr", "", "listen address for the scanner's operator surface: /metrics, /healthz, /debug/slowest, /debug/slo, /debug/events, pprof (empty = disabled)")
+		debugAddr = flag.String("debug-addr", "", "listen address for the scanner's operator surface: /metrics, /healthz, /debug/slowest, /debug/trace/{id}, /debug/slo, /debug/events, pprof (empty = disabled)")
 		otlpEP    = flag.String("otlp-endpoint", "", "OTLP/HTTP collector base URL; deployment span trees and metrics are exported there (empty = export off)")
 		otlpIntv  = flag.Duration("otlp-interval", otlp.DefaultInterval, "OTLP flush cadence: trace batches at least this often, one metrics snapshot per tick")
 		svcName   = flag.String("service-name", "sigrec-scan", "service.name resource attribute on every OTLP export")
@@ -274,6 +274,10 @@ func run() error {
 				Events:  events,
 				SLO:     sloEval,
 				Metrics: reg,
+				Trace: server.TraceHandler(server.TraceOptions{
+					Service: *svcName,
+					Tracer:  tracer,
+				}),
 				Health: func() any {
 					return struct {
 						Status string `json:"status"`

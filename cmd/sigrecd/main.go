@@ -11,6 +11,8 @@
 //	GET  /metrics           Prometheus-flavoured exposition
 //	GET  /healthz           liveness + pool state
 //	GET  /debug/slowest     flight recorder: span trees of slow/truncated recoveries
+//	GET  /debug/trace/{id}  stitched trace by request id or 32-hex trace id,
+//	                        fanned out to -peers unless ?local=1
 //	GET  /debug/events      tail of the wide-event log (requires -event-log)
 //	GET  /debug/slo         burn-rate engine state: per-objective SLI, windows, alerts
 //
@@ -41,6 +43,12 @@
 // availability at 99.9% plus a 99%-under--slo-latency-threshold latency
 // objective, alerting on the multi-window multi-burn-rate rules; alert
 // transitions land in the event log as "slo_alert" records.
+//
+// Inbound requests may carry a W3C traceparent: a valid one is adopted so
+// this shard's recovery tree nests under the caller's span (the router
+// sends one per forwarded attempt), a malformed one starts a fresh root
+// and never fails the request. Each disposition moves
+// sigrec_trace_context_total{result="ok"|"absent"|"malformed"}.
 package main
 
 import (
@@ -232,6 +240,15 @@ func run() error {
 	if selectorWorkers == 0 {
 		selectorWorkers = -1
 	}
+	// Stitched traces tag spans with the shard id when there is one — that
+	// is the name peers and the router use in their TracePeers maps — and
+	// fall back to the OTLP service name for a standalone process. The
+	// -peers map doubles as the trace fan-out targets: the same shards that
+	// can fill this cache can hold fragments of this trace.
+	service := *svcName
+	if *shardID != "" {
+		service = *shardID
+	}
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -247,6 +264,8 @@ func run() error {
 		EventLog:        events,
 		CacheFill:       fill,
 		SLO:             sloEval,
+		Service:         service,
+		TracePeers:      peers,
 	})
 	if len(peers) > 0 {
 		srv.Mount("POST "+cluster.FillPath, cluster.FillHandler(srv.Cache(), *maxBody))
@@ -270,8 +289,17 @@ func run() error {
 	var dbg *http.Server
 	if *debugAddr != "" {
 		dbg = &http.Server{
-			Addr:              *debugAddr,
-			Handler:           server.DebugHandler(server.DebugOptions{Tracer: tracer, Events: events, SLO: sloEval}),
+			Addr: *debugAddr,
+			Handler: server.DebugHandler(server.DebugOptions{
+				Tracer: tracer,
+				Events: events,
+				SLO:    sloEval,
+				Trace: server.TraceHandler(server.TraceOptions{
+					Service: service,
+					Tracer:  tracer,
+					Peers:   peers,
+				}),
+			}),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"sigrec/internal/corpus"
+	"sigrec/internal/obs"
 	"sigrec/internal/server"
 )
 
@@ -90,4 +91,36 @@ func BenchmarkRouterOverheadProxied(b *testing.B) {
 	front := httptest.NewServer(rt.Handler())
 	b.Cleanup(front.Close)
 	runRecoverBench(b, front.URL, benchEntry(b))
+}
+
+// benchTracedRouter routes full recoveries through a single-shard router
+// with the given tracer — nil for the A side, a live recorder for the B
+// side — so the pair isolates the router's span machinery (route root,
+// decide span, attempt span, recorder retention) as a fraction of real
+// serving latency.
+func benchTracedRouter(b *testing.B, tracer *obs.Tracer) {
+	shard := benchShard(b)
+	rt, err := NewRouter(Config{Shards: []ShardAddr{{ID: "s1", URL: shard.URL}}, Tracer: tracer})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	b.Cleanup(front.Close)
+	runRecoverBench(b, front.URL, benchEntry(b))
+}
+
+// BenchmarkRouterTracingOff is the A side of the router-tracing A/B:
+// routed recoveries with the span machinery disabled (the outbound
+// traceparent is still injected — that is unconditional).
+func BenchmarkRouterTracingOff(b *testing.B) {
+	benchTracedRouter(b, nil)
+}
+
+// BenchmarkRouterTracingOn is the B side: every routed request records a
+// full span tree into a recorder sized to retain the whole run. The
+// bench-gate holds On within 10% of Off on allocs/op and 25% on mean
+// ns/op — router tracing must stay noise next to a recovery.
+func BenchmarkRouterTracingOn(b *testing.B) {
+	benchTracedRouter(b, obs.New(obs.Config{Slowest: 4096}))
 }

@@ -9,11 +9,19 @@
 // replay must be served from its own disk (>= 0.9 hit rate, zero
 // recomputation, zero peer refill).
 //
+// Tracing is reconciled the same way: every shard event carries the
+// trace id derived from the client's request id, and the live router's
+// GET /debug/trace must show — for every one of the load's requests —
+// exactly one winning attempt span with the winner's shard-side recovery
+// tree nested under it, hedge losers present and marked cancelled, with
+// orphaned spans tolerated only across the kill/restart window.
+//
 // The suite is opt-in (CLUSTER_E2E=1, set by `make cluster-e2e`) because
 // it builds race-instrumented binaries and runs for tens of seconds.
 // CLUSTER_E2E_ARTIFACTS names a directory that receives every shard and
-// router log plus the event-log segments, so a CI failure ships the
-// whole cluster's state as artifacts.
+// router log plus the event-log segments and the stitched traces of the
+// router's slowest requests, so a CI failure ships the whole cluster's
+// state as artifacts.
 package e2etest
 
 import (
@@ -39,6 +47,7 @@ import (
 	"sigrec/internal/corpus"
 	"sigrec/internal/eventlog"
 	"sigrec/internal/keccak"
+	"sigrec/internal/obs"
 	"sigrec/internal/server"
 )
 
@@ -260,6 +269,9 @@ func TestClusterE2E(t *testing.T) {
 			// incarnation: a restarted shard reopens its predecessor's
 			// segments and must serve its working set warm from disk.
 			"-store-dir", filepath.Join(artifacts, id+".store"),
+			// Trace reconciliation reads every request's recovery tree back
+			// out of the flight recorder, so it must retain the whole load.
+			"-trace-slowest", "4096",
 			"-log-format", "json",
 			"-drain", "10s",
 		)
@@ -290,6 +302,9 @@ func TestClusterE2E(t *testing.T) {
 		"-shards", shardSpec,
 		"-hedge=false",
 		"-health-interval", "100ms",
+		// Big enough that the 100ms health-poll records cannot evict the
+		// load's route records over the suite's whole runtime.
+		"-trace-slowest", "16384",
 		"-log-format", "json",
 	)
 	routerStopped := false
@@ -549,6 +564,7 @@ func TestClusterE2E(t *testing.T) {
 		"-hedge-min", "200us",
 		"-hedge-max", "200us",
 		"-health-interval", "100ms",
+		"-trace-slowest", "4096",
 		"-log-format", "json",
 	)
 	if err := cluster.WaitReady(ctx, client, hedgeURL+"/healthz"); err != nil {
@@ -570,9 +586,17 @@ func TestClusterE2E(t *testing.T) {
 	if hedgesFired == 0 {
 		t.Error("no hedges fired despite a 200us clamp under concurrent load")
 	}
-	t.Logf("hedges fired: %.0f, won: %.0f", hedgesFired,
-		scrapeSum(t, client, "cluster_router_hedges_won_total", hedgeURL))
+	hedgesWon := scrapeSum(t, client, "cluster_router_hedges_won_total", hedgeURL)
+	t.Logf("hedges fired: %.0f, won: %.0f", hedgesFired, hedgesWon)
+	if hedgesWon > 0 {
+		checkHedgeTraces(t, client, hedgeURL)
+	}
 	hedgeRouter.stop(t)
+
+	// --- trace reconciliation, against the still-live fleet ---
+
+	reconcileTraces(t, client, routerURL, results, killStamp.Load()+int64(workers))
+	dumpSlowestTraces(t, client, routerURL, artifacts, 5)
 
 	// --- drain everything, then reconcile the event logs ---
 
@@ -643,6 +667,12 @@ func reconcile(t *testing.T, results map[string]recoverResult, killStamp int64, 
 			t.Errorf("%s: event for unknown base %q", se.src, base)
 			continue
 		}
+		// Cross-process join key: the router derives every forwarded
+		// attempt's trace id from the client's request id, so the shard's
+		// durable event must carry exactly that derivation.
+		if want := obs.DeriveTraceID(base); se.ev.TraceID != want {
+			t.Errorf("%s: event %s trace id = %q, want %q", se.src, id, se.ev.TraceID, want)
+		}
 		eventsByBase[base] = append(eventsByBase[base], se)
 	}
 	for id, srcs := range attempts {
@@ -688,4 +718,175 @@ func reconcile(t *testing.T, results map[string]recoverResult, killStamp int64, 
 	}
 	t.Logf("reconciled %d recoveries: %d events, %d double-computed (kill-explained), %d kill-exempt, %d lost",
 		len(results), len(all), dups, exempt, lost)
+}
+
+// fetchTrace pulls the stitched cross-process trace for a request or
+// trace id from a live router or shard.
+func fetchTrace(t *testing.T, client *http.Client, baseURL, id string) server.StitchedTrace {
+	t.Helper()
+	resp, err := client.Get(baseURL + "/debug/trace/" + id)
+	if err != nil {
+		t.Fatalf("fetch trace %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var st server.StitchedTrace
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch trace %s: status=%d err=%v", id, resp.StatusCode, err)
+	}
+	return st
+}
+
+// attrOf returns a span's string attribute (numeric attrs answer "").
+func attrOf(sp obs.FlatSpan, key string) string {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Str
+		}
+	}
+	return ""
+}
+
+// reconcileTraces joins the router's stitched traces against the
+// client-side record of phase A: every confirmed recovery's trace holds
+// exactly one winning attempt span, on the shard that answered the
+// client, with that shard's recovery tree nested under the attempt span
+// id. The only tolerated gaps are requests served by s2 around the
+// SIGKILL — the dead incarnation's flight recorder (unlike its event
+// log) does not survive the crash, which is precisely what the stitched
+// view's orphan counter exists to report.
+func reconcileTraces(t *testing.T, client *http.Client, routerURL string, results map[string]recoverResult, killStamp int64) {
+	t.Helper()
+	checked, killExempt := 0, 0
+	for base, res := range results {
+		inKillWindow := res.shard == "s2" && res.stamp <= killStamp
+		st := fetchTrace(t, client, routerURL, base)
+		if want := obs.DeriveTraceID(base); st.TraceID != want {
+			t.Fatalf("trace %s: stitched id %q, want %q", base, st.TraceID, want)
+		}
+		var winners []obs.FlatSpan
+		for _, sp := range st.Spans {
+			if sp.Name == "attempt" && attrOf(sp, "outcome") == "winner" {
+				winners = append(winners, sp)
+			}
+		}
+		if len(winners) != 1 {
+			t.Errorf("trace %s: %d winning attempt spans, want exactly 1", base, len(winners))
+			continue
+		}
+		win := winners[0]
+		if got := attrOf(win, "shard"); got != res.shard {
+			t.Errorf("trace %s: winning attempt on shard %q, client saw %q", base, got, res.shard)
+		}
+		recovered := false
+		for _, sp := range st.Spans {
+			if sp.Name != "recovery" || sp.ParentSpanID != win.SpanID {
+				continue
+			}
+			recovered = true
+			if sp.Service != res.shard {
+				t.Errorf("trace %s: winner's recovery recorded by %q, want %q", base, sp.Service, res.shard)
+			}
+		}
+		if !recovered {
+			if inKillWindow {
+				killExempt++
+			} else {
+				t.Errorf("trace %s: no recovery tree under the winning attempt (shard %s, stamp %d)", base, res.shard, res.stamp)
+			}
+		}
+		if st.Orphans > 0 && !inKillWindow {
+			t.Errorf("trace %s: %d orphaned spans outside the kill window", base, st.Orphans)
+		}
+		checked++
+	}
+	t.Logf("trace reconciliation: %d traces checked, %d kill-exempt gaps", checked, killExempt)
+}
+
+// checkHedgeTraces scans the hedge router's traces for the race the
+// counters say happened: at least one request won by the hedge attempt,
+// with the losing primary attempt present in the same trace and marked
+// cancelled. The route record lands via a drainer goroutine after the
+// client response, so the scan retries briefly.
+func checkHedgeTraces(t *testing.T, client *http.Client, hedgeURL string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		foundWin, foundCancelled := false, false
+		for i := 0; i < 60; i++ {
+			st := fetchTrace(t, client, hedgeURL, fmt.Sprintf("phc-%03d", i))
+			winKind, cancelled := "", false
+			for _, sp := range st.Spans {
+				if sp.Name != "attempt" {
+					continue
+				}
+				switch attrOf(sp, "outcome") {
+				case "winner":
+					winKind = attrOf(sp, "kind")
+				case "cancelled":
+					cancelled = true
+				}
+			}
+			if winKind == "hedge" {
+				foundWin = true
+				if cancelled {
+					foundCancelled = true
+				}
+			}
+		}
+		if foundWin && foundCancelled {
+			return
+		}
+		if time.Now().After(deadline) {
+			if !foundWin {
+				t.Error("hedges won per the counters, but no trace shows a hedge attempt winning")
+			}
+			if !foundCancelled {
+				t.Error("no hedge-won trace carries its cancelled primary attempt")
+			}
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// dumpSlowestTraces writes the stitched cross-process traces of the
+// router's slowest client requests into the artifacts directory — the
+// files CI ships when the gate fails, so a slow or broken run can be
+// read span by span without re-running anything.
+func dumpSlowestTraces(t *testing.T, client *http.Client, routerURL, dir string, n int) {
+	t.Helper()
+	resp, err := client.Get(routerURL + "/debug/slowest")
+	if err != nil {
+		t.Errorf("fetch router flight recorder: %v", err)
+		return
+	}
+	var snap obs.Snapshot
+	derr := json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if derr != nil {
+		t.Errorf("decode router flight recorder: %v", derr)
+		return
+	}
+	wrote := 0
+	for _, rec := range snap.Slowest {
+		if wrote >= n {
+			break
+		}
+		// Health polls are retained too; the artifact wants client traffic.
+		if rec.TraceID == "" || strings.HasPrefix(rec.RequestID, "poll-") {
+			continue
+		}
+		st := fetchTrace(t, client, routerURL, rec.TraceID)
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			t.Errorf("marshal trace %s: %v", rec.TraceID, err)
+			continue
+		}
+		wrote++
+		path := filepath.Join(dir, fmt.Sprintf("slowest-%d-%s.trace.json", wrote, rec.RequestID))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Errorf("write %s: %v", path, err)
+		}
+	}
+	t.Logf("wrote %d slowest stitched traces to %s", wrote, dir)
 }

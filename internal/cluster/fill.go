@@ -14,7 +14,9 @@ import (
 
 	"sigrec/internal/abi"
 	"sigrec/internal/core"
+	"sigrec/internal/eventlog"
 	"sigrec/internal/keccak"
+	"sigrec/internal/obs"
 	"sigrec/internal/server"
 )
 
@@ -149,6 +151,11 @@ func FillHandler(cache *core.Cache, maxBody int64) http.Handler {
 // every failure report !ok, which makes the caller compute locally — the
 // hook is an optimization with no failure mode of its own.
 //
+// The hook runs under the requesting recovery's context: the fill hop is
+// recorded as a client span ("peer.fill") on the recovery's trace, and
+// the request's W3C trace context travels on the wire, parenting the hop
+// under the same trace the router started.
+//
 // self is this shard's ring id; peers maps shard id -> base URL.
 func PeerFill(ring *Ring, self string, peers map[string]string, client *http.Client, timeout time.Duration) core.FillFunc {
 	if client == nil {
@@ -157,7 +164,7 @@ func PeerFill(ring *Ring, self string, peers map[string]string, client *http.Cli
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	return func(code []byte) (core.Result, error, bool) {
+	return func(ctx context.Context, code []byte) (core.Result, error, bool) {
 		owner, ok := ring.Owner(keccak.Sum256(code))
 		if !ok || owner == self {
 			return core.Result{}, nil, false
@@ -166,14 +173,40 @@ func PeerFill(ring *Ring, self string, peers map[string]string, client *http.Cli
 		if !ok {
 			return core.Result{}, nil, false
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		rec := obs.FromContext(ctx)
+		sp := rec.Span("peer.fill")
+		sp.SetStr("owner", owner)
+		hit := false
+		defer func() {
+			if hit {
+				sp.SetStr("outcome", "hit")
+			} else {
+				sp.SetStr("outcome", "miss")
+			}
+			sp.End()
+		}()
+		cctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		body := fmt.Sprintf("0x%x", code)
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+FillPath, bytes.NewBufferString(body))
+		req, err := http.NewRequestWithContext(cctx, http.MethodPost, base+FillPath, bytes.NewBufferString(body))
 		if err != nil {
 			return core.Result{}, nil, false
 		}
 		req.Header.Set("Content-Type", "text/plain")
+		// Propagate the trace across the fill hop, pinning the fill span's
+		// id so the owner side can join exactly. Tracing off still
+		// propagates the id the wide-event scope carries.
+		tid := rec.TraceID()
+		if tid == "" {
+			if sc := eventlog.ScopeFromContext(ctx); sc != nil {
+				tid = sc.TraceID
+			}
+		}
+		if tid != "" {
+			sid := obs.DeriveSpanID(fmt.Sprintf("%s/fill@%d", rec.RequestID(), rec.NowUS()))
+			sp.SetSpanID(sid)
+			obs.Inject(req.Header, obs.SpanContext{TraceID: tid, SpanID: sid, Sampled: true})
+		}
 		resp, err := client.Do(req)
 		if err != nil {
 			return core.Result{}, nil, false
@@ -190,6 +223,7 @@ func PeerFill(ring *Ring, self string, peers map[string]string, client *http.Cli
 		if derr != nil {
 			return core.Result{}, nil, false
 		}
+		hit = true
 		return res, outcome, true
 	}
 }

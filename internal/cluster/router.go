@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"sigrec/internal/keccak"
+	"sigrec/internal/obs"
 	"sigrec/internal/server"
 	"sigrec/internal/telemetry"
 )
@@ -79,6 +80,12 @@ type Config struct {
 	Registry *telemetry.Registry
 	// Logger, when non-nil, receives one access-log record per request.
 	Logger *slog.Logger
+	// Tracer, when non-nil, records one span tree per routed request — the
+	// route decision, every upstream attempt (primary/retry/hedge, with the
+	// winner and cancelled losers marked), and the shard health polls — and
+	// continues inbound W3C trace context so the router root joins the
+	// client's trace. Nil keeps routing span-free at zero cost.
+	Tracer *obs.Tracer
 	// Transport overrides the upstream transport (tests).
 	Transport http.RoundTripper
 }
@@ -103,6 +110,11 @@ type routerMetrics struct {
 	shardBreaker  *telemetry.GaugeVec
 	shardInflight *telemetry.GaugeVec
 	shardHedgeUS  *telemetry.GaugeVec
+
+	// traceContext is the same sigrec_trace_context_total family the shards
+	// expose, registered in the router's registry so inbound extraction is
+	// metered at the fleet edge too.
+	traceContext *telemetry.CounterVec
 }
 
 func newRouterMetrics(reg *telemetry.Registry, shards []ShardAddr) *routerMetrics {
@@ -129,6 +141,8 @@ func newRouterMetrics(reg *telemetry.Registry, shards []ShardAddr) *routerMetric
 		shardBreaker:  reg.GaugeVec("cluster_shard_breaker_state", "shard"),
 		shardInflight: reg.GaugeVec("cluster_shard_inflight", "shard"),
 		shardHedgeUS:  reg.GaugeVec("cluster_shard_p95_microseconds", "shard"),
+
+		traceContext: server.NewTraceContextMetric(reg),
 	}
 	for _, s := range shards {
 		// Pre-register the labeled families so every shard is visible on
@@ -225,6 +239,20 @@ func NewRouter(cfg Config) (*Router, error) {
 	mux.HandleFunc("POST /v1/recover/batch", rt.handleBatch)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	// The router is the natural place to stitch a cross-process trace: it
+	// fans /debug/trace/{id} out to every shard and merges their halves
+	// with its own route/attempt spans.
+	peers := make(map[string]string, len(cfg.Shards))
+	for _, sa := range cfg.Shards {
+		peers[sa.ID] = sa.URL
+	}
+	mux.Handle("GET /debug/trace/{id}", server.TraceHandler(server.TraceOptions{
+		Service: "sigrec-router",
+		Tracer:  cfg.Tracer,
+		Peers:   peers,
+		Client:  rt.client,
+	}))
+	mux.HandleFunc("GET /debug/slowest", rt.handleSlowest)
 	rt.mux = mux
 	return rt, nil
 }
@@ -243,7 +271,7 @@ func (rt *Router) Close() {
 
 func (rt *Router) pollLoop(ctx context.Context, sh *shard) {
 	defer rt.pollWG.Done()
-	sh.poll(ctx, rt.client, rt.m)
+	rt.pollOnce(ctx, sh)
 	t := time.NewTicker(rt.cfg.HealthInterval)
 	defer t.Stop()
 	for {
@@ -251,10 +279,38 @@ func (rt *Router) pollLoop(ctx context.Context, sh *shard) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			sh.poll(ctx, rt.client, rt.m)
+			rt.pollOnce(ctx, sh)
 			rt.m.shardBreaker.With(sh.id).Set(sh.breaker.State())
 		}
 	}
+}
+
+// pollOnce runs one health/stats poll under a span root. The request id is
+// the stable "poll-<shard>", so every retained poll of a shard shares one
+// deterministic trace id — `/debug/trace/poll-s1` answers with the recent
+// poll history of s1.
+func (rt *Router) pollOnce(ctx context.Context, sh *shard) {
+	_, rec := rt.cfg.Tracer.StartRoot(ctx, "shard.poll", "poll-"+sh.id, obs.SpanContext{})
+	sh.poll(ctx, rt.client, rt.m)
+	rec.SetStr("shard", sh.id)
+	if sh.healthy.Load() {
+		rec.SetInt("healthy", 1)
+	} else {
+		rec.SetInt("healthy", 0)
+	}
+	rec.SetInt("p95_us", sh.p95us.Load())
+	rec.Finish(false, nil)
+}
+
+// --- GET /debug/slowest ---
+
+func (rt *Router) handleSlowest(w http.ResponseWriter, r *http.Request) {
+	if rt.cfg.Tracer == nil {
+		writeJSONError(w, http.StatusNotFound, "tracing disabled (start the router with a Tracer)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rt.cfg.Tracer.Recorder().Snapshot())
 }
 
 // candidates returns the shards to try for a key, in order: the
@@ -262,10 +318,14 @@ func (rt *Router) pollLoop(ctx context.Context, sh *shard) {
 // shards are skipped unless the whole pool is unhealthy, in which case
 // the raw sequence is returned — a health-poll outage must degrade to
 // best effort, not a self-inflicted blackout.
-func (rt *Router) candidates(key [32]byte) []*shard {
+func (rt *Router) candidates(key [32]byte) ([]*shard, string) {
 	load := func(id string) int { return int(rt.shards[id].inflight.Load()) }
 	pick, _ := rt.ring.PickBounded(key, load, rt.cfg.LoadFactor)
 	seq := rt.ring.Sequence(key)
+	owner := ""
+	if len(seq) > 0 {
+		owner = seq[0]
+	}
 	ordered := make([]*shard, 0, len(seq))
 	if pick != "" && len(seq) > 0 && pick != seq[0] {
 		ordered = append(ordered, rt.shards[pick])
@@ -282,9 +342,9 @@ func (rt *Router) candidates(key [32]byte) []*shard {
 		}
 	}
 	if len(healthy) == 0 {
-		return ordered
+		return ordered, owner
 	}
-	return healthy
+	return healthy, owner
 }
 
 // attemptResult is one upstream attempt's outcome.
@@ -296,6 +356,11 @@ type attemptResult struct {
 	err       error  // transport error
 	retryable bool
 	hedge     bool
+	// span is this attempt's client span, created by the event loop before
+	// launch and annotated by it (or the drainer) when the result lands —
+	// the forwarding goroutine only carries the pointer, never touches it,
+	// upholding the recovery's single-writer contract.
+	span *obs.Span
 }
 
 // attemptIDs derives the forwarded X-Request-Id: the client's id extended
@@ -307,8 +372,12 @@ func (rt *Router) attemptID(baseID string) string {
 }
 
 // forward runs one upstream attempt and classifies the outcome for the
-// breaker and the retry policy.
-func (rt *Router) forward(ctx context.Context, sh *shard, path string, body []byte, baseID string, hedge bool) attemptResult {
+// breaker and the retry policy. attemptID is the pre-assigned forwarded
+// X-Request-Id; traceID, when non-empty, travels as the outbound W3C
+// traceparent with the attempt span's deterministic id as parent, so the
+// shard's recovery tree nests under this exact attempt — tracer on or off,
+// the header is always sent, keeping shard-side traces joinable.
+func (rt *Router) forward(ctx context.Context, sh *shard, path string, body []byte, attemptID, traceID string, hedge bool) attemptResult {
 	res := attemptResult{shard: sh, hedge: hedge}
 	rt.m.shardRequests.With(sh.id).Inc()
 	sh.inflight.Add(1)
@@ -324,7 +393,10 @@ func (rt *Router) forward(ctx context.Context, sh *shard, path string, body []by
 		return res
 	}
 	req.Header.Set("Content-Type", "text/plain")
-	req.Header.Set("X-Request-Id", rt.attemptID(baseID))
+	req.Header.Set("X-Request-Id", attemptID)
+	if traceID != "" {
+		obs.Inject(req.Header, obs.SpanContext{TraceID: traceID, SpanID: obs.DeriveSpanID(attemptID), Sampled: true})
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		res.err = err
@@ -386,31 +458,128 @@ func (rt *Router) forward(ctx context.Context, sh *shard, path string, body []by
 // after the owner's p95-derived delay, retried on the ring successor when
 // a shard is down. Returns the winning upstream response or the last
 // failure.
-func (rt *Router) do(ctx context.Context, key [32]byte, body []byte, baseID string) (attemptResult, bool) {
+//
+// rec, when non-nil, receives the route's span tree: a "route.decide" span
+// for the ring decision, one "attempt" span per upstream try (primary,
+// retry, or hedge — breaker-open skips included as zero-work spans), the
+// winner marked and racing losers marked cancelled. Each attempt span's id
+// is pinned to DeriveSpanID(attemptID) — the same id forward injects as
+// the outbound traceparent — so the shard's recovery tree parents under
+// the exact attempt that carried it. do owns rec end to end, including
+// Finish: when the winner returns while losers are still in flight, the
+// recovery is handed to a drainer goroutine that annotates the stragglers
+// and finishes the tree (the sequential handoff the obs contract allows).
+func (rt *Router) do(ctx context.Context, key [32]byte, body []byte, baseID string, rec *obs.Recovery, traceID string) (attemptResult, bool) {
 	ctx, cancel := context.WithTimeout(ctx, rt.cfg.Timeout)
 	defer cancel()
-	cands := rt.candidates(key)
+	dsp := rec.Span("route.decide")
+	cands, owner := rt.candidates(key)
+	if len(cands) > 0 {
+		dsp.SetStr("owner", owner)
+		dsp.SetStr("picked", cands[0].id)
+		if cands[0].id != owner {
+			dsp.SetInt("diverted", 1)
+		}
+		dsp.SetInt("candidates", int64(len(cands)))
+	}
+	dsp.End()
 	results := make(chan attemptResult, len(cands))
 	next := 0
 	inflight := 0
+	attempts := 0
+
+	// annotate closes one attempt span with its outcome. Only the goroutine
+	// currently owning rec (event loop, then drainer) calls it.
+	annotate := func(res attemptResult, outcome string) {
+		sp := res.span
+		if sp == nil {
+			return
+		}
+		if res.status != 0 {
+			sp.SetInt("status", int64(res.status))
+		}
+		if res.err != nil {
+			sp.SetStr("err", res.err.Error())
+		}
+		sp.SetStr("outcome", outcome)
+		sp.End()
+	}
+	// loserOutcome classifies a non-winning attempt for its span.
+	loserOutcome := func(res attemptResult) string {
+		switch {
+		case res.err != nil && ctx.Err() != nil:
+			return "cancelled"
+		case res.err != nil:
+			return "error"
+		case res.status == http.StatusTooManyRequests:
+			return "shed"
+		default:
+			return "retryable"
+		}
+	}
+	// finish closes the route recovery; when losers are still in flight it
+	// hands rec to a drainer that marks them cancelled first. The results
+	// channel is buffered past the attempt count, so undrained losers never
+	// leak a goroutine even when rec is nil and no drainer runs.
+	finish := func(remaining int, err error) {
+		if rec == nil {
+			return
+		}
+		if remaining == 0 {
+			rec.Finish(false, err)
+			return
+		}
+		go func() {
+			for i := 0; i < remaining; i++ {
+				annotate(<-results, "cancelled")
+			}
+			rec.Finish(false, err)
+		}()
+	}
 
 	// launch starts the next breaker-admitted candidate; returns false
-	// when the pool is exhausted.
+	// when the pool is exhausted. Runs only on the event-loop goroutine,
+	// which keeps span creation single-writer; the forwarding goroutine
+	// carries the span pointer back through the results channel untouched.
 	launch := func(hedge bool) bool {
 		for next < len(cands) {
 			sh := cands[next]
 			next++
+			kind := "retry"
+			if hedge {
+				kind = "hedge"
+			} else if attempts == 0 {
+				kind = "primary"
+			}
 			if !sh.breaker.Allow() {
+				sp := rec.Span("attempt")
+				sp.SetStr("shard", sh.id)
+				sp.SetStr("kind", kind)
+				sp.SetStr("outcome", "breaker_open")
+				sp.End()
 				continue
 			}
+			attempts++
+			id := rt.attemptID(baseID)
+			sp := rec.Span("attempt")
+			sp.SetStr("shard", sh.id)
+			sp.SetStr("attempt_id", id)
+			sp.SetStr("kind", kind)
+			sp.SetSpanID(obs.DeriveSpanID(id))
 			inflight++
-			go func() { results <- rt.forward(ctx, sh, "/v1/recover", body, baseID, hedge) }()
+			go func() {
+				r := rt.forward(ctx, sh, "/v1/recover", body, id, traceID, hedge)
+				r.span = sp
+				results <- r
+			}()
 			return true
 		}
 		return false
 	}
 
 	if !launch(false) {
+		rec.SetStr("outcome", "no_shard")
+		finish(0, nil)
 		return attemptResult{}, false
 	}
 	var last attemptResult
@@ -432,10 +601,13 @@ func (rt *Router) do(ctx context.Context, key [32]byte, body []byte, baseID stri
 			}
 			inflight--
 			if res.retryable || res.err != nil {
+				annotate(res, loserOutcome(res))
 				last = res
 				if inflight == 0 {
 					rt.m.retries.Inc()
 					if !launch(false) {
+						rec.SetStr("outcome", "exhausted")
+						finish(0, last.err)
 						return last, false
 					}
 				}
@@ -445,7 +617,13 @@ func (rt *Router) do(ctx context.Context, key [32]byte, body []byte, baseID stri
 			if res.hedge {
 				rt.m.hedgesWon.Inc()
 			}
+			annotate(res, "winner")
+			if res.shard != nil {
+				rec.SetStr("shard", res.shard.id)
+			}
+			rec.SetInt("status", int64(res.status))
 			cancel()
+			finish(inflight, nil)
 			return res, true
 		case <-hedgeC:
 			hedged = true
@@ -456,9 +634,12 @@ func (rt *Router) do(ctx context.Context, key [32]byte, body []byte, baseID stri
 			if hedgeT != nil {
 				hedgeT.Stop()
 			}
+			rec.SetStr("outcome", "timeout")
+			finish(inflight, ctx.Err())
 			return attemptResult{err: ctx.Err()}, false
 		}
 	}
+	finish(0, last.err)
 	return last, false
 }
 
@@ -474,6 +655,7 @@ func (rt *Router) handleRecover(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	baseID := clientRequestID(r)
+	parent := rt.extractTraceContext(r)
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
 	if err != nil {
 		rt.m.badInput.Inc()
@@ -488,7 +670,8 @@ func (rt *Router) handleRecover(w http.ResponseWriter, r *http.Request) {
 	}
 	key := keccak.Sum256(code)
 	body := []byte(fmt.Sprintf("0x%x", code))
-	res, ok := rt.do(r.Context(), key, body, baseID)
+	ctx, rec := rt.cfg.Tracer.StartRoot(r.Context(), "route", baseID, parent)
+	res, ok := rt.do(ctx, key, body, baseID, rec, routeTraceID(parent, baseID))
 	rt.logRequest(r, baseID, res, start)
 	if !ok {
 		rt.m.errors.Inc()
@@ -533,6 +716,8 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rt.m.batches.Inc()
 	baseID := clientRequestID(r)
+	parent := rt.extractTraceContext(r)
+	traceID := routeTraceID(parent, baseID)
 	w.Header().Set("X-Request-Id", baseID)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	rc := http.NewResponseController(w)
@@ -574,7 +759,12 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 				defer func() { <-sem }()
 				key := keccak.Sum256(code)
 				body := []byte(fmt.Sprintf("0x%x", code))
-				res, ok := rt.do(ctx, key, body, baseID)
+				// Every item gets its own route recovery (single-writer),
+				// all sharing the batch's trace id — one trace per client
+				// batch, one route tree per contract.
+				ictx, irec := rt.cfg.Tracer.StartRoot(ctx, "route", baseID, parent)
+				irec.SetInt("batch_index", int64(i))
+				res, ok := rt.do(ictx, key, body, baseID, irec, traceID)
 				out <- batchLine(i, res, ok)
 			}(i, code)
 		}
@@ -693,6 +883,26 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // sanitization as the serving layer.
 func clientRequestID(r *http.Request) string {
 	return server.EnsureRequestIDString(r.Header.Get("X-Request-Id"))
+}
+
+// extractTraceContext reads the inbound W3C trace context under the same
+// policy as the serving layer: malformed means a fresh root, never an
+// error, and every disposition moves sigrec_trace_context_total.
+func (rt *Router) extractTraceContext(r *http.Request) obs.SpanContext {
+	sc, result := obs.Extract(r.Header)
+	rt.m.traceContext.With(result).Inc()
+	return sc
+}
+
+// routeTraceID resolves the trace id the whole routed request travels
+// under: the client's when a valid traceparent came in, the deterministic
+// request-id derivation otherwise — the same id StartRoot pins on the
+// route recovery, so router spans, shard spans, and wide events all join.
+func routeTraceID(parent obs.SpanContext, baseID string) string {
+	if parent.Valid() {
+		return parent.TraceID
+	}
+	return obs.DeriveTraceID(baseID)
 }
 
 func writeJSONError(w http.ResponseWriter, status int, msg string) {

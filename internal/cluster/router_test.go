@@ -3,6 +3,7 @@ package cluster
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -464,12 +465,12 @@ func TestPeerFill(t *testing.T) {
 	if ownerID == "other" {
 		// The two-shard ring happens to give the key to us: peer fill
 		// correctly reports a miss (we ARE the owner, nothing to fetch).
-		if _, _, ok := fill(code); ok {
+		if _, _, ok := fill(context.Background(), code); ok {
 			t.Fatal("fill hit although this shard owns the key")
 		}
 		return
 	}
-	got, outcome, ok := fill(code)
+	got, outcome, ok := fill(context.Background(), code)
 	if !ok {
 		t.Fatal("fill missed although the owner has the result cached")
 	}
@@ -484,7 +485,7 @@ func TestPeerFill(t *testing.T) {
 	defer cold.Close()
 	fillCold := PeerFill(ring, "other", map[string]string{"owner": cold.URL}, nil, 0)
 	if ownerID != "other" {
-		if _, _, ok := fillCold(code); ok {
+		if _, _, ok := fillCold(context.Background(), code); ok {
 			t.Fatal("fill hit on a cold owner")
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"sync"
 
@@ -111,7 +112,10 @@ func (c *Cache) Peek(code []byte) (Result, error, bool) {
 // bytecode's keccak slice, so a hot contract computed once is served
 // everywhere without recomputation. ok=false means the fill had nothing
 // (not the owner, owner cold, peer unreachable) and compute proceeds.
-type FillFunc func(code []byte) (Result, error, bool)
+// ctx is the requesting recovery's context: it bounds the peer call and
+// carries the trace/event scope, so the fill hop propagates the request's
+// W3C trace context and records a span under the recovery.
+type FillFunc func(ctx context.Context, code []byte) (Result, error, bool)
 
 // GetOrCompute returns the cached outcome for the bytecode or runs compute
 // once, coalescing concurrent callers for the same bytecode singleflight-
@@ -120,15 +124,17 @@ type FillFunc func(code []byte) (Result, error, bool)
 // outcomes are stored; truncated ones are returned to every waiter but not
 // cached, matching RecoverContext's store policy.
 func (c *Cache) GetOrCompute(code []byte, compute func() (Result, error)) (Result, error) {
-	return c.GetOrComputeFill(code, nil, compute)
+	return c.GetOrComputeFill(context.Background(), code, nil, compute)
 }
 
 // GetOrComputeFill is GetOrCompute with a fill stage: on a miss the
 // coalescing winner first consults fill (nil skips straight to compute).
 // A filled outcome is stored under the same cacheability policy as a
 // computed one and shared with every coalesced waiter; fill returning
-// ok=false, or a truncated filled result, falls through to compute.
-func (c *Cache) GetOrComputeFill(code []byte, fill FillFunc, compute func() (Result, error)) (Result, error) {
+// ok=false, or a truncated filled result, falls through to compute. ctx
+// is handed to the fill hook only (compute owns its own context via its
+// closure), so a coalesced herd's fill runs under the winner's context.
+func (c *Cache) GetOrComputeFill(ctx context.Context, code []byte, fill FillFunc, compute func() (Result, error)) (Result, error) {
 	key := keccak.Sum256(code)
 	c.mu.Lock()
 	if el, ok := c.m[key]; ok {
@@ -168,7 +174,7 @@ func (c *Cache) GetOrComputeFill(code []byte, fill FillFunc, compute func() (Res
 	}
 	mCacheMisses.Inc()
 	if fill != nil {
-		if res, err, ok := fill(code); ok && cacheable(res, err) {
+		if res, err, ok := fill(ctx, code); ok && cacheable(res, err) {
 			mCacheFillHits.Inc()
 			f.res, f.err = res, err
 			completed = true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -16,8 +17,8 @@ func TestGetOrComputeFill(t *testing.T) {
 		before := Metrics().Snapshot().Counters
 		cache := NewCache(8)
 		computed := false
-		res, err := cache.GetOrComputeFill(code,
-			func([]byte) (Result, error, bool) { return filled, nil, true },
+		res, err := cache.GetOrComputeFill(context.Background(), code,
+			func(context.Context, []byte) (Result, error, bool) { return filled, nil, true },
 			func() (Result, error) { computed = true; return Result{}, nil })
 		if err != nil || computed {
 			t.Fatalf("err=%v computed=%v", err, computed)
@@ -45,8 +46,8 @@ func TestGetOrComputeFill(t *testing.T) {
 	t.Run("miss falls through to compute", func(t *testing.T) {
 		before := Metrics().Snapshot().Counters
 		cache := NewCache(8)
-		res, err := cache.GetOrComputeFill(code,
-			func([]byte) (Result, error, bool) { return Result{}, nil, false },
+		res, err := cache.GetOrComputeFill(context.Background(), code,
+			func(context.Context, []byte) (Result, error, bool) { return Result{}, nil, false },
 			func() (Result, error) { return filled, nil })
 		if err != nil || len(res.Functions) != 1 {
 			t.Fatalf("res=%+v err=%v", res, err)
@@ -60,8 +61,8 @@ func TestGetOrComputeFill(t *testing.T) {
 	t.Run("truncated fill result is recomputed", func(t *testing.T) {
 		cache := NewCache(8)
 		computed := false
-		res, err := cache.GetOrComputeFill(code,
-			func([]byte) (Result, error, bool) { return Result{Truncated: true}, nil, true },
+		res, err := cache.GetOrComputeFill(context.Background(), code,
+			func(context.Context, []byte) (Result, error, bool) { return Result{Truncated: true}, nil, true },
 			func() (Result, error) { computed = true; return filled, nil })
 		if err != nil || !computed || len(res.Functions) != 1 {
 			t.Fatalf("res=%+v err=%v computed=%v", res, err, computed)
@@ -71,8 +72,8 @@ func TestGetOrComputeFill(t *testing.T) {
 	t.Run("filled error outcome follows cacheability", func(t *testing.T) {
 		cache := NewCache(8)
 		// ErrNoFunctions is definitive and cacheable even via fill.
-		res, err := cache.GetOrComputeFill(code,
-			func([]byte) (Result, error, bool) { return Result{}, ErrNoFunctions, true },
+		res, err := cache.GetOrComputeFill(context.Background(), code,
+			func(context.Context, []byte) (Result, error, bool) { return Result{}, ErrNoFunctions, true },
 			func() (Result, error) { t.Fatal("compute ran"); return Result{}, nil })
 		if !errors.Is(err, ErrNoFunctions) || len(res.Functions) != 0 {
 			t.Fatalf("res=%+v err=%v", res, err)

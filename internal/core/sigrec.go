@@ -165,6 +165,7 @@ func RecoverContext(ctx context.Context, code []byte, opts Options) (Result, err
 				}
 				if sc != nil {
 					ev.QueueUS = sc.QueueUS
+					ev.TraceID = sc.TraceID
 				}
 				if err != nil {
 					ev.Error = err.Error()
@@ -181,6 +182,7 @@ func RecoverContext(ctx context.Context, code []byte, opts Options) (Result, err
 		ev = &eventlog.Event{RequestID: requestID, CodeBytes: len(code)}
 		if sc != nil {
 			ev.QueueUS = sc.QueueUS
+			ev.TraceID = sc.TraceID
 		}
 	}
 	res, err := recoverUncached(ctx, code, opts, ev)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -79,8 +80,8 @@ func TestTieredCacheWarmRestart(t *testing.T) {
 	restarted := NewTieredCache(64, disk)
 	fills, computes := 0, 0
 	for i, code := range codes {
-		got, err := restarted.GetOrComputeFill(code,
-			func([]byte) (Result, error, bool) { fills++; return Result{}, nil, false },
+		got, err := restarted.GetOrComputeFill(context.Background(), code,
+			func(context.Context, []byte) (Result, error, bool) { fills++; return Result{}, nil, false },
 			func() (Result, error) { computes++; return Result{}, errors.New("must not compute") })
 		if err != nil {
 			t.Fatalf("warm lookup %d: %v", i, err)
@@ -170,7 +171,7 @@ func TestTieredCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 64; i++ {
 				code := codes[i%len(codes)]
-				res, err := c.GetOrComputeFill(code, nil, func() (Result, error) {
+				res, err := c.GetOrComputeFill(context.Background(), code, nil, func() (Result, error) {
 					computes.Add(1)
 					return tieredResult(code[1]), nil
 				})

@@ -29,6 +29,11 @@ type Event struct {
 	// RequestID joins the event to access logs, span trees, and the
 	// flight recorder.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the 32-hex W3C trace id of the request that triggered
+	// this recovery — the cross-process join key: merged event logs from
+	// the router's shards reconstruct a distributed trace by grouping on
+	// it (sigrec-analyze -trace).
+	TraceID string `json:"trace_id,omitempty"`
 
 	// DurUS is the whole-recovery latency; QueueUS the admission-queue
 	// wait before a worker picked the job up (serving layer only); the
@@ -105,6 +110,10 @@ type Scope struct {
 	// RequestID tags the event with the request that triggered the
 	// recovery.
 	RequestID string
+	// TraceID tags the event with the request's W3C trace id (adopted
+	// from the inbound traceparent or derived from the request id), set by
+	// the serving layer alongside the request id.
+	TraceID string
 	// QueueUS is the admission wait, set by the worker that picks the job
 	// up before the recovery runs (same-goroutine ordering, no atomics
 	// needed).

@@ -1,0 +1,95 @@
+package eventlog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// TraceReport is the offline view of one distributed trace: every
+// recovery event, from however many shards' logs were merged, that
+// carries the same W3C trace id. Because the router stamps each forwarded
+// attempt with the client request's trace id, grouping merged shard logs
+// on trace_id reconstructs the request's fan-out — primary, retries,
+// hedges — without any live process or collector.
+type TraceReport struct {
+	TraceID string `json:"trace_id"`
+	// Events holds the matching recovery events ordered by emission time
+	// (then seq, for events stamped in the same microsecond).
+	Events []Event `json:"events"`
+	// Requests counts distinct request ids in the trace — for a routed
+	// request these are the router's attempt ids (client id + ".N"), so
+	// more than one means retries or hedges happened.
+	Requests int `json:"requests"`
+	// SpanUS is the wall-clock extent of the trace as seen by the logs:
+	// from the earliest event start to the latest event end. Clock skew
+	// between shards leaks in here; it is a reading aid, not a latency
+	// measurement.
+	SpanUS int64 `json:"span_us"`
+}
+
+// TraceView filters merged event-log replays down to one trace. The
+// traceID must already be the 32-hex form (callers resolve request ids
+// via the deterministic derivation before asking).
+func TraceView(events []Event, traceID string) *TraceReport {
+	rep := &TraceReport{TraceID: traceID}
+	for _, ev := range events {
+		if ev.Kind != "" || ev.TraceID != traceID {
+			continue
+		}
+		rep.Events = append(rep.Events, ev)
+	}
+	sort.Slice(rep.Events, func(i, j int) bool {
+		a, b := rep.Events[i], rep.Events[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		return a.Seq < b.Seq
+	})
+	ids := map[string]bool{}
+	var first, last int64
+	for i, ev := range rep.Events {
+		ids[ev.RequestID] = true
+		start, end := ev.TS-ev.DurUS, ev.TS
+		if i == 0 || start < first {
+			first = start
+		}
+		if end > last {
+			last = end
+		}
+	}
+	rep.Requests = len(ids)
+	if len(rep.Events) > 0 {
+		rep.SpanUS = last - first
+	}
+	return rep
+}
+
+// WriteText renders the trace for humans: one row per event, offset from
+// the trace's first event so concurrent attempts read as a timeline.
+func (r *TraceReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "trace %s: %d events across %d request ids, %dus end to end\n",
+		r.TraceID, len(r.Events), r.Requests, r.SpanUS)
+	if len(r.Events) == 0 {
+		fmt.Fprintln(w, "  (no matching events — logs predate tracing, or the trace lives on other shards)")
+		return
+	}
+	base := r.Events[0].TS - r.Events[0].DurUS
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "  offset_us\trequest_id\tdur_us\tselectors\tfunctions\tnote\n")
+	for _, ev := range r.Events {
+		note := ""
+		switch {
+		case ev.Error != "":
+			note = "error: " + ev.Error
+		case ev.Truncated:
+			note = "truncated: " + ev.TruncCause
+		case ev.Cache != "":
+			note = "cache: " + ev.Cache
+		}
+		fmt.Fprintf(tw, "  %d\t%s\t%d\t%d\t%d\t%s\n",
+			ev.TS-ev.DurUS-base, ev.RequestID, ev.DurUS, ev.Selectors, ev.Functions, note)
+	}
+	tw.Flush()
+}

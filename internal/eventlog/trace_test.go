@@ -1,0 +1,53 @@
+package eventlog
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceView pins the offline trace join: only recovery events with
+// the exact trace id are kept, ordering is by time then seq, and the
+// request/extent summaries describe the filtered set.
+func TestTraceView(t *testing.T) {
+	tid := "4bf92f3577b34da6a3ce929d0e0e4736"
+	events := []Event{
+		// The hedge (s2's log) finished before the primary was cancelled.
+		{Seq: 9, TS: 1_500, DurUS: 300, RequestID: "client-7.2", TraceID: tid, Functions: 2},
+		{Seq: 4, TS: 2_000, DurUS: 900, RequestID: "client-7.1", TraceID: tid, Error: "context canceled"},
+		// Same microsecond: seq breaks the tie.
+		{Seq: 2, TS: 1_500, DurUS: 100, RequestID: "client-7.2", TraceID: tid, Cache: "hit"},
+		// Noise: another trace, an untraced event, an aux record.
+		{Seq: 5, TS: 1_600, DurUS: 10, RequestID: "other", TraceID: "ffffffffffffffffffffffffffffffff"},
+		{Seq: 6, TS: 1_700, DurUS: 10, RequestID: "plain"},
+		{Seq: 7, TS: 1_800, Kind: "flight_recorder", TraceID: tid},
+	}
+
+	rep := TraceView(events, tid)
+	if len(rep.Events) != 3 {
+		t.Fatalf("events in trace = %d, want 3", len(rep.Events))
+	}
+	if rep.Events[0].Seq != 2 || rep.Events[1].Seq != 9 || rep.Events[2].Seq != 4 {
+		t.Fatalf("order = %d,%d,%d, want 2,9,4", rep.Events[0].Seq, rep.Events[1].Seq, rep.Events[2].Seq)
+	}
+	if rep.Requests != 2 {
+		t.Fatalf("requests = %d, want 2 (primary + hedge)", rep.Requests)
+	}
+	// Extent: earliest start is seq 4 (2000-900=1100), latest end 2000.
+	if rep.SpanUS != 900 {
+		t.Fatalf("span = %dus, want 900", rep.SpanUS)
+	}
+
+	var buf strings.Builder
+	rep.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{tid, "client-7.1", "client-7.2", "error: context canceled", "cache: hit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text view missing %q:\n%s", want, out)
+		}
+	}
+
+	empty := TraceView(events, "00000000000000000000000000000001")
+	if len(empty.Events) != 0 || empty.SpanUS != 0 {
+		t.Fatalf("empty trace = %+v", empty)
+	}
+}

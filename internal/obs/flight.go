@@ -10,6 +10,14 @@ import (
 // recovery is finished before it is offered), so snapshots share pointers.
 type Record struct {
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the 32-hex W3C trace id this recovery belongs to —
+	// adopted from the inbound traceparent, or derived deterministically
+	// from the request id (see DeriveTraceID). Stamped by Finish on every
+	// record.
+	TraceID string `json:"trace_id,omitempty"`
+	// ParentSpanID is the remote parent's span id (16 hex) when the trace
+	// continues from another process, "" for local roots.
+	ParentSpanID string `json:"parent_span_id,omitempty"`
 	// EventSeq is the wide-event log sequence number of this recovery's
 	// event (0 when no event log was configured) — the offset to pull the
 	// full denormalized record back out of the log.
@@ -74,6 +82,35 @@ func (fr *FlightRecorder) add(r *Record) {
 	if len(fr.slowest) > fr.maxSlow {
 		fr.slowest = fr.slowest[:fr.maxSlow]
 	}
+}
+
+// Find returns every retained record belonging to a trace id, newest
+// first within each retention class, deduplicated (a truncated recovery
+// can sit in both the slowest list and the truncation ring). It backs
+// GET /debug/trace/{id}: the recorder only answers for traces it
+// retained, which is every trace when the recorder is sized past the
+// traffic volume (the e2e gates do exactly that). Nil-safe.
+func (fr *FlightRecorder) Find(traceID string) []*Record {
+	if fr == nil || traceID == "" {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	var out []*Record
+	seen := make(map[*Record]bool)
+	for _, r := range fr.slowest {
+		if r.TraceID == traceID && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, r := range fr.trunc {
+		if r.TraceID == traceID && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Snapshot is a point-in-time copy of the flight recorder, JSON-ready for

@@ -44,9 +44,14 @@ type Attr struct {
 // microseconds relative to the owning recovery's start, taken from the
 // monotonic clock.
 type Span struct {
-	Name     string  `json:"name"`
-	StartUS  int64   `json:"start_us"`
-	DurUS    int64   `json:"dur_us"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	// SpanID, when set via SetSpanID, pins this span's wire id (16 hex)
+	// instead of the positional derivation — used for spans whose id must
+	// be known cross-process before export, like router attempt spans
+	// whose id travels in the outbound traceparent.
+	SpanID   string  `json:"span_id,omitempty"`
 	Attrs    []Attr  `json:"attrs,omitempty"`
 	Children []*Span `json:"children,omitempty"`
 
@@ -102,6 +107,15 @@ func (s *Span) SetStr(key, v string) {
 	s.Attrs = append(s.Attrs, Attr{Key: key, Str: v})
 }
 
+// SetSpanID pins the span's wire id (16 lowercase hex, typically from
+// DeriveSpanID). Nil-safe.
+func (s *Span) SetSpanID(id string) {
+	if s == nil || s.rec.finished.Load() {
+		return
+	}
+	s.SpanID = id
+}
+
 // SetAttrs attaches several attributes in one call — the traced hot path
 // batches its per-phase counters through this so instrumentation costs
 // one call per phase. The variadic slice is adopted when the span has no
@@ -128,6 +142,14 @@ type Recovery struct {
 	tracer    *Tracer
 	requestID string
 	start     time.Time
+	// traceID is the 32-hex trace this recovery belongs to: adopted from
+	// the remote parent when StartRoot got a valid SpanContext, derived
+	// from the request id otherwise ("" for anonymous recoveries until
+	// Finish derives one from the start timestamp).
+	traceID string
+	// parentSpanID is the remote parent's span id (16 hex) when this tree
+	// continues a trace started in another process, "" for local roots.
+	parentSpanID string
 	// eventSeq is the wide-event log sequence number of this recovery's
 	// event, when an event log is configured — the join key from a span
 	// tree back to the durable log. Set by the pipeline before Finish.
@@ -165,6 +187,17 @@ func (r *Recovery) RequestID() string {
 		return ""
 	}
 	return r.requestID
+}
+
+// TraceID returns the recovery's 32-hex trace id — adopted from the
+// remote parent or derived from the request id — for injecting outbound
+// trace context mid-flight. Nil-safe; "" for anonymous recoveries (their
+// id is only fixed at Finish).
+func (r *Recovery) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	return r.traceID
 }
 
 // Span opens a child of the root span. Nil-safe.
@@ -232,13 +265,19 @@ func (r *Recovery) Finish(truncated bool, err error) {
 		return
 	}
 	r.Root.DurUS = r.sinceUS()
+	tid := r.traceID
+	if tid == "" {
+		tid = DeriveTraceID(TraceSeed(r.requestID, r.start))
+	}
 	rec := &Record{
-		RequestID: r.requestID,
-		EventSeq:  r.eventSeq,
-		Start:     r.start,
-		DurUS:     r.Root.DurUS,
-		Truncated: truncated,
-		Root:      &r.Root,
+		RequestID:    r.requestID,
+		TraceID:      tid,
+		ParentSpanID: r.parentSpanID,
+		EventSeq:     r.eventSeq,
+		Start:        r.start,
+		DurUS:        r.Root.DurUS,
+		Truncated:    truncated,
+		Root:         &r.Root,
 	}
 	if err != nil {
 		rec.Error = err.Error()
@@ -340,13 +379,31 @@ func New(cfg Config) *Tracer {
 // ties the trace to log lines and the flight-recorder entry. Nil-safe: a
 // nil tracer returns (ctx, nil) unchanged.
 func (t *Tracer) StartRecovery(ctx context.Context, requestID string) (context.Context, *Recovery) {
+	return t.StartRoot(ctx, "recovery", requestID, SpanContext{})
+}
+
+// StartRoot is the general form of StartRecovery: it names the root span
+// and optionally continues a trace started in another process. A valid
+// parent pins the trace id and records the remote span as the exported
+// root's parent — this is how a shard recovery nests under the router
+// attempt span that carried its traceparent. An invalid parent (the zero
+// SpanContext, or a malformed inbound header) starts a fresh root whose
+// trace id derives from the request id. Nil-safe: a nil tracer returns
+// (ctx, nil) unchanged.
+func (t *Tracer) StartRoot(ctx context.Context, name, requestID string, parent SpanContext) (context.Context, *Recovery) {
 	if t == nil {
 		return ctx, nil
 	}
 	r := &Recovery{tracer: t, requestID: requestID, start: time.Now()}
+	if parent.Valid() {
+		r.traceID = parent.TraceID
+		r.parentSpanID = parent.SpanID
+	} else if requestID != "" {
+		r.traceID = DeriveTraceID(requestID)
+	}
 	// The root fans out to every per-selector span pair, so pre-size its
 	// child list past append's 1/2/4 growth steps.
-	r.Root = Span{Name: "recovery", rec: r, Children: make([]*Span, 0, 12)}
+	r.Root = Span{Name: name, rec: r, Children: make([]*Span, 0, 12)}
 	return context.WithValue(ctx, recoveryKey{}, r), r
 }
 

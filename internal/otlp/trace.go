@@ -1,11 +1,8 @@
 package otlp
 
 import (
-	"encoding/binary"
-	"encoding/hex"
 	"strconv"
 
-	"sigrec/internal/keccak"
 	"sigrec/internal/obs"
 )
 
@@ -15,40 +12,15 @@ func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
 
 func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
 
-// traceSeed is the string the trace id is derived from. Recoveries that
-// share a request id — every item of one batch request — share a seed and
-// therefore land in one trace; anonymous recoveries fall back to their
-// start timestamp so they stay distinct.
-func traceSeed(rec *obs.Record) string {
-	if rec.RequestID != "" {
-		return rec.RequestID
-	}
-	return "anon:" + strconv.FormatInt(rec.Start.UnixNano(), 10)
-}
-
-// traceIDFor derives the 16-byte OTLP trace id from the seed: the keccak
-// the repo already keys everything by, truncated. Deterministic, so the
-// same request id maps to the same trace across processes — the router's
-// spans and the shard's spans for one request join without coordination.
-func traceIDFor(seed string) string {
-	h := keccak.Sum256([]byte("sigrec/trace:" + seed))
-	return hex.EncodeToString(h[:16])
-}
-
-// spanIDFor derives an 8-byte span id from the recovery's identity (seed
-// + start time distinguishes two recoveries in one trace) and the span's
-// preorder index within its tree. Purely a function of the record, so
-// golden tests are stable and a re-export of the same record produces the
-// same ids.
-func spanIDFor(seed string, startNano int64, index int) string {
-	buf := make([]byte, 0, len(seed)+24)
-	buf = append(buf, "sigrec/span:"...)
-	buf = append(buf, seed...)
-	buf = binary.BigEndian.AppendUint64(buf, uint64(startNano))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(index))
-	h := keccak.Sum256(buf)
-	return hex.EncodeToString(h[:8])
-}
+// Trace and span ids are derived deterministically in internal/obs
+// (obs.TraceSeed / obs.DeriveTraceID / obs.DeriveSpanIDAt): recoveries
+// that share a request id — every item of one batch request — share a
+// trace, anonymous recoveries fall back to their start timestamp, and
+// the same derivation backs GET /debug/trace stitching, so the exported
+// tree and the stitched tree agree span-for-span. Records finished under
+// a remote parent (an inbound traceparent) carry their adopted TraceID
+// and ParentSpanID; spans with a pinned id (obs.SetSpanID — router
+// attempt spans whose id travels in the outbound traceparent) keep it.
 
 // spansFromRecord flattens one finished recovery's span tree into OTLP
 // wire spans. Wall-clock timestamps are reconstructed from the recovery's
@@ -58,11 +30,14 @@ func spansFromRecord(rec *obs.Record) []wireSpan {
 	if rec == nil || rec.Root == nil {
 		return nil
 	}
-	seed := traceSeed(rec)
-	tid := traceIDFor(seed)
+	seed := obs.TraceSeed(rec.RequestID, rec.Start)
+	tid := rec.TraceID
+	if tid == "" {
+		tid = obs.DeriveTraceID(seed)
+	}
 	baseNano := rec.Start.UnixNano()
-	c := &spanConv{seed: seed, tid: tid, baseNano: baseNano, startNano: baseNano}
-	root := c.convert(rec.Root, "")
+	c := &spanConv{seed: seed, tid: tid, baseNano: baseNano}
+	root := c.convert(rec.Root, rec.ParentSpanID)
 	// The root span carries the recovery-level identity: request id,
 	// event-log join key, truncation flag, error status.
 	if rec.RequestID != "" {
@@ -84,16 +59,18 @@ func spansFromRecord(rec *obs.Record) []wireSpan {
 // preorder, and the output slice is preorder too (root first), which the
 // reconciliation e2e counts on — span index 0 of a batch item is its root.
 type spanConv struct {
-	seed      string
-	tid       string
-	baseNano  int64
-	startNano int64
-	index     int
-	out       []wireSpan
+	seed     string
+	tid      string
+	baseNano int64
+	index    int
+	out      []wireSpan
 }
 
 func (c *spanConv) convert(s *obs.Span, parentID string) *wireSpan {
-	id := spanIDFor(c.seed, c.startNano, c.index)
+	id := s.SpanID
+	if id == "" {
+		id = obs.DeriveSpanIDAt(c.seed, c.baseNano, c.index)
+	}
 	c.index++
 	start := c.baseNano + s.StartUS*1000
 	ws := wireSpan{

@@ -395,7 +395,11 @@ func (s *Scanner) exportEFSD() error {
 // 24/7 pipeline and one bad contract must not stall the chain.
 func (s *Scanner) process(ctx context.Context, it workItem) {
 	reqID := fmt.Sprintf("scan-b%08d-t%04d", it.block, it.tx)
-	ctx, _ = eventlog.NewContext(ctx, reqID)
+	var sc *eventlog.Scope
+	ctx, sc = eventlog.NewContext(ctx, reqID)
+	// The deterministic request-id derivation links the scan's wide event
+	// to its span tree — `sigrec-trace` and /debug/trace join on it.
+	sc.TraceID = obs.DeriveTraceID(reqID)
 	ctx, rec := s.cfg.Tracer.StartRecovery(ctx, reqID)
 	// The root span carries the deployment's chain coordinates and the
 	// time it sat queued between ingest and this worker — the span-tree

@@ -2,6 +2,7 @@ package server
 
 import (
 	"sigrec/internal/core"
+	"sigrec/internal/obs"
 	"sigrec/internal/telemetry"
 )
 
@@ -45,4 +46,22 @@ var (
 	mQueueDepth     = reg.Gauge("sigrecd_queue_depth")
 	mWorkersBusy    = reg.Gauge("sigrecd_workers_busy")
 	mBatchContracts = reg.Counter("sigrecd_batch_contracts_total")
+
+	// mTraceContext meters inbound W3C trace-context extraction, one count
+	// per recover/batch request: ok (valid traceparent adopted), absent,
+	// or malformed (fresh root started instead).
+	mTraceContext = NewTraceContextMetric(reg)
 )
+
+// NewTraceContextMetric registers the sigrec_trace_context_total family
+// with its help text and pre-registers every result label so the series
+// appear on the exposition from startup. Exported so the cluster router
+// registers the identical family (help text, labels) in its own registry.
+func NewTraceContextMetric(r *telemetry.Registry) *telemetry.CounterVec {
+	r.SetHelp("sigrec_trace_context_total", "Inbound W3C traceparent extractions by result: ok, absent, or malformed (malformed headers start a fresh trace root)")
+	v := r.CounterVec("sigrec_trace_context_total", "result")
+	for _, res := range []string{obs.ExtractOK, obs.ExtractAbsent, obs.ExtractMalformed} {
+		v.With(res)
+	}
+	return v
+}

@@ -58,6 +58,28 @@ func sanitizeRequestID(id string) string {
 	return id
 }
 
+// extractTraceContext reads the inbound W3C trace context under the same
+// policy as X-Request-Id sanitization: a malformed traceparent yields the
+// zero SpanContext (the recovery starts a fresh trace root), never an
+// error. Every disposition is metered into sigrec_trace_context_total.
+func extractTraceContext(r *http.Request) obs.SpanContext {
+	sc, result := obs.Extract(r.Header)
+	mTraceContext.With(result).Inc()
+	return sc
+}
+
+// requestTraceID resolves the trace id a request's recoveries (and wide
+// events) carry: the inbound parent's when one was adopted, the
+// deterministic request-id derivation otherwise — the same id the tracer
+// stamps on the flight-recorder record, so all three telemetry surfaces
+// join on it.
+func requestTraceID(parent obs.SpanContext, requestID string) string {
+	if parent.Valid() {
+		return parent.TraceID
+	}
+	return obs.DeriveTraceID(requestID)
+}
+
 // newRequestID returns 16 random hex characters.
 func newRequestID() string {
 	var b [8]byte
@@ -173,6 +195,9 @@ type DebugOptions struct {
 	// Health, when non-nil, mounts /healthz returning its value as JSON
 	// (200 always — a process answering at all is alive).
 	Health func() any
+	// Trace, when non-nil, mounts GET /debug/trace/{id} (see TraceHandler)
+	// so the debug listener serves stitched cross-process traces.
+	Trace http.Handler
 }
 
 // DebugHandler returns the diagnostics mux served on -debug-addr: the
@@ -200,6 +225,9 @@ func DebugHandler(opts DebugOptions) http.Handler {
 	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
 		serveSLO(w, opts.SLO)
 	})
+	if opts.Trace != nil {
+		mux.Handle("GET /debug/trace/{id}", opts.Trace)
+	}
 	if opts.Metrics != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

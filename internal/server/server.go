@@ -105,6 +105,14 @@ type Config struct {
 	// SLO, when non-nil, is the burn-rate evaluator whose state is served
 	// at GET /debug/slo.
 	SLO *slo.Evaluator
+	// Service names this process on stitched trace spans served at
+	// GET /debug/trace/{id} (empty selects "sigrecd"; cluster shards pass
+	// their shard id).
+	Service string
+	// TracePeers maps peer service name -> base URL for the /debug/trace
+	// fan-out, so one shard answers with the whole fleet's half-traces
+	// stitched together. Typically the same map as the peer-fill pool.
+	TracePeers map[string]string
 }
 
 // Server is the HTTP serving layer. Create with New, expose with Handler,
@@ -155,6 +163,15 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /debug/slowest", s.handleSlowest)
 	mux.HandleFunc("GET /debug/events", s.handleEvents)
 	mux.HandleFunc("GET /debug/slo", s.handleSLO)
+	service := cfg.Service
+	if service == "" {
+		service = "sigrecd"
+	}
+	mux.Handle("GET /debug/trace/{id}", TraceHandler(TraceOptions{
+		Service: service,
+		Tracer:  cfg.Tracer,
+		Peers:   cfg.TracePeers,
+	}))
 	s.mux = mux
 	return s
 }
@@ -219,12 +236,28 @@ func (s *Server) recoverItem(ctx context.Context, code []byte, blocking bool) (c
 	}
 	var res core.Result
 	var err error
+	fill := s.cfg.CacheFill
+	if fill != nil {
+		inner := fill
+		fill = func(fctx context.Context, code []byte) (core.Result, error, bool) {
+			fres, ferr, ok := inner(fctx, code)
+			if ok {
+				// A peer fill resolves the request without a worker ever
+				// owning the recovery, so the winner goroutine (the only
+				// writer at this point) finishes the trace here: the fill
+				// span recorded by the hook stays visible in the flight
+				// recorder and the exported trace.
+				obs.FromContext(fctx).Finish(false, nil)
+			}
+			return fres, ferr, ok
+		}
+	}
 	// A waiter coalesced onto a flight whose winner's context died inherits
 	// that context error; when our own context is still live, retry once —
 	// the dead flight is gone, so the retry computes (or coalesces onto a
 	// live flight).
 	for attempt := 0; attempt < 2; attempt++ {
-		res, err = s.cache.GetOrComputeFill(code, s.cfg.CacheFill, func() (core.Result, error) {
+		res, err = s.cache.GetOrComputeFill(ctx, code, fill, func() (core.Result, error) {
 			return s.runPooled(ctx, code, blocking)
 		})
 		if isCtxErr(err) && ctx.Err() == nil {
@@ -323,9 +356,13 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	}
 	// The worker that runs the recovery also finishes the trace (see
 	// runPooled); the handler only arms the context — the tracer's span
-	// tree and the wide-event scope both ride it.
-	ctx, _ := eventlog.NewContext(r.Context(), requestID)
-	ctx, _ = s.cfg.Tracer.StartRecovery(ctx, requestID)
+	// tree and the wide-event scope both ride it. An inbound traceparent
+	// (the router's attempt span) parents the recovery under the caller's
+	// trace; a malformed one starts a fresh root, never an error.
+	parent := extractTraceContext(r)
+	ctx, sc := eventlog.NewContext(r.Context(), requestID)
+	sc.TraceID = requestTraceID(parent, requestID)
+	ctx, _ = s.cfg.Tracer.StartRoot(ctx, "recovery", requestID, parent)
 	res, err := s.recoverItem(ctx, code, false)
 	switch {
 	case errors.Is(err, errQueueFull):
@@ -365,6 +402,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.logRequest(r, requestID, http.StatusServiceUnavailable, start)
 		return
 	}
+	parent := extractTraceContext(r)
+	traceID := requestTraceID(parent, requestID)
 	ctx := r.Context()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	rc := http.NewResponseController(w)
@@ -412,10 +451,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				defer func() { <-sem }()
 				// Each batch item is its own recovery — its own span tree
 				// and wide-event scope, finished by the worker that runs
-				// it; all share the request's ID so the flight recorder
-				// and event log group them.
-				ictx, _ := eventlog.NewContext(ctx, requestID)
-				ictx, _ = s.cfg.Tracer.StartRecovery(ictx, requestID)
+				// it; all share the request's ID (and therefore one trace)
+				// so the flight recorder and event log group them.
+				ictx, isc := eventlog.NewContext(ctx, requestID)
+				isc.TraceID = traceID
+				ictx, _ = s.cfg.Tracer.StartRoot(ictx, "recovery", requestID, parent)
 				res, err := s.recoverItem(ictx, code, true)
 				out <- batchResult(i, res, err)
 			}(i, code)

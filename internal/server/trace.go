@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"sigrec/internal/obs"
+)
+
+// DefaultTraceFanoutTimeout bounds the per-peer fetch when stitching a
+// cross-process trace.
+const DefaultTraceFanoutTimeout = 2 * time.Second
+
+// TraceOptions wires a GET /debug/trace/{id} handler.
+type TraceOptions struct {
+	// Service tags locally produced spans with the process that recorded
+	// them (router, shard id, scanner).
+	Service string
+	// Tracer supplies the local flight recorder the trace is read from.
+	// The recorder only retains the slowest/truncated recoveries, so the
+	// handler answers for traces it kept — size the recorder past the
+	// traffic volume (e.g. -trace-slowest 4096) to retain everything.
+	Tracer *obs.Tracer
+	// Peers maps peer service name -> base URL; unless the request says
+	// ?local=1, the handler fans out to every peer's /debug/trace (with
+	// local=1, so fan-out never recurses) and stitches the answers.
+	Peers map[string]string
+	// Client and Timeout shape the peer fan-out (defaults: shared client,
+	// DefaultTraceFanoutTimeout).
+	Client  *http.Client
+	Timeout time.Duration
+}
+
+// StitchedTrace is the assembled cross-process view of one trace id:
+// every retained span from this process and (on fan-out) its peers,
+// deduplicated by span id and ordered by start time.
+type StitchedTrace struct {
+	TraceID string         `json:"trace_id"`
+	Spans   []obs.FlatSpan `json:"spans"`
+	// Sources counts contributed spans per service, fan-out peers included.
+	Sources map[string]int `json:"sources,omitempty"`
+	// Orphans counts spans whose parent id is absent from the set — a
+	// remote parent whose process did not retain (or did not survive to
+	// serve) its half of the trace, e.g. across a shard kill window.
+	Orphans int `json:"orphans"`
+}
+
+// TraceHandler serves GET /debug/trace/{id}: the stitched cross-process
+// span set for a trace. {id} is a 32-hex trace id, or any other string
+// treated as a request id and mapped through the deterministic derivation
+// — `/debug/trace/client-42` answers for the request the fleet served as
+// client-42 without the caller hashing anything.
+func TraceHandler(opts TraceOptions) http.Handler {
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTraceFanoutTimeout
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if opts.Tracer == nil {
+			writeError(w, http.StatusNotFound, "tracing disabled (start with a trace recorder)")
+			return
+		}
+		tid := resolveTraceID(r.PathValue("id"))
+		spans := localTraceSpans(opts.Tracer, opts.Service, tid)
+		if r.URL.Query().Get("local") == "" && len(opts.Peers) > 0 {
+			spans = append(spans, peerTraceSpans(r.Context(), client, timeout, opts.Peers, tid)...)
+		}
+		writeJSON(w, http.StatusOK, stitchTrace(tid, spans))
+	})
+}
+
+// resolveTraceID maps the path id onto a trace id: 32-hex passes through,
+// anything else derives as a request id.
+func resolveTraceID(id string) string {
+	if len(id) == 32 && isLowerHex(id) {
+		return id
+	}
+	return obs.DeriveTraceID(id)
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// localTraceSpans flattens every retained local record of the trace.
+func localTraceSpans(tracer *obs.Tracer, service, tid string) []obs.FlatSpan {
+	var spans []obs.FlatSpan
+	for _, rec := range tracer.Recorder().Find(tid) {
+		spans = append(spans, obs.FlattenRecord(rec, service)...)
+	}
+	return spans
+}
+
+// peerTraceSpans fans the trace lookup out to every peer concurrently and
+// pools whatever they retained. Peer failures are skipped, not errors:
+// a dead shard's half of the trace shows up as orphaned spans instead.
+func peerTraceSpans(ctx context.Context, client *http.Client, timeout time.Duration, peers map[string]string, tid string) []obs.FlatSpan {
+	var (
+		mu    sync.Mutex
+		spans []obs.FlatSpan
+		wg    sync.WaitGroup
+	)
+	for name, base := range peers {
+		wg.Add(1)
+		go func(name, base string) {
+			defer wg.Done()
+			got := fetchPeerTrace(ctx, client, timeout, base, tid)
+			for i := range got {
+				if got[i].Service == "" {
+					got[i].Service = name
+				}
+			}
+			mu.Lock()
+			spans = append(spans, got...)
+			mu.Unlock()
+		}(name, base)
+	}
+	wg.Wait()
+	return spans
+}
+
+func fetchPeerTrace(ctx context.Context, client *http.Client, timeout time.Duration, base, tid string) []obs.FlatSpan {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/trace/"+tid+"?local=1", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var st StitchedTrace
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&st); err != nil {
+		return nil
+	}
+	return st.Spans
+}
+
+// stitchTrace dedupes, orders, and annotates the pooled spans.
+func stitchTrace(tid string, spans []obs.FlatSpan) StitchedTrace {
+	st := StitchedTrace{TraceID: tid, Sources: map[string]int{}}
+	have := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		if sp.TraceID != tid || have[sp.SpanID] {
+			continue
+		}
+		have[sp.SpanID] = true
+		st.Spans = append(st.Spans, sp)
+		st.Sources[sp.Service]++
+	}
+	sort.Slice(st.Spans, func(i, j int) bool {
+		if st.Spans[i].StartUnixNano != st.Spans[j].StartUnixNano {
+			return st.Spans[i].StartUnixNano < st.Spans[j].StartUnixNano
+		}
+		return st.Spans[i].SpanID < st.Spans[j].SpanID
+	})
+	for _, sp := range st.Spans {
+		if sp.ParentSpanID != "" && !have[sp.ParentSpanID] {
+			st.Orphans++
+		}
+	}
+	return st
+}

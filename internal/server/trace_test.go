@@ -1,0 +1,217 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sigrec/internal/obs"
+)
+
+// traceContextCount reads one result label of sigrec_trace_context_total
+// from the shared registry.
+func traceContextCount(result string) uint64 {
+	return reg.Snapshot().LabeledCounters["sigrec_trace_context_total"].Values[result]
+}
+
+// postTraced posts a recovery with optional traceparent/request-id headers.
+func postTraced(t *testing.T, url, body, requestID, traceparent string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	if requestID != "" {
+		req.Header.Set("X-Request-Id", requestID)
+	}
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestTraceContextInbound pins the serving layer's W3C policy end to end:
+// a valid traceparent is adopted (trace id and remote parent land on the
+// flight record), a malformed one starts a fresh root without erroring the
+// request, and each disposition moves the counter family.
+func TestTraceContextInbound(t *testing.T) {
+	tracer := obs.New(obs.Config{Slowest: 64})
+	_, ts := newTestServer(t, Config{Tracer: tracer})
+	// Distinct bytecode per request: a repeated body would hit the cache,
+	// and cache hits deliberately leave no flight-recorder entry.
+	codeA, _ := compileSig(t, "f(address)")
+	codeB, _ := compileSig(t, "g(uint64)")
+	codeC, _ := compileSig(t, "h(bytes32)")
+
+	parentTrace := "11112222333344445555666677778888"
+	parentSpan := "aaaabbbbccccdddd"
+	valid := "00-" + parentTrace + "-" + parentSpan + "-01"
+
+	okBefore, malBefore, absBefore := traceContextCount("ok"), traceContextCount("malformed"), traceContextCount("absent")
+
+	if resp := postTraced(t, ts.URL+"/v1/recover", fmt.Sprintf("%x", codeA), "ctx-adopt", valid); resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced request status = %d", resp.StatusCode)
+	}
+	if resp := postTraced(t, ts.URL+"/v1/recover", fmt.Sprintf("%x", codeB), "ctx-malformed", "00-borked"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("malformed traceparent broke the request: %d", resp.StatusCode)
+	}
+	if resp := postTraced(t, ts.URL+"/v1/recover", fmt.Sprintf("%x", codeC), "ctx-absent", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("untraced request status = %d", resp.StatusCode)
+	}
+
+	if d := traceContextCount("ok") - okBefore; d != 1 {
+		t.Errorf("ok delta = %d, want 1", d)
+	}
+	if d := traceContextCount("malformed") - malBefore; d != 1 {
+		t.Errorf("malformed delta = %d, want 1", d)
+	}
+	if d := traceContextCount("absent") - absBefore; d != 1 {
+		t.Errorf("absent delta = %d, want 1", d)
+	}
+
+	// Adopted: the record carries the remote trace id and parent span id.
+	recs := tracer.Recorder().Find(parentTrace)
+	if len(recs) != 1 {
+		t.Fatalf("records under adopted trace = %d, want 1", len(recs))
+	}
+	if recs[0].ParentSpanID != parentSpan || recs[0].RequestID != "ctx-adopt" {
+		t.Fatalf("adopted record = %+v", recs[0])
+	}
+
+	// Malformed and absent: fresh roots under the request-id derivation,
+	// with no remote parent.
+	for _, id := range []string{"ctx-malformed", "ctx-absent"} {
+		recs := tracer.Recorder().Find(obs.DeriveTraceID(id))
+		if len(recs) != 1 || recs[0].ParentSpanID != "" {
+			t.Fatalf("fresh root for %s: %+v", id, recs)
+		}
+	}
+}
+
+// TestTraceHandlerLocal drives GET /debug/trace/{id} on one process: the
+// span set for a served request is retrievable by request id and by raw
+// trace id, parentage is intact, and an unknown id answers empty, not 404.
+func TestTraceHandlerLocal(t *testing.T) {
+	tracer := obs.New(obs.Config{Slowest: 64})
+	_, ts := newTestServer(t, Config{Tracer: tracer, Service: "shard-a"})
+	code, _ := compileSig(t, "f(uint256)")
+	if resp := postTraced(t, ts.URL+"/v1/recover", fmt.Sprintf("%x", code), "trace-me", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover status = %d", resp.StatusCode)
+	}
+
+	tid := obs.DeriveTraceID("trace-me")
+	for _, path := range []string{"/debug/trace/trace-me", "/debug/trace/" + tid} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st StitchedTrace
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status=%d err=%v", path, resp.StatusCode, err)
+		}
+		if st.TraceID != tid {
+			t.Fatalf("trace id = %s, want %s", st.TraceID, tid)
+		}
+		if len(st.Spans) == 0 || st.Spans[0].Name != "recovery" {
+			t.Fatalf("spans = %+v", st.Spans)
+		}
+		if st.Orphans != 0 {
+			t.Fatalf("orphans = %d in a single-process trace", st.Orphans)
+		}
+		if st.Sources["shard-a"] != len(st.Spans) {
+			t.Fatalf("sources = %v over %d spans", st.Sources, len(st.Spans))
+		}
+		// Every non-root span's parent must resolve within the set.
+		ids := map[string]bool{}
+		for _, sp := range st.Spans {
+			if sp.TraceID != tid || sp.SpanID == "" {
+				t.Fatalf("bad span identity: %+v", sp)
+			}
+			ids[sp.SpanID] = true
+		}
+		for _, sp := range st.Spans {
+			if sp.ParentSpanID != "" && !ids[sp.ParentSpanID] {
+				t.Fatalf("span %s parent %s not in set", sp.SpanID, sp.ParentSpanID)
+			}
+		}
+	}
+
+	// Unknown trace: empty stitched answer.
+	resp, err := http.Get(ts.URL + "/debug/trace/never-served")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StitchedTrace
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Spans) != 0 {
+		t.Fatalf("unknown trace returned %d spans", len(st.Spans))
+	}
+}
+
+// TestTraceHandlerFanout stitches across two processes: a request served
+// by a peer is visible through this server's /debug/trace via fan-out,
+// tagged with the peer's service name, and the ?local=1 recursion guard
+// keeps the peer from fanning out in turn.
+func TestTraceHandlerFanout(t *testing.T) {
+	peerTracer := obs.New(obs.Config{Slowest: 64})
+	_, peer := newTestServer(t, Config{Tracer: peerTracer, Service: "shard-b"})
+
+	frontTracer := obs.New(obs.Config{Slowest: 64})
+	_, front := newTestServer(t, Config{
+		Tracer:     frontTracer,
+		Service:    "shard-a",
+		TracePeers: map[string]string{"shard-b": peer.URL},
+	})
+
+	code, _ := compileSig(t, "f(bool)")
+	if resp := postTraced(t, peer.URL+"/v1/recover", fmt.Sprintf("%x", code), "peer-req", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer recover status = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(front.URL + "/debug/trace/peer-req")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StitchedTrace
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Spans) == 0 {
+		t.Fatal("fan-out found no spans for a request the peer served")
+	}
+	if st.Sources["shard-b"] != len(st.Spans) || st.Sources["shard-a"] != 0 {
+		t.Fatalf("sources = %v", st.Sources)
+	}
+
+	// local=1 answers only from the local recorder — the recursion guard.
+	resp, err = http.Get(front.URL + "/debug/trace/peer-req?local=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var local StitchedTrace
+	err = json.NewDecoder(resp.Body).Decode(&local)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local.Spans) != 0 {
+		t.Fatalf("local=1 leaked %d peer spans", len(local.Spans))
+	}
+}
